@@ -1,0 +1,32 @@
+"""Helpers shared by the benchmark modules (table recording, common runs)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.analysis import format_table
+
+
+def record_rows(benchmark, experiment_id: str, rows, columns: Optional[Sequence[str]] = None, title: Optional[str] = None) -> str:
+    """Print a result table and attach the rows to the benchmark record.
+
+    The printed table (visible with ``pytest -s``) and the
+    ``benchmark.extra_info`` payload carry the same information; both are the
+    source for ``EXPERIMENTS.md``.
+    """
+    table = format_table(rows, columns, title=title or experiment_id)
+    print("\n" + table)
+    benchmark.extra_info["experiment"] = experiment_id
+    benchmark.extra_info["rows"] = [
+        {
+            k: (float(v) if isinstance(v, (int, float, np.floating)) and not isinstance(v, bool) else str(v))
+            for k, v in row.items()
+        }
+        for row in rows
+    ]
+    return table
+
+
+__all__ = ["record_rows"]

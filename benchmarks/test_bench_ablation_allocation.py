@@ -1,0 +1,166 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+These are not paper tables; they justify the pieces of Algorithm 1 that make
+the ``Õ(sk + t)`` bound possible:
+
+* convex-hull + rank-selection outlier allocation vs. the naive splits
+  ``t_i = t/s`` (uniform) and ``t_i = t`` (ship everything, the 1-round cost);
+* the geometric evaluation grid ``I = {rho^r}`` vs. the full grid ``{0..t}``;
+* ``2k`` local centers (the paper's choice) vs. only ``k``.
+
+Each ablation is run on a workload whose planted outliers are concentrated on
+one site — the regime where a wrong budget split is most punishing.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.harness import record_rows
+from repro.analysis import evaluate_centers
+from repro.baselines import centralized_reference, one_round_protocol
+from repro.core import distributed_partial_median, geometric_grid
+from repro.core.preclustering import precluster_site
+from repro.data import gaussian_mixture_with_outliers
+from repro.distributed import DistributedInstance, partition_outliers_concentrated
+from repro.metrics import build_cost_matrix
+from repro.sequential import local_search_partial
+
+
+@pytest.fixture(scope="module")
+def adversarial_instance():
+    workload = gaussian_mixture_with_outliers(
+        n_inliers=700, n_outliers=60, n_clusters=4, separation=14.0, rng=777
+    )
+    metric = workload.to_metric()
+    shards = partition_outliers_concentrated(workload.outlier_mask, 6, n_outlier_sites=1, rng=3)
+    instance = DistributedInstance.from_partition(metric, shards, 4, 60, "median")
+    return workload, metric, instance
+
+
+@pytest.mark.paper_experiment("ABL-allocation")
+def test_ablation_outlier_budget_allocation(benchmark, adversarial_instance):
+    """Convex-hull allocation vs uniform split vs ship-everything."""
+    workload, metric, instance = adversarial_instance
+    k, t, s = instance.k, instance.t, instance.n_sites
+    reference = centralized_reference(metric, k, t, objective="median", rng=1)
+
+    def run_all():
+        paper = distributed_partial_median(instance, epsilon=0.5, rng=2)
+        one_round = one_round_protocol(instance, epsilon=0.5, rng=2)
+
+        # Uniform split: force t_i = t/s by solving each site with that budget
+        # and shipping those outliers (simulated through the one-round path on
+        # a modified instance budget).
+        uniform_budget_instance = DistributedInstance.from_partition(
+            metric, instance.shards, k, max(1, t // s), "median"
+        )
+        uniform = one_round_protocol(uniform_budget_instance, epsilon=0.5, rng=2)
+        return paper, one_round, uniform
+
+    paper, one_round, uniform = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    def realized(result, budget=None):
+        return evaluate_centers(
+            metric, result.centers, result.outlier_budget if budget is None else budget,
+            objective="median",
+        ).cost
+
+    rows = [
+        {
+            "allocation": "convex hull + rank selection (Algorithm 1)",
+            "words": paper.total_words,
+            "realized_cost": realized(paper),
+            "cost/reference": realized(paper) / reference.cost,
+        },
+        {
+            "allocation": "ship t per site (1-round)",
+            "words": one_round.total_words,
+            "realized_cost": realized(one_round),
+            "cost/reference": realized(one_round) / reference.cost,
+        },
+        {
+            "allocation": "uniform split t/s per site",
+            "words": uniform.total_words,
+            # Evaluate with the same global budget as Algorithm 1 for fairness.
+            "realized_cost": realized(uniform, paper.outlier_budget),
+            "cost/reference": realized(uniform, paper.outlier_budget) / reference.cost,
+        },
+    ]
+    record_rows(benchmark, "Ablation-allocation", rows,
+                title="Ablation: outlier budget allocation (outliers concentrated on one site)")
+
+    # The paper's allocation matches the ship-everything quality at a fraction
+    # of the words, and beats the uniform split on quality.
+    assert rows[0]["realized_cost"] <= 1.3 * rows[1]["realized_cost"] + 1e-9
+    assert rows[0]["words"] < rows[1]["words"]
+    assert rows[0]["realized_cost"] <= rows[2]["realized_cost"] * 1.05 + 1e-9
+
+
+@pytest.mark.paper_experiment("ABL-grid")
+def test_ablation_geometric_vs_full_grid(benchmark, adversarial_instance):
+    """The O(log t) geometric grid loses little cost but saves many local solves."""
+    workload, metric, instance = adversarial_instance
+    t = instance.t
+    shard = instance.shards[0]  # the outlier-heavy site
+    costs = build_cost_matrix(metric, shard, shard, "median")
+
+    def run_both():
+        geometric = precluster_site(costs, 2 * instance.k, t, rho=2.0, rng=0)
+        full = precluster_site(costs, 2 * instance.k, t, grid=np.arange(t + 1), rng=0)
+        return geometric, full
+
+    geometric, full = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    grid_q = geometric_grid(t, rho=2.0, upper=shard.size)
+    rows = [
+        {
+            "grid": "geometric (paper)",
+            "local_solves": geometric.grid.size,
+            "profile_words": geometric.profile.words,
+            "cost_at_t": geometric.profile(t),
+        },
+        {
+            "grid": "full {0..t}",
+            "local_solves": full.grid.size,
+            "profile_words": full.profile.words,
+            "cost_at_t": full.profile(t),
+        },
+    ]
+    record_rows(benchmark, "Ablation-grid", rows, title="Ablation: geometric vs full local grid")
+
+    assert geometric.grid.size == grid_q.size
+    assert geometric.grid.size <= full.grid.size / 3
+    # The hull built from the geometric grid tracks the full curve closely at
+    # the operating points (within the paper's constant-factor slack).
+    for q in (0, t // 2, t):
+        assert geometric.profile(q) <= 2.0 * full.profile(q) + 1e-6 + 0.05 * full.profile(0)
+
+
+@pytest.mark.paper_experiment("ABL-2k")
+def test_ablation_local_center_budget(benchmark, adversarial_instance):
+    """2k local centers (paper) vs k local centers at the sites."""
+    workload, metric, instance = adversarial_instance
+    reference = centralized_reference(metric, instance.k, instance.t, objective="median", rng=1)
+
+    def run_both():
+        with_2k = distributed_partial_median(instance, epsilon=0.5, local_center_factor=2, rng=4)
+        with_1k = distributed_partial_median(instance, epsilon=0.5, local_center_factor=1, rng=4)
+        return with_2k, with_1k
+
+    with_2k, with_1k = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    cost_2k = evaluate_centers(metric, with_2k.centers, with_2k.outlier_budget, objective="median").cost
+    cost_1k = evaluate_centers(metric, with_1k.centers, with_1k.outlier_budget, objective="median").cost
+    rows = [
+        {"local_centers": "2k (paper)", "words": with_2k.total_words, "realized_cost": cost_2k,
+         "cost/reference": cost_2k / reference.cost},
+        {"local_centers": "k", "words": with_1k.total_words, "realized_cost": cost_1k,
+         "cost/reference": cost_1k / reference.cost},
+    ]
+    record_rows(benchmark, "Ablation-local-centers", rows,
+                title="Ablation: local center budget at the sites")
+
+    # Doubling the local centers costs a bit more communication but never
+    # hurts quality by much; usually it helps on cluster-skewed shards.
+    assert with_2k.total_words >= with_1k.total_words
+    assert cost_2k <= 1.2 * cost_1k + 1e-9

@@ -1,0 +1,78 @@
+"""Table 1, row 4 — distributed (k, t)-center.
+
+Paper claims: O(1) approximation with exactly t ignored points, 2 rounds,
+``Õ((sk + t) B)`` communication, site time ``Õ((k + t) n_i)`` (linear in the
+shard size, unlike the quadratic median preclustering) and coordinator time
+``Õ((sk + t)^2)``.
+"""
+
+import pytest
+
+from benchmarks.harness import record_rows
+from repro.analysis import approximation_ratio, evaluate_centers
+from repro.baselines import centralized_reference
+from repro.core import distributed_partial_center, distributed_partial_median
+from repro.distributed import DistributedInstance, partition_balanced
+
+
+@pytest.mark.paper_experiment("T1-center")
+@pytest.mark.parametrize("s,k", [(4, 3), (8, 5)])
+def test_table1_center(benchmark, bench_metric, bench_workload, s, k):
+    t = 60
+    reference = centralized_reference(bench_metric, k, t, objective="center")
+    shards = partition_balanced(bench_workload.n_points, s, rng=5)
+    instance = DistributedInstance.from_partition(bench_metric, shards, k, t, "center")
+
+    result = benchmark(distributed_partial_center, instance, rng=5)
+
+    realized = evaluate_centers(bench_metric, result.centers, t, objective="center")
+    ratio = approximation_ratio(realized.cost, reference.cost)
+    words_per_skt = result.total_words / ((s * k + t) * instance.words_per_point())
+    rows = [
+        {
+            "s": s,
+            "k": k,
+            "t": t,
+            "approx_ratio": ratio,
+            "ignored": int(result.outlier_budget),
+            "total_words": result.total_words,
+            "words/(sk+t)B": words_per_skt,
+            "rounds": result.rounds,
+            "site_time_max_s": result.site_time_max,
+            "coord_time_s": result.coordinator_time,
+        }
+    ]
+    record_rows(benchmark, "Table1-center", rows, title="Table 1 (center row): Algorithm 2")
+
+    assert result.rounds == 2
+    assert result.outlier_budget == t  # exactly t, not (1+eps)t
+    assert ratio <= 4.0
+    assert words_per_skt <= 12.0
+
+
+@pytest.mark.paper_experiment("T1-center-site-time")
+def test_table1_center_site_time_linear_vs_median_quadratic(benchmark, bench_metric, bench_workload):
+    """The center preclustering is ~linear per site while median is ~quadratic.
+
+    Table 1 lists site time Õ((k+t) n_i) for center and Õ(n_i^2) for median;
+    with n_i ~ 300 the Gonzalez pass should be far cheaper than the local
+    search grid solves.
+    """
+    s, k, t = 4, 3, 60
+    shards = partition_balanced(bench_workload.n_points, s, rng=6)
+    center_instance = DistributedInstance.from_partition(bench_metric, shards, k, t, "center")
+    median_instance = DistributedInstance.from_partition(bench_metric, shards, k, t, "median")
+
+    def run_both():
+        c = distributed_partial_center(center_instance, rng=6)
+        m = distributed_partial_median(median_instance, rng=6)
+        return c, m
+
+    center_result, median_result = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    rows = [
+        {"objective": "center", "site_time_max_s": center_result.site_time_max},
+        {"objective": "median", "site_time_max_s": median_result.site_time_max},
+    ]
+    record_rows(benchmark, "Table1-center-vs-median-site-time", rows)
+    assert center_result.site_time_max < median_result.site_time_max

@@ -1,0 +1,88 @@
+"""Table 1, row 5 — uncertain median / means / center-pp.
+
+Paper claim: the deterministic bounds carry over to uncertain data — same
+``Õ((sk + t) B)`` communication and 2 rounds — with the site time increased
+by ``O(n_i T)`` for the 1-median collapses (Theorem 5.6, Algorithm 3).
+
+The benchmark runs Algorithm 3 for all three per-node objectives on the
+shared uncertain workload, reports the exact assigned cost (the objectives
+decompose per node, so no sampling is needed) against a centralized
+compressed-graph solve, and verifies that outlier nodes travel as collapsed
+``(y_j, l_j)`` pairs rather than full distributions.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.harness import record_rows
+from repro.analysis import approximation_ratio
+from repro.core import distributed_uncertain_clustering
+from repro.distributed import UncertainDistributedInstance, partition_balanced
+from repro.sequential import local_search_partial
+from repro.uncertain import exact_assigned_cost
+
+
+def _centralized_compressed_reference(uncertain, k, t, objective, rng=0):
+    graph = uncertain.compressed_graph(objective)
+    nodes = np.arange(uncertain.n_nodes)
+    costs = graph.demand_facility_costs(nodes, nodes)
+    if objective == "means":
+        base = uncertain.ground_metric.pairwise(graph.anchor_indices, graph.anchor_indices)
+        costs = base * base + graph.collapse_costs[:, None]
+    solution = local_search_partial(
+        costs, k, t, objective="means" if objective == "means" else "median", rng=rng, max_iter=60
+    )
+    assignment = {
+        int(j): int(graph.anchor_indices[int(solution.assignment[j])])
+        for j in solution.served_indices
+    }
+    return exact_assigned_cost(uncertain, assignment, objective)
+
+
+@pytest.mark.paper_experiment("T1-uncertain")
+@pytest.mark.parametrize("objective", ["median", "means", "center"])
+def test_table1_uncertain(benchmark, bench_uncertain_workload, objective):
+    uncertain = bench_uncertain_workload.instance
+    s, k, t = 3, 3, 12
+    shards = partition_balanced(uncertain.n_nodes, s, rng=7)
+    instance = UncertainDistributedInstance.from_partition(uncertain, shards, k, t, objective)
+
+    result = benchmark.pedantic(
+        distributed_uncertain_clustering,
+        args=(instance,),
+        kwargs={"epsilon": 0.5, "rng": 7},
+        rounds=2,
+        iterations=1,
+    )
+
+    assignment = result.metadata["node_assignment"]
+    cost = exact_assigned_cost(uncertain, assignment, objective)
+    reference = _centralized_compressed_reference(uncertain, k, t, objective, rng=8)
+    ratio = approximation_ratio(cost, reference)
+    B = instance.words_per_point()
+    words_per_skt = result.total_words / ((s * k + t) * B)
+    naive_words = uncertain.encoding_words()
+
+    rows = [
+        {
+            "objective": objective,
+            "s": s,
+            "k": k,
+            "t": t,
+            "exact_cost": cost,
+            "approx_ratio_vs_central": ratio,
+            "total_words": result.total_words,
+            "words/(sk+t)B": words_per_skt,
+            "words/ship_all_distributions": result.total_words / naive_words,
+            "rounds": result.rounds,
+            "site_time_max_s": result.site_time_max,
+        }
+    ]
+    record_rows(benchmark, f"Table1-uncertain-{objective}", rows,
+                title=f"Table 1 (uncertain row, {objective}): Algorithm 3")
+
+    assert result.rounds == 2
+    assert ratio <= 4.0
+    assert words_per_skt <= 12.0
+    # The whole point of the compression: far cheaper than shipping distributions.
+    assert result.total_words < 0.6 * naive_words

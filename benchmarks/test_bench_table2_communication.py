@@ -1,0 +1,152 @@
+"""Table 2 — the communication landscape: 1-round vs 2-round vs no-shipping.
+
+Table 2 is the paper's full result grid; its core quantitative content is the
+communication comparison
+
+* 1-round algorithms (every site ships its full ``t`` budget):  ``Õ((sk + st) B)``
+* 2-round Algorithm 1 / 2:                                       ``Õ((sk + t) B)``
+* 2-round no-shipping variant (Theorem 3.8):                     ``Õ(s/delta + s k B)``
+
+so the 2-round protocol's advantage over the 1-round one grows roughly like
+``s`` once ``t`` dominates ``sk``, and the no-shipping variant is flat in
+``t``.  The benchmarks sweep ``s`` and ``t`` and check those orderings and
+growth shapes, while also confirming that solution quality stays comparable.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.harness import record_rows
+from repro.analysis import evaluate_centers
+from repro.baselines import one_round_protocol
+from repro.core import distributed_partial_median, distributed_partial_median_no_shipping
+from repro.distributed import DistributedInstance, partition_balanced
+
+
+@pytest.mark.paper_experiment("T2-comm-scaling-s")
+def test_table2_communication_vs_sites(benchmark, bench_metric, bench_workload):
+    """Sweep s: the 1-round/2-round words ratio should grow roughly like s."""
+    k, t = 3, 60
+    site_counts = (2, 4, 8, 16)
+
+    def sweep():
+        rows = []
+        for s in site_counts:
+            shards = partition_balanced(bench_workload.n_points, s, rng=11)
+            instance = DistributedInstance.from_partition(bench_metric, shards, k, t, "median")
+            two_round = distributed_partial_median(instance, epsilon=0.5, rng=11)
+            one_round = one_round_protocol(instance, epsilon=0.5, rng=11)
+            no_ship = distributed_partial_median_no_shipping(
+                instance, epsilon=0.5, delta=0.5, rng=11
+            )
+            rows.append(
+                {
+                    "s": s,
+                    "one_round_words": one_round.total_words,
+                    "alg1_words": two_round.total_words,
+                    "no_ship_words": no_ship.total_words,
+                    "one_round/alg1": one_round.total_words / two_round.total_words,
+                    "alg1_cost": evaluate_centers(
+                        bench_metric, two_round.centers, two_round.outlier_budget, objective="median"
+                    ).cost,
+                    "one_round_cost": evaluate_centers(
+                        bench_metric, one_round.centers, one_round.outlier_budget, objective="median"
+                    ).cost,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_rows(benchmark, "Table2-communication-vs-s", rows,
+                title="Table 2: communication vs number of sites (k=3, t=60)")
+
+    ratios = [row["one_round/alg1"] for row in rows]
+    # The separation grows with s ...
+    assert ratios[-1] > ratios[0]
+    # ... and at the largest s the 1-round protocol is at least ~2x costlier.
+    assert ratios[-1] >= 2.0
+    # Quality stays comparable while communication shrinks.
+    for row in rows:
+        assert row["alg1_cost"] <= 1.5 * row["one_round_cost"] + 1e-9
+
+
+@pytest.mark.paper_experiment("T2-comm-scaling-t")
+def test_table2_communication_vs_outlier_budget(benchmark, bench_metric, bench_workload):
+    """Sweep t: Algorithm 1 grows ~linearly in t, the 1-round baseline ~s times faster,
+    and the no-shipping variant stays essentially flat."""
+    s, k = 8, 3
+    budgets = (20, 40, 80, 160)
+    shards = partition_balanced(bench_workload.n_points, s, rng=12)
+
+    def sweep():
+        rows = []
+        for t in budgets:
+            instance = DistributedInstance.from_partition(bench_metric, shards, k, t, "median")
+            two_round = distributed_partial_median(instance, epsilon=0.5, rng=12)
+            one_round = one_round_protocol(instance, epsilon=0.5, rng=12)
+            no_ship = distributed_partial_median_no_shipping(
+                instance, epsilon=0.5, delta=0.5, rng=12
+            )
+            rows.append(
+                {
+                    "t": t,
+                    "one_round_words": one_round.total_words,
+                    "alg1_words": two_round.total_words,
+                    "no_ship_words": no_ship.total_words,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_rows(benchmark, "Table2-communication-vs-t", rows,
+                title="Table 2: communication vs outlier budget (s=8, k=3)")
+
+    # Growth over the sweep (words at largest t / words at smallest t).
+    growth = {
+        key: rows[-1][key] / rows[0][key]
+        for key in ("one_round_words", "alg1_words", "no_ship_words")
+    }
+    # The 1-round baseline grows markedly faster than Algorithm 1 ...
+    assert growth["one_round_words"] > 1.5 * growth["alg1_words"]
+    # ... and the no-shipping variant is nearly flat in t.
+    assert growth["no_ship_words"] < 1.6
+    # At every t, the ordering no-ship <= alg1 <= one-round holds.
+    for row in rows:
+        assert row["no_ship_words"] <= row["alg1_words"] <= row["one_round_words"]
+
+
+@pytest.mark.paper_experiment("T2-noship-delta")
+def test_table2_no_shipping_delta_tradeoff(benchmark, bench_metric, bench_workload):
+    """Theorem 3.8: smaller delta costs more profile words but never ships outliers."""
+    s, k, t = 6, 3, 80
+    shards = partition_balanced(bench_workload.n_points, s, rng=13)
+    instance = DistributedInstance.from_partition(bench_metric, shards, k, t, "median")
+
+    def sweep():
+        rows = []
+        for delta in (0.25, 0.5, 1.0):
+            result = distributed_partial_median_no_shipping(
+                instance, epsilon=0.5, delta=delta, rng=13
+            )
+            profile_words = sum(m.words for m in result.ledger.filter(kind="cost_profile"))
+            rows.append(
+                {
+                    "delta": delta,
+                    "total_words": result.total_words,
+                    "profile_words": profile_words,
+                    "outlier_budget": result.outlier_budget,
+                    "realized_cost": evaluate_centers(
+                        bench_metric, result.centers, result.outlier_budget, objective="median"
+                    ).cost,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_rows(benchmark, "Table2-noship-delta", rows,
+                title="Table 2 ((2+eps+delta)t rows): delta trade-off")
+
+    profile_words = [row["profile_words"] for row in rows]
+    budgets = [row["outlier_budget"] for row in rows]
+    assert profile_words[0] >= profile_words[-1]  # finer grid costs more words
+    assert budgets == sorted(budgets)  # larger delta -> larger excess budget

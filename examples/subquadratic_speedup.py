@@ -1,0 +1,71 @@
+"""Using the distributed algorithm as a *centralized* speed-up (Theorem 3.10).
+
+Even with all the data on one machine, the (k, t)-median algorithms with
+provable guarantees are quadratic (or worse) in n.  Theorem 3.10 observes
+that simulating the distributed protocol sequentially — split into ~n^(2/3)
+pieces, precluster each piece, finish on the ~sk + t surviving weighted
+representatives — breaks the quadratic barrier.
+
+This script measures wall-clock time of a quadratic-style direct solver and
+of the sequential simulation over a range of n, printing the crossover.  The
+solvers are configured identically (every facility considered for insertion)
+so the comparison isolates the algorithmic structure, not solver tuning.
+
+Run with:  python examples/subquadratic_speedup.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis import evaluate_centers, format_table
+from repro.core import subquadratic_partial_clustering
+from repro.data import gaussian_mixture_with_outliers
+from repro.metrics import build_cost_matrix
+from repro.sequential import local_search_partial
+
+QUADRATIC_SOLVER = {"sample_size": 10**9, "max_iter": 4}  # evaluate every facility
+
+
+def main() -> None:
+    k = 3
+    rows = []
+    for n in (300, 600, 1200, 2400):
+        t = int(np.sqrt(n))
+        workload = gaussian_mixture_with_outliers(
+            n_inliers=n - t, n_outliers=t, n_clusters=k, separation=14.0, rng=n
+        )
+        metric = workload.to_metric()
+
+        start = time.perf_counter()
+        costs = build_cost_matrix(metric, range(n), range(n), "median")
+        direct = local_search_partial(costs, k, t, rng=1, **QUADRATIC_SOLVER)
+        direct_seconds = time.perf_counter() - start
+
+        sim = subquadratic_partial_clustering(
+            metric, k, t, rng=1,
+            local_solver_kwargs=QUADRATIC_SOLVER,
+            coordinator_solver_kwargs=QUADRATIC_SOLVER,
+        )
+        sim_cost = evaluate_centers(metric, sim.centers, sim.outlier_budget, objective="median").cost
+
+        rows.append(
+            {
+                "n": n,
+                "t": t,
+                "direct_seconds": direct_seconds,
+                "simulated_seconds": sim.wall_time,
+                "speedup": direct_seconds / sim.wall_time,
+                "pieces": sim.n_pieces,
+                "direct_cost": direct.cost,
+                "simulated_cost": sim_cost,
+            }
+        )
+
+    print(format_table(rows, title="Theorem 3.10: direct quadratic solve vs sequential simulation"))
+    print("\nThe simulated solver's time grows ~n^(4/3) versus ~n^2 for the direct solve,")
+    print("so the speedup column keeps growing with n while the costs stay comparable.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists only so
+that legacy editable installs (``pip install -e . --no-use-pep517`` or
+``python setup.py develop``) work in offline environments that lack the
+``wheel`` package required by PEP 517 editable builds.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,62 @@
+"""Distributed Partial Clustering — reproduction of Guha, Li & Zhang (SPAA 2017).
+
+Communication-efficient distributed ``(k, t)``-median/means/center clustering
+with outliers in the coordinator model, including clustering of uncertain
+(distributional) data and the sub-quadratic centralized simulation.
+
+Quick start
+-----------
+>>> import numpy as np
+>>> from repro import partial_kmedian
+>>> rng = np.random.default_rng(0)
+>>> points = np.vstack([rng.normal(c, 0.5, size=(100, 2)) for c in ((0, 0), (8, 8))]
+...                    + [rng.uniform(-30, 40, size=(10, 2))])
+>>> result = partial_kmedian(points, k=2, t=10, n_sites=4, seed=0)
+>>> result.n_centers, result.rounds
+(2, 2)
+
+The top-level namespace re-exports the high-level drivers; the full machinery
+lives in the subpackages:
+
+``repro.core``          the paper's algorithms (Algorithm 1-4, Theorem 3.8/3.10)
+``repro.sequential``    single-machine partial-clustering solvers
+``repro.distributed``   coordinator-model simulator and communication accounting
+``repro.uncertain``     uncertain nodes, 1-median collapse, compressed graphs
+``repro.baselines``     1-round / send-all / centralized-reference baselines
+``repro.data``          synthetic workload generators
+``repro.analysis``      evaluation, approximation ratios, report tables
+"""
+
+from repro.core.api import (
+    partial_kmedian,
+    partial_kmeans,
+    partial_kcenter,
+    uncertain_partial_kmedian,
+    uncertain_partial_kcenter_g,
+)
+from repro.core.subquadratic import subquadratic_partial_clustering
+from repro.distributed.instance import DistributedInstance, UncertainDistributedInstance
+from repro.distributed.result import DistributedResult
+from repro.metrics.euclidean import EuclideanMetric
+from repro.metrics.matrix import MatrixMetric
+from repro.uncertain.instance import UncertainInstance
+from repro.uncertain.nodes import UncertainNode
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "partial_kmedian",
+    "partial_kmeans",
+    "partial_kcenter",
+    "uncertain_partial_kmedian",
+    "uncertain_partial_kcenter_g",
+    "subquadratic_partial_clustering",
+    "DistributedInstance",
+    "UncertainDistributedInstance",
+    "DistributedResult",
+    "EuclideanMetric",
+    "MatrixMetric",
+    "UncertainInstance",
+    "UncertainNode",
+]

@@ -1,0 +1,23 @@
+"""Baselines the paper's algorithms are compared against.
+
+* :func:`centralized_reference` — a strong single-machine solution used as
+  the denominator of every measured approximation ratio.
+* :func:`one_round_protocol` — the prior-art style 1-round protocol in which
+  every site plays it safe and ships ``t`` potential outliers
+  (``Õ((sk + st) B)`` communication; Table 2's 1-round rows and the regime
+  of Malkomes et al. for the center objective).
+* :func:`send_all_protocol` — the naive protocol that ships every point to
+  the coordinator (``n B`` words), which is simultaneously the communication
+  upper bound and the solution-quality gold standard for the distributed
+  comparison.
+"""
+
+from repro.baselines.central import centralized_reference
+from repro.baselines.one_round import one_round_protocol
+from repro.baselines.send_all import send_all_protocol
+
+__all__ = [
+    "centralized_reference",
+    "one_round_protocol",
+    "send_all_protocol",
+]

@@ -1,0 +1,220 @@
+"""Algorithm 1: distributed ``(k, (1+eps)t)``-median / means clustering.
+
+Two rounds, ``Õ((sk + t) B)`` words of communication (Theorem 3.6):
+
+Round 1 (sites -> coordinator)
+    Every site solves its local problem with ``2k`` centers at the
+    ``O(log t)`` grid points ``q in I`` and transmits the lower convex hull of
+    the resulting cost curve (:class:`repro.core.convex_hull.CostProfile`).
+
+Allocation (coordinator)
+    The coordinator splits a budget of ``rho * t`` ignored points across the
+    sites by stable rank selection on the marginal gains ``l(i, q)``
+    (:func:`repro.core.allocation.allocate_outlier_budget`).
+
+Round 2 (coordinator -> sites -> coordinator)
+    Each site learns its allocation ``t_i`` (snapping up to a hull vertex when
+    it is the exceptional site), and ships its ``2k`` local centers, the
+    number of points attached to each, and its ``t_i`` unassigned points.
+    The coordinator solves the induced weighted ``(k, (1+eps)t)`` problem
+    (Theorem 3.1 interface) over everything it received and outputs the
+    centers, which are original input points.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.core.allocation import allocate_outlier_budget
+from repro.core.combine import combine_preclusters, summarize_local_solution
+from repro.core.preclustering import precluster_site
+from repro.distributed.instance import DistributedInstance
+from repro.distributed.network import StarNetwork
+from repro.distributed.result import DistributedResult
+from repro.metrics.cost_matrix import build_cost_matrix, validate_objective
+from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
+
+
+def distributed_partial_median(
+    instance: DistributedInstance,
+    *,
+    epsilon: float = 0.5,
+    rho: float = 2.0,
+    relax: str = "outliers",
+    local_center_factor: int = 2,
+    rng: RngLike = None,
+    local_solver_kwargs: Optional[dict] = None,
+    coordinator_solver_kwargs: Optional[dict] = None,
+    realize: bool = True,
+) -> DistributedResult:
+    """Run Algorithm 1 on a distributed instance.
+
+    Parameters
+    ----------
+    instance:
+        The partitioned input; ``instance.objective`` must be ``"median"`` or
+        ``"means"``.
+    epsilon:
+        Bicriteria relaxation of the final coordinator solve (Theorem 3.1);
+        the cost guarantee is ``O(1 + 1/epsilon)`` times the ``(k, t)``
+        optimum either way.
+    rho:
+        Geometric grid ratio and allocation budget multiplier (``2`` in
+        Theorem 3.6).
+    relax:
+        Which budget the coordinator relaxes: ``"outliers"`` (default —
+        ``k`` centers, ``(1 + epsilon) t`` ignored points, the Table 1 rows)
+        or ``"centers"`` (``(1 + epsilon) k`` centers, exactly ``t`` ignored
+        points — the ``(1+eps)k`` rows of Table 2).
+    local_center_factor:
+        How many centers the sites open locally relative to ``k`` (the paper
+        uses ``2k``).
+    rng:
+        Seed or generator; split deterministically across sites.
+    local_solver_kwargs, coordinator_solver_kwargs:
+        Extra keyword arguments for the site-local and coordinator solvers.
+    realize:
+        Also produce a full per-point assignment (output step, uncharged).
+    """
+    objective = validate_objective(instance.objective)
+    if objective == "center":
+        raise ValueError("Algorithm 1 handles median/means; use distributed_partial_center")
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    if rho <= 1:
+        raise ValueError(f"rho must be > 1, got {rho}")
+    relax = str(relax).lower()
+    if relax not in ("outliers", "centers"):
+        raise ValueError(f"relax must be 'outliers' or 'centers', got {relax!r}")
+
+    k, t = instance.k, instance.t
+    metric = instance.metric
+    words_per_point = instance.words_per_point()
+    network = StarNetwork(instance)
+    generator = ensure_rng(rng)
+    site_rngs = spawn_rngs(generator, network.n_sites)
+    coord_rng = ensure_rng(generator)
+    local_kwargs = dict(local_solver_kwargs or {})
+
+    # ------------------------------------------------------------------
+    # Round 1: local cost profiles.
+    # ------------------------------------------------------------------
+    network.next_round()
+    for site, site_rng in zip(network.sites, site_rngs):
+        with site.timer.measure("precluster"):
+            local_indices = np.arange(site.n_points)
+            local_costs = build_cost_matrix(site.local_metric, local_indices, local_indices, objective)
+            local_k = min(local_center_factor * k, site.n_points)
+            precluster = precluster_site(
+                local_costs,
+                local_k,
+                t,
+                objective=objective,
+                rho=rho,
+                rng=site_rng,
+                **local_kwargs,
+            )
+        site.state["precluster"] = precluster
+        site.state["local_k"] = local_k
+        network.send_to_coordinator(
+            site.site_id, "cost_profile", precluster.profile, words=precluster.profile.words
+        )
+
+    # Coordinator: allocate the outlier budget.
+    with network.coordinator.timer.measure("allocation"):
+        profiles = [
+            network.coordinator.messages_from(i, "cost_profile")[0].payload
+            for i in range(network.n_sites)
+        ]
+        budget = int(math.floor(rho * t))
+        allocation = allocate_outlier_budget([p.marginals() for p in profiles], budget)
+
+    # ------------------------------------------------------------------
+    # Round 2: allocations out, local solutions back, final solve.
+    # ------------------------------------------------------------------
+    network.next_round()
+    summaries = []
+    for site, site_rng in zip(network.sites, site_rngs):
+        t_i = int(allocation.t_allocated[site.site_id])
+        is_exceptional = allocation.exceptional_site == site.site_id
+        network.send_to_site(
+            site.site_id,
+            "allocation",
+            {"t_i": t_i, "threshold": allocation.threshold, "exceptional": is_exceptional},
+            words=3,
+        )
+        with site.timer.measure("round2"):
+            precluster = site.state["precluster"]
+            profile = precluster.profile
+            # The exceptional site's allocation may fall inside a hull segment
+            # (an interpolated value); snap up to the next actually solved grid
+            # point (Algorithm 1, line 13).  Other sites' allocations are hull
+            # vertices by Lemma 3.4, but snapping is a no-op there and guards
+            # against floating-point ties.
+            t_used = int(round(profile.snap_up_to_vertex(t_i)))
+            t_used = min(t_used, site.n_points)
+            solution = precluster.solution_for(
+                t_used, site.state["local_k"], objective, rng=site_rng, **local_kwargs
+            )
+            summary = summarize_local_solution(site, solution)
+        site.state["t_i"] = t_used
+        site.state["local_solution"] = solution
+        summaries.append(summary)
+        network.send_to_coordinator(
+            site.site_id,
+            "local_solution",
+            summary,
+            words=summary.transmitted_words(words_per_point),
+        )
+
+    with network.coordinator.timer.measure("final_solve"):
+        combine = combine_preclusters(
+            metric,
+            summaries,
+            k,
+            t,
+            objective=objective,
+            epsilon=epsilon,
+            relax=relax,
+            rng=coord_rng,
+            realize=realize,
+            coordinator_solver_kwargs=coordinator_solver_kwargs,
+        )
+
+    if relax == "outliers":
+        outlier_budget = math.floor((1.0 + epsilon) * t + 1e-9)
+    else:
+        outlier_budget = float(t)
+    result = DistributedResult(
+        centers=combine.centers_global,
+        outlier_budget=float(outlier_budget),
+        objective=objective,
+        cost=float(combine.coordinator_solution.cost),
+        ledger=network.ledger,
+        rounds=network.current_round,
+        outliers=combine.realized_outliers if realize else combine.explicit_outliers,
+        site_time=network.site_times(),
+        coordinator_time=network.coordinator_time(),
+        coordinator_solution=combine.coordinator_solution,
+        metadata={
+            "algorithm": "algorithm1",
+            "epsilon": float(epsilon),
+            "rho": float(rho),
+            "relax": relax,
+            "t_allocated": allocation.t_allocated.tolist(),
+            "t_used": [int(s.state["t_i"]) for s in network.sites],
+            "threshold": float(allocation.threshold),
+            "exceptional_site": allocation.exceptional_site,
+            "n_coordinator_demands": int(combine.demand_points.size),
+            "realized_assignment": combine.realized_assignment,
+            "explicit_outliers": combine.explicit_outliers,
+            "local_k": [int(s.state["local_k"]) for s in network.sites],
+        },
+    )
+    return result
+
+
+__all__ = ["distributed_partial_median"]

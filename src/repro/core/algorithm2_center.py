@@ -1,0 +1,194 @@
+"""Algorithm 2: distributed ``(k, t)``-center clustering.
+
+The center objective admits a simpler preclustering (Gonzalez's farthest-first
+traversal): the insertion radius of the ``(k+q)``-th traversed point is a
+non-increasing witness ``l(i, q)`` of the local ``(k, q)``-center cost, so it
+can play the role of Algorithm 1's marginal gains directly.  The rest of the
+protocol is the same budget-allocation machinery:
+
+Round 1
+    Each site runs Gonzalez on its shard (``Õ((k + t) n_i)`` time) and sends
+    its witness curve sampled on the geometric grid (``O(log t)`` words).
+
+Round 2
+    The coordinator allocates the outlier budget by rank selection over the
+    witnesses, tells every site its ``t_i``, and each site ships its first
+    ``k + t_i`` traversal points together with the number of points attached
+    to each (total ``Õ((sk + t) B)`` words).  The coordinator finishes with a
+    weighted ``(k, t)``-center-with-outliers solve (Charikar et al.) over the
+    union, excluding exactly ``t`` units of weight (Theorem 4.3).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.core.allocation import allocate_outlier_budget
+from repro.core.combine import PreclusterSummary, combine_preclusters
+from repro.core.preclustering import precluster_site_center
+from repro.distributed.instance import DistributedInstance
+from repro.distributed.network import StarNetwork
+from repro.distributed.result import DistributedResult
+from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
+
+
+def _center_summary(site, traversal, k: int, t_i: int) -> PreclusterSummary:
+    """Precluster of one site: the first ``k + t_i`` traversal points, weighted.
+
+    Every local point is attached to its nearest candidate (none is ignored —
+    Remark 3(i)); the candidates beyond the first ``k`` are the locally most
+    isolated points, i.e. the site's outlier suspects, but they travel as
+    weighted candidates exactly like the others.
+    """
+    n_local = site.n_points
+    m = min(n_local, k + t_i)
+    candidates_local = traversal.ordering[:m]
+    all_local = np.arange(n_local)
+    dists = site.local_metric.pairwise(all_local, candidates_local)
+    nearest = np.argmin(dists, axis=1)
+    nearest_dist = dists[np.arange(n_local), nearest]
+
+    centers_global = site.to_global(candidates_local)
+    weights = np.zeros(m, dtype=float)
+    np.add.at(weights, nearest, 1.0)
+
+    members = {}
+    for pos, c_global in enumerate(centers_global):
+        member_local = np.flatnonzero(nearest == pos)
+        members[int(c_global)] = (site.to_global(member_local), nearest_dist[member_local])
+
+    return PreclusterSummary(
+        site_id=site.site_id,
+        center_points=centers_global,
+        center_weights=weights,
+        outlier_points=np.empty(0, dtype=int),
+        members=members,
+    )
+
+
+def distributed_partial_center(
+    instance: DistributedInstance,
+    *,
+    rho: float = 2.0,
+    rng: RngLike = None,
+    coordinator_solver_kwargs: Optional[dict] = None,
+    realize: bool = True,
+) -> DistributedResult:
+    """Run Algorithm 2 on a distributed instance with the center objective.
+
+    Parameters
+    ----------
+    instance:
+        The partitioned input; ``instance.objective`` must be ``"center"``.
+    rho:
+        Budget multiplier for the allocation (the coordinator still excludes
+        exactly ``t`` units of weight in its final solve, per Theorem 4.3).
+    rng:
+        Seed or generator (only the Gonzalez starting points are random).
+    coordinator_solver_kwargs:
+        Extra keyword arguments for the coordinator's
+        :func:`repro.sequential.kcenter_outliers.kcenter_with_outliers`.
+    realize:
+        Also produce a full per-point assignment (output step, uncharged).
+    """
+    if instance.objective != "center":
+        raise ValueError("distributed_partial_center requires a center-objective instance")
+    if rho < 1:
+        raise ValueError(f"rho must be >= 1, got {rho}")
+
+    k, t = instance.k, instance.t
+    metric = instance.metric
+    words_per_point = instance.words_per_point()
+    network = StarNetwork(instance)
+    generator = ensure_rng(rng)
+    site_rngs = spawn_rngs(generator, network.n_sites)
+
+    # ------------------------------------------------------------------
+    # Round 1: Gonzalez traversals and witness curves.
+    # ------------------------------------------------------------------
+    network.next_round()
+    for site, site_rng in zip(network.sites, site_rngs):
+        with site.timer.measure("precluster"):
+            precluster = precluster_site_center(site.local_metric, k, t, rho=rho, rng=site_rng)
+        site.state["precluster"] = precluster
+        network.send_to_coordinator(
+            site.site_id,
+            "witness_curve",
+            precluster,
+            words=precluster.transmitted_words(),
+        )
+
+    with network.coordinator.timer.measure("allocation"):
+        witness_curves = [
+            network.coordinator.messages_from(i, "witness_curve")[0].payload
+            for i in range(network.n_sites)
+        ]
+        budget = int(math.floor(rho * t))
+        marginals = [curve.marginals_from_grid(t) for curve in witness_curves]
+        allocation = allocate_outlier_budget(marginals, budget)
+
+    # ------------------------------------------------------------------
+    # Round 2: allocations out, weighted candidate sets back, final solve.
+    # ------------------------------------------------------------------
+    network.next_round()
+    summaries = []
+    for site in network.sites:
+        t_i = int(allocation.t_allocated[site.site_id])
+        network.send_to_site(
+            site.site_id,
+            "allocation",
+            {"t_i": t_i, "threshold": allocation.threshold},
+            words=2,
+        )
+        with site.timer.measure("round2"):
+            precluster = site.state["precluster"]
+            summary = _center_summary(site, precluster.traversal, k, t_i)
+        site.state["t_i"] = t_i
+        summaries.append(summary)
+        network.send_to_coordinator(
+            site.site_id,
+            "local_solution",
+            summary,
+            words=summary.transmitted_words(words_per_point),
+        )
+
+    with network.coordinator.timer.measure("final_solve"):
+        combine = combine_preclusters(
+            metric,
+            summaries,
+            k,
+            t,
+            objective="center",
+            rng=generator,
+            realize=realize,
+            coordinator_solver_kwargs=coordinator_solver_kwargs,
+        )
+
+    result = DistributedResult(
+        centers=combine.centers_global,
+        outlier_budget=float(t),
+        objective="center",
+        cost=float(combine.coordinator_solution.cost),
+        ledger=network.ledger,
+        rounds=network.current_round,
+        outliers=combine.realized_outliers if realize else combine.explicit_outliers,
+        site_time=network.site_times(),
+        coordinator_time=network.coordinator_time(),
+        coordinator_solution=combine.coordinator_solution,
+        metadata={
+            "algorithm": "algorithm2_center",
+            "rho": float(rho),
+            "t_allocated": allocation.t_allocated.tolist(),
+            "threshold": float(allocation.threshold),
+            "exceptional_site": allocation.exceptional_site,
+            "n_coordinator_demands": int(combine.demand_points.size),
+            "realized_assignment": combine.realized_assignment,
+        },
+    )
+    return result
+
+
+__all__ = ["distributed_partial_center"]

@@ -1,0 +1,263 @@
+"""Algorithm 3: distributed partial clustering of uncertain data.
+
+Uncertain median / means / center-pp reduce to deterministic clustering on
+the *compressed graph* (Definition 5.2): each node ``j`` collapses to its
+1-median ``y_j`` (1-mean ``y'_j`` for means), and the collapse cost
+``l_j = E[d(sigma(j), y_j)]`` rides along as an additive offset.  Lemmas
+5.3-5.5 show this loses only a constant factor.  Crucially, a site can
+evaluate all compressed-graph distances *locally* — ``d_G(p_j, u) = l_j +
+d(y_j, u)`` needs only the node's own collapse data — so Algorithm 1 (or 2)
+runs unchanged on the compressed instance.  Whenever a node would be shipped
+(a local outlier), the site sends its anchor ``y_j`` and collapse cost
+instead of the full distribution, keeping the communication at
+``Õ((sk + t) B)`` rather than ``Õ((sk + t) I)`` (Theorem 5.6).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.allocation import allocate_outlier_budget
+from repro.core.preclustering import precluster_site
+from repro.distributed.instance import UncertainDistributedInstance
+from repro.distributed.messages import CommunicationLedger, Message, COORDINATOR
+from repro.distributed.result import DistributedResult
+from repro.sequential.bicriteria import bicriteria_solve
+from repro.sequential.kcenter_outliers import kcenter_with_outliers
+from repro.uncertain.collapse import collapse_nodes
+from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
+from repro.utils.timing import Timer
+
+
+def _local_compressed_costs(
+    anchors: np.ndarray, collapse: np.ndarray, ground_metric, objective: str
+) -> np.ndarray:
+    """Node-by-node compressed-graph assignment costs within one site.
+
+    Demand ``j`` (a node) served by facility ``j'`` (the anchor of another
+    local node) costs ``l_j + d(y_j, y_{j'})`` for median/center-pp, and
+    ``l'_j + d^2(y'_j, y'_{j'})`` for means (Lemma 5.5(b)).
+    """
+    base = ground_metric.pairwise(anchors, anchors)
+    if objective == "means":
+        base = base * base
+    return base + collapse[:, None]
+
+
+def distributed_uncertain_clustering(
+    instance: UncertainDistributedInstance,
+    *,
+    epsilon: float = 0.5,
+    rho: float = 2.0,
+    local_center_factor: int = 2,
+    rng: RngLike = None,
+    local_solver_kwargs: Optional[dict] = None,
+    coordinator_solver_kwargs: Optional[dict] = None,
+) -> DistributedResult:
+    """Distributed uncertain ``(k, (1+eps)t)``-median/means/center-pp (Theorem 5.6).
+
+    Parameters
+    ----------
+    instance:
+        The uncertain input with nodes partitioned across sites; the
+        objective must be ``"median"``, ``"means"`` or ``"center"``
+        (interpreted as center-pp).
+    epsilon, rho, local_center_factor:
+        As in :func:`repro.core.algorithm1.distributed_partial_median`.
+
+    Returns
+    -------
+    DistributedResult
+        ``centers`` are *ground point* indices (points of ``P``); ``outliers``
+        are *node* indices; ``metadata["node_assignment"]`` maps every served
+        node to its center for exact objective evaluation.
+    """
+    objective = str(instance.objective).lower()
+    if objective not in ("median", "means", "center"):
+        raise ValueError(f"unsupported uncertain objective {objective!r}")
+    if epsilon <= 0 or rho <= 1:
+        raise ValueError("epsilon must be positive and rho > 1")
+
+    uncertain = instance.uncertain
+    ground = uncertain.ground_metric
+    k, t = instance.k, instance.t
+    B = instance.words_per_point()
+    s = instance.n_sites
+    generator = ensure_rng(rng)
+    site_rngs = spawn_rngs(generator, s)
+    local_kwargs = dict(local_solver_kwargs or {})
+
+    ledger = CommunicationLedger()
+    site_timers = [Timer() for _ in range(s)]
+    coord_timer = Timer()
+
+    # ------------------------------------------------------------------
+    # Round 1: collapse + compressed-graph preclustering profiles.
+    # ------------------------------------------------------------------
+    site_state: List[dict] = []
+    profiles = []
+    for i in range(s):
+        shard = instance.shard(i)
+        with site_timers[i].measure("collapse"):
+            nodes = [uncertain.nodes[int(j)] for j in shard]
+            anchors, collapse = collapse_nodes(nodes, ground, objective)
+        with site_timers[i].measure("precluster"):
+            costs = _local_compressed_costs(anchors, collapse, ground, objective)
+            local_k = min(local_center_factor * k, shard.size)
+            precluster = precluster_site(
+                costs, local_k, t, objective="means" if objective == "means" else "median",
+                rho=rho, rng=site_rngs[i], **local_kwargs,
+            )
+        site_state.append(
+            {"shard": shard, "anchors": anchors, "collapse": collapse, "precluster": precluster, "local_k": local_k}
+        )
+        profiles.append(precluster.profile)
+        ledger.record(
+            Message(i, COORDINATOR, 1, "cost_profile", precluster.profile.words, precluster.profile)
+        )
+
+    with coord_timer.measure("allocation"):
+        budget = int(math.floor(rho * t))
+        allocation = allocate_outlier_budget([p.marginals() for p in profiles], budget)
+
+    # ------------------------------------------------------------------
+    # Round 2: allocations out; centers, counts and collapsed outliers back.
+    # ------------------------------------------------------------------
+    demand_anchor: List[int] = []      # ground point each coordinator demand sits at
+    demand_offset: List[float] = []    # additive collapse offset of the demand
+    demand_weight: List[float] = []
+    demand_origin: List[tuple] = []    # (site, kind, payload) for mapping back
+
+    for i in range(s):
+        state = site_state[i]
+        t_i = int(allocation.t_allocated[i])
+        ledger.record(Message(COORDINATOR, i, 2, "allocation", 3, {"t_i": t_i}))
+        with site_timers[i].measure("round2"):
+            precluster = state["precluster"]
+            t_used = int(round(precluster.profile.snap_up_to_vertex(t_i)))
+            t_used = min(t_used, state["shard"].size)
+            solution = precluster.solution_for(
+                t_used, state["local_k"], "means" if objective == "means" else "median",
+                rng=site_rngs[i], **local_kwargs,
+            )
+            state["t_i"] = t_used
+            state["solution"] = solution
+
+            # Local centers: facility index -> the anchor ground point; weight
+            # = number of nodes attached.
+            center_weights = solution.center_weights()
+            words = 0.0
+            for c_local, weight in sorted(center_weights.items()):
+                anchor_point = int(state["anchors"][int(c_local)])
+                demand_anchor.append(anchor_point)
+                demand_offset.append(0.0)
+                demand_weight.append(float(weight))
+                demand_origin.append((i, "center", int(c_local)))
+                words += B + 1  # the point plus its count
+            # Local outliers: ship (y_j, l_j) per node (Algorithm 3, line 4).
+            for j_local in solution.outlier_indices:
+                demand_anchor.append(int(state["anchors"][int(j_local)]))
+                demand_offset.append(float(state["collapse"][int(j_local)]))
+                demand_weight.append(1.0)
+                demand_origin.append((i, "outlier", int(j_local)))
+                words += B + 1
+        ledger.record(Message(i, COORDINATOR, 2, "local_solution", words, None))
+
+    # ------------------------------------------------------------------
+    # Coordinator: weighted clustering on the received compressed summary.
+    # ------------------------------------------------------------------
+    with coord_timer.measure("final_solve"):
+        demand_anchor_arr = np.asarray(demand_anchor, dtype=int)
+        demand_offset_arr = np.asarray(demand_offset, dtype=float)
+        demand_weight_arr = np.asarray(demand_weight, dtype=float)
+        facility_points = np.unique(demand_anchor_arr)
+        base = ground.pairwise(demand_anchor_arr, facility_points)
+        if objective == "means":
+            base = base * base
+        cost_matrix = base + demand_offset_arr[:, None]
+
+        coordinator_kwargs = dict(coordinator_solver_kwargs or {})
+        if objective == "center":
+            coordinator_solution = kcenter_with_outliers(
+                cost_matrix, k, t, weights=demand_weight_arr, **coordinator_kwargs
+            )
+            outlier_budget = float(t)
+        else:
+            coordinator_solution = bicriteria_solve(
+                cost_matrix,
+                k,
+                t,
+                epsilon=epsilon,
+                relax="outliers",
+                objective="means" if objective == "means" else "median",
+                weights=demand_weight_arr,
+                rng=generator,
+                **coordinator_kwargs,
+            )
+            outlier_budget = float(math.floor((1.0 + epsilon) * t + 1e-9))
+
+        centers_global = facility_points[coordinator_solution.centers]
+
+    # ------------------------------------------------------------------
+    # Output: expand to a per-node assignment (uncharged output step).
+    # ------------------------------------------------------------------
+    node_assignment: Dict[int, int] = {}
+    node_outliers: List[int] = []
+    dropped = (
+        coordinator_solution.dropped_weight
+        if coordinator_solution.dropped_weight is not None
+        else np.zeros(demand_anchor_arr.size)
+    )
+    assignment_arr = coordinator_solution.assignment
+    for idx, (site_id, kind, payload) in enumerate(demand_origin):
+        target = int(facility_points[assignment_arr[idx]]) if assignment_arr[idx] >= 0 else -1
+        state = site_state[site_id]
+        if kind == "outlier":
+            node_global = int(state["shard"][int(payload)])
+            if target < 0:
+                node_outliers.append(node_global)
+            else:
+                node_assignment[node_global] = target
+            continue
+        # A precluster center demand: distribute the attached nodes.
+        c_local = int(payload)
+        members_local = np.flatnonzero(state["solution"].assignment == c_local)
+        member_costs = state["precluster"].cost_matrix[members_local, c_local]
+        n_drop = int(round(float(dropped[idx]))) if target >= 0 else members_local.size
+        n_drop = min(n_drop, members_local.size)
+        drop_positions = set(np.argsort(-member_costs, kind="stable")[:n_drop].tolist())
+        for pos, j_local in enumerate(members_local):
+            node_global = int(state["shard"][int(j_local)])
+            if pos in drop_positions or target < 0:
+                node_outliers.append(node_global)
+            else:
+                node_assignment[node_global] = target
+
+    return DistributedResult(
+        centers=centers_global,
+        outlier_budget=outlier_budget,
+        objective=objective,
+        cost=float(coordinator_solution.cost),
+        ledger=ledger,
+        rounds=2,
+        outliers=np.asarray(sorted(set(node_outliers)), dtype=int),
+        site_time={i: float(sum(site_timers[i].totals.values())) for i in range(s)},
+        coordinator_time=float(sum(coord_timer.totals.values())),
+        coordinator_solution=coordinator_solution,
+        metadata={
+            "algorithm": "algorithm3_uncertain",
+            "epsilon": float(epsilon),
+            "rho": float(rho),
+            "t_allocated": allocation.t_allocated.tolist(),
+            "t_used": [int(state["t_i"]) for state in site_state],
+            "node_assignment": node_assignment,
+            "n_coordinator_demands": int(demand_anchor_arr.size),
+            "collapse_cost_total": float(sum(float(st["collapse"].sum()) for st in site_state)),
+        },
+    )
+
+
+__all__ = ["distributed_uncertain_clustering"]

@@ -1,0 +1,280 @@
+"""Algorithm 4: distributed uncertain ``(k, t)``-center-g.
+
+The *global* center objective ``E[max_j d(sigma(j), pi(j))]`` does not
+decompose per node, so the compressed-graph reduction of Algorithm 3 does not
+apply.  Following Guha-Munagala, the algorithm works with the truncated
+distance ``L_tau(x, y) = max{d(x, y) - tau, 0}`` and its expectation
+``rho_tau(j, u)``: if the optimum of the *median-type* problem under
+``rho_tau`` is small compared to ``tau``, then ``tau`` is (up to constants)
+an upper bound on the center-g optimum.
+
+The algorithm sweeps a geometric grid of truncation radii
+``T = {2^i d_min / 18}``.  For every ``tau`` the sites precluster their nodes
+under ``rho_{6 tau}`` (exactly the Algorithm 1 machinery), and the
+coordinator picks the smallest ``tau_hat`` whose allocated local costs sum to
+at most ``12 tau_hat`` (Lemma 5.10).  The sites then ship their
+``tau_hat``-preclusters — local outlier *nodes* travel with their full
+distribution (``I`` words each) — and the coordinator finishes with a
+weighted ``(k, (1+eps)t)``-center solve.  Total communication
+``Õ(s k B + t I + s log Delta)`` over 2 rounds (Theorem 5.14).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.allocation import allocate_outlier_budget
+from repro.core.preclustering import precluster_site
+from repro.distributed.instance import UncertainDistributedInstance
+from repro.distributed.messages import COORDINATOR, CommunicationLedger, Message
+from repro.distributed.result import DistributedResult
+from repro.sequential.kcenter_outliers import kcenter_with_outliers
+from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
+from repro.utils.timing import Timer
+
+
+def truncation_grid(d_min: float, d_max: float, base: float = 2.0, extra_steps: int = 2) -> np.ndarray:
+    """The grid ``T = {base^i * d_min / 18 : 0 <= i <= ceil(log_base Delta) + extra}``.
+
+    The largest value exceeds ``d_max / 6``, so ``rho_{6 tau_max}`` vanishes and
+    the parametric search of Lemma 5.10 always terminates.
+    """
+    if d_min <= 0 or d_max < d_min:
+        raise ValueError("need 0 < d_min <= d_max")
+    if base <= 1:
+        raise ValueError(f"base must be > 1, got {base}")
+    n_steps = int(math.ceil(math.log(d_max / d_min, base))) + 1 + int(extra_steps)
+    return (d_min / 18.0) * base ** np.arange(n_steps + 1)
+
+
+def distributed_uncertain_center_g(
+    instance: UncertainDistributedInstance,
+    *,
+    epsilon: float = 0.5,
+    rho: float = 2.0,
+    tau_base: float = 2.0,
+    cost_budget_factor: float = 12.0,
+    local_center_factor: int = 2,
+    rng: RngLike = None,
+    local_solver_kwargs: Optional[dict] = None,
+    coordinator_solver_kwargs: Optional[dict] = None,
+) -> DistributedResult:
+    """Distributed uncertain ``(k, (1+eps)t)``-center-g (Theorem 5.14).
+
+    Parameters
+    ----------
+    instance:
+        Uncertain input partitioned by node; any declared objective is
+        accepted but the result is always a center-g clustering.
+    epsilon:
+        Outlier relaxation of the coordinator's final center solve.
+    rho:
+        Budget multiplier / grid ratio of the per-``tau`` preclusterings.
+    tau_base:
+        Ratio of the geometric truncation grid (``2`` in the paper).
+    cost_budget_factor:
+        The constant in the stopping rule ``sum_i Csol <= factor * tau``
+        (``12`` in Lemma 5.10).
+    """
+    if epsilon <= 0 or rho <= 1:
+        raise ValueError("epsilon must be positive and rho > 1")
+    uncertain = instance.uncertain
+    ground = uncertain.ground_metric
+    k, t = instance.k, instance.t
+    B = instance.words_per_point()
+    s = instance.n_sites
+    generator = ensure_rng(rng)
+    site_rngs = spawn_rngs(generator, s)
+    local_kwargs = dict(local_solver_kwargs or {})
+
+    ledger = CommunicationLedger()
+    site_timers = [Timer() for _ in range(s)]
+    coord_timer = Timer()
+
+    # ------------------------------------------------------------------
+    # Round 1a: every party reports its local distance extremes (O(s) words).
+    # ------------------------------------------------------------------
+    local_extremes = []
+    for i in range(s):
+        shard = instance.shard(i)
+        support = uncertain.support_union(shard)
+        with site_timers[i].measure("extremes"):
+            block = ground.pairwise(support, support)
+            positive = block[block > 0]
+            d_min_i = float(positive.min()) if positive.size else 0.0
+            d_max_i = float(block.max()) if block.size else 0.0
+        local_extremes.append((d_min_i, d_max_i))
+        ledger.record(Message(i, COORDINATOR, 1, "extremes", 2, (d_min_i, d_max_i)))
+    d_min = min(e[0] for e in local_extremes if e[0] > 0)
+    d_max = max(e[1] for e in local_extremes)
+    taus = truncation_grid(d_min, d_max, base=tau_base)
+
+    # ------------------------------------------------------------------
+    # Round 1b: per-tau compressed preclustering profiles.
+    # ------------------------------------------------------------------
+    site_state: List[dict] = []
+    for i in range(s):
+        shard = instance.shard(i)
+        support = uncertain.support_union(shard)
+        preclusters: Dict[float, object] = {}
+        with site_timers[i].measure("precluster"):
+            for tau in taus:
+                costs = uncertain.expected_cost_matrix(shard, support, tau=6.0 * float(tau))
+                local_k = min(local_center_factor * k, shard.size)
+                preclusters[float(tau)] = precluster_site(
+                    costs, local_k, t, objective="median", rho=rho,
+                    rng=site_rngs[i], **local_kwargs,
+                )
+        site_state.append({"shard": shard, "support": support, "preclusters": preclusters, "local_k": local_k})
+        words = float(sum(p.profile.words for p in preclusters.values()))
+        ledger.record(Message(i, COORDINATOR, 1, "tau_profiles", words,
+                              {float(tau): p.profile for tau, p in preclusters.items()}))
+
+    # Coordinator: parametric search for tau_hat (Algorithm 4, line 6).
+    with coord_timer.measure("tau_search"):
+        budget = int(math.floor(rho * t))
+        tau_hat = float(taus[-1])
+        allocation_hat = None
+        for tau in taus:
+            profiles = [site_state[i]["preclusters"][float(tau)].profile for i in range(s)]
+            allocation = allocate_outlier_budget([p.marginals() for p in profiles], budget)
+            total_cost = float(
+                sum(profiles[i](int(allocation.t_allocated[i])) for i in range(s))
+            )
+            if total_cost <= cost_budget_factor * float(tau):
+                tau_hat = float(tau)
+                allocation_hat = allocation
+                break
+        if allocation_hat is None:
+            profiles = [site_state[i]["preclusters"][float(taus[-1])].profile for i in range(s)]
+            allocation_hat = allocate_outlier_budget([p.marginals() for p in profiles], budget)
+
+    # ------------------------------------------------------------------
+    # Round 2: tau_hat + allocations out; preclusters (with full outlier
+    # node distributions) back.
+    # ------------------------------------------------------------------
+    demand_anchor: List[int] = []
+    demand_node: List[Optional[int]] = []   # global node id when the demand is a shipped node
+    demand_weight: List[float] = []
+    demand_origin: List[tuple] = []
+    facility_candidates: List[np.ndarray] = []
+
+    for i in range(s):
+        state = site_state[i]
+        t_i = int(allocation_hat.t_allocated[i])
+        ledger.record(Message(COORDINATOR, i, 2, "allocation", 2, {"tau": tau_hat, "t_i": t_i}))
+        with site_timers[i].measure("round2"):
+            precluster = state["preclusters"][tau_hat]
+            t_used = int(round(precluster.profile.snap_up_to_vertex(t_i)))
+            t_used = min(t_used, state["shard"].size)
+            solution = precluster.solution_for(
+                t_used, state["local_k"], "median", rng=site_rngs[i], **local_kwargs
+            )
+            state["t_i"] = t_used
+            state["solution"] = solution
+            words = 0.0
+            center_weights = solution.center_weights()
+            support = state["support"]
+            for c_local, weight in sorted(center_weights.items()):
+                point = int(support[int(c_local)])
+                demand_anchor.append(point)
+                demand_node.append(None)
+                demand_weight.append(float(weight))
+                demand_origin.append((i, "center", int(c_local)))
+                facility_candidates.append(np.asarray([point]))
+                words += B + 1
+            node_words = instance.node_words()
+            for j_local in solution.outlier_indices:
+                node_global = int(state["shard"][int(j_local)])
+                node = uncertain.nodes[node_global]
+                demand_anchor.append(-1)
+                demand_node.append(node_global)
+                demand_weight.append(1.0)
+                demand_origin.append((i, "outlier", int(j_local)))
+                facility_candidates.append(node.support)
+                words += node_words
+        ledger.record(Message(i, COORDINATOR, 2, "local_solution", words, None))
+
+    # ------------------------------------------------------------------
+    # Coordinator: weighted (k, (1+eps)t)-center over what it received.
+    # ------------------------------------------------------------------
+    with coord_timer.measure("final_solve"):
+        facility_points = np.unique(np.concatenate(facility_candidates))
+        n_demands = len(demand_anchor)
+        cost_matrix = np.empty((n_demands, facility_points.size), dtype=float)
+        for row in range(n_demands):
+            if demand_node[row] is None:
+                cost_matrix[row] = ground.pairwise([demand_anchor[row]], facility_points)[0]
+            else:
+                node = uncertain.nodes[int(demand_node[row])]
+                cost_matrix[row] = node.expected_distances(ground, facility_points)
+        weights_arr = np.asarray(demand_weight, dtype=float)
+        outlier_budget = float(math.floor((1.0 + epsilon) * t + 1e-9))
+        coordinator_solution = kcenter_with_outliers(
+            cost_matrix, k, outlier_budget, weights=weights_arr,
+            **dict(coordinator_solver_kwargs or {}),
+        )
+        centers_global = facility_points[coordinator_solution.centers]
+
+    # Output: per-node assignment (uncharged output step).
+    node_assignment: Dict[int, int] = {}
+    node_outliers: List[int] = []
+    assignment_arr = coordinator_solution.assignment
+    dropped = (
+        coordinator_solution.dropped_weight
+        if coordinator_solution.dropped_weight is not None
+        else np.zeros(n_demands)
+    )
+    for idx, (site_id, kind, payload) in enumerate(demand_origin):
+        target = int(facility_points[assignment_arr[idx]]) if assignment_arr[idx] >= 0 else -1
+        state = site_state[site_id]
+        if kind == "outlier":
+            node_global = int(state["shard"][int(payload)])
+            if target < 0:
+                node_outliers.append(node_global)
+            else:
+                node_assignment[node_global] = target
+            continue
+        c_local = int(payload)
+        members_local = np.flatnonzero(state["solution"].assignment == c_local)
+        # The center objective never partially drops aggregated weight, so a
+        # center demand is either fully served or fully dropped.
+        fully_dropped = target < 0 or dropped[idx] >= weights_arr[idx] - 1e-9
+        for j_local in members_local:
+            node_global = int(state["shard"][int(j_local)])
+            if fully_dropped:
+                node_outliers.append(node_global)
+            else:
+                node_assignment[node_global] = target
+
+    return DistributedResult(
+        centers=centers_global,
+        outlier_budget=outlier_budget,
+        objective="center-g",
+        cost=float(coordinator_solution.cost),
+        ledger=ledger,
+        rounds=2,
+        outliers=np.asarray(sorted(set(node_outliers)), dtype=int),
+        site_time={i: float(sum(site_timers[i].totals.values())) for i in range(s)},
+        coordinator_time=float(sum(coord_timer.totals.values())),
+        coordinator_solution=coordinator_solution,
+        metadata={
+            "algorithm": "algorithm4_center_g",
+            "epsilon": float(epsilon),
+            "rho": float(rho),
+            "tau_grid": taus.tolist(),
+            "tau_hat": tau_hat,
+            "d_min": d_min,
+            "d_max": d_max,
+            "spread": d_max / d_min if d_min > 0 else float("inf"),
+            "t_allocated": allocation_hat.t_allocated.tolist(),
+            "node_assignment": node_assignment,
+            "n_coordinator_demands": int(n_demands),
+        },
+    )
+
+
+__all__ = ["distributed_uncertain_center_g", "truncation_grid"]

@@ -1,0 +1,134 @@
+"""Gaussian mixture workloads with planted outliers.
+
+This is the canonical workload for every Table 1 / Table 2 benchmark: ``k``
+well-separated Gaussian clusters plus a small fraction of far-away outliers.
+Partial clustering exists precisely because those outliers would otherwise
+dominate the median/means objective or blow up the center radius.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.metrics.euclidean import EuclideanMetric
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class GaussianWorkload:
+    """A generated point cloud with ground truth.
+
+    Attributes
+    ----------
+    points:
+        ``(n, d)`` coordinates; inliers first is *not* guaranteed — points are
+        shuffled so that partitioners see no ordering artefacts.
+    labels:
+        Cluster id per point, ``-1`` for planted outliers.
+    centers:
+        ``(k, d)`` true mixture centers.
+    """
+
+    points: np.ndarray
+    labels: np.ndarray
+    centers: np.ndarray
+
+    @property
+    def n_points(self) -> int:
+        """Total number of points."""
+        return int(self.points.shape[0])
+
+    @property
+    def n_outliers(self) -> int:
+        """Number of planted outliers."""
+        return int(np.sum(self.labels < 0))
+
+    @property
+    def outlier_mask(self) -> np.ndarray:
+        """Boolean mask marking the planted outliers."""
+        return self.labels < 0
+
+    def to_metric(self) -> EuclideanMetric:
+        """Euclidean metric over the generated points."""
+        return EuclideanMetric(self.points)
+
+
+def gaussian_mixture_with_outliers(
+    n_inliers: int,
+    n_outliers: int,
+    n_clusters: int,
+    dim: int = 2,
+    *,
+    separation: float = 10.0,
+    cluster_std: float = 1.0,
+    outlier_spread: float = 8.0,
+    cluster_weights: Optional[Sequence[float]] = None,
+    rng: RngLike = None,
+) -> GaussianWorkload:
+    """Sample a Gaussian mixture with uniformly scattered far-away outliers.
+
+    Parameters
+    ----------
+    n_inliers:
+        Number of points drawn from the mixture.
+    n_outliers:
+        Number of planted outliers scattered uniformly in a box
+        ``outlier_spread`` times larger than the cluster bounding box.
+    n_clusters:
+        Number of mixture components ``k``.
+    dim:
+        Ambient dimension.
+    separation:
+        Component centers are drawn uniformly in ``[0, separation * k]^dim``,
+        so larger values give better-separated clusters.
+    cluster_std:
+        Isotropic standard deviation of each component.
+    outlier_spread:
+        How far outside the cluster region the outliers may fall (multiplier
+        on the cluster bounding box).
+    cluster_weights:
+        Relative component sizes (default: balanced).
+    rng:
+        Seed or generator.
+    """
+    if n_inliers < n_clusters:
+        raise ValueError(f"need at least {n_clusters} inliers, got {n_inliers}")
+    if n_outliers < 0:
+        raise ValueError(f"n_outliers must be non-negative, got {n_outliers}")
+    if n_clusters < 1:
+        raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+    generator = ensure_rng(rng)
+
+    box = separation * n_clusters
+    centers = generator.uniform(0.0, box, size=(n_clusters, dim))
+
+    if cluster_weights is None:
+        weights = np.full(n_clusters, 1.0 / n_clusters)
+    else:
+        weights = np.asarray(cluster_weights, dtype=float)
+        if weights.shape != (n_clusters,) or np.any(weights <= 0):
+            raise ValueError("cluster_weights must be positive and one per cluster")
+        weights = weights / weights.sum()
+
+    assignments = generator.choice(n_clusters, size=n_inliers, p=weights)
+    # Guarantee every cluster receives at least one point.
+    for c in range(n_clusters):
+        if not np.any(assignments == c):
+            assignments[generator.integers(0, n_inliers)] = c
+    inliers = centers[assignments] + generator.normal(0.0, cluster_std, size=(n_inliers, dim))
+
+    low = -outlier_spread * 0.5 * box
+    high = box + outlier_spread * 0.5 * box
+    outliers = generator.uniform(low, high, size=(n_outliers, dim))
+
+    points = np.vstack([inliers, outliers]) if n_outliers else inliers
+    labels = np.concatenate([assignments, np.full(n_outliers, -1, dtype=int)])
+
+    perm = generator.permutation(points.shape[0])
+    return GaussianWorkload(points=points[perm], labels=labels[perm], centers=centers)
+
+
+__all__ = ["GaussianWorkload", "gaussian_mixture_with_outliers"]

@@ -1,0 +1,137 @@
+"""Messages and the communication ledger.
+
+The unit of accounting is the *word*: one scalar (float or integer) equals
+one word, and a point of a ``d``-dimensional Euclidean metric equals ``d``
+words (the metric's ``words_per_point`` — the paper's ``B``).  This is a
+constant-factor rescaling of the paper's "bits", which is all the asymptotic
+claims need (see DESIGN.md Substitutions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+COORDINATOR = -1
+"""Sentinel party id for the coordinator."""
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single message crossing the star network.
+
+    Attributes
+    ----------
+    sender, receiver:
+        Party ids; sites are ``0..s-1`` and the coordinator is
+        :data:`COORDINATOR`.
+    round_index:
+        The synchronous round in which the message was sent (1-based).
+    kind:
+        Free-form label used by reports (e.g. ``"cost_profile"``,
+        ``"local_centers"``).
+    words:
+        Number of machine words charged for the message.
+    payload:
+        The actual Python object delivered to the receiver.  Not serialised —
+        the simulator only accounts for size via ``words``.
+    """
+
+    sender: int
+    receiver: int
+    round_index: int
+    kind: str
+    words: float
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.words < 0:
+            raise ValueError(f"message word count must be non-negative, got {self.words}")
+        if self.round_index < 1:
+            raise ValueError(f"round_index must be >= 1, got {self.round_index}")
+
+    @property
+    def to_coordinator(self) -> bool:
+        """True if the message flows site -> coordinator."""
+        return self.receiver == COORDINATOR
+
+
+@dataclass
+class CommunicationLedger:
+    """Append-only record of every message sent during a protocol run."""
+
+    messages: List[Message] = field(default_factory=list)
+
+    def record(self, message: Message) -> None:
+        """Append a message to the ledger."""
+        self.messages.append(message)
+
+    # ------------------------------------------------------------------
+    # Aggregations
+    # ------------------------------------------------------------------
+
+    def total_words(self) -> float:
+        """Total words across all messages and rounds."""
+        return float(sum(m.words for m in self.messages))
+
+    def words_by_round(self) -> Dict[int, float]:
+        """Total words per round index."""
+        out: Dict[int, float] = {}
+        for m in self.messages:
+            out[m.round_index] = out.get(m.round_index, 0.0) + m.words
+        return out
+
+    def words_by_kind(self) -> Dict[str, float]:
+        """Total words per message kind."""
+        out: Dict[str, float] = {}
+        for m in self.messages:
+            out[m.kind] = out.get(m.kind, 0.0) + m.words
+        return out
+
+    def words_by_direction(self) -> Dict[str, float]:
+        """Total words split into uplink (site -> coordinator) and downlink."""
+        up = sum(m.words for m in self.messages if m.to_coordinator)
+        down = sum(m.words for m in self.messages if not m.to_coordinator)
+        return {"to_coordinator": float(up), "to_sites": float(down)}
+
+    def words_by_site(self) -> Dict[int, float]:
+        """Uplink words contributed by each site."""
+        out: Dict[int, float] = {}
+        for m in self.messages:
+            if m.to_coordinator:
+                out[m.sender] = out.get(m.sender, 0.0) + m.words
+        return out
+
+    def n_rounds(self) -> int:
+        """Largest round index observed (0 if no messages were sent)."""
+        return max((m.round_index for m in self.messages), default=0)
+
+    def n_messages(self) -> int:
+        """Number of messages recorded."""
+        return len(self.messages)
+
+    def filter(self, *, kind: Optional[str] = None, round_index: Optional[int] = None) -> List[Message]:
+        """Messages matching the given kind and/or round."""
+        out: Iterable[Message] = self.messages
+        if kind is not None:
+            out = (m for m in out if m.kind == kind)
+        if round_index is not None:
+            out = (m for m in out if m.round_index == round_index)
+        return list(out)
+
+    def merge(self, other: "CommunicationLedger") -> None:
+        """Fold another ledger's messages into this one (used by meta-protocols)."""
+        self.messages.extend(other.messages)
+
+    def summary(self) -> Dict[str, Any]:
+        """Compact dictionary used by reports and benchmark output."""
+        return {
+            "total_words": self.total_words(),
+            "rounds": self.n_rounds(),
+            "messages": self.n_messages(),
+            "by_round": self.words_by_round(),
+            "by_direction": self.words_by_direction(),
+        }
+
+
+__all__ = ["COORDINATOR", "Message", "CommunicationLedger"]

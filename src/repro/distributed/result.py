@@ -1,0 +1,103 @@
+"""Result container returned by every distributed protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.distributed.messages import CommunicationLedger
+from repro.sequential.solution import ClusterSolution
+
+
+@dataclass
+class DistributedResult:
+    """Outcome of a coordinator-model protocol run.
+
+    Attributes
+    ----------
+    centers:
+        Global point indices chosen as centers by the coordinator.
+    outlier_budget:
+        The number of points the protocol is allowed to exclude (e.g.
+        ``(1 + eps) t`` for Algorithm 1).
+    outliers:
+        Global indices of points explicitly designated as outliers by the
+        protocol (may be smaller than the budget).  ``None`` for protocol
+        variants that only certify a budget without naming the points
+        (Theorem 3.8's no-shipping mode).
+    cost:
+        The protocol's own estimate of its cost (on the weighted instance the
+        coordinator solved).  The *realized* global cost is computed by
+        :func:`repro.analysis.evaluation.evaluate_centers` and stored by the
+        analysis layer, not here.
+    objective:
+        ``"median"``, ``"means"`` or ``"center"``.
+    ledger:
+        Communication accounting for the run.
+    rounds:
+        Number of synchronous rounds used.
+    site_time, coordinator_time:
+        Wall-clock seconds spent in site-local and coordinator-local
+        computation (max over sites for ``site_time_max``).
+    coordinator_solution:
+        The weighted solution computed at the coordinator (in coordinator-
+        local index space), useful for debugging and tests.
+    metadata:
+        Protocol-specific extras (outlier allocations ``t_i``, thresholds,
+        epsilon, ...).
+    """
+
+    centers: np.ndarray
+    outlier_budget: float
+    objective: str
+    cost: float
+    ledger: CommunicationLedger
+    rounds: int
+    outliers: Optional[np.ndarray] = None
+    site_time: Dict[int, float] = field(default_factory=dict)
+    coordinator_time: float = 0.0
+    coordinator_solution: Optional[ClusterSolution] = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.centers = np.asarray(self.centers, dtype=int)
+        if self.outliers is not None:
+            self.outliers = np.asarray(self.outliers, dtype=int)
+
+    @property
+    def n_centers(self) -> int:
+        """Number of distinct centers returned."""
+        return int(np.unique(self.centers).size)
+
+    @property
+    def total_words(self) -> float:
+        """Total communication in words."""
+        return self.ledger.total_words()
+
+    @property
+    def site_time_max(self) -> float:
+        """Maximum site-local computation time (the parallel-time bottleneck)."""
+        return max(self.site_time.values(), default=0.0)
+
+    @property
+    def site_time_total(self) -> float:
+        """Sum of site-local computation times (the sequential-simulation cost)."""
+        return float(sum(self.site_time.values()))
+
+    def summary(self) -> dict:
+        """Compact dictionary for reports and benchmark rows."""
+        return {
+            "objective": self.objective,
+            "n_centers": self.n_centers,
+            "outlier_budget": float(self.outlier_budget),
+            "protocol_cost": float(self.cost),
+            "rounds": int(self.rounds),
+            "total_words": self.total_words,
+            "site_time_max": self.site_time_max,
+            "coordinator_time": float(self.coordinator_time),
+        }
+
+
+__all__ = ["DistributedResult"]

@@ -1,0 +1,35 @@
+"""Metric-space substrate.
+
+Everything in the library works against the small :class:`MetricSpace`
+interface: points are integer indices, and distances are produced either one
+pair at a time or as vectorised blocks.  Concrete implementations cover
+
+* :class:`EuclideanMetric` — points in R^d (the paper's canonical example),
+* :class:`MatrixMetric` — an explicit pairwise distance matrix,
+* :class:`GraphMetric` — shortest-path distances on a weighted graph,
+* :class:`CompressedGraphMetric` — the clique-with-tentacles graph of
+  Definition 5.2 used to cluster uncertain data,
+* :class:`TruncatedDistance` — the ``L_tau`` distance of Definition 5.7.
+"""
+
+from repro.metrics.base import MetricSpace, SubsetMetric
+from repro.metrics.euclidean import EuclideanMetric
+from repro.metrics.matrix import MatrixMetric
+from repro.metrics.graph import GraphMetric
+from repro.metrics.truncated import TruncatedDistance, truncate_matrix
+from repro.metrics.compressed_graph import CompressedGraph, CompressedGraphMetric
+from repro.metrics.cost_matrix import build_cost_matrix, pairwise_distances
+
+__all__ = [
+    "MetricSpace",
+    "SubsetMetric",
+    "EuclideanMetric",
+    "MatrixMetric",
+    "GraphMetric",
+    "TruncatedDistance",
+    "truncate_matrix",
+    "CompressedGraph",
+    "CompressedGraphMetric",
+    "build_cost_matrix",
+    "pairwise_distances",
+]

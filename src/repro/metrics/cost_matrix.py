@@ -1,0 +1,66 @@
+"""Cost-matrix construction shared by the sequential solvers.
+
+All sequential clustering routines in :mod:`repro.sequential` accept an
+explicit demand-by-facility cost matrix.  This module centralises the logic
+that turns a metric + objective into such a matrix, in particular the
+squaring used for the means objective.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.metrics.base import MetricSpace
+
+VALID_OBJECTIVES = ("median", "means", "center")
+
+
+def validate_objective(objective: str) -> str:
+    """Normalise and validate an objective name."""
+    obj = str(objective).lower()
+    if obj not in VALID_OBJECTIVES:
+        raise ValueError(f"objective must be one of {VALID_OBJECTIVES}, got {objective!r}")
+    return obj
+
+
+def pairwise_distances(metric: MetricSpace, rows: Sequence[int], cols: Sequence[int]) -> np.ndarray:
+    """Plain distance block (no squaring) between two index sets."""
+    return metric.pairwise(rows, cols)
+
+
+def build_cost_matrix(
+    metric: MetricSpace,
+    demands: Sequence[int],
+    facilities: Sequence[int],
+    objective: str = "median",
+) -> np.ndarray:
+    """Assignment-cost matrix for the given objective.
+
+    For ``median`` and ``center`` the cost is the distance itself; for
+    ``means`` it is the squared distance (Definition 1.1).
+    """
+    obj = validate_objective(objective)
+    d = metric.pairwise(demands, facilities)
+    if obj == "means":
+        return d * d
+    return d
+
+
+def costs_from_distances(distances: np.ndarray, objective: str = "median") -> np.ndarray:
+    """Convert raw distances into assignment costs for the given objective."""
+    obj = validate_objective(objective)
+    distances = np.asarray(distances, dtype=float)
+    if obj == "means":
+        return distances * distances
+    return distances
+
+
+__all__ = [
+    "VALID_OBJECTIVES",
+    "validate_objective",
+    "pairwise_distances",
+    "build_cost_matrix",
+    "costs_from_distances",
+]

@@ -1,0 +1,68 @@
+"""Metric backed by an explicit pairwise distance matrix."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.metrics.base import MetricSpace
+
+
+class MatrixMetric(MetricSpace):
+    """A finite metric given by a dense, symmetric distance matrix.
+
+    The constructor validates symmetry and zero diagonal; the (optional)
+    triangle-inequality check is quadratic per point and therefore off by
+    default, but exposed for tests.
+    """
+
+    def __init__(self, matrix: np.ndarray, *, words_per_point: int = 1, validate: bool = True):
+        mat = np.asarray(matrix, dtype=float)
+        if mat.ndim != 2 or mat.shape[0] != mat.shape[1]:
+            raise ValueError(f"distance matrix must be square, got shape {mat.shape}")
+        if validate:
+            if not np.allclose(np.diag(mat), 0.0, atol=1e-9):
+                raise ValueError("distance matrix must have zero diagonal")
+            if not np.allclose(mat, mat.T, atol=1e-9):
+                raise ValueError("distance matrix must be symmetric")
+            if np.any(mat < -1e-12):
+                raise ValueError("distances must be non-negative")
+        self._matrix = np.maximum(mat, 0.0)
+        self._words = int(words_per_point)
+
+    def __len__(self) -> int:
+        return self._matrix.shape[0]
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The full distance matrix."""
+        return self._matrix
+
+    @property
+    def words_per_point(self) -> int:
+        return self._words
+
+    def distance(self, i: int, j: int) -> float:
+        return float(self._matrix[i, j])
+
+    def pairwise(self, rows: Sequence[int], cols: Sequence[int]) -> np.ndarray:
+        rows = np.asarray(rows, dtype=int)
+        cols = np.asarray(cols, dtype=int)
+        return self._matrix[np.ix_(rows, cols)]
+
+    def full_matrix(self) -> np.ndarray:
+        return self._matrix
+
+    def check_triangle_inequality(self, atol: float = 1e-8) -> bool:
+        """Exhaustively verify the triangle inequality (O(n^3); tests only)."""
+        m = self._matrix
+        n = m.shape[0]
+        for mid in range(n):
+            # d(i, j) <= d(i, mid) + d(mid, j) for all i, j
+            if np.any(m > m[:, [mid]] + m[[mid], :] + atol):
+                return False
+        return True
+
+
+__all__ = ["MatrixMetric"]

@@ -1,0 +1,64 @@
+"""Truncated distances (Definition 5.7 of the paper).
+
+``L_tau(u, v) = max{d(u, v) - tau, 0}`` is used by the uncertain
+``(k, t)``-center-g algorithm (Algorithm 4).  ``L_tau`` is *not* a metric for
+``tau > 0`` — it only satisfies the relaxed inequality
+``L_tau(u1, u2) + L_tau(u2, u3) >= L_{2 tau}(u1, u3)`` — so it is exposed as a
+distance *function*, not a :class:`MetricSpace`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.metrics.base import MetricSpace
+
+
+def truncate_matrix(distances: np.ndarray, tau: float) -> np.ndarray:
+    """Apply ``L_tau`` elementwise to a matrix of ordinary distances."""
+    if tau < 0:
+        raise ValueError(f"tau must be non-negative, got {tau}")
+    return np.maximum(np.asarray(distances, dtype=float) - tau, 0.0)
+
+
+class TruncatedDistance:
+    """The truncated distance ``L_tau`` derived from a base metric.
+
+    Provides the same ``distance`` / ``pairwise`` call shapes as a
+    :class:`MetricSpace` so cost-matrix builders can use it interchangeably,
+    but deliberately does not subclass it (the triangle inequality fails).
+    """
+
+    def __init__(self, base: MetricSpace, tau: float):
+        if tau < 0:
+            raise ValueError(f"tau must be non-negative, got {tau}")
+        self._base = base
+        self._tau = float(tau)
+
+    def __len__(self) -> int:
+        return len(self._base)
+
+    @property
+    def tau(self) -> float:
+        """The truncation threshold."""
+        return self._tau
+
+    @property
+    def base(self) -> MetricSpace:
+        """The untruncated metric."""
+        return self._base
+
+    def distance(self, i: int, j: int) -> float:
+        return max(self._base.distance(i, j) - self._tau, 0.0)
+
+    def pairwise(self, rows: Sequence[int], cols: Sequence[int]) -> np.ndarray:
+        return truncate_matrix(self._base.pairwise(rows, cols), self._tau)
+
+    def rescaled(self, factor: float) -> "TruncatedDistance":
+        """``L_{factor * tau}`` over the same base metric (e.g. ``rho_{6 tau}``)."""
+        return TruncatedDistance(self._base, self._tau * factor)
+
+
+__all__ = ["TruncatedDistance", "truncate_matrix"]

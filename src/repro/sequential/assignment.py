@@ -1,0 +1,166 @@
+"""Nearest-center assignment with weighted outlier trimming.
+
+This is the primitive every partial-clustering routine reduces to: given a
+demand-by-facility cost matrix, a set of open centers and an outlier budget
+``t`` (measured in demand *weight*), assign each demand to its nearest open
+center and exclude up to ``t`` weight of the most expensive demands.
+
+Weighted demands arise at the coordinator, where each precluster center
+aggregates the weight of the points attached to it.  Remark 1 of the paper
+explicitly allows excluding fewer copies of an aggregated point than its
+weight, so the trimming here supports *partial* drops for the sum objectives
+(median/means).  For the center objective only fully dropped demands leave
+the max, so partial drops are never used there.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.metrics.cost_matrix import validate_objective
+from repro.sequential.solution import ClusterSolution
+
+
+def nearest_center_distances(
+    cost_matrix: np.ndarray, centers: Sequence[int]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-demand nearest open center.
+
+    Returns ``(unit_costs, nearest)`` where ``unit_costs[i]`` is the cost of
+    serving one unit of demand ``i`` from its nearest open center and
+    ``nearest[i]`` is that center's column index in ``cost_matrix``.
+    """
+    centers = np.asarray(centers, dtype=int)
+    if centers.size == 0:
+        raise ValueError("at least one center is required")
+    block = cost_matrix[:, centers]
+    arg = np.argmin(block, axis=1)
+    unit = block[np.arange(block.shape[0]), arg]
+    return unit, centers[arg]
+
+
+def trim_outliers(
+    unit_costs: np.ndarray,
+    weights: np.ndarray,
+    t: float,
+    objective: str = "median",
+) -> Tuple[np.ndarray, float]:
+    """Greedily exclude up to ``t`` weight of the most expensive demands.
+
+    Returns ``(dropped_weight, cost)``.  ``dropped_weight[i]`` is how much of
+    demand ``i``'s weight was excluded; ``cost`` is the remaining objective
+    value (weighted sum for median/means, max over not-fully-dropped demands
+    for center).
+    """
+    obj = validate_objective(objective)
+    unit_costs = np.asarray(unit_costs, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    if unit_costs.shape != weights.shape:
+        raise ValueError("unit_costs and weights must have the same shape")
+    if np.any(weights < 0):
+        raise ValueError("weights must be non-negative")
+    if t < 0:
+        raise ValueError("outlier budget t must be non-negative")
+
+    n = unit_costs.size
+    dropped = np.zeros(n, dtype=float)
+    order = np.argsort(-unit_costs, kind="stable")
+    budget = float(t)
+
+    if obj in ("median", "means"):
+        for idx in order:
+            if budget <= 0:
+                break
+            w = weights[idx]
+            if w <= 0:
+                continue
+            take = min(w, budget)
+            dropped[idx] = take
+            budget -= take
+        served = weights - dropped
+        cost = float(np.dot(served, unit_costs))
+        return dropped, cost
+
+    # Center objective: only fully dropped demands leave the max.
+    for idx in order:
+        w = weights[idx]
+        if w <= 0:
+            continue
+        if w <= budget:
+            dropped[idx] = w
+            budget -= w
+        else:
+            break
+    remaining = weights - dropped
+    active = remaining > 0
+    cost = float(unit_costs[active].max()) if np.any(active) else 0.0
+    return dropped, cost
+
+
+def assign_with_outliers(
+    cost_matrix: np.ndarray,
+    centers: Sequence[int],
+    t: float,
+    weights: Optional[np.ndarray] = None,
+    objective: str = "median",
+) -> ClusterSolution:
+    """Assign demands to their nearest open center, excluding up to ``t`` weight.
+
+    Parameters
+    ----------
+    cost_matrix:
+        ``(n_demands, n_facilities)`` assignment costs (already squared for the
+        means objective).
+    centers:
+        Open facility column indices.
+    t:
+        Outlier budget, in units of demand weight.
+    weights:
+        Per-demand weights (default: all ones).
+    objective:
+        ``"median"``, ``"means"`` or ``"center"``.
+    """
+    obj = validate_objective(objective)
+    cost_matrix = np.asarray(cost_matrix, dtype=float)
+    n = cost_matrix.shape[0]
+    w = np.ones(n, dtype=float) if weights is None else np.asarray(weights, dtype=float)
+    if w.shape != (n,):
+        raise ValueError(f"weights must have shape ({n},), got {w.shape}")
+
+    unit, nearest = nearest_center_distances(cost_matrix, centers)
+    dropped, cost = trim_outliers(unit, w, t, obj)
+
+    assignment = nearest.copy()
+    fully_dropped = (w - dropped) <= 1e-12
+    assignment[fully_dropped & (w > 0)] = -1
+    # Zero-weight demands contribute nothing; keep their nearest center for
+    # interpretability but they are never counted as outliers.
+    return ClusterSolution(
+        centers=np.asarray(centers, dtype=int),
+        assignment=assignment,
+        outlier_weight=float(dropped.sum()),
+        cost=cost,
+        objective=obj,
+        dropped_weight=dropped,
+    )
+
+
+def solution_cost(
+    cost_matrix: np.ndarray,
+    centers: Sequence[int],
+    t: float,
+    weights: Optional[np.ndarray] = None,
+    objective: str = "median",
+) -> float:
+    """Cost of the best assignment to ``centers`` with ``t`` outlier weight excluded."""
+    return assign_with_outliers(cost_matrix, centers, t, weights, objective).cost
+
+
+__all__ = [
+    "nearest_center_distances",
+    "trim_outliers",
+    "assign_with_outliers",
+    "solution_cost",
+]

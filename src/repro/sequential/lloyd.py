@@ -1,0 +1,177 @@
+"""Trimmed Lloyd iterations for Euclidean ``(k, t)``-means.
+
+A Euclidean-specific solver used by the examples and as an additional
+baseline: standard Lloyd iterations where, before every mean update, the ``t``
+points farthest from their current centers are set aside as provisional
+outliers (the "trimmed k-means" heuristic).  Because the paper restricts
+centers to input points (Definition 1.1), the final continuous centers are
+snapped to their nearest input point by default, which costs at most a factor
+of 2 in the objective.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.sequential.solution import ClusterSolution
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_points_array
+
+
+def _closest_sq_distances(points: np.ndarray, centers: np.ndarray) -> tuple:
+    """Squared distance to, and index of, the nearest center for every point."""
+    # (n, k) squared distances via the expansion trick.
+    sq = (
+        np.einsum("ij,ij->i", points, points)[:, None]
+        + np.einsum("ij,ij->i", centers, centers)[None, :]
+        - 2.0 * points @ centers.T
+    )
+    np.maximum(sq, 0.0, out=sq)
+    idx = np.argmin(sq, axis=1)
+    return sq[np.arange(points.shape[0]), idx], idx
+
+
+def trimmed_lloyd_kmeans(
+    points: np.ndarray,
+    k: int,
+    t: int,
+    *,
+    weights: Optional[np.ndarray] = None,
+    max_iter: int = 60,
+    n_init: int = 3,
+    tol: float = 1e-7,
+    snap_to_points: bool = True,
+    rng: RngLike = None,
+) -> ClusterSolution:
+    """Trimmed k-means on a Euclidean point cloud.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` coordinates.
+    k:
+        Number of centers.
+    t:
+        Number of points excluded (integral; trimming is per point here).
+    weights:
+        Optional per-point weights used in the mean updates.
+    max_iter, tol:
+        Lloyd iteration controls.
+    n_init:
+        Number of random restarts; the best trimmed objective wins.
+    snap_to_points:
+        If True (default) the returned centers are indices of the nearest
+        input points; the continuous centers are kept in
+        ``metadata["center_coords"]`` either way.
+    rng:
+        Seed or generator.
+    """
+    pts = check_points_array(points, "points")
+    n, d = pts.shape
+    if k < 1 or k > n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    if t < 0 or t >= n:
+        raise ValueError(f"t must be in [0, {n}), got {t}")
+    w = np.ones(n, dtype=float) if weights is None else np.asarray(weights, dtype=float)
+    if w.shape != (n,):
+        raise ValueError(f"weights must have shape ({n},), got {w.shape}")
+    generator = ensure_rng(rng)
+
+    best_cost = np.inf
+    best_centers = None
+    best_labels = None
+    best_outliers = None
+
+    for _ in range(max(1, n_init)):
+        # k-means++ seeding.
+        seeds = [int(generator.integers(0, n))]
+        sq_min = np.sum((pts - pts[seeds[0]]) ** 2, axis=1)
+        while len(seeds) < k:
+            probs = w * sq_min
+            total = probs.sum()
+            if total <= 0:
+                seeds.append(int(generator.integers(0, n)))
+            else:
+                seeds.append(int(generator.choice(n, p=probs / total)))
+            sq_min = np.minimum(sq_min, np.sum((pts - pts[seeds[-1]]) ** 2, axis=1))
+        centers = pts[seeds].copy()
+
+        prev_cost = np.inf
+        labels = np.zeros(n, dtype=int)
+        outlier_mask = np.zeros(n, dtype=bool)
+        for _ in range(max_iter):
+            sq, labels = _closest_sq_distances(pts, centers)
+            # Trim the t most expensive points before the mean update.
+            outlier_mask = np.zeros(n, dtype=bool)
+            if t > 0:
+                outlier_mask[np.argsort(-sq, kind="stable")[:t]] = True
+            cost = float(np.dot(w[~outlier_mask], sq[~outlier_mask]))
+            for c in range(k):
+                members = (~outlier_mask) & (labels == c)
+                if np.any(members):
+                    centers[c] = np.average(pts[members], axis=0, weights=w[members])
+                else:
+                    # Re-seed an empty cluster at the farthest non-outlier point.
+                    candidates = np.flatnonzero(~outlier_mask)
+                    centers[c] = pts[candidates[np.argmax(sq[candidates])]]
+            if prev_cost - cost <= tol * max(prev_cost, 1.0):
+                prev_cost = cost
+                break
+            prev_cost = cost
+
+        sq, labels = _closest_sq_distances(pts, centers)
+        outlier_mask = np.zeros(n, dtype=bool)
+        if t > 0:
+            outlier_mask[np.argsort(-sq, kind="stable")[:t]] = True
+        cost = float(np.dot(w[~outlier_mask], sq[~outlier_mask]))
+        if cost < best_cost:
+            best_cost = cost
+            best_centers = centers.copy()
+            best_labels = labels.copy()
+            best_outliers = outlier_mask.copy()
+
+    assert best_centers is not None
+    # Snap continuous centers to the nearest input point if requested.
+    if snap_to_points:
+        sq_to_centers = (
+            np.einsum("ij,ij->i", pts, pts)[:, None]
+            + np.einsum("ij,ij->i", best_centers, best_centers)[None, :]
+            - 2.0 * pts @ best_centers.T
+        )
+        center_indices = np.argmin(sq_to_centers, axis=0)
+        sq, labels = _closest_sq_distances(pts, pts[center_indices])
+        outlier_mask = np.zeros(n, dtype=bool)
+        if t > 0:
+            outlier_mask[np.argsort(-sq, kind="stable")[:t]] = True
+        cost = float(np.dot(w[~outlier_mask], sq[~outlier_mask]))
+        assignment = center_indices[labels]
+    else:
+        center_indices = np.arange(k)
+        labels = best_labels
+        outlier_mask = best_outliers
+        cost = best_cost
+        assignment = labels.copy()
+
+    assignment = np.asarray(assignment, dtype=int)
+    assignment[outlier_mask] = -1
+    dropped = np.where(outlier_mask, w, 0.0)
+
+    solution = ClusterSolution(
+        centers=np.asarray(center_indices, dtype=int),
+        assignment=assignment,
+        outlier_weight=float(dropped.sum()),
+        cost=cost,
+        objective="means",
+        dropped_weight=dropped,
+        metadata={
+            "method": "trimmed_lloyd",
+            "center_coords": best_centers,
+            "snapped": bool(snap_to_points),
+        },
+    )
+    return solution
+
+
+__all__ = ["trimmed_lloyd_kmeans"]

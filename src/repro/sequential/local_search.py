@@ -1,0 +1,222 @@
+"""Outlier-aware weighted local search for ``(k, t)``-median / means.
+
+This is the practical stand-in for the Theorem 3.1 bicriteria black box (see
+the Substitutions table in ``DESIGN.md``): single-swap local search over the
+facility set, where every candidate configuration is evaluated with the
+outlier-trimmed objective of :func:`repro.sequential.assignment.trim_outliers`.
+Single-swap local search is a classical constant-factor heuristic for k-median
+(Arya et al.), and trimming the ``t`` heaviest assignment costs extends it to
+the partial objective; the distributed machinery built on top only relies on
+the *interface* ``sol(Z, k, q)``.
+
+The implementation keeps the per-iteration cost low enough for the paper's
+``Õ(n_i^2)`` site budget:
+
+* facilities considered for insertion are sampled each round
+  (``sample_size``), so a round costs ``O(k * sample_size * n log n)``;
+* removal costs are computed from the first/second-nearest open centers, so
+  no candidate evaluation ever rescans the whole ``k``-column block.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.metrics.cost_matrix import validate_objective
+from repro.sequential.assignment import assign_with_outliers, trim_outliers
+from repro.sequential.solution import ClusterSolution
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def plus_plus_seeding(
+    cost_matrix: np.ndarray,
+    k: int,
+    weights: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """k-median++ style seeding on an explicit cost matrix.
+
+    The first facility is drawn proportionally to demand weight; every
+    subsequent facility is drawn proportionally to ``weight * current service
+    cost`` of the demand nearest to it, which spreads seeds across clusters.
+    """
+    n, n_fac = cost_matrix.shape
+    k = min(k, n_fac)
+    chosen: list = []
+    # Facilities and demands may differ; pick the facility nearest to the
+    # sampled demand as its representative.
+    demand_probs = weights / weights.sum() if weights.sum() > 0 else np.full(n, 1.0 / n)
+    first_demand = int(rng.choice(n, p=demand_probs))
+    chosen.append(int(np.argmin(cost_matrix[first_demand])))
+    current = cost_matrix[:, chosen[0]].copy()
+    while len(chosen) < k:
+        scores = weights * current
+        total = scores.sum()
+        if total <= 0:
+            # All demands already served at zero cost; pick arbitrary unused facilities.
+            unused = [f for f in range(n_fac) if f not in chosen]
+            if not unused:
+                break
+            chosen.append(int(rng.choice(unused)))
+        else:
+            demand = int(rng.choice(n, p=scores / total))
+            fac = int(np.argmin(cost_matrix[demand]))
+            if fac in chosen:
+                # Nearest facility already open; fall back to a random unused one.
+                unused = [f for f in range(n_fac) if f not in chosen]
+                if not unused:
+                    break
+                fac = int(rng.choice(unused))
+            chosen.append(fac)
+        np.minimum(current, cost_matrix[:, chosen[-1]], out=current)
+    return np.asarray(chosen, dtype=int)
+
+
+def _first_second_nearest(block: np.ndarray) -> tuple:
+    """Per-row nearest and second-nearest values/columns of an ``(n, k)`` block."""
+    n, k = block.shape
+    if k == 1:
+        first_idx = np.zeros(n, dtype=int)
+        first_val = block[:, 0].copy()
+        second_val = np.full(n, np.inf)
+        return first_idx, first_val, second_val
+    order = np.argpartition(block, 1, axis=1)
+    rows = np.arange(n)
+    first_idx = order[:, 0]
+    second_idx = order[:, 1]
+    first_val = block[rows, first_idx]
+    second_val = block[rows, second_idx]
+    # argpartition does not guarantee order within the partition.
+    swap = first_val > second_val
+    first_idx[swap], second_idx[swap] = second_idx[swap], first_idx[swap].copy()
+    first_val[swap], second_val[swap] = second_val[swap], first_val[swap].copy()
+    return first_idx, first_val, second_val
+
+
+def local_search_partial(
+    cost_matrix: np.ndarray,
+    k: int,
+    t: float,
+    weights: Optional[np.ndarray] = None,
+    *,
+    objective: str = "median",
+    init_centers: Optional[Sequence[int]] = None,
+    max_iter: int = 40,
+    sample_size: Optional[int] = None,
+    min_relative_gain: float = 1e-4,
+    rng: RngLike = None,
+) -> ClusterSolution:
+    """Outlier-trimmed single-swap local search for weighted ``(k, t)``-median/means.
+
+    Parameters
+    ----------
+    cost_matrix:
+        ``(n_demands, n_facilities)`` assignment costs (already squared for
+        the means objective).
+    k:
+        Number of centers to open.
+    t:
+        Outlier budget in demand weight.
+    weights:
+        Per-demand weights (default all ones).
+    objective:
+        ``"median"`` or ``"means"`` (``"center"`` callers should use
+        :func:`repro.sequential.kcenter_outliers.kcenter_with_outliers`).
+    init_centers:
+        Optional warm start; defaults to ++-seeding.
+    max_iter:
+        Maximum number of improvement rounds.
+    sample_size:
+        Number of candidate insertion facilities sampled per round (default:
+        all facilities when there are at most 64, otherwise 32).
+    min_relative_gain:
+        A swap is applied only if it improves the cost by this relative
+        amount; controls termination.
+    rng:
+        Seed or generator for seeding and candidate sampling.
+    """
+    obj = validate_objective(objective)
+    if obj == "center":
+        raise ValueError("local_search_partial handles median/means; use kcenter_with_outliers for center")
+    cost_matrix = np.asarray(cost_matrix, dtype=float)
+    n, n_fac = cost_matrix.shape
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if t < 0:
+        raise ValueError(f"t must be >= 0, got {t}")
+    k = min(k, n_fac)
+    w = np.ones(n, dtype=float) if weights is None else np.asarray(weights, dtype=float)
+    if w.shape != (n,):
+        raise ValueError(f"weights must have shape ({n},), got {w.shape}")
+    generator = ensure_rng(rng)
+
+    if init_centers is None:
+        centers = plus_plus_seeding(cost_matrix, k, w, generator)
+    else:
+        centers = np.unique(np.asarray(init_centers, dtype=int))
+        if centers.size < k:
+            extra = plus_plus_seeding(cost_matrix, k, w, generator)
+            centers = np.unique(np.concatenate([centers, extra]))[:k]
+        centers = centers[:k]
+
+    if sample_size is None:
+        sample_size = n_fac if n_fac <= 64 else 32
+    sample_size = min(sample_size, n_fac)
+
+    def trimmed_cost(unit: np.ndarray) -> float:
+        _, cost = trim_outliers(unit, w, t, obj)
+        return cost
+
+    block = cost_matrix[:, centers]
+    first_idx, first_val, second_val = _first_second_nearest(block)
+    current_cost = trimmed_cost(first_val)
+    evaluations = 1
+    iterations = 0
+
+    for iterations in range(1, max_iter + 1):
+        open_set = set(int(c) for c in centers)
+        closed = np.asarray([f for f in range(n_fac) if f not in open_set], dtype=int)
+        if closed.size == 0:
+            break
+        if closed.size > sample_size:
+            candidates = generator.choice(closed, size=sample_size, replace=False)
+        else:
+            candidates = closed
+
+        best_gain = 0.0
+        best_swap = None
+        for pos in range(centers.size):
+            # Service cost of every demand if center at position ``pos`` closes.
+            without = np.where(first_idx == pos, second_val, first_val)
+            for f in candidates:
+                new_unit = np.minimum(without, cost_matrix[:, f])
+                cand_cost = trimmed_cost(new_unit)
+                evaluations += 1
+                gain = current_cost - cand_cost
+                if gain > best_gain:
+                    best_gain = gain
+                    best_swap = (pos, int(f))
+
+        if best_swap is None or best_gain < min_relative_gain * max(current_cost, 1e-12):
+            break
+        pos, f = best_swap
+        centers = centers.copy()
+        centers[pos] = f
+        block = cost_matrix[:, centers]
+        first_idx, first_val, second_val = _first_second_nearest(block)
+        current_cost = trimmed_cost(first_val)
+
+    solution = assign_with_outliers(cost_matrix, centers, t, w, objective=obj)
+    solution.metadata.update(
+        {
+            "method": "local_search_partial",
+            "iterations": iterations,
+            "evaluations": evaluations,
+        }
+    )
+    return solution
+
+
+__all__ = ["local_search_partial", "plus_plus_seeding"]

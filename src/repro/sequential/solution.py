@@ -1,0 +1,125 @@
+"""Solution container shared by all clustering routines.
+
+A solution is always expressed in the *caller's* index space: ``centers`` are
+column indices of the cost matrix the solver was given (equivalently, indices
+into the facility list), and ``assignment`` maps each demand row to the chosen
+facility index or ``-1`` for outliers.  The distributed layer re-maps these
+local indices to global point ids when it ships solutions around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class ClusterSolution:
+    """Outcome of a partial-clustering computation.
+
+    Attributes
+    ----------
+    centers:
+        Facility indices chosen as centers (shape ``(k',)`` with ``k' <= k``).
+    assignment:
+        For each demand, the facility index it is assigned to, or ``-1`` if the
+        demand is (fully) excluded as an outlier.
+    outlier_weight:
+        Total demand weight excluded from the objective.  With unit weights
+        this is simply the number of outliers.
+    cost:
+        Objective value over the non-excluded weight (sum for median/means,
+        max for center).
+    objective:
+        ``"median"``, ``"means"`` or ``"center"``.
+    dropped_weight:
+        Per-demand weight that was excluded (0 for fully served demands).
+        Sum equals ``outlier_weight``.  Needed because weighted demands may be
+        only partially excluded (Remark 1 in the paper).
+    """
+
+    centers: np.ndarray
+    assignment: np.ndarray
+    outlier_weight: float
+    cost: float
+    objective: str
+    dropped_weight: Optional[np.ndarray] = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.centers = np.asarray(self.centers, dtype=int)
+        self.assignment = np.asarray(self.assignment, dtype=int)
+        if self.dropped_weight is not None:
+            self.dropped_weight = np.asarray(self.dropped_weight, dtype=float)
+            if self.dropped_weight.shape != self.assignment.shape:
+                raise ValueError("dropped_weight must align with assignment")
+
+    @property
+    def n_centers(self) -> int:
+        """Number of distinct centers actually opened."""
+        return int(np.unique(self.centers).size)
+
+    @property
+    def outlier_indices(self) -> np.ndarray:
+        """Demand indices that are fully excluded (assignment == -1)."""
+        return np.flatnonzero(self.assignment < 0)
+
+    @property
+    def served_indices(self) -> np.ndarray:
+        """Demand indices that are assigned to some center."""
+        return np.flatnonzero(self.assignment >= 0)
+
+    def center_weights(self, weights: Optional[np.ndarray] = None) -> dict:
+        """Total served weight attached to each center.
+
+        Parameters
+        ----------
+        weights:
+            Per-demand weights; defaults to unit weights.  Partially dropped
+            weight is subtracted.
+        """
+        n = self.assignment.size
+        w = np.ones(n, dtype=float) if weights is None else np.asarray(weights, dtype=float)
+        if w.shape != self.assignment.shape:
+            raise ValueError("weights must align with assignment")
+        served = w.copy()
+        if self.dropped_weight is not None:
+            served = served - self.dropped_weight
+        out: dict = {int(c): 0.0 for c in self.centers}
+        for idx in self.served_indices:
+            c = int(self.assignment[idx])
+            out[c] = out.get(c, 0.0) + float(served[idx])
+        return out
+
+    def relabel(self, facility_map: np.ndarray, demand_map: Optional[np.ndarray] = None) -> "ClusterSolution":
+        """Translate facility (and optionally demand) indices through lookup arrays.
+
+        ``facility_map[f]`` gives the new id of facility ``f``.  If
+        ``demand_map`` is provided the assignment array is reordered so that
+        entry ``demand_map[i]`` describes original demand ``i`` — this is not
+        usually needed and is omitted by default.
+        """
+        facility_map = np.asarray(facility_map, dtype=int)
+        new_centers = facility_map[self.centers]
+        new_assignment = np.where(self.assignment >= 0, facility_map[self.assignment], -1)
+        return ClusterSolution(
+            centers=new_centers,
+            assignment=new_assignment,
+            outlier_weight=self.outlier_weight,
+            cost=self.cost,
+            objective=self.objective,
+            dropped_weight=None if self.dropped_weight is None else self.dropped_weight.copy(),
+            metadata=dict(self.metadata),
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"ClusterSolution(objective={self.objective}, centers={self.n_centers}, "
+            f"outlier_weight={self.outlier_weight:g}, cost={self.cost:.6g})"
+        )
+
+
+__all__ = ["ClusterSolution"]

@@ -1,0 +1,37 @@
+"""Uncertain-data substrate (Section 5 of the paper).
+
+An *uncertain node* is an independent discrete distribution over a finite
+ground point set ``P``; the clustering objectives are expectations over the
+joint realization of all nodes (Definition 1.2).  This package provides
+
+* :class:`UncertainNode` — a discrete distribution with vectorised expected
+  (squared / truncated) distance computations,
+* :class:`UncertainInstance` — a collection of nodes over one ground metric,
+  with realization sampling and exact objective evaluation where the paper's
+  objective is a sum/max of per-node expectations,
+* 1-median / 1-mean collapse (Definition 5.1) and the compressed-graph
+  construction feeding :class:`repro.metrics.CompressedGraph`,
+* Monte-Carlo estimation of the center-g objective ``E[max_j d(sigma(j), pi(j))]``,
+  which is the one objective that does not decompose per node.
+"""
+
+from repro.uncertain.nodes import UncertainNode
+from repro.uncertain.instance import UncertainInstance
+from repro.uncertain.collapse import one_median, one_mean, collapse_nodes, build_compressed_graph
+from repro.uncertain.sampling import (
+    exact_assigned_cost,
+    estimate_center_g_cost,
+    sample_realizations,
+)
+
+__all__ = [
+    "UncertainNode",
+    "UncertainInstance",
+    "one_median",
+    "one_mean",
+    "collapse_nodes",
+    "build_compressed_graph",
+    "exact_assigned_cost",
+    "estimate_center_g_cost",
+    "sample_realizations",
+]

@@ -1,0 +1,62 @@
+"""Tests for the 1-round (ship-t-outliers-per-site) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import evaluate_centers
+from repro.baselines import centralized_reference, one_round_protocol
+from repro.core import distributed_partial_median
+
+
+class TestOneRoundProtocol:
+    def test_single_round(self, small_instance):
+        result = one_round_protocol(small_instance, rng=0)
+        assert result.rounds == 1
+        assert result.ledger.n_rounds() == 1
+
+    def test_every_site_ships_its_full_budget(self, small_instance):
+        result = one_round_protocol(small_instance, rng=0)
+        shipped = result.metadata["t_shipped_per_site"]
+        assert len(shipped) == small_instance.n_sites
+        assert all(s == small_instance.t for s in shipped)
+
+    def test_communication_scales_with_st(self, small_instance):
+        # The 1-round baseline must ship ~ s * t * B words of outliers.
+        result = one_round_protocol(small_instance, rng=0)
+        s, t, B = small_instance.n_sites, small_instance.t, small_instance.words_per_point()
+        assert result.total_words >= s * t * B  # outliers alone reach the st term
+
+    def test_algorithm1_wins_at_larger_site_counts(self, small_metric, small_workload):
+        # The st-vs-t separation is the whole point of Algorithm 1; it shows up
+        # once s is large enough that s*t dominates the fixed overheads.
+        from repro.distributed import DistributedInstance, partition_balanced
+
+        shards = partition_balanced(small_workload.n_points, 8, rng=1)
+        instance = DistributedInstance.from_partition(small_metric, shards, 3, 15, "median")
+        one_round = one_round_protocol(instance, rng=0)
+        alg1 = distributed_partial_median(instance, epsilon=0.5, rng=0)
+        assert alg1.total_words < one_round.total_words
+
+    def test_quality_comparable_to_reference(self, small_instance, small_metric):
+        result = one_round_protocol(small_instance, rng=0)
+        realized = evaluate_centers(
+            small_metric, result.centers, result.outlier_budget, objective="median"
+        )
+        reference = centralized_reference(small_metric, 3, 15, objective="median", rng=1)
+        assert realized.cost <= 3.0 * reference.cost
+
+    def test_center_objective(self, small_center_instance):
+        result = one_round_protocol(small_center_instance, rng=0)
+        assert result.objective == "center"
+        assert result.outlier_budget == small_center_instance.t
+        assert result.rounds == 1
+
+    def test_budgets(self, small_instance):
+        result = one_round_protocol(small_instance, epsilon=0.5, rng=0)
+        assert result.outlier_budget == int(1.5 * small_instance.t)
+        assert result.n_centers <= small_instance.k
+
+    def test_deterministic(self, small_instance):
+        a = one_round_protocol(small_instance, rng=2)
+        b = one_round_protocol(small_instance, rng=2)
+        assert np.array_equal(a.centers, b.centers)

@@ -1,0 +1,41 @@
+"""Tests for the send-everything baseline."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import evaluate_centers
+from repro.baselines import send_all_protocol
+
+
+class TestSendAllProtocol:
+    def test_communication_is_n_times_B(self, small_instance):
+        result = send_all_protocol(small_instance, rng=0)
+        expected = small_instance.n_points * small_instance.words_per_point()
+        assert result.total_words == pytest.approx(expected)
+
+    def test_single_round(self, small_instance):
+        result = send_all_protocol(small_instance, rng=0)
+        assert result.rounds == 1
+
+    def test_budgets(self, small_instance):
+        result = send_all_protocol(small_instance, epsilon=0.5, rng=0)
+        assert result.n_centers <= small_instance.k
+        assert result.outliers.size <= result.outlier_budget
+
+    def test_center_objective_exact_budget(self, small_center_instance):
+        result = send_all_protocol(small_center_instance, rng=0)
+        assert result.outlier_budget == small_center_instance.t
+
+    def test_quality_is_strong(self, small_instance, small_metric, small_workload):
+        # Seeing all data, the send-all baseline should essentially isolate the
+        # planted outliers.
+        result = send_all_protocol(small_instance, rng=0)
+        realized = evaluate_centers(
+            small_metric, result.centers, result.outlier_budget, objective="median"
+        )
+        per_point = realized.cost / (small_workload.n_points - result.outlier_budget)
+        assert per_point < 3 * 0.8  # within a few cluster standard deviations
+
+    def test_outliers_are_global_indices(self, small_instance):
+        result = send_all_protocol(small_instance, rng=0)
+        assert np.all(result.outliers < small_instance.n_points)

@@ -1,0 +1,82 @@
+"""Shared fixtures: small, deterministic workloads used across the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import gaussian_mixture_with_outliers, uncertain_nodes_from_mixture
+from repro.distributed import DistributedInstance, partition_balanced
+from repro.metrics import EuclideanMetric, build_cost_matrix
+
+
+@pytest.fixture(scope="session")
+def small_workload():
+    """Three well-separated Gaussian clusters plus 15 far-away outliers (165 points)."""
+    return gaussian_mixture_with_outliers(
+        n_inliers=150, n_outliers=15, n_clusters=3, dim=2, separation=12.0,
+        cluster_std=0.8, rng=12345,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_metric(small_workload):
+    """Euclidean metric over the small workload."""
+    return small_workload.to_metric()
+
+
+@pytest.fixture(scope="session")
+def small_cost_matrix(small_metric):
+    """Full median cost matrix of the small workload."""
+    n = len(small_metric)
+    return build_cost_matrix(small_metric, range(n), range(n), "median")
+
+
+@pytest.fixture(scope="session")
+def small_instance(small_metric, small_workload):
+    """The small workload split across 3 sites, (k, t) = (3, 15), median objective."""
+    shards = partition_balanced(small_workload.n_points, 3, rng=7)
+    return DistributedInstance.from_partition(small_metric, shards, 3, 15, "median")
+
+
+@pytest.fixture(scope="session")
+def small_center_instance(small_metric, small_workload):
+    """Same partition with the center objective."""
+    shards = partition_balanced(small_workload.n_points, 3, rng=7)
+    return DistributedInstance.from_partition(small_metric, shards, 3, 15, "center")
+
+
+@pytest.fixture(scope="session")
+def tiny_points():
+    """A handful of hand-placed planar points used for exactness checks."""
+    return np.asarray(
+        [
+            [0.0, 0.0],
+            [1.0, 0.0],
+            [0.0, 1.0],
+            [10.0, 10.0],
+            [11.0, 10.0],
+            [10.0, 11.0],
+            [100.0, 100.0],  # an obvious outlier
+        ]
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_metric(tiny_points):
+    """Euclidean metric over the hand-placed points."""
+    return EuclideanMetric(tiny_points)
+
+
+@pytest.fixture(scope="session")
+def small_uncertain_workload():
+    """60 uncertain nodes over 3 clusters with 6 planted outlier nodes."""
+    return uncertain_nodes_from_mixture(
+        n_nodes=54, n_outlier_nodes=6, n_clusters=3, ground_size=200, support_size=5, rng=2024,
+    )
+
+
+@pytest.fixture
+def rng():
+    """Fresh deterministic generator for tests that need one-off randomness."""
+    return np.random.default_rng(987)

@@ -1,0 +1,91 @@
+"""Tests for the Theorem 3.8 no-shipping variant."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import evaluate_centers
+from repro.baselines import centralized_reference
+from repro.core import distributed_partial_median, distributed_partial_median_no_shipping
+from repro.core.algorithm1_modified import combine_two_solutions
+from repro.metrics import build_cost_matrix
+from repro.sequential import local_search_partial
+
+
+@pytest.fixture(scope="module")
+def result(small_instance):
+    return distributed_partial_median_no_shipping(small_instance, epsilon=0.5, delta=0.5, rng=0)
+
+
+class TestNoShippingStructure:
+    def test_two_rounds(self, result):
+        assert result.rounds == 2
+
+    def test_no_outlier_points_cross_the_wire(self, result, small_instance):
+        # Communication must not grow with t: every round-2 message carries at
+        # most 2k centers (B words each) + counts + a scalar.
+        B = small_instance.words_per_point()
+        k = small_instance.k
+        for message in result.ledger.filter(kind="local_solution"):
+            assert message.words <= 4 * k * (B + 1) + 1 + 1e-9
+
+    def test_outliers_not_named(self, result):
+        assert result.outliers is None
+
+    def test_budget_is_two_plus_eps_plus_delta(self, result, small_instance):
+        assert result.outlier_budget == int((2 + 0.5 + 0.5) * small_instance.t)
+
+    def test_cheaper_than_shipping_variant(self, small_instance):
+        shipping = distributed_partial_median(small_instance, epsilon=0.5, rng=0)
+        no_shipping = distributed_partial_median_no_shipping(
+            small_instance, epsilon=0.5, delta=0.5, rng=0
+        )
+        assert no_shipping.total_words < shipping.total_words
+
+    def test_preclustering_ignored_recorded(self, result, small_instance):
+        ignored = result.metadata["preclustering_ignored"]
+        assert 0 <= ignored <= (1 + 0.5) * small_instance.t + 1
+
+
+class TestNoShippingQuality:
+    def test_constant_factor_with_larger_budget(self, small_instance, small_metric):
+        result = distributed_partial_median_no_shipping(
+            small_instance, epsilon=0.5, delta=0.5, rng=0
+        )
+        realized = evaluate_centers(
+            small_metric, result.centers, result.outlier_budget, objective="median"
+        )
+        reference = centralized_reference(
+            small_metric, small_instance.k, small_instance.t, objective="median", rng=1
+        )
+        assert realized.cost <= 3.0 * reference.cost + 1e-9
+
+    def test_validation(self, small_instance, small_center_instance):
+        with pytest.raises(ValueError):
+            distributed_partial_median_no_shipping(small_center_instance)
+        with pytest.raises(ValueError):
+            distributed_partial_median_no_shipping(small_instance, delta=0.0)
+
+
+class TestCombineTwoSolutions:
+    def test_lemma_3_7_interpolation_bound(self, small_metric):
+        indices = np.arange(0, 80)
+        costs = build_cost_matrix(small_metric, indices, indices, "median")
+        sol_low = local_search_partial(costs, 4, 2, rng=0)
+        sol_high = local_search_partial(costs, 4, 10, rng=1)
+        t_i = 6
+        combined = combine_two_solutions(costs, sol_low, sol_high, t_i, "median")
+        theta = (t_i - 2) / (10 - 2)
+        interpolated = (1 - theta) * sol_low.cost + theta * sol_high.cost
+        # Lemma 3.7: the 4k-center combination is no worse than the interpolation.
+        assert combined.cost <= interpolated + 1e-9
+        assert combined.n_centers <= sol_low.n_centers + sol_high.n_centers
+        assert combined.outlier_weight <= t_i + 1e-9
+
+    def test_union_of_centers(self, small_metric):
+        indices = np.arange(0, 40)
+        costs = build_cost_matrix(small_metric, indices, indices, "median")
+        sol_low = local_search_partial(costs, 2, 1, rng=0)
+        sol_high = local_search_partial(costs, 2, 5, rng=1)
+        combined = combine_two_solutions(costs, sol_low, sol_high, 3, "median")
+        union = set(sol_low.centers.tolist()) | set(sol_high.centers.tolist())
+        assert set(combined.centers.tolist()) <= union

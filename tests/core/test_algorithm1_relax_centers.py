@@ -1,0 +1,43 @@
+"""Tests for the (1+eps)k-centers relaxation of Algorithm 1 (Table 2 rows)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import evaluate_centers
+from repro.baselines import centralized_reference
+from repro.core import distributed_partial_median
+
+
+class TestRelaxCenters:
+    def test_exact_outlier_budget(self, small_instance):
+        result = distributed_partial_median(small_instance, epsilon=1.0, relax="centers", rng=0)
+        assert result.outlier_budget == small_instance.t
+        assert result.metadata["relax"] == "centers"
+
+    def test_may_open_more_centers(self, small_instance):
+        result = distributed_partial_median(small_instance, epsilon=1.0, relax="centers", rng=0)
+        # (1+eps)k = 6 centers allowed; never more than that.
+        assert result.n_centers <= 2 * small_instance.k
+        assert result.rounds == 2
+
+    def test_quality_with_extra_centers(self, small_instance, small_metric):
+        result = distributed_partial_median(small_instance, epsilon=1.0, relax="centers", rng=0)
+        realized = evaluate_centers(
+            small_metric, result.centers, small_instance.t, objective="median"
+        )
+        reference = centralized_reference(
+            small_metric, small_instance.k, small_instance.t, objective="median", rng=1
+        )
+        # With twice the centers and the same outlier budget, the realized cost
+        # should certainly not exceed the k-center reference by much.
+        assert realized.cost <= 1.5 * reference.cost
+
+    def test_invalid_relax_rejected(self, small_instance):
+        with pytest.raises(ValueError):
+            distributed_partial_median(small_instance, relax="both")
+
+    def test_outlier_relaxation_unchanged_by_default(self, small_instance):
+        default = distributed_partial_median(small_instance, epsilon=0.5, rng=0)
+        explicit = distributed_partial_median(small_instance, epsilon=0.5, relax="outliers", rng=0)
+        assert np.array_equal(default.centers, explicit.centers)
+        assert default.metadata["relax"] == "outliers"

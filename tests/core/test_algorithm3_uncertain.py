@@ -1,0 +1,106 @@
+"""Tests for Algorithm 3 (distributed uncertain median/means/center-pp)."""
+
+import numpy as np
+import pytest
+
+from repro.core import distributed_uncertain_clustering
+from repro.distributed import UncertainDistributedInstance, partition_balanced
+from repro.uncertain import exact_assigned_cost
+
+
+@pytest.fixture(scope="module")
+def uncertain_instance(small_uncertain_workload):
+    inst = small_uncertain_workload.instance
+    shards = partition_balanced(inst.n_nodes, 3, rng=11)
+    return UncertainDistributedInstance.from_partition(inst, shards, 3, 6, "median")
+
+
+@pytest.fixture(scope="module")
+def result(uncertain_instance):
+    return distributed_uncertain_clustering(uncertain_instance, epsilon=0.5, rng=0)
+
+
+class TestAlgorithm3Structure:
+    def test_two_rounds(self, result):
+        assert result.rounds == 2
+
+    def test_centers_are_ground_points(self, result, uncertain_instance):
+        assert np.all(result.centers >= 0)
+        assert np.all(result.centers < len(uncertain_instance.ground_metric))
+        assert result.n_centers <= uncertain_instance.k
+
+    def test_outliers_are_nodes(self, result, uncertain_instance):
+        assert result.outliers.size <= result.outlier_budget
+        assert np.all(result.outliers < uncertain_instance.n_nodes)
+
+    def test_assignment_covers_non_outlier_nodes(self, result, uncertain_instance):
+        assignment = result.metadata["node_assignment"]
+        covered = set(assignment) | set(result.outliers.tolist())
+        assert covered == set(range(uncertain_instance.n_nodes))
+
+    def test_assigned_centers_belong_to_output(self, result):
+        assignment = result.metadata["node_assignment"]
+        assert set(assignment.values()) <= set(result.centers.tolist())
+
+    def test_communication_does_not_ship_distributions(self, result, uncertain_instance):
+        # Each transmitted item costs B + 1 words (anchor + scalar), never the
+        # full node encoding I.
+        B = uncertain_instance.words_per_point()
+        per_demand = B + 1
+        total_demands = result.metadata["n_coordinator_demands"]
+        round2_up = sum(
+            m.words for m in result.ledger.filter(kind="local_solution")
+        )
+        assert round2_up == pytest.approx(total_demands * per_demand)
+
+
+class TestAlgorithm3Quality:
+    def test_cost_beats_collapse_to_single_center(self, result, uncertain_instance):
+        # Assigning every node to one arbitrary center must be far worse than
+        # the returned clustering.
+        inst = uncertain_instance.uncertain
+        assignment = result.metadata["node_assignment"]
+        cost = exact_assigned_cost(inst, assignment, "median")
+        single = {j: int(result.centers[0]) for j in range(inst.n_nodes)}
+        single_cost = exact_assigned_cost(inst, single, "median")
+        assert cost < single_cost
+
+    def test_outlier_nodes_preferentially_dropped(self, small_uncertain_workload, result):
+        planted = set(np.flatnonzero(small_uncertain_workload.node_labels < 0).tolist())
+        dropped = set(result.outliers.tolist())
+        # At least half of the planted outlier nodes get excluded.
+        assert len(planted & dropped) >= len(planted) // 2
+
+    def test_means_objective(self, small_uncertain_workload):
+        inst = small_uncertain_workload.instance
+        shards = partition_balanced(inst.n_nodes, 3, rng=1)
+        dist = UncertainDistributedInstance.from_partition(inst, shards, 3, 6, "means")
+        result = distributed_uncertain_clustering(dist, epsilon=0.5, rng=0)
+        assert result.objective == "means"
+        assert result.cost >= 0
+
+    def test_center_pp_objective(self, small_uncertain_workload):
+        inst = small_uncertain_workload.instance
+        shards = partition_balanced(inst.n_nodes, 3, rng=2)
+        dist = UncertainDistributedInstance.from_partition(inst, shards, 3, 6, "center")
+        result = distributed_uncertain_clustering(dist, rng=0)
+        assert result.objective == "center"
+        assert result.outliers.size <= dist.t
+
+    def test_deterministic_given_seed(self, uncertain_instance):
+        a = distributed_uncertain_clustering(uncertain_instance, rng=9)
+        b = distributed_uncertain_clustering(uncertain_instance, rng=9)
+        assert np.array_equal(a.centers, b.centers)
+
+
+class TestAlgorithm3Validation:
+    def test_unknown_objective_rejected(self, small_uncertain_workload):
+        inst = small_uncertain_workload.instance
+        shards = partition_balanced(inst.n_nodes, 2, rng=0)
+        dist = UncertainDistributedInstance.from_partition(inst, shards, 2, 4, "center-g")
+        with pytest.raises(ValueError):
+            distributed_uncertain_clustering(dist)
+
+    def test_bad_epsilon(self, uncertain_instance):
+        with pytest.raises(ValueError):
+            distributed_uncertain_clustering(uncertain_instance, epsilon=0.0)

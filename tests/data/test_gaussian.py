@@ -1,0 +1,76 @@
+"""Tests for the Gaussian mixture workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.data import gaussian_mixture_with_outliers
+
+
+class TestGaussianMixture:
+    def test_counts(self):
+        wl = gaussian_mixture_with_outliers(200, 20, 4, rng=0)
+        assert wl.n_points == 220
+        assert wl.n_outliers == 20
+        assert wl.points.shape == (220, 2)
+        assert wl.centers.shape == (4, 2)
+
+    def test_labels_range(self):
+        wl = gaussian_mixture_with_outliers(100, 10, 3, rng=0)
+        assert set(np.unique(wl.labels)) <= {-1, 0, 1, 2}
+        assert np.sum(wl.labels == -1) == 10
+
+    def test_every_cluster_nonempty(self):
+        wl = gaussian_mixture_with_outliers(30, 0, 10, rng=0)
+        for c in range(10):
+            assert np.any(wl.labels == c)
+
+    def test_outliers_far_from_centers(self):
+        wl = gaussian_mixture_with_outliers(300, 30, 3, separation=10.0, cluster_std=0.5, rng=1)
+        inliers = wl.points[~wl.outlier_mask]
+        outliers = wl.points[wl.outlier_mask]
+        # Median distance of outliers to the nearest true center should exceed
+        # the inlier 95th percentile by a comfortable margin.
+        def nearest_center_dist(pts):
+            d = np.linalg.norm(pts[:, None, :] - wl.centers[None, :, :], axis=-1)
+            return d.min(axis=1)
+
+        assert np.median(nearest_center_dist(outliers)) > 3 * np.quantile(
+            nearest_center_dist(inliers), 0.95
+        )
+
+    def test_shuffled(self):
+        wl = gaussian_mixture_with_outliers(100, 50, 2, rng=2)
+        # Outliers should not all be at the end after shuffling.
+        assert wl.labels[-50:].min() != -1 or wl.labels[:100].min() == -1
+
+    def test_to_metric(self):
+        wl = gaussian_mixture_with_outliers(50, 5, 2, dim=3, rng=0)
+        metric = wl.to_metric()
+        assert len(metric) == 55
+        assert metric.dim == 3
+
+    def test_cluster_weights(self):
+        wl = gaussian_mixture_with_outliers(
+            400, 0, 2, cluster_weights=[9.0, 1.0], rng=0
+        )
+        big = np.sum(wl.labels == 0)
+        small = np.sum(wl.labels == 1)
+        assert big > 2 * small
+
+    def test_dimension(self):
+        wl = gaussian_mixture_with_outliers(20, 2, 2, dim=5, rng=0)
+        assert wl.points.shape[1] == 5
+
+    def test_deterministic(self):
+        a = gaussian_mixture_with_outliers(50, 5, 2, rng=42)
+        b = gaussian_mixture_with_outliers(50, 5, 2, rng=42)
+        assert np.allclose(a.points, b.points)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            gaussian_mixture_with_outliers(2, 0, 5, rng=0)
+        with pytest.raises(ValueError):
+            gaussian_mixture_with_outliers(10, -1, 2, rng=0)
+        with pytest.raises(ValueError):
+            gaussian_mixture_with_outliers(10, 0, 2, cluster_weights=[1.0], rng=0)

@@ -1,0 +1,94 @@
+"""Tests for messages and the communication ledger."""
+
+import pytest
+
+from repro.distributed import CommunicationLedger, Message
+from repro.distributed.messages import COORDINATOR
+
+
+def _msg(sender=0, receiver=COORDINATOR, round_index=1, kind="x", words=10.0):
+    return Message(sender, receiver, round_index, kind, words)
+
+
+class TestMessage:
+    def test_to_coordinator_flag(self):
+        assert _msg().to_coordinator
+        assert not _msg(sender=COORDINATOR, receiver=2).to_coordinator
+
+    def test_negative_words_rejected(self):
+        with pytest.raises(ValueError):
+            _msg(words=-1.0)
+
+    def test_round_index_validated(self):
+        with pytest.raises(ValueError):
+            _msg(round_index=0)
+
+    def test_frozen(self):
+        message = _msg()
+        with pytest.raises(AttributeError):
+            message.words = 5.0
+
+
+class TestCommunicationLedger:
+    def test_total_words(self):
+        ledger = CommunicationLedger()
+        ledger.record(_msg(words=10))
+        ledger.record(_msg(words=5, round_index=2))
+        assert ledger.total_words() == 15.0
+
+    def test_words_by_round(self):
+        ledger = CommunicationLedger()
+        ledger.record(_msg(words=10, round_index=1))
+        ledger.record(_msg(words=5, round_index=2))
+        ledger.record(_msg(words=3, round_index=2))
+        assert ledger.words_by_round() == {1: 10.0, 2: 8.0}
+
+    def test_words_by_kind(self):
+        ledger = CommunicationLedger()
+        ledger.record(_msg(kind="profile", words=2))
+        ledger.record(_msg(kind="solution", words=7))
+        ledger.record(_msg(kind="profile", words=1))
+        assert ledger.words_by_kind() == {"profile": 3.0, "solution": 7.0}
+
+    def test_words_by_direction(self):
+        ledger = CommunicationLedger()
+        ledger.record(_msg(words=10))
+        ledger.record(_msg(sender=COORDINATOR, receiver=1, words=4))
+        directions = ledger.words_by_direction()
+        assert directions["to_coordinator"] == 10.0
+        assert directions["to_sites"] == 4.0
+
+    def test_words_by_site(self):
+        ledger = CommunicationLedger()
+        ledger.record(_msg(sender=0, words=10))
+        ledger.record(_msg(sender=1, words=4))
+        ledger.record(_msg(sender=0, words=1))
+        assert ledger.words_by_site() == {0: 11.0, 1: 4.0}
+
+    def test_rounds_and_message_counts(self):
+        ledger = CommunicationLedger()
+        assert ledger.n_rounds() == 0
+        ledger.record(_msg(round_index=3))
+        assert ledger.n_rounds() == 3
+        assert ledger.n_messages() == 1
+
+    def test_filter(self):
+        ledger = CommunicationLedger()
+        ledger.record(_msg(kind="a", round_index=1))
+        ledger.record(_msg(kind="b", round_index=2))
+        assert len(ledger.filter(kind="a")) == 1
+        assert len(ledger.filter(round_index=2)) == 1
+        assert len(ledger.filter(kind="a", round_index=2)) == 0
+
+    def test_merge(self):
+        a, b = CommunicationLedger(), CommunicationLedger()
+        a.record(_msg(words=1))
+        b.record(_msg(words=2))
+        a.merge(b)
+        assert a.total_words() == 3.0
+
+    def test_summary_keys(self):
+        ledger = CommunicationLedger()
+        ledger.record(_msg())
+        summary = ledger.summary()
+        assert {"total_words", "rounds", "messages", "by_round", "by_direction"} <= set(summary)

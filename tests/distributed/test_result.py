@@ -1,0 +1,68 @@
+"""Tests for the DistributedResult container."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import CommunicationLedger, DistributedResult, Message
+from repro.distributed.messages import COORDINATOR
+
+
+def _result(**overrides):
+    ledger = CommunicationLedger()
+    ledger.record(Message(0, COORDINATOR, 1, "profile", 10))
+    ledger.record(Message(1, COORDINATOR, 2, "solution", 30))
+    ledger.record(Message(COORDINATOR, 0, 2, "allocation", 2))
+    defaults = dict(
+        centers=np.asarray([3, 7, 7]),
+        outlier_budget=5.0,
+        objective="median",
+        cost=12.5,
+        ledger=ledger,
+        rounds=2,
+        outliers=np.asarray([11, 12]),
+        site_time={0: 0.2, 1: 0.5},
+        coordinator_time=0.1,
+    )
+    defaults.update(overrides)
+    return DistributedResult(**defaults)
+
+
+class TestDistributedResult:
+    def test_n_centers_deduplicates(self):
+        assert _result().n_centers == 2
+
+    def test_total_words(self):
+        assert _result().total_words == 42.0
+
+    def test_site_time_aggregates(self):
+        result = _result()
+        assert result.site_time_max == pytest.approx(0.5)
+        assert result.site_time_total == pytest.approx(0.7)
+
+    def test_site_time_empty(self):
+        result = _result(site_time={})
+        assert result.site_time_max == 0.0
+        assert result.site_time_total == 0.0
+
+    def test_outliers_optional(self):
+        result = _result(outliers=None)
+        assert result.outliers is None
+
+    def test_summary_keys(self):
+        summary = _result().summary()
+        assert {
+            "objective",
+            "n_centers",
+            "outlier_budget",
+            "protocol_cost",
+            "rounds",
+            "total_words",
+            "site_time_max",
+            "coordinator_time",
+        } <= set(summary)
+        assert summary["rounds"] == 2
+
+    def test_arrays_coerced_to_int(self):
+        result = _result(centers=[1.0, 2.0], outliers=[3.0])
+        assert result.centers.dtype.kind == "i"
+        assert result.outliers.dtype.kind == "i"

@@ -1,0 +1,122 @@
+"""Edge-case and non-Euclidean end-to-end coverage.
+
+The protocols must behave sensibly in degenerate regimes the theory allows:
+tiny shards, budgets touching their bounds, duplicated points, and metrics
+that are not Euclidean point clouds (the paper only assumes a distance
+oracle).
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.analysis import evaluate_centers
+from repro.core import distributed_partial_center, distributed_partial_median
+from repro.data import gaussian_mixture_with_outliers
+from repro.distributed import DistributedInstance, partition_round_robin
+from repro.metrics import GraphMetric, MatrixMetric
+
+
+class TestGraphMetricEndToEnd:
+    @pytest.fixture(scope="class")
+    def road_network_instance(self):
+        # A weighted "road network": three dense communities plus a long chain
+        # of remote vertices acting as outliers.
+        rng = np.random.default_rng(0)
+        graph = nx.Graph()
+        node = 0
+        communities = []
+        for _ in range(3):
+            members = list(range(node, node + 18))
+            communities.append(members)
+            for i in members:
+                for j in members:
+                    if i < j and rng.random() < 0.4:
+                        graph.add_edge(i, j, weight=float(rng.uniform(0.5, 1.5)))
+            node += 18
+        # Connect the communities with a few longer roads.
+        graph.add_edge(0, 18, weight=8.0)
+        graph.add_edge(18, 36, weight=8.0)
+        # A chain of remote outlier vertices.
+        previous = 0
+        for _ in range(6):
+            graph.add_edge(previous, node, weight=25.0)
+            previous = node
+            node += 1
+        # Make sure every community is internally connected.
+        for members in communities:
+            nx.add_path(graph, members, weight=1.0)
+        metric = GraphMetric(graph)
+        shards = partition_round_robin(len(metric), 3)
+        instance = DistributedInstance.from_partition(metric, shards, 3, 6, "median")
+        return metric, instance
+
+    def test_median_on_graph_metric(self, road_network_instance):
+        metric, instance = road_network_instance
+        result = distributed_partial_median(instance, epsilon=0.5, rng=0)
+        assert result.rounds == 2
+        assert result.n_centers <= 3
+        realized = evaluate_centers(metric, result.centers, result.outlier_budget, objective="median")
+        # Excluding the remote chain keeps the per-point cost at community scale.
+        assert realized.cost / (len(metric) - result.outlier_budget) < 10.0
+
+    def test_center_on_graph_metric(self, road_network_instance):
+        metric, instance_median = road_network_instance
+        instance = DistributedInstance.from_partition(
+            metric, instance_median.shards, 3, 6, "center"
+        )
+        result = distributed_partial_center(instance, rng=0)
+        realized = evaluate_centers(metric, result.centers, 6, objective="center")
+        no_outliers = evaluate_centers(metric, result.centers, 0, objective="center")
+        assert realized.cost < no_outliers.cost
+
+    def test_words_per_point_one_for_graph(self, road_network_instance):
+        metric, instance = road_network_instance
+        assert instance.words_per_point() == 1
+
+
+class TestDegenerateRegimes:
+    def test_t_zero(self, small_metric, small_workload):
+        shards = partition_round_robin(small_workload.n_points, 3)
+        instance = DistributedInstance.from_partition(small_metric, shards, 3, 0, "median")
+        result = distributed_partial_median(instance, epsilon=0.5, rng=0)
+        assert result.outlier_budget == 0
+        assert result.outliers.size == 0
+
+    def test_k_equals_one(self, small_metric, small_workload):
+        shards = partition_round_robin(small_workload.n_points, 3)
+        instance = DistributedInstance.from_partition(small_metric, shards, 1, 10, "median")
+        result = distributed_partial_median(instance, epsilon=0.5, rng=0)
+        assert result.n_centers == 1
+
+    def test_tiny_sites(self):
+        # 12 points over 6 sites of 2 points each.
+        workload = gaussian_mixture_with_outliers(10, 2, 2, rng=0)
+        metric = workload.to_metric()
+        shards = partition_round_robin(workload.n_points, 6)
+        instance = DistributedInstance.from_partition(metric, shards, 2, 2, "median")
+        result = distributed_partial_median(instance, epsilon=0.5, rng=0)
+        assert result.n_centers <= 2
+        assert result.rounds == 2
+
+    def test_duplicate_points(self):
+        # Many coincident points: distances of zero everywhere except outliers.
+        points = np.vstack([np.zeros((30, 2)), np.full((5, 2), 50.0)])
+        metric = MatrixMetric(
+            np.sqrt(((points[:, None, :] - points[None, :, :]) ** 2).sum(-1)),
+            words_per_point=2,
+        )
+        shards = partition_round_robin(len(metric), 3)
+        instance = DistributedInstance.from_partition(metric, shards, 1, 5, "median")
+        result = distributed_partial_median(instance, epsilon=0.5, rng=0)
+        realized = evaluate_centers(metric, result.centers, result.outlier_budget, objective="median")
+        assert realized.cost == pytest.approx(0.0, abs=1e-9)
+
+    def test_center_t_zero(self, small_metric, small_workload):
+        shards = partition_round_robin(small_workload.n_points, 3)
+        instance = DistributedInstance.from_partition(small_metric, shards, 3, 0, "center")
+        result = distributed_partial_center(instance, rng=0)
+        assert result.outliers.size == 0
+        # With no outliers allowed, the radius must cover the planted junk.
+        realized = evaluate_centers(small_metric, result.centers, 0, objective="center")
+        assert realized.cost > 0

@@ -1,0 +1,86 @@
+"""End-to-end tests for the uncertain-data pipeline (Section 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import distributed_uncertain_clustering
+from repro.data import uncertain_nodes_from_mixture
+from repro.distributed import UncertainDistributedInstance, partition_balanced
+from repro.sequential import local_search_partial
+from repro.uncertain import exact_assigned_cost
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return uncertain_nodes_from_mixture(
+        n_nodes=66, n_outlier_nodes=9, n_clusters=3, ground_size=220, support_size=5, rng=31
+    )
+
+
+@pytest.fixture(scope="module")
+def instance(workload):
+    inst = workload.instance
+    shards = partition_balanced(inst.n_nodes, 3, rng=8)
+    return UncertainDistributedInstance.from_partition(inst, shards, 3, 9, "median")
+
+
+def _centralized_uncertain_reference(uncertain, k, t, rng=0):
+    """Centralized compressed-graph solve used as the quality reference."""
+    graph = uncertain.compressed_graph("median")
+    nodes = np.arange(uncertain.n_nodes)
+    costs = graph.demand_facility_costs(nodes, nodes)
+    solution = local_search_partial(costs, k, t, rng=rng, max_iter=60)
+    assignment = {
+        int(j): int(graph.anchor_indices[int(solution.assignment[j])])
+        for j in solution.served_indices
+    }
+    return exact_assigned_cost(uncertain, assignment, "median")
+
+
+class TestUncertainPipeline:
+    def test_distributed_close_to_centralized_compressed_solve(self, workload, instance):
+        result = distributed_uncertain_clustering(instance, epsilon=0.5, rng=0)
+        assignment = result.metadata["node_assignment"]
+        distributed_cost = exact_assigned_cost(workload.instance, assignment, "median")
+        reference_cost = _centralized_uncertain_reference(workload.instance, 3, 9)
+        assert distributed_cost <= 3.0 * reference_cost
+
+    def test_compressed_graph_equivalence_constants(self, workload):
+        # Lemmas 5.3/5.4: the compressed-graph optimum and the true uncertain
+        # optimum are within constant factors.  We verify the directions we
+        # can compute: solving on the compressed graph and evaluating exactly
+        # never degrades the cost by more than the claimed factor relative to
+        # clustering the bare anchors (which drops the collapse cost).
+        uncertain = workload.instance
+        graph = uncertain.compressed_graph("median")
+        nodes = np.arange(uncertain.n_nodes)
+        compressed_costs = graph.demand_facility_costs(nodes, nodes)
+        bare_costs = uncertain.ground_metric.pairwise(
+            graph.anchor_indices, graph.anchor_indices
+        )
+        sol_compressed = local_search_partial(compressed_costs, 3, 9, rng=0)
+        sol_bare = local_search_partial(bare_costs, 3, 9, rng=0)
+
+        def realize(sol):
+            return {
+                int(j): int(graph.anchor_indices[int(sol.assignment[j])])
+                for j in sol.served_indices
+            }
+
+        cost_compressed = exact_assigned_cost(uncertain, realize(sol_compressed), "median")
+        cost_bare = exact_assigned_cost(uncertain, realize(sol_bare), "median")
+        # The compressed solve sees the collapse cost and cannot be much worse;
+        # it is usually better.  Allow generous slack: 2x.
+        assert cost_compressed <= 2.0 * cost_bare
+
+    def test_outlier_nodes_recovered(self, workload, instance):
+        result = distributed_uncertain_clustering(instance, epsilon=0.5, rng=0)
+        planted = set(np.flatnonzero(workload.node_labels < 0).tolist())
+        found = set(result.outliers.tolist())
+        assert len(planted & found) >= len(planted) // 2
+
+    def test_communication_well_below_shipping_distributions(self, workload, instance):
+        result = distributed_uncertain_clustering(instance, epsilon=0.5, rng=0)
+        # Shipping every node's full distribution would cost ~ n * I words.
+        naive_words = workload.instance.encoding_words()
+        assert result.total_words < 0.5 * naive_words

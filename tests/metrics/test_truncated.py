@@ -1,0 +1,62 @@
+"""Tests for the truncated distance L_tau (Definition 5.7)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import EuclideanMetric, TruncatedDistance, truncate_matrix
+
+
+class TestTruncateMatrix:
+    def test_elementwise(self):
+        d = np.asarray([[0.0, 1.0], [3.0, 0.5]])
+        out = truncate_matrix(d, 1.0)
+        assert np.allclose(out, [[0.0, 0.0], [2.0, 0.0]])
+
+    def test_tau_zero_identity(self):
+        d = np.asarray([[0.0, 2.0], [2.0, 0.0]])
+        assert np.allclose(truncate_matrix(d, 0.0), d)
+
+    def test_negative_tau_rejected(self):
+        with pytest.raises(ValueError):
+            truncate_matrix(np.zeros((2, 2)), -0.1)
+
+
+class TestTruncatedDistance:
+    def test_matches_definition(self, tiny_metric):
+        tau = 5.0
+        trunc = TruncatedDistance(tiny_metric, tau)
+        for i in range(len(tiny_metric)):
+            for j in range(len(tiny_metric)):
+                expected = max(tiny_metric.distance(i, j) - tau, 0.0)
+                assert trunc.distance(i, j) == pytest.approx(expected)
+
+    def test_pairwise(self, tiny_metric):
+        trunc = TruncatedDistance(tiny_metric, 2.0)
+        block = trunc.pairwise([0, 6], [1, 3])
+        assert block.shape == (2, 2)
+        assert np.all(block >= 0)
+
+    def test_rescaled(self, tiny_metric):
+        trunc = TruncatedDistance(tiny_metric, 2.0)
+        assert trunc.rescaled(3.0).tau == pytest.approx(6.0)
+        assert trunc.rescaled(3.0).base is tiny_metric
+
+    def test_relaxed_triangle_inequality(self, rng):
+        # L_tau(u1,u2) + L_tau(u2,u3) >= L_{2 tau}(u1,u3) (used in Lemma 5.12).
+        metric = EuclideanMetric(rng.normal(scale=5.0, size=(20, 2)))
+        tau = 1.0
+        l_tau = truncate_matrix(metric.full_matrix(), tau)
+        l_2tau = truncate_matrix(metric.full_matrix(), 2 * tau)
+        n = len(metric)
+        for mid in range(n):
+            lhs = l_tau[:, [mid]] + l_tau[[mid], :]
+            assert np.all(lhs >= l_2tau - 1e-9)
+
+    def test_not_a_metric_space_subclass(self, tiny_metric):
+        from repro.metrics import MetricSpace
+
+        assert not isinstance(TruncatedDistance(tiny_metric, 1.0), MetricSpace)
+
+    def test_negative_tau_rejected(self, tiny_metric):
+        with pytest.raises(ValueError):
+            TruncatedDistance(tiny_metric, -1.0)

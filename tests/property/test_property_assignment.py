@@ -1,0 +1,91 @@
+"""Property-based tests for outlier-trimmed assignment."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sequential import assign_with_outliers
+from repro.sequential.assignment import trim_outliers
+
+
+@st.composite
+def cost_and_weights(draw):
+    n = draw(st.integers(min_value=1, max_value=25))
+    f = draw(st.integers(min_value=1, max_value=6))
+    costs = draw(
+        arrays(
+            dtype=float,
+            shape=(n, f),
+            elements=st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+        )
+    )
+    weights = draw(
+        arrays(
+            dtype=float,
+            shape=(n,),
+            elements=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        )
+    )
+    budget = draw(st.floats(min_value=0.0, max_value=float(n) * 5.0, allow_nan=False))
+    return costs, weights, budget
+
+
+class TestTrimProperties:
+    @given(data=cost_and_weights())
+    @settings(max_examples=150, deadline=None)
+    def test_dropped_weight_within_budget_and_bounds(self, data):
+        costs, weights, budget = data
+        unit = costs.min(axis=1)
+        dropped, cost = trim_outliers(unit, weights, budget, "median")
+        assert dropped.sum() <= budget + 1e-9
+        assert np.all(dropped >= -1e-12)
+        assert np.all(dropped <= weights + 1e-9)
+        assert cost >= -1e-9
+
+    @given(data=cost_and_weights())
+    @settings(max_examples=150, deadline=None)
+    def test_median_cost_equals_residual_weighted_sum(self, data):
+        costs, weights, budget = data
+        unit = costs.min(axis=1)
+        dropped, cost = trim_outliers(unit, weights, budget, "median")
+        assert cost == np.dot(weights - dropped, unit) or abs(
+            cost - np.dot(weights - dropped, unit)
+        ) <= 1e-6 * max(1.0, cost)
+
+    @given(data=cost_and_weights())
+    @settings(max_examples=100, deadline=None)
+    def test_more_budget_never_costs_more(self, data):
+        costs, weights, budget = data
+        unit = costs.min(axis=1)
+        _, cost_small = trim_outliers(unit, weights, budget, "median")
+        _, cost_big = trim_outliers(unit, weights, budget * 2 + 1, "median")
+        assert cost_big <= cost_small + 1e-6
+
+    @given(data=cost_and_weights())
+    @settings(max_examples=100, deadline=None)
+    def test_center_cost_is_max_over_survivors(self, data):
+        costs, weights, budget = data
+        unit = costs.min(axis=1)
+        dropped, cost = trim_outliers(unit, weights, budget, "center")
+        survivors = (weights - dropped) > 0
+        if np.any(survivors):
+            assert cost == unit[survivors].max()
+        else:
+            assert cost == 0.0
+
+
+class TestAssignProperties:
+    @given(data=cost_and_weights(), k=st.integers(min_value=1, max_value=3))
+    @settings(max_examples=100, deadline=None)
+    def test_solution_invariants(self, data, k):
+        costs, weights, budget = data
+        centers = list(range(min(k, costs.shape[1])))
+        sol = assign_with_outliers(costs, centers, budget, weights=weights, objective="median")
+        # Every served demand is assigned to an open center.
+        assert set(np.unique(sol.assignment[sol.assignment >= 0])) <= set(centers)
+        assert sol.outlier_weight <= budget + 1e-9
+        assert sol.cost >= -1e-9
+        # Cost never exceeds the untrimmed cost.
+        untrimmed = float(np.dot(weights, costs[:, centers].min(axis=1)))
+        assert sol.cost <= untrimmed + 1e-6

@@ -1,0 +1,83 @@
+"""Property-based tests for lower convex hulls and cost profiles."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CostProfile, lower_convex_hull
+
+
+@st.composite
+def cost_curves(draw):
+    """A non-increasing, non-negative cost curve evaluated at 0..t."""
+    t = draw(st.integers(min_value=1, max_value=30))
+    drops = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+            min_size=t,
+            max_size=t,
+        )
+    )
+    start = draw(st.floats(min_value=0.0, max_value=500.0, allow_nan=False))
+    costs = np.concatenate([[start + sum(drops)], start + sum(drops) - np.cumsum(drops)])
+    qs = np.arange(t + 1, dtype=float)
+    return qs, costs
+
+
+class TestHullProperties:
+    @given(curve=cost_curves())
+    @settings(max_examples=100, deadline=None)
+    def test_hull_lower_bounds_input(self, curve):
+        qs, costs = curve
+        hx, hy = lower_convex_hull(qs, costs)
+        interp = np.interp(qs, hx, hy)
+        assert np.all(interp <= costs + 1e-6)
+
+    @given(curve=cost_curves())
+    @settings(max_examples=100, deadline=None)
+    def test_hull_vertices_are_input_points(self, curve):
+        qs, costs = curve
+        hx, hy = lower_convex_hull(qs, costs)
+        for x, y in zip(hx, hy):
+            pos = int(np.flatnonzero(qs == x)[0])
+            assert y == costs[pos]
+
+    @given(curve=cost_curves())
+    @settings(max_examples=100, deadline=None)
+    def test_hull_slopes_non_decreasing(self, curve):
+        qs, costs = curve
+        hx, hy = lower_convex_hull(qs, costs)
+        if hx.size >= 3:
+            slopes = np.diff(hy) / np.diff(hx)
+            assert np.all(np.diff(slopes) >= -1e-7)
+
+    @given(curve=cost_curves())
+    @settings(max_examples=100, deadline=None)
+    def test_profile_marginals_non_increasing_and_nonnegative(self, curve):
+        qs, costs = curve
+        t = int(qs[-1])
+        profile = CostProfile.from_evaluations(qs, costs, t_max=t)
+        marginals = profile.marginals()
+        assert marginals.shape == (t,)
+        assert np.all(marginals >= -1e-12)
+        assert np.all(np.diff(marginals) <= 1e-7)
+
+    @given(curve=cost_curves())
+    @settings(max_examples=100, deadline=None)
+    def test_profile_evaluation_monotone(self, curve):
+        qs, costs = curve
+        t = int(qs[-1])
+        profile = CostProfile.from_evaluations(qs, costs, t_max=t)
+        values = profile(np.arange(t + 1))
+        assert np.all(np.diff(values) <= 1e-9)
+
+    @given(curve=cost_curves(), frac=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_snap_up_is_a_vertex_at_least_q(self, curve, frac):
+        qs, costs = curve
+        t = int(qs[-1])
+        profile = CostProfile.from_evaluations(qs, costs, t_max=t)
+        q = frac * t
+        snapped = profile.snap_up_to_vertex(q)
+        assert profile.is_vertex(snapped)
+        assert snapped >= min(q, profile.hull_qs[-1]) - 1e-9

@@ -1,0 +1,67 @@
+"""Property-based tests for the Gonzalez traversal and the round-1 communication size."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import geometric_grid, precluster_site
+from repro.metrics import EuclideanMetric, build_cost_matrix
+from repro.sequential import gonzalez
+
+
+@st.composite
+def clustered_points(draw):
+    """Random 2-D points with at least a little spread."""
+    n = draw(st.integers(min_value=3, max_value=40))
+    pts = draw(
+        arrays(
+            dtype=float,
+            shape=(n, 2),
+            elements=st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+        )
+    )
+    return pts
+
+
+class TestGonzalezProperties:
+    @given(pts=clustered_points(), seed=st.integers(min_value=0, max_value=10))
+    @settings(max_examples=60, deadline=None)
+    def test_radii_non_increasing_and_coverage_bounded(self, pts, seed):
+        metric = EuclideanMetric(pts)
+        result = gonzalez(metric, rng=seed)
+        assert np.all(np.diff(result.radii[1:]) <= 1e-7)
+        assert np.all(np.diff(result.coverage_radius) <= 1e-7)
+        # The coverage radius after r points equals the next insertion radius.
+        for r in range(1, len(metric)):
+            assert result.coverage_radius[r - 1] >= result.radii[r] - 1e-7
+
+    @given(pts=clustered_points(), seed=st.integers(min_value=0, max_value=10))
+    @settings(max_examples=60, deadline=None)
+    def test_ordering_is_permutation(self, pts, seed):
+        metric = EuclideanMetric(pts)
+        result = gonzalez(metric, rng=seed)
+        assert np.array_equal(np.sort(result.ordering), np.arange(len(metric)))
+
+
+class TestPreclusterCommunicationProperties:
+    @given(
+        pts=clustered_points(),
+        t=st.integers(min_value=1, max_value=30),
+        k=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_profile_words_logarithmic_in_t(self, pts, t, k):
+        # Round 1 of Algorithm 1 transmits the hull of O(log t) evaluations, so
+        # the words are bounded by 2 * |I| regardless of the data.
+        metric = EuclideanMetric(pts)
+        n = len(metric)
+        costs = build_cost_matrix(metric, range(n), range(n), "median")
+        pre = precluster_site(costs, min(2 * k, n), t, rng=0, max_iter=5)
+        grid_size = geometric_grid(t, rho=2.0, upper=n).size
+        assert pre.profile.n_vertices <= grid_size
+        assert pre.profile.words <= 2 * grid_size
+        # And the profile is a valid convex non-increasing summary.
+        marginals = pre.profile.marginals()
+        assert np.all(marginals >= -1e-9)
+        assert np.all(np.diff(marginals) <= 1e-7)

@@ -1,0 +1,77 @@
+"""Tests for the Theorem 3.1 bicriteria interface."""
+
+import numpy as np
+import pytest
+
+from repro.sequential import bicriteria_solve
+from repro.sequential.bicriteria import relaxed_budgets
+
+
+class TestRelaxedBudgets:
+    def test_relax_outliers(self):
+        assert relaxed_budgets(3, 10, 0.5, "outliers") == (3, 15)
+
+    def test_relax_centers(self):
+        assert relaxed_budgets(3, 10, 0.5, "centers") == (5, 10)
+
+    def test_epsilon_zero(self):
+        assert relaxed_budgets(3, 10, 0.0, "outliers") == (3, 10)
+
+    def test_floor_and_ceil_behaviour(self):
+        # (1 + 0.1) * 7 = 7.7 -> 7 outliers; ceil for centers: 3.3 -> 4.
+        assert relaxed_budgets(3, 7, 0.1, "outliers") == (3, 7)
+        assert relaxed_budgets(3, 7, 0.1, "centers") == (4, 7)
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            relaxed_budgets(3, 10, -0.5, "outliers")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            relaxed_budgets(3, 10, 0.5, "both")
+
+
+class TestBicriteriaSolve:
+    def test_outlier_relaxation_median(self, small_cost_matrix):
+        sol = bicriteria_solve(small_cost_matrix, 3, 10, epsilon=1.0, objective="median", rng=0)
+        assert sol.n_centers <= 3
+        assert sol.outlier_weight <= 20 + 1e-9
+        assert sol.metadata["t_used"] == 20
+
+    def test_center_relaxation_opens_more_centers(self, small_cost_matrix):
+        sol = bicriteria_solve(
+            small_cost_matrix, 3, 10, epsilon=1.0, relax="centers", objective="median", rng=0
+        )
+        assert sol.metadata["k_used"] == 6
+        assert sol.outlier_weight <= 10 + 1e-9
+
+    def test_center_objective_routed_to_charikar(self, small_cost_matrix):
+        sol = bicriteria_solve(small_cost_matrix, 3, 10, epsilon=0.5, objective="center")
+        assert sol.metadata["method"] == "charikar_greedy"
+
+    def test_means_objective(self, small_metric):
+        from repro.metrics import build_cost_matrix
+
+        n = len(small_metric)
+        costs = build_cost_matrix(small_metric, range(n), range(n), "means")
+        sol = bicriteria_solve(costs, 3, 15, epsilon=0.5, objective="means", rng=0)
+        assert sol.objective == "means"
+
+    def test_larger_epsilon_never_hurts_much(self, small_cost_matrix):
+        tight = bicriteria_solve(small_cost_matrix, 3, 10, epsilon=0.1, objective="median", rng=0)
+        loose = bicriteria_solve(small_cost_matrix, 3, 10, epsilon=1.0, objective="median", rng=0)
+        # More allowed outliers should not lead to a (much) costlier solution.
+        assert loose.cost <= tight.cost * 1.05 + 1e-9
+
+    def test_weights_forwarded(self, small_cost_matrix):
+        w = np.ones(small_cost_matrix.shape[0])
+        w[:5] = 10.0
+        sol = bicriteria_solve(
+            small_cost_matrix, 3, 10, epsilon=0.5, weights=w, objective="median", rng=0
+        )
+        assert sol.outlier_weight <= 15 + 1e-9
+
+    def test_metadata_records_requested_budgets(self, small_cost_matrix):
+        sol = bicriteria_solve(small_cost_matrix, 4, 9, epsilon=0.5, objective="median", rng=0)
+        assert sol.metadata["k_requested"] == 4
+        assert sol.metadata["t_requested"] == 9.0

@@ -1,0 +1,61 @@
+"""Tests for the trimmed Lloyd k-means solver."""
+
+import numpy as np
+import pytest
+
+from repro.sequential import trimmed_lloyd_kmeans
+
+
+class TestTrimmedLloyd:
+    def test_basic_output(self, small_workload):
+        sol = trimmed_lloyd_kmeans(small_workload.points, 3, 15, rng=0)
+        assert sol.objective == "means"
+        assert sol.n_centers <= 3
+        assert sol.outlier_weight == pytest.approx(15.0)
+
+    def test_snapped_centers_are_input_indices(self, small_workload):
+        sol = trimmed_lloyd_kmeans(small_workload.points, 3, 15, rng=0)
+        assert np.all(sol.centers >= 0)
+        assert np.all(sol.centers < small_workload.n_points)
+        assert sol.metadata["snapped"] is True
+
+    def test_unsnapped_keeps_continuous_centers(self, small_workload):
+        sol = trimmed_lloyd_kmeans(small_workload.points, 3, 15, snap_to_points=False, rng=0)
+        assert sol.metadata["center_coords"].shape == (3, 2)
+        assert sol.metadata["snapped"] is False
+
+    def test_trimming_excludes_planted_outliers(self, small_workload):
+        sol = trimmed_lloyd_kmeans(
+            small_workload.points, 3, small_workload.n_outliers, rng=1, n_init=3
+        )
+        planted = set(np.flatnonzero(small_workload.outlier_mask).tolist())
+        found = set(sol.outlier_indices.tolist())
+        assert len(found & planted) >= int(0.6 * len(planted))
+
+    def test_outliers_reduce_cost(self, small_workload):
+        trimmed = trimmed_lloyd_kmeans(small_workload.points, 3, 15, rng=0)
+        untrimmed = trimmed_lloyd_kmeans(small_workload.points, 3, 0, rng=0)
+        assert trimmed.cost < untrimmed.cost
+
+    def test_t_zero(self, small_workload):
+        sol = trimmed_lloyd_kmeans(small_workload.points, 3, 0, rng=0)
+        assert sol.outlier_indices.size == 0
+
+    def test_weights_accepted(self, small_workload):
+        w = np.ones(small_workload.n_points)
+        sol = trimmed_lloyd_kmeans(small_workload.points, 3, 10, weights=w, rng=0)
+        assert sol.cost >= 0
+
+    def test_invalid_parameters(self, small_workload):
+        pts = small_workload.points
+        with pytest.raises(ValueError):
+            trimmed_lloyd_kmeans(pts, 0, 1)
+        with pytest.raises(ValueError):
+            trimmed_lloyd_kmeans(pts, 2, pts.shape[0])
+        with pytest.raises(ValueError):
+            trimmed_lloyd_kmeans(pts, 2, 1, weights=np.ones(3))
+
+    def test_deterministic_given_seed(self, small_workload):
+        a = trimmed_lloyd_kmeans(small_workload.points, 3, 15, rng=11)
+        b = trimmed_lloyd_kmeans(small_workload.points, 3, 15, rng=11)
+        assert a.cost == pytest.approx(b.cost)

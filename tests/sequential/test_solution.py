@@ -1,0 +1,87 @@
+"""Tests for the ClusterSolution container."""
+
+import numpy as np
+import pytest
+
+from repro.sequential import ClusterSolution
+
+
+def _solution():
+    return ClusterSolution(
+        centers=np.asarray([0, 2]),
+        assignment=np.asarray([0, 0, 2, 2, -1]),
+        outlier_weight=1.0,
+        cost=3.5,
+        objective="median",
+        dropped_weight=np.asarray([0.0, 0.0, 0.0, 0.0, 1.0]),
+    )
+
+
+class TestClusterSolution:
+    def test_basic_properties(self):
+        sol = _solution()
+        assert sol.n_centers == 2
+        assert np.array_equal(sol.outlier_indices, [4])
+        assert np.array_equal(sol.served_indices, [0, 1, 2, 3])
+
+    def test_center_weights_unit(self):
+        weights = _solution().center_weights()
+        assert weights == {0: 2.0, 2: 2.0}
+
+    def test_center_weights_custom(self):
+        sol = _solution()
+        w = np.asarray([1.0, 2.0, 3.0, 4.0, 5.0])
+        weights = sol.center_weights(w)
+        assert weights[0] == pytest.approx(3.0)
+        assert weights[2] == pytest.approx(7.0)
+
+    def test_center_weights_subtract_partial_drops(self):
+        sol = ClusterSolution(
+            centers=np.asarray([0]),
+            assignment=np.asarray([0, 0]),
+            outlier_weight=1.5,
+            cost=1.0,
+            objective="median",
+            dropped_weight=np.asarray([0.5, 1.0]),
+        )
+        weights = sol.center_weights(np.asarray([2.0, 3.0]))
+        assert weights[0] == pytest.approx(3.5)
+
+    def test_center_weights_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            _solution().center_weights(np.ones(3))
+
+    def test_dropped_weight_shape_validated(self):
+        with pytest.raises(ValueError):
+            ClusterSolution(
+                centers=np.asarray([0]),
+                assignment=np.asarray([0, 0]),
+                outlier_weight=0.0,
+                cost=0.0,
+                objective="median",
+                dropped_weight=np.asarray([0.0]),
+            )
+
+    def test_relabel(self):
+        sol = _solution()
+        mapping = np.asarray([10, 11, 12, 13, 14])
+        new = sol.relabel(mapping)
+        assert np.array_equal(new.centers, [10, 12])
+        assert np.array_equal(new.assignment, [10, 10, 12, 12, -1])
+        # Original untouched.
+        assert np.array_equal(sol.centers, [0, 2])
+
+    def test_summary_contains_key_facts(self):
+        text = _solution().summary()
+        assert "median" in text
+        assert "2" in text
+
+    def test_duplicate_centers_counted_once(self):
+        sol = ClusterSolution(
+            centers=np.asarray([1, 1, 2]),
+            assignment=np.asarray([1, 2]),
+            outlier_weight=0.0,
+            cost=0.0,
+            objective="median",
+        )
+        assert sol.n_centers == 2

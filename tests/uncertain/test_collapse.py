@@ -1,0 +1,107 @@
+"""Tests for 1-median / 1-mean collapse and the compressed-graph construction."""
+
+import numpy as np
+import pytest
+
+from repro.uncertain import (
+    UncertainNode,
+    build_compressed_graph,
+    collapse_nodes,
+    one_mean,
+    one_median,
+)
+
+
+@pytest.fixture
+def skewed_node():
+    # Mostly realises near the first cluster of the tiny metric.
+    return UncertainNode(
+        support=np.asarray([0, 1, 6]), probabilities=np.asarray([0.45, 0.45, 0.10])
+    )
+
+
+class TestOneMedian:
+    def test_minimises_expected_distance(self, skewed_node, tiny_metric):
+        y, cost = one_median(skewed_node, tiny_metric, candidates=range(len(tiny_metric)))
+        all_costs = skewed_node.expected_distances(tiny_metric, np.arange(len(tiny_metric)))
+        assert cost == pytest.approx(all_costs.min())
+        assert all_costs[y] == pytest.approx(cost)
+
+    def test_default_candidates_are_support(self, skewed_node, tiny_metric):
+        y, _ = one_median(skewed_node, tiny_metric)
+        assert y in skewed_node.support
+
+    def test_support_restricted_within_factor_two(self, skewed_node, tiny_metric):
+        _, cost_support = one_median(skewed_node, tiny_metric)
+        _, cost_full = one_median(skewed_node, tiny_metric, candidates=range(len(tiny_metric)))
+        assert cost_support <= 2 * cost_full + 1e-9
+
+    def test_deterministic_node_zero_cost(self, tiny_metric):
+        node = UncertainNode.deterministic(5)
+        y, cost = one_median(node, tiny_metric)
+        assert y == 5
+        assert cost == pytest.approx(0.0)
+
+
+class TestOneMean:
+    def test_minimises_expected_sq_distance(self, skewed_node, tiny_metric):
+        y, cost = one_mean(skewed_node, tiny_metric, candidates=range(len(tiny_metric)))
+        all_costs = skewed_node.expected_sq_distances(tiny_metric, np.arange(len(tiny_metric)))
+        assert cost == pytest.approx(all_costs.min())
+
+    def test_may_differ_from_one_median(self, tiny_metric):
+        # With one far-away support point the mean-minimiser is pulled harder.
+        node = UncertainNode(
+            support=np.asarray([0, 6]), probabilities=np.asarray([0.7, 0.3])
+        )
+        y_med, _ = one_median(node, tiny_metric, candidates=range(len(tiny_metric)))
+        y_mean, _ = one_mean(node, tiny_metric, candidates=range(len(tiny_metric)))
+        # Not asserting inequality (depends on geometry), just that both are valid.
+        assert 0 <= y_med < len(tiny_metric)
+        assert 0 <= y_mean < len(tiny_metric)
+
+
+class TestCollapseNodes:
+    def test_shapes(self, small_uncertain_workload):
+        inst = small_uncertain_workload.instance
+        anchors, costs = collapse_nodes(inst.nodes, inst.ground_metric)
+        assert anchors.shape == (inst.n_nodes,)
+        assert costs.shape == (inst.n_nodes,)
+        assert np.all(costs >= 0)
+        assert np.all(anchors < inst.n_ground_points)
+
+    def test_means_objective_uses_one_mean(self, small_uncertain_workload):
+        inst = small_uncertain_workload.instance
+        _, costs_median = collapse_nodes(inst.nodes, inst.ground_metric, "median")
+        _, costs_means = collapse_nodes(inst.nodes, inst.ground_metric, "means")
+        # Squared collapse costs are in squared units; just check both valid.
+        assert np.all(costs_means >= 0)
+        assert costs_median.shape == costs_means.shape
+
+
+class TestBuildCompressedGraph:
+    def test_graph_structure(self, small_uncertain_workload):
+        inst = small_uncertain_workload.instance
+        graph = build_compressed_graph(inst.nodes, inst.ground_metric)
+        assert graph.n_nodes == inst.n_nodes
+        assert graph.ground_metric is inst.ground_metric
+
+    def test_instance_helper_matches(self, small_uncertain_workload):
+        inst = small_uncertain_workload.instance
+        g1 = inst.compressed_graph()
+        g2 = build_compressed_graph(inst.nodes, inst.ground_metric)
+        assert np.array_equal(g1.anchor_indices, g2.anchor_indices)
+        assert np.allclose(g1.collapse_costs, g2.collapse_costs)
+
+    def test_collapse_cost_bounds_assignment_cost(self, small_uncertain_workload):
+        # For any node j and ground point u:
+        #   |E d(sigma, u) - d(y_j, u)| <= l_j   (triangle inequality in expectation),
+        # which is what makes the compressed graph a constant-factor proxy.
+        inst = small_uncertain_workload.instance
+        graph = inst.compressed_graph()
+        points = np.arange(0, inst.n_ground_points, 17)
+        for j in range(0, inst.n_nodes, 7):
+            node = inst.nodes[j]
+            expected = node.expected_distances(inst.ground_metric, points)
+            anchor_dist = inst.ground_metric.pairwise([graph.anchor_indices[j]], points)[0]
+            assert np.all(np.abs(expected - anchor_dist) <= graph.collapse_costs[j] + 1e-9)

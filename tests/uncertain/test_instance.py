@@ -1,0 +1,77 @@
+"""Tests for UncertainInstance."""
+
+import numpy as np
+import pytest
+
+from repro.uncertain import UncertainInstance, UncertainNode
+
+
+class TestUncertainInstance:
+    def test_basic_properties(self, small_uncertain_workload):
+        inst = small_uncertain_workload.instance
+        assert inst.n_nodes == 60
+        assert inst.n_ground_points == 200
+        assert inst.spread() > 1.0
+
+    def test_support_out_of_range_rejected(self, tiny_metric):
+        bad = UncertainNode(support=np.asarray([99]), probabilities=np.asarray([1.0]))
+        with pytest.raises(ValueError):
+            UncertainInstance(ground_metric=tiny_metric, nodes=[bad])
+
+    def test_empty_rejected(self, tiny_metric):
+        with pytest.raises(ValueError):
+            UncertainInstance(ground_metric=tiny_metric, nodes=[])
+
+    def test_node_subset(self, small_uncertain_workload):
+        inst = small_uncertain_workload.instance
+        sub = inst.node_subset([0, 5, 9])
+        assert sub.n_nodes == 3
+        assert sub.ground_metric is inst.ground_metric
+        assert sub.nodes[1] is inst.nodes[5]
+
+    def test_encoding_words(self, small_uncertain_workload):
+        inst = small_uncertain_workload.instance
+        total = inst.encoding_words()
+        per_node_max = inst.max_node_words()
+        assert total > 0
+        assert per_node_max <= total
+        assert total <= per_node_max * inst.n_nodes + 1e-9
+
+    def test_expected_cost_matrix_median(self, small_uncertain_workload):
+        inst = small_uncertain_workload.instance
+        nodes = [0, 1, 2]
+        points = [0, 10, 20]
+        mat = inst.expected_cost_matrix(nodes, points, "median")
+        assert mat.shape == (3, 3)
+        expected = inst.nodes[1].expected_distances(inst.ground_metric, points)
+        assert np.allclose(mat[1], expected)
+
+    def test_expected_cost_matrix_means_ge_squared_median_bound(self, small_uncertain_workload):
+        inst = small_uncertain_workload.instance
+        nodes = [0, 1]
+        points = [0, 5]
+        med = inst.expected_cost_matrix(nodes, points, "median")
+        means = inst.expected_cost_matrix(nodes, points, "means")
+        # Jensen: E[d^2] >= (E[d])^2.
+        assert np.all(means >= med**2 - 1e-9)
+
+    def test_expected_cost_matrix_truncated(self, small_uncertain_workload):
+        inst = small_uncertain_workload.instance
+        plain = inst.expected_cost_matrix([0, 1], [0, 1, 2], "median")
+        trunc = inst.expected_cost_matrix([0, 1], [0, 1, 2], tau=2.0)
+        assert np.all(trunc <= plain + 1e-12)
+
+    def test_support_union(self, small_uncertain_workload):
+        inst = small_uncertain_workload.instance
+        union = inst.support_union([0, 1])
+        manual = np.unique(np.concatenate([inst.nodes[0].support, inst.nodes[1].support]))
+        assert np.array_equal(union, manual)
+        full = inst.support_union()
+        assert union.size <= full.size
+
+    def test_sample_realization(self, small_uncertain_workload, rng):
+        inst = small_uncertain_workload.instance
+        sigma = inst.sample_realization(rng)
+        assert sigma.shape == (inst.n_nodes,)
+        for j, realized in enumerate(sigma):
+            assert realized in inst.nodes[j].support

@@ -1,0 +1,101 @@
+"""Tests for uncertain objective evaluation (exact and Monte-Carlo)."""
+
+import numpy as np
+import pytest
+
+from repro.uncertain import (
+    UncertainInstance,
+    UncertainNode,
+    estimate_center_g_cost,
+    exact_assigned_cost,
+    sample_realizations,
+)
+
+
+@pytest.fixture
+def deterministic_instance(tiny_metric):
+    """Nodes that realise to a single ground point each — expectations are exact distances."""
+    nodes = [UncertainNode.deterministic(i) for i in range(len(tiny_metric))]
+    return UncertainInstance(ground_metric=tiny_metric, nodes=nodes)
+
+
+class TestExactAssignedCost:
+    def test_median(self, deterministic_instance, tiny_metric):
+        assignment = {0: 1, 2: 1, 3: 4}
+        expected = (
+            tiny_metric.distance(0, 1) + tiny_metric.distance(2, 1) + tiny_metric.distance(3, 4)
+        )
+        assert exact_assigned_cost(deterministic_instance, assignment, "median") == pytest.approx(
+            expected
+        )
+
+    def test_means(self, deterministic_instance, tiny_metric):
+        assignment = {0: 1}
+        assert exact_assigned_cost(deterministic_instance, assignment, "means") == pytest.approx(
+            tiny_metric.distance(0, 1) ** 2
+        )
+
+    def test_center_pp_is_max(self, deterministic_instance, tiny_metric):
+        assignment = {0: 1, 6: 0}
+        expected = max(tiny_metric.distance(0, 1), tiny_metric.distance(6, 0))
+        assert exact_assigned_cost(deterministic_instance, assignment, "center") == pytest.approx(
+            expected
+        )
+
+    def test_empty_assignment(self, deterministic_instance):
+        assert exact_assigned_cost(deterministic_instance, {}, "median") == 0.0
+
+    def test_out_of_range_node_rejected(self, deterministic_instance):
+        with pytest.raises(ValueError):
+            exact_assigned_cost(deterministic_instance, {99: 0}, "median")
+
+    def test_uncertain_node_expectation(self, tiny_metric):
+        node = UncertainNode(support=np.asarray([0, 6]), probabilities=np.asarray([0.5, 0.5]))
+        inst = UncertainInstance(ground_metric=tiny_metric, nodes=[node])
+        expected = 0.5 * tiny_metric.distance(0, 3) + 0.5 * tiny_metric.distance(6, 3)
+        assert exact_assigned_cost(inst, {0: 3}, "median") == pytest.approx(expected)
+
+
+class TestSampleRealizations:
+    def test_shape_and_range(self, small_uncertain_workload, rng):
+        inst = small_uncertain_workload.instance
+        reals = sample_realizations(inst, 25, rng)
+        assert reals.shape == (25, inst.n_nodes)
+        for j in range(inst.n_nodes):
+            assert set(np.unique(reals[:, j])) <= set(inst.nodes[j].support.tolist())
+
+    def test_invalid_count(self, small_uncertain_workload):
+        with pytest.raises(ValueError):
+            sample_realizations(small_uncertain_workload.instance, 0)
+
+
+class TestCenterGEstimate:
+    def test_deterministic_equals_max_distance(self, deterministic_instance, tiny_metric):
+        assignment = {0: 1, 6: 0}
+        expected = max(tiny_metric.distance(0, 1), tiny_metric.distance(6, 0))
+        est = estimate_center_g_cost(deterministic_instance, assignment, n_samples=10, rng=0)
+        assert est == pytest.approx(expected)
+
+    def test_empty_assignment(self, deterministic_instance):
+        assert estimate_center_g_cost(deterministic_instance, {}, n_samples=5, rng=0) == 0.0
+
+    def test_center_g_at_least_center_pp(self, small_uncertain_workload):
+        # E[max] >= max E by Jensen; check on the sampled estimate with slack.
+        inst = small_uncertain_workload.instance
+        anchors = {j: int(inst.nodes[j].support[0]) for j in range(0, inst.n_nodes, 3)}
+        pp = exact_assigned_cost(inst, anchors, "center")
+        g = estimate_center_g_cost(inst, anchors, n_samples=300, rng=1)
+        assert g >= pp - 0.15 * pp
+
+    def test_paired_realizations(self, small_uncertain_workload):
+        inst = small_uncertain_workload.instance
+        reals = sample_realizations(inst, 50, rng=3)
+        assignment = {j: int(inst.nodes[j].support[0]) for j in range(inst.n_nodes)}
+        a = estimate_center_g_cost(inst, assignment, realizations=reals)
+        b = estimate_center_g_cost(inst, assignment, realizations=reals)
+        assert a == pytest.approx(b)
+
+    def test_wrong_realization_width_rejected(self, small_uncertain_workload):
+        inst = small_uncertain_workload.instance
+        with pytest.raises(ValueError):
+            estimate_center_g_cost(inst, {0: 0}, realizations=np.zeros((5, 3), dtype=int))
