@@ -16,8 +16,8 @@ from repro.data import gaussian_mixture_with_outliers, uncertain_nodes_from_mixt
 
 
 def pytest_configure(config):
-    # Benchmarks live outside the default testpaths; make their purpose clear
-    # in the header when run interactively.
+    # Benchmarks are part of the default testpaths (pyproject.toml) and run
+    # with the regular suite; deselect with `pytest tests` when iterating.
     config.addinivalue_line("markers", "paper_experiment(id): maps a benchmark to a paper table/figure")
 
 

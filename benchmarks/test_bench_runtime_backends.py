@@ -1,0 +1,104 @@
+"""Runtime backends — wall-clock scaling of site-local computation.
+
+The coordinator model is embarrassingly parallel across sites: site time is
+``Õ(n_i^2)`` per round and every site is independent, so with ``w`` workers
+the per-round site phase should drop from ``sum_i n_i^2`` towards
+``max_i n_i^2``.  This benchmark runs Algorithm 1 on one large multi-site
+instance under every execution backend and reports wall-clock, verifying
+that results (centers, cost, ledger words) are identical along the way.
+
+On a multi-core machine the parallel backends must beat serial wall-clock;
+on a single-core container there is nothing to parallelise onto, so the
+speedup assertion is skipped there (the parity assertions always run).
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.harness import record_rows
+from repro.core import distributed_partial_median
+from repro.data import gaussian_mixture_with_outliers
+from repro.distributed import DistributedInstance, partition_balanced
+from repro.runtime import resolve_backend
+
+BACKENDS = ["serial", "thread", "process"]
+
+
+@pytest.fixture(scope="module")
+def runtime_instance():
+    """A large multi-site instance: 8 sites x ~400 points each.
+
+    Site-local preclustering is quadratic in ``n_i``, so this is big enough
+    for the per-site work to dwarf the runtime's dispatch overhead.
+    """
+    workload = gaussian_mixture_with_outliers(
+        n_inliers=3120, n_outliers=80, n_clusters=5, dim=2,
+        separation=16.0, cluster_std=1.0, rng=20170609,
+    )
+    metric = workload.to_metric()
+    shards = partition_balanced(workload.n_points, 8, rng=3)
+    return DistributedInstance.from_partition(metric, shards, 4, 80, "median")
+
+
+def _run(instance, backend):
+    return distributed_partial_median(instance, epsilon=0.5, rng=11, backend=backend)
+
+
+@pytest.mark.paper_experiment("runtime-backends")
+def test_runtime_backend_speedup(benchmark, runtime_instance):
+    """Parallel site execution beats serial wall-clock at large n, s (given cores)."""
+    n_cores = os.cpu_count() or 1
+    results = {}
+    walls = {}
+    for name in BACKENDS:
+        backend = resolve_backend(name)
+        try:
+            if name != "serial":
+                # Warm the pool so worker startup is not billed to the protocol.
+                backend.map_ordered(abs, [0] * backend.max_workers)
+            start = time.perf_counter()
+            results[name] = _run(runtime_instance, backend)
+            walls[name] = time.perf_counter() - start
+        finally:
+            backend.close()
+
+    # Re-run serial under the benchmark fixture for the recorded timing.
+    benchmark.pedantic(_run, args=(runtime_instance, "serial"), rounds=1, iterations=1)
+
+    base = results["serial"]
+    rows = []
+    for name in BACKENDS:
+        result = results[name]
+        np.testing.assert_array_equal(base.centers, result.centers)
+        assert base.cost == result.cost
+        assert base.ledger.total_words() == result.ledger.total_words()
+        rows.append(
+            {
+                "backend": name,
+                "wall_s": walls[name],
+                "speedup_vs_serial": walls["serial"] / walls[name],
+                "site_time_sum_s": sum(result.site_time.values()),
+                "cost": result.cost,
+                "total_words": result.total_words,
+            }
+        )
+    rows.append({"backend": f"(cores={n_cores})", "wall_s": "", "speedup_vs_serial": "",
+                 "site_time_sum_s": "", "cost": "", "total_words": ""})
+    record_rows(
+        benchmark, "runtime-backends", rows,
+        title="Execution backends: identical results, wall-clock scaling",
+    )
+
+    if n_cores < 2:
+        pytest.skip(f"only {n_cores} core available; speedup needs real parallelism")
+    best_parallel = min(walls["thread"], walls["process"])
+    if os.environ.get("REPRO_RELAXED_SPEEDUP") and best_parallel >= walls["serial"]:
+        # Shared CI runners have noisy neighbours and few real cores; there
+        # the speedup is reported but not enforced.
+        pytest.skip(f"relaxed mode: no speedup observed on {n_cores} cores: {walls}")
+    assert best_parallel < walls["serial"], (
+        f"expected a parallel backend to beat serial on {n_cores} cores: {walls}"
+    )

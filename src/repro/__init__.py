@@ -21,6 +21,7 @@ lives in the subpackages:
 ``repro.core``          the paper's algorithms (Algorithm 1-4, Theorem 3.8/3.10)
 ``repro.sequential``    single-machine partial-clustering solvers
 ``repro.distributed``   coordinator-model simulator and communication accounting
+``repro.runtime``       pluggable execution backends for site-local computation
 ``repro.uncertain``     uncertain nodes, 1-median collapse, compressed graphs
 ``repro.baselines``     1-round / send-all / centralized-reference baselines
 ``repro.data``          synthetic workload generators

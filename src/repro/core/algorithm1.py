@@ -19,6 +19,10 @@ Round 2 (coordinator -> sites -> coordinator)
     The coordinator solves the induced weighted ``(k, (1+eps)t)`` problem
     (Theorem 3.1 interface) over everything it received and outputs the
     centers, which are original input points.
+
+Both per-site phases are expressed as :class:`repro.runtime.SiteTask`s, so
+the whole protocol runs unchanged — and bit-identically — on any
+:mod:`repro.runtime` execution backend.
 """
 
 from __future__ import annotations
@@ -35,7 +39,55 @@ from repro.distributed.instance import DistributedInstance
 from repro.distributed.network import StarNetwork
 from repro.distributed.result import DistributedResult
 from repro.metrics.cost_matrix import build_cost_matrix, validate_objective
+from repro.runtime.backends import BackendLike, backend_scope
+from repro.runtime.tasks import SiteTask, run_site_tasks
+from repro.runtime.transport import TransportLike, resolve_transport
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
+
+
+def _round1_task(ctx, k, t, objective, rho, local_center_factor, local_kwargs):
+    """Site phase of round 1: solve the local grid and ship the cost profile."""
+    with ctx.timer.measure("precluster"):
+        local_indices = np.arange(ctx.n_points)
+        local_costs = build_cost_matrix(ctx.local_metric, local_indices, local_indices, objective)
+        local_k = min(local_center_factor * k, ctx.n_points)
+        precluster = precluster_site(
+            local_costs,
+            local_k,
+            t,
+            objective=objective,
+            rho=rho,
+            rng=ctx.rng,
+            **local_kwargs,
+        )
+    ctx.state["precluster"] = precluster
+    ctx.state["local_k"] = local_k
+    ctx.send_to_coordinator("cost_profile", precluster.profile, words=precluster.profile.words)
+
+
+def _round2_task(ctx, objective, words_per_point, local_kwargs):
+    """Site phase of round 2: snap the allocation and ship the local solution."""
+    t_i = int(ctx.messages("allocation")[0].payload["t_i"])
+    with ctx.timer.measure("round2"):
+        precluster = ctx.state["precluster"]
+        profile = precluster.profile
+        # The exceptional site's allocation may fall inside a hull segment
+        # (an interpolated value); snap up to the next actually solved grid
+        # point (Algorithm 1, line 13).  Other sites' allocations are hull
+        # vertices by Lemma 3.4, but snapping is a no-op there and guards
+        # against floating-point ties.
+        t_used = int(round(profile.snap_up_to_vertex(t_i)))
+        t_used = min(t_used, ctx.n_points)
+        solution = precluster.solution_for(
+            t_used, ctx.state["local_k"], objective, rng=ctx.rng, **local_kwargs
+        )
+        summary = summarize_local_solution(ctx, solution)
+    ctx.state["t_i"] = t_used
+    ctx.state["local_solution"] = solution
+    ctx.send_to_coordinator(
+        "local_solution", summary, words=summary.transmitted_words(words_per_point)
+    )
+    return summary
 
 
 def distributed_partial_median(
@@ -49,6 +101,8 @@ def distributed_partial_median(
     local_solver_kwargs: Optional[dict] = None,
     coordinator_solver_kwargs: Optional[dict] = None,
     realize: bool = True,
+    backend: BackendLike = None,
+    transport: TransportLike = None,
 ) -> DistributedResult:
     """Run Algorithm 1 on a distributed instance.
 
@@ -78,6 +132,14 @@ def distributed_partial_median(
         Extra keyword arguments for the site-local and coordinator solvers.
     realize:
         Also produce a full per-point assignment (output step, uncharged).
+    backend:
+        Execution backend for the per-site phases: ``None``/``"serial"``
+        (default), ``"thread"``, ``"process"`` or an
+        :class:`~repro.runtime.backends.ExecutionBackend` instance.  Results
+        are bit-identical across backends for a fixed seed.
+    transport:
+        :class:`~repro.runtime.transport.TransportPolicy` (or name) applied
+        to payloads crossing the site/coordinator boundary.
     """
     objective = validate_objective(instance.objective)
     if objective == "center":
@@ -98,77 +160,71 @@ def distributed_partial_median(
     site_rngs = spawn_rngs(generator, network.n_sites)
     coord_rng = ensure_rng(generator)
     local_kwargs = dict(local_solver_kwargs or {})
+    policy = resolve_transport(transport)
 
-    # ------------------------------------------------------------------
-    # Round 1: local cost profiles.
-    # ------------------------------------------------------------------
-    network.next_round()
-    for site, site_rng in zip(network.sites, site_rngs):
-        with site.timer.measure("precluster"):
-            local_indices = np.arange(site.n_points)
-            local_costs = build_cost_matrix(site.local_metric, local_indices, local_indices, objective)
-            local_k = min(local_center_factor * k, site.n_points)
-            precluster = precluster_site(
-                local_costs,
-                local_k,
-                t,
-                objective=objective,
-                rho=rho,
-                rng=site_rng,
-                **local_kwargs,
-            )
-        site.state["precluster"] = precluster
-        site.state["local_k"] = local_k
-        network.send_to_coordinator(
-            site.site_id, "cost_profile", precluster.profile, words=precluster.profile.words
+    with backend_scope(backend) as exec_backend:
+        # --------------------------------------------------------------
+        # Round 1: local cost profiles.
+        # --------------------------------------------------------------
+        network.next_round()
+        round1 = run_site_tasks(
+            network,
+            [
+                SiteTask(
+                    i,
+                    _round1_task,
+                    args=(k, t, objective, rho, local_center_factor, local_kwargs),
+                    rng=site_rngs[i],
+                )
+                for i in range(network.n_sites)
+            ],
+            backend=exec_backend,
+            transport=policy,
         )
+        site_rngs = [r.rng for r in round1]
 
-    # Coordinator: allocate the outlier budget.
-    with network.coordinator.timer.measure("allocation"):
-        profiles = [
-            network.coordinator.messages_from(i, "cost_profile")[0].payload
+        # Coordinator: allocate the outlier budget.
+        with network.coordinator.timer.measure("allocation"):
+            profiles = [
+                network.coordinator.messages_from(i, "cost_profile")[0].payload
+                for i in range(network.n_sites)
+            ]
+            budget = int(math.floor(rho * t))
+            allocation = allocate_outlier_budget([p.marginals() for p in profiles], budget)
+
+        # --------------------------------------------------------------
+        # Round 2: allocations out, local solutions back, final solve.
+        # --------------------------------------------------------------
+        network.next_round()
+        for site in network.sites:
+            t_i = int(allocation.t_allocated[site.site_id])
+            is_exceptional = allocation.exceptional_site == site.site_id
+            network.send_to_site(
+                site.site_id,
+                "allocation",
+                {"t_i": t_i, "threshold": allocation.threshold, "exceptional": is_exceptional},
+                words=3,
+            )
+        run_site_tasks(
+            network,
+            [
+                SiteTask(
+                    i,
+                    _round2_task,
+                    args=(objective, words_per_point, local_kwargs),
+                    rng=site_rngs[i],
+                )
+                for i in range(network.n_sites)
+            ],
+            backend=exec_backend,
+            transport=policy,
+        )
+        # Combine from the coordinator's inbox (not the task return values) so
+        # the transport policy's materialisation is what actually gets solved.
+        summaries = [
+            network.coordinator.messages_from(i, "local_solution")[0].payload
             for i in range(network.n_sites)
         ]
-        budget = int(math.floor(rho * t))
-        allocation = allocate_outlier_budget([p.marginals() for p in profiles], budget)
-
-    # ------------------------------------------------------------------
-    # Round 2: allocations out, local solutions back, final solve.
-    # ------------------------------------------------------------------
-    network.next_round()
-    summaries = []
-    for site, site_rng in zip(network.sites, site_rngs):
-        t_i = int(allocation.t_allocated[site.site_id])
-        is_exceptional = allocation.exceptional_site == site.site_id
-        network.send_to_site(
-            site.site_id,
-            "allocation",
-            {"t_i": t_i, "threshold": allocation.threshold, "exceptional": is_exceptional},
-            words=3,
-        )
-        with site.timer.measure("round2"):
-            precluster = site.state["precluster"]
-            profile = precluster.profile
-            # The exceptional site's allocation may fall inside a hull segment
-            # (an interpolated value); snap up to the next actually solved grid
-            # point (Algorithm 1, line 13).  Other sites' allocations are hull
-            # vertices by Lemma 3.4, but snapping is a no-op there and guards
-            # against floating-point ties.
-            t_used = int(round(profile.snap_up_to_vertex(t_i)))
-            t_used = min(t_used, site.n_points)
-            solution = precluster.solution_for(
-                t_used, site.state["local_k"], objective, rng=site_rng, **local_kwargs
-            )
-            summary = summarize_local_solution(site, solution)
-        site.state["t_i"] = t_used
-        site.state["local_solution"] = solution
-        summaries.append(summary)
-        network.send_to_coordinator(
-            site.site_id,
-            "local_solution",
-            summary,
-            words=summary.transmitted_words(words_per_point),
-        )
 
     with network.coordinator.timer.measure("final_solve"):
         combine = combine_preclusters(

@@ -15,6 +15,10 @@ can be removed entirely:
 Total communication ``Õ(s/delta + s k B)`` over 2 rounds; the output excludes
 at most ``(2 + epsilon + delta) t`` points (the ignored points of the
 preclustering are gone for good, hence the extra ``+1``).
+
+Per-site phases run as :class:`repro.runtime.SiteTask`s on any execution
+backend; round 1 is shared with Algorithm 1 (the grid ratio is the only
+difference).
 """
 
 from __future__ import annotations
@@ -24,13 +28,16 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.algorithm1 import _round1_task
 from repro.core.allocation import allocate_outlier_budget
 from repro.core.combine import combine_preclusters, summarize_local_solution
-from repro.core.preclustering import precluster_site
 from repro.distributed.instance import DistributedInstance
 from repro.distributed.network import StarNetwork
 from repro.distributed.result import DistributedResult
-from repro.metrics.cost_matrix import build_cost_matrix, validate_objective
+from repro.metrics.cost_matrix import validate_objective
+from repro.runtime.backends import BackendLike, backend_scope
+from repro.runtime.tasks import SiteTask, run_site_tasks
+from repro.runtime.transport import TransportLike, resolve_transport
 from repro.sequential.assignment import assign_with_outliers
 from repro.sequential.solution import ClusterSolution
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
@@ -58,6 +65,38 @@ def combine_two_solutions(
     return assign_with_outliers(cost_matrix, centers, t_i, objective=objective)
 
 
+def _round2_no_shipping_task(ctx, objective, words_per_point, local_kwargs):
+    """Site phase of round 2: centers and counts only, never the outliers."""
+    message = ctx.messages("allocation")[0].payload
+    t_i = int(message["t_i"])
+    is_exceptional = bool(message["exceptional"])
+    with ctx.timer.measure("round2"):
+        precluster = ctx.state["precluster"]
+        profile = precluster.profile
+        local_k = ctx.state["local_k"]
+        if is_exceptional and not profile.is_vertex(t_i):
+            # Lemma 3.7 combination of the bracketing hull-vertex solutions.
+            t_low, t_high = profile.bracketing_vertices(t_i)
+            sol_low = precluster.solution_for(int(t_low), local_k, objective, rng=ctx.rng, **local_kwargs)
+            sol_high = precluster.solution_for(int(t_high), local_k, objective, rng=ctx.rng, **local_kwargs)
+            solution = combine_two_solutions(
+                precluster.cost_matrix, sol_low, sol_high, t_i, objective
+            )
+            ctx.state["combined_4k"] = True
+        else:
+            t_vertex = int(round(profile.snap_down_to_vertex(t_i)))
+            solution = precluster.solution_for(t_vertex, local_k, objective, rng=ctx.rng, **local_kwargs)
+            ctx.state["combined_4k"] = False
+        summary = summarize_local_solution(ctx, solution, ship_outliers=False)
+    ctx.state["t_i"] = t_i
+    ctx.state["local_solution"] = solution
+    # Centers (B words each), counts (1 word each) and the scalar t_i.
+    ctx.send_to_coordinator(
+        "local_solution", summary, words=summary.transmitted_words(words_per_point) + 1
+    )
+    return summary
+
+
 def distributed_partial_median_no_shipping(
     instance: DistributedInstance,
     *,
@@ -67,6 +106,8 @@ def distributed_partial_median_no_shipping(
     rng: RngLike = None,
     local_solver_kwargs: Optional[dict] = None,
     coordinator_solver_kwargs: Optional[dict] = None,
+    backend: BackendLike = None,
+    transport: TransportLike = None,
 ) -> DistributedResult:
     """Run the Theorem 3.8 variant (no outlier points are ever transmitted).
 
@@ -80,6 +121,9 @@ def distributed_partial_median_no_shipping(
         Grid ratio parameter (``rho = 1 + delta``); smaller ``delta`` means a
         finer grid (more local solves, more profile words) but a smaller
         excess outlier budget.
+    backend, transport:
+        Execution backend and transport policy for the per-site phases (see
+        :mod:`repro.runtime`); the result is backend-invariant.
     """
     objective = validate_objective(instance.objective)
     if objective == "center":
@@ -95,71 +139,64 @@ def distributed_partial_median_no_shipping(
     generator = ensure_rng(rng)
     site_rngs = spawn_rngs(generator, network.n_sites)
     local_kwargs = dict(local_solver_kwargs or {})
+    policy = resolve_transport(transport)
 
-    # Round 1: profiles on the finer grid.
-    network.next_round()
-    for site, site_rng in zip(network.sites, site_rngs):
-        with site.timer.measure("precluster"):
-            local_indices = np.arange(site.n_points)
-            local_costs = build_cost_matrix(site.local_metric, local_indices, local_indices, objective)
-            local_k = min(local_center_factor * k, site.n_points)
-            precluster = precluster_site(
-                local_costs, local_k, t, objective=objective, rho=rho, rng=site_rng, **local_kwargs
-            )
-        site.state["precluster"] = precluster
-        site.state["local_k"] = local_k
-        network.send_to_coordinator(
-            site.site_id, "cost_profile", precluster.profile, words=precluster.profile.words
+    with backend_scope(backend) as exec_backend:
+        # Round 1: profiles on the finer grid.
+        network.next_round()
+        round1 = run_site_tasks(
+            network,
+            [
+                SiteTask(
+                    i,
+                    _round1_task,
+                    args=(k, t, objective, rho, local_center_factor, local_kwargs),
+                    rng=site_rngs[i],
+                )
+                for i in range(network.n_sites)
+            ],
+            backend=exec_backend,
+            transport=policy,
         )
+        site_rngs = [r.rng for r in round1]
 
-    with network.coordinator.timer.measure("allocation"):
-        profiles = [
-            network.coordinator.messages_from(i, "cost_profile")[0].payload
+        with network.coordinator.timer.measure("allocation"):
+            profiles = [
+                network.coordinator.messages_from(i, "cost_profile")[0].payload
+                for i in range(network.n_sites)
+            ]
+            budget = int(math.floor(rho * t))
+            allocation = allocate_outlier_budget([p.marginals() for p in profiles], budget)
+
+        # Round 2: centers and counts only.
+        network.next_round()
+        for site in network.sites:
+            t_i = int(allocation.t_allocated[site.site_id])
+            is_exceptional = allocation.exceptional_site == site.site_id
+            network.send_to_site(
+                site.site_id,
+                "allocation",
+                {"t_i": t_i, "threshold": allocation.threshold, "exceptional": is_exceptional},
+                words=3,
+            )
+        run_site_tasks(
+            network,
+            [
+                SiteTask(
+                    i,
+                    _round2_no_shipping_task,
+                    args=(objective, words_per_point, local_kwargs),
+                    rng=site_rngs[i],
+                )
+                for i in range(network.n_sites)
+            ],
+            backend=exec_backend,
+            transport=policy,
+        )
+        summaries = [
+            network.coordinator.messages_from(i, "local_solution")[0].payload
             for i in range(network.n_sites)
         ]
-        budget = int(math.floor(rho * t))
-        allocation = allocate_outlier_budget([p.marginals() for p in profiles], budget)
-
-    # Round 2: centers and counts only.
-    network.next_round()
-    summaries = []
-    for site, site_rng in zip(network.sites, site_rngs):
-        t_i = int(allocation.t_allocated[site.site_id])
-        is_exceptional = allocation.exceptional_site == site.site_id
-        network.send_to_site(
-            site.site_id,
-            "allocation",
-            {"t_i": t_i, "threshold": allocation.threshold, "exceptional": is_exceptional},
-            words=3,
-        )
-        with site.timer.measure("round2"):
-            precluster = site.state["precluster"]
-            profile = precluster.profile
-            local_k = site.state["local_k"]
-            if is_exceptional and not profile.is_vertex(t_i):
-                # Lemma 3.7 combination of the bracketing hull-vertex solutions.
-                t_low, t_high = profile.bracketing_vertices(t_i)
-                sol_low = precluster.solution_for(int(t_low), local_k, objective, rng=site_rng, **local_kwargs)
-                sol_high = precluster.solution_for(int(t_high), local_k, objective, rng=site_rng, **local_kwargs)
-                solution = combine_two_solutions(
-                    precluster.cost_matrix, sol_low, sol_high, t_i, objective
-                )
-                site.state["combined_4k"] = True
-            else:
-                t_vertex = int(round(profile.snap_down_to_vertex(t_i)))
-                solution = precluster.solution_for(t_vertex, local_k, objective, rng=site_rng, **local_kwargs)
-                site.state["combined_4k"] = False
-            summary = summarize_local_solution(site, solution, ship_outliers=False)
-        site.state["t_i"] = t_i
-        site.state["local_solution"] = solution
-        summaries.append(summary)
-        # Centers (B words each), counts (1 word each) and the scalar t_i.
-        network.send_to_coordinator(
-            site.site_id,
-            "local_solution",
-            summary,
-            words=summary.transmitted_words(words_per_point) + 1,
-        )
 
     with network.coordinator.timer.measure("final_solve"):
         combine = combine_preclusters(

@@ -17,6 +17,9 @@ Round 2
     to each (total ``Õ((sk + t) B)`` words).  The coordinator finishes with a
     weighted ``(k, t)``-center-with-outliers solve (Charikar et al.) over the
     union, excluding exactly ``t`` units of weight (Theorem 4.3).
+
+Both per-site phases are :class:`repro.runtime.SiteTask`s and run
+bit-identically on any :mod:`repro.runtime` execution backend.
 """
 
 from __future__ import annotations
@@ -32,6 +35,9 @@ from repro.core.preclustering import precluster_site_center
 from repro.distributed.instance import DistributedInstance
 from repro.distributed.network import StarNetwork
 from repro.distributed.result import DistributedResult
+from repro.runtime.backends import BackendLike, backend_scope
+from repro.runtime.tasks import SiteTask, run_site_tasks
+from repro.runtime.transport import TransportLike, resolve_transport
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 
 
@@ -69,6 +75,27 @@ def _center_summary(site, traversal, k: int, t_i: int) -> PreclusterSummary:
     )
 
 
+def _round1_center_task(ctx, k, t, rho):
+    """Site phase of round 1: Gonzalez traversal and witness curve."""
+    with ctx.timer.measure("precluster"):
+        precluster = precluster_site_center(ctx.local_metric, k, t, rho=rho, rng=ctx.rng)
+    ctx.state["precluster"] = precluster
+    ctx.send_to_coordinator("witness_curve", precluster, words=precluster.transmitted_words())
+
+
+def _round2_center_task(ctx, k, words_per_point):
+    """Site phase of round 2: ship the first ``k + t_i`` traversal points."""
+    t_i = int(ctx.messages("allocation")[0].payload["t_i"])
+    with ctx.timer.measure("round2"):
+        precluster = ctx.state["precluster"]
+        summary = _center_summary(ctx, precluster.traversal, k, t_i)
+    ctx.state["t_i"] = t_i
+    ctx.send_to_coordinator(
+        "local_solution", summary, words=summary.transmitted_words(words_per_point)
+    )
+    return summary
+
+
 def distributed_partial_center(
     instance: DistributedInstance,
     *,
@@ -76,6 +103,8 @@ def distributed_partial_center(
     rng: RngLike = None,
     coordinator_solver_kwargs: Optional[dict] = None,
     realize: bool = True,
+    backend: BackendLike = None,
+    transport: TransportLike = None,
 ) -> DistributedResult:
     """Run Algorithm 2 on a distributed instance with the center objective.
 
@@ -93,6 +122,9 @@ def distributed_partial_center(
         :func:`repro.sequential.kcenter_outliers.kcenter_with_outliers`.
     realize:
         Also produce a full per-point assignment (output step, uncharged).
+    backend, transport:
+        Execution backend and transport policy for the per-site phases (see
+        :mod:`repro.runtime`); the result is backend-invariant.
     """
     if instance.objective != "center":
         raise ValueError("distributed_partial_center requires a center-objective instance")
@@ -105,55 +137,58 @@ def distributed_partial_center(
     network = StarNetwork(instance)
     generator = ensure_rng(rng)
     site_rngs = spawn_rngs(generator, network.n_sites)
+    policy = resolve_transport(transport)
 
-    # ------------------------------------------------------------------
-    # Round 1: Gonzalez traversals and witness curves.
-    # ------------------------------------------------------------------
-    network.next_round()
-    for site, site_rng in zip(network.sites, site_rngs):
-        with site.timer.measure("precluster"):
-            precluster = precluster_site_center(site.local_metric, k, t, rho=rho, rng=site_rng)
-        site.state["precluster"] = precluster
-        network.send_to_coordinator(
-            site.site_id,
-            "witness_curve",
-            precluster,
-            words=precluster.transmitted_words(),
+    with backend_scope(backend) as exec_backend:
+        # --------------------------------------------------------------
+        # Round 1: Gonzalez traversals and witness curves.
+        # --------------------------------------------------------------
+        network.next_round()
+        round1 = run_site_tasks(
+            network,
+            [
+                SiteTask(i, _round1_center_task, args=(k, t, rho), rng=site_rngs[i])
+                for i in range(network.n_sites)
+            ],
+            backend=exec_backend,
+            transport=policy,
         )
+        site_rngs = [r.rng for r in round1]
 
-    with network.coordinator.timer.measure("allocation"):
-        witness_curves = [
-            network.coordinator.messages_from(i, "witness_curve")[0].payload
+        with network.coordinator.timer.measure("allocation"):
+            witness_curves = [
+                network.coordinator.messages_from(i, "witness_curve")[0].payload
+                for i in range(network.n_sites)
+            ]
+            budget = int(math.floor(rho * t))
+            marginals = [curve.marginals_from_grid(t) for curve in witness_curves]
+            allocation = allocate_outlier_budget(marginals, budget)
+
+        # --------------------------------------------------------------
+        # Round 2: allocations out, weighted candidate sets back, final solve.
+        # --------------------------------------------------------------
+        network.next_round()
+        for site in network.sites:
+            t_i = int(allocation.t_allocated[site.site_id])
+            network.send_to_site(
+                site.site_id,
+                "allocation",
+                {"t_i": t_i, "threshold": allocation.threshold},
+                words=2,
+            )
+        run_site_tasks(
+            network,
+            [
+                SiteTask(i, _round2_center_task, args=(k, words_per_point), rng=site_rngs[i])
+                for i in range(network.n_sites)
+            ],
+            backend=exec_backend,
+            transport=policy,
+        )
+        summaries = [
+            network.coordinator.messages_from(i, "local_solution")[0].payload
             for i in range(network.n_sites)
         ]
-        budget = int(math.floor(rho * t))
-        marginals = [curve.marginals_from_grid(t) for curve in witness_curves]
-        allocation = allocate_outlier_budget(marginals, budget)
-
-    # ------------------------------------------------------------------
-    # Round 2: allocations out, weighted candidate sets back, final solve.
-    # ------------------------------------------------------------------
-    network.next_round()
-    summaries = []
-    for site in network.sites:
-        t_i = int(allocation.t_allocated[site.site_id])
-        network.send_to_site(
-            site.site_id,
-            "allocation",
-            {"t_i": t_i, "threshold": allocation.threshold},
-            words=2,
-        )
-        with site.timer.measure("round2"):
-            precluster = site.state["precluster"]
-            summary = _center_summary(site, precluster.traversal, k, t_i)
-        site.state["t_i"] = t_i
-        summaries.append(summary)
-        network.send_to_coordinator(
-            site.site_id,
-            "local_solution",
-            summary,
-            words=summary.transmitted_words(words_per_point),
-        )
 
     with network.coordinator.timer.measure("final_solve"):
         combine = combine_preclusters(

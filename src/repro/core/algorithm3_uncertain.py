@@ -11,6 +11,11 @@ runs unchanged on the compressed instance.  Whenever a node would be shipped
 (a local outlier), the site sends its anchor ``y_j`` and collapse cost
 instead of the full distribution, keeping the communication at
 ``Õ((sk + t) B)`` rather than ``Õ((sk + t) I)`` (Theorem 5.6).
+
+Site-local phases (collapse + preclustering, and the round-2 summary build)
+run through :func:`repro.runtime.run_tasks`, so they fan out to any
+execution backend; the coordinator merges per-site contributions in site-id
+order, keeping results and ledger word counts backend-invariant.
 """
 
 from __future__ import annotations
@@ -25,6 +30,8 @@ from repro.core.preclustering import precluster_site
 from repro.distributed.instance import UncertainDistributedInstance
 from repro.distributed.messages import CommunicationLedger, Message, COORDINATOR
 from repro.distributed.result import DistributedResult
+from repro.runtime.backends import BackendLike, backend_scope
+from repro.runtime.tasks import run_tasks
 from repro.sequential.bicriteria import bicriteria_solve
 from repro.sequential.kcenter_outliers import kcenter_with_outliers
 from repro.uncertain.collapse import collapse_nodes
@@ -47,6 +54,92 @@ def _local_compressed_costs(
     return base + collapse[:, None]
 
 
+def _uncertain_round1(payload: dict) -> dict:
+    """Site phase of round 1: collapse the shard and precluster its compressed graph."""
+    uncertain = payload["uncertain"]
+    shard = payload["shard"]
+    objective = payload["objective"]
+    rng = payload["rng"]
+    ground = uncertain.ground_metric
+    timer = Timer()
+    with timer.measure("collapse"):
+        nodes = [uncertain.nodes[int(j)] for j in shard]
+        anchors, collapse = collapse_nodes(nodes, ground, objective)
+    with timer.measure("precluster"):
+        costs = _local_compressed_costs(anchors, collapse, ground, objective)
+        local_k = min(payload["local_center_factor"] * payload["k"], shard.size)
+        precluster = precluster_site(
+            costs, local_k, payload["t"],
+            objective="means" if objective == "means" else "median",
+            rho=payload["rho"], rng=rng, **payload["local_kwargs"],
+        )
+    return {
+        "state": {
+            "shard": shard,
+            "anchors": anchors,
+            "collapse": collapse,
+            "precluster": precluster,
+            "local_k": local_k,
+        },
+        "timer": timer,
+        "rng": rng,
+    }
+
+
+def _uncertain_round2(payload: dict) -> dict:
+    """Site phase of round 2: local solve at the allocation, summary demands out."""
+    state = payload["state"]
+    objective = payload["objective"]
+    t_i = payload["t_i"]
+    B = payload["B"]
+    rng = payload["rng"]
+    site_id = payload["site_id"]
+    timer = Timer()
+    demand_anchor: List[int] = []
+    demand_offset: List[float] = []
+    demand_weight: List[float] = []
+    demand_origin: List[tuple] = []
+    with timer.measure("round2"):
+        precluster = state["precluster"]
+        t_used = int(round(precluster.profile.snap_up_to_vertex(t_i)))
+        t_used = min(t_used, state["shard"].size)
+        solution = precluster.solution_for(
+            t_used, state["local_k"], "means" if objective == "means" else "median",
+            rng=rng, **payload["local_kwargs"],
+        )
+        state["t_i"] = t_used
+        state["solution"] = solution
+
+        # Local centers: facility index -> the anchor ground point; weight
+        # = number of nodes attached.
+        center_weights = solution.center_weights()
+        words = 0.0
+        for c_local, weight in sorted(center_weights.items()):
+            anchor_point = int(state["anchors"][int(c_local)])
+            demand_anchor.append(anchor_point)
+            demand_offset.append(0.0)
+            demand_weight.append(float(weight))
+            demand_origin.append((site_id, "center", int(c_local)))
+            words += B + 1  # the point plus its count
+        # Local outliers: ship (y_j, l_j) per node (Algorithm 3, line 4).
+        for j_local in solution.outlier_indices:
+            demand_anchor.append(int(state["anchors"][int(j_local)]))
+            demand_offset.append(float(state["collapse"][int(j_local)]))
+            demand_weight.append(1.0)
+            demand_origin.append((site_id, "outlier", int(j_local)))
+            words += B + 1
+    return {
+        "state": state,
+        "timer": timer,
+        "rng": rng,
+        "words": words,
+        "demand_anchor": demand_anchor,
+        "demand_offset": demand_offset,
+        "demand_weight": demand_weight,
+        "demand_origin": demand_origin,
+    }
+
+
 def distributed_uncertain_clustering(
     instance: UncertainDistributedInstance,
     *,
@@ -56,6 +149,7 @@ def distributed_uncertain_clustering(
     rng: RngLike = None,
     local_solver_kwargs: Optional[dict] = None,
     coordinator_solver_kwargs: Optional[dict] = None,
+    backend: BackendLike = None,
 ) -> DistributedResult:
     """Distributed uncertain ``(k, (1+eps)t)``-median/means/center-pp (Theorem 5.6).
 
@@ -67,6 +161,9 @@ def distributed_uncertain_clustering(
         (interpreted as center-pp).
     epsilon, rho, local_center_factor:
         As in :func:`repro.core.algorithm1.distributed_partial_median`.
+    backend:
+        Execution backend for the per-site phases (see
+        :mod:`repro.runtime`); the result is backend-invariant.
 
     Returns
     -------
@@ -94,77 +191,79 @@ def distributed_uncertain_clustering(
     site_timers = [Timer() for _ in range(s)]
     coord_timer = Timer()
 
-    # ------------------------------------------------------------------
-    # Round 1: collapse + compressed-graph preclustering profiles.
-    # ------------------------------------------------------------------
-    site_state: List[dict] = []
-    profiles = []
-    for i in range(s):
-        shard = instance.shard(i)
-        with site_timers[i].measure("collapse"):
-            nodes = [uncertain.nodes[int(j)] for j in shard]
-            anchors, collapse = collapse_nodes(nodes, ground, objective)
-        with site_timers[i].measure("precluster"):
-            costs = _local_compressed_costs(anchors, collapse, ground, objective)
-            local_k = min(local_center_factor * k, shard.size)
-            precluster = precluster_site(
-                costs, local_k, t, objective="means" if objective == "means" else "median",
-                rho=rho, rng=site_rngs[i], **local_kwargs,
+    with backend_scope(backend) as exec_backend:
+        # --------------------------------------------------------------
+        # Round 1: collapse + compressed-graph preclustering profiles.
+        # --------------------------------------------------------------
+        round1 = run_tasks(
+            _uncertain_round1,
+            [
+                {
+                    "uncertain": uncertain,
+                    "shard": instance.shard(i),
+                    "objective": objective,
+                    "k": k,
+                    "t": t,
+                    "rho": rho,
+                    "local_center_factor": local_center_factor,
+                    "local_kwargs": local_kwargs,
+                    "rng": site_rngs[i],
+                }
+                for i in range(s)
+            ],
+            backend=exec_backend,
+        )
+        site_state: List[dict] = []
+        profiles = []
+        for i, out in enumerate(round1):
+            site_state.append(out["state"])
+            site_timers[i].merge(out["timer"])
+            site_rngs[i] = out["rng"]
+            profile = out["state"]["precluster"].profile
+            profiles.append(profile)
+            ledger.record(Message(i, COORDINATOR, 1, "cost_profile", profile.words, profile))
+
+        with coord_timer.measure("allocation"):
+            budget = int(math.floor(rho * t))
+            allocation = allocate_outlier_budget([p.marginals() for p in profiles], budget)
+
+        # --------------------------------------------------------------
+        # Round 2: allocations out; centers, counts and collapsed outliers back.
+        # --------------------------------------------------------------
+        for i in range(s):
+            ledger.record(
+                Message(COORDINATOR, i, 2, "allocation", 3, {"t_i": int(allocation.t_allocated[i])})
             )
-        site_state.append(
-            {"shard": shard, "anchors": anchors, "collapse": collapse, "precluster": precluster, "local_k": local_k}
-        )
-        profiles.append(precluster.profile)
-        ledger.record(
-            Message(i, COORDINATOR, 1, "cost_profile", precluster.profile.words, precluster.profile)
+        round2 = run_tasks(
+            _uncertain_round2,
+            [
+                {
+                    "site_id": i,
+                    "state": site_state[i],
+                    "objective": objective,
+                    "t_i": int(allocation.t_allocated[i]),
+                    "B": B,
+                    "local_kwargs": local_kwargs,
+                    "rng": site_rngs[i],
+                }
+                for i in range(s)
+            ],
+            backend=exec_backend,
         )
 
-    with coord_timer.measure("allocation"):
-        budget = int(math.floor(rho * t))
-        allocation = allocate_outlier_budget([p.marginals() for p in profiles], budget)
-
-    # ------------------------------------------------------------------
-    # Round 2: allocations out; centers, counts and collapsed outliers back.
-    # ------------------------------------------------------------------
     demand_anchor: List[int] = []      # ground point each coordinator demand sits at
     demand_offset: List[float] = []    # additive collapse offset of the demand
     demand_weight: List[float] = []
     demand_origin: List[tuple] = []    # (site, kind, payload) for mapping back
-
-    for i in range(s):
-        state = site_state[i]
-        t_i = int(allocation.t_allocated[i])
-        ledger.record(Message(COORDINATOR, i, 2, "allocation", 3, {"t_i": t_i}))
-        with site_timers[i].measure("round2"):
-            precluster = state["precluster"]
-            t_used = int(round(precluster.profile.snap_up_to_vertex(t_i)))
-            t_used = min(t_used, state["shard"].size)
-            solution = precluster.solution_for(
-                t_used, state["local_k"], "means" if objective == "means" else "median",
-                rng=site_rngs[i], **local_kwargs,
-            )
-            state["t_i"] = t_used
-            state["solution"] = solution
-
-            # Local centers: facility index -> the anchor ground point; weight
-            # = number of nodes attached.
-            center_weights = solution.center_weights()
-            words = 0.0
-            for c_local, weight in sorted(center_weights.items()):
-                anchor_point = int(state["anchors"][int(c_local)])
-                demand_anchor.append(anchor_point)
-                demand_offset.append(0.0)
-                demand_weight.append(float(weight))
-                demand_origin.append((i, "center", int(c_local)))
-                words += B + 1  # the point plus its count
-            # Local outliers: ship (y_j, l_j) per node (Algorithm 3, line 4).
-            for j_local in solution.outlier_indices:
-                demand_anchor.append(int(state["anchors"][int(j_local)]))
-                demand_offset.append(float(state["collapse"][int(j_local)]))
-                demand_weight.append(1.0)
-                demand_origin.append((i, "outlier", int(j_local)))
-                words += B + 1
-        ledger.record(Message(i, COORDINATOR, 2, "local_solution", words, None))
+    for i, out in enumerate(round2):
+        site_state[i] = out["state"]
+        site_timers[i].merge(out["timer"])
+        site_rngs[i] = out["rng"]
+        demand_anchor.extend(out["demand_anchor"])
+        demand_offset.extend(out["demand_offset"])
+        demand_weight.extend(out["demand_weight"])
+        demand_origin.extend(out["demand_origin"])
+        ledger.record(Message(i, COORDINATOR, 2, "local_solution", out["words"], None))
 
     # ------------------------------------------------------------------
     # Coordinator: weighted clustering on the received compressed summary.

@@ -26,12 +26,13 @@ from repro.distributed.partition import (
 )
 from repro.distributed.result import DistributedResult
 from repro.metrics.euclidean import EuclideanMetric
+from repro.runtime.backends import BackendLike
 from repro.uncertain.instance import UncertainInstance
 from repro.utils.rng import RngLike, ensure_rng
 
 _PARTITIONERS = {
     "balanced": partition_balanced,
-    "round_robin": lambda n, s, rng=None: partition_round_robin(n, s),
+    "round_robin": partition_round_robin,
     "dirichlet": partition_dirichlet,
 }
 
@@ -47,7 +48,7 @@ def _make_partition(n: int, n_sites: int, partition, rng) -> list:
             raise ValueError(
                 f"unknown partition {partition!r}; choose from {sorted(_PARTITIONERS)}"
             ) from exc
-        return maker(n, n_sites, rng=rng) if partition != "round_robin" else maker(n, n_sites)
+        return maker(n, n_sites, rng=rng)
     # Explicit shards were supplied.
     return [np.asarray(p, dtype=int) for p in partition]
 
@@ -76,6 +77,7 @@ def partial_kmedian(
     rho: float = 2.0,
     partition: Union[str, Sequence, callable] = "balanced",
     seed: RngLike = None,
+    backend: BackendLike = "serial",
     **kwargs,
 ) -> DistributedResult:
     """Distributed ``(k, (1+eps)t)``-median over a Euclidean point cloud.
@@ -95,12 +97,20 @@ def partial_kmedian(
         explicit list of index arrays, or a callable ``(n, s, rng) -> shards``.
     seed:
         Seed or generator for reproducibility.
+    backend:
+        Execution backend for site-local computation: ``"serial"``
+        (default), ``"thread"``, ``"process"`` or an
+        :class:`~repro.runtime.backends.ExecutionBackend` instance.  The
+        result is bit-identical across backends for a fixed seed.
     kwargs:
-        Forwarded to :func:`repro.core.algorithm1.distributed_partial_median`.
+        Forwarded to :func:`repro.core.algorithm1.distributed_partial_median`
+        (e.g. ``transport=`` for a runtime transport policy).
     """
     generator = ensure_rng(seed)
     instance = _deterministic_instance(points, k, t, n_sites, "median", partition, generator)
-    return distributed_partial_median(instance, epsilon=epsilon, rho=rho, rng=generator, **kwargs)
+    return distributed_partial_median(
+        instance, epsilon=epsilon, rho=rho, rng=generator, backend=backend, **kwargs
+    )
 
 
 def partial_kmeans(
@@ -113,6 +123,7 @@ def partial_kmeans(
     rho: float = 2.0,
     partition: Union[str, Sequence, callable] = "balanced",
     seed: RngLike = None,
+    backend: BackendLike = "serial",
     **kwargs,
 ) -> DistributedResult:
     """Distributed ``(k, (1+eps)t)``-means over a Euclidean point cloud.
@@ -122,7 +133,9 @@ def partial_kmeans(
     """
     generator = ensure_rng(seed)
     instance = _deterministic_instance(points, k, t, n_sites, "means", partition, generator)
-    return distributed_partial_median(instance, epsilon=epsilon, rho=rho, rng=generator, **kwargs)
+    return distributed_partial_median(
+        instance, epsilon=epsilon, rho=rho, rng=generator, backend=backend, **kwargs
+    )
 
 
 def partial_kcenter(
@@ -134,12 +147,13 @@ def partial_kcenter(
     rho: float = 2.0,
     partition: Union[str, Sequence, callable] = "balanced",
     seed: RngLike = None,
+    backend: BackendLike = "serial",
     **kwargs,
 ) -> DistributedResult:
     """Distributed ``(k, t)``-center over a Euclidean point cloud (Algorithm 2)."""
     generator = ensure_rng(seed)
     instance = _deterministic_instance(points, k, t, n_sites, "center", partition, generator)
-    return distributed_partial_center(instance, rho=rho, rng=generator, **kwargs)
+    return distributed_partial_center(instance, rho=rho, rng=generator, backend=backend, **kwargs)
 
 
 def _node_partition(n_nodes: int, n_sites: int, partition, rng) -> list:
@@ -157,6 +171,7 @@ def uncertain_partial_kmedian(
     rho: float = 2.0,
     partition: Union[str, Sequence, callable] = "balanced",
     seed: RngLike = None,
+    backend: BackendLike = "serial",
     **kwargs,
 ) -> DistributedResult:
     """Distributed uncertain ``(k, (1+eps)t)``-median/means/center-pp (Algorithm 3).
@@ -167,12 +182,14 @@ def uncertain_partial_kmedian(
         The uncertain input (ground metric + node distributions).
     objective:
         ``"median"`` (default), ``"means"`` or ``"center"`` (center-pp).
+    backend:
+        Execution backend for site-local computation (see :func:`partial_kmedian`).
     """
     generator = ensure_rng(seed)
     shards = _node_partition(instance.n_nodes, n_sites, partition, generator)
     dist_instance = UncertainDistributedInstance.from_partition(instance, shards, k, t, objective)
     return distributed_uncertain_clustering(
-        dist_instance, epsilon=epsilon, rho=rho, rng=generator, **kwargs
+        dist_instance, epsilon=epsilon, rho=rho, rng=generator, backend=backend, **kwargs
     )
 
 
@@ -186,6 +203,7 @@ def uncertain_partial_kcenter_g(
     rho: float = 2.0,
     partition: Union[str, Sequence, callable] = "balanced",
     seed: RngLike = None,
+    backend: BackendLike = "serial",
     **kwargs,
 ) -> DistributedResult:
     """Distributed uncertain ``(k, (1+eps)t)``-center-g (Algorithm 4)."""
@@ -193,7 +211,7 @@ def uncertain_partial_kcenter_g(
     shards = _node_partition(instance.n_nodes, n_sites, partition, generator)
     dist_instance = UncertainDistributedInstance.from_partition(instance, shards, k, t, "center-g")
     return distributed_uncertain_center_g(
-        dist_instance, epsilon=epsilon, rho=rho, rng=generator, **kwargs
+        dist_instance, epsilon=epsilon, rho=rho, rng=generator, backend=backend, **kwargs
     )
 
 

@@ -17,6 +17,12 @@ at most ``12 tau_hat`` (Lemma 5.10).  The sites then ship their
 distribution (``I`` words each) — and the coordinator finishes with a
 weighted ``(k, (1+eps)t)``-center solve.  Total communication
 ``Õ(s k B + t I + s log Delta)`` over 2 rounds (Theorem 5.14).
+
+The three site-local phases (distance extremes, per-``tau`` preclustering
+sweep, ``tau_hat`` summary build) run through
+:func:`repro.runtime.run_tasks` and fan out to any execution backend; the
+per-``tau`` sweep dominates local time, so it is also where parallel
+backends pay off most.
 """
 
 from __future__ import annotations
@@ -31,6 +37,8 @@ from repro.core.preclustering import precluster_site
 from repro.distributed.instance import UncertainDistributedInstance
 from repro.distributed.messages import COORDINATOR, CommunicationLedger, Message
 from repro.distributed.result import DistributedResult
+from repro.runtime.backends import BackendLike, backend_scope
+from repro.runtime.tasks import run_tasks
 from repro.sequential.kcenter_outliers import kcenter_with_outliers
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 from repro.utils.timing import Timer
@@ -50,6 +58,105 @@ def truncation_grid(d_min: float, d_max: float, base: float = 2.0, extra_steps: 
     return (d_min / 18.0) * base ** np.arange(n_steps + 1)
 
 
+def _extremes_task(payload: dict) -> dict:
+    """Site phase of round 1a: local distance extremes (O(1) words per site)."""
+    uncertain = payload["uncertain"]
+    shard = payload["shard"]
+    timer = Timer()
+    support = uncertain.support_union(shard)
+    with timer.measure("extremes"):
+        block = uncertain.ground_metric.pairwise(support, support)
+        positive = block[block > 0]
+        d_min_i = float(positive.min()) if positive.size else 0.0
+        d_max_i = float(block.max()) if block.size else 0.0
+    return {"timer": timer, "extremes": (d_min_i, d_max_i)}
+
+
+def _tau_sweep_task(payload: dict) -> dict:
+    """Site phase of round 1b: precluster the shard under every truncation radius."""
+    uncertain = payload["uncertain"]
+    shard = payload["shard"]
+    taus = payload["taus"]
+    rng = payload["rng"]
+    timer = Timer()
+    support = uncertain.support_union(shard)
+    preclusters: Dict[float, object] = {}
+    with timer.measure("precluster"):
+        for tau in taus:
+            costs = uncertain.expected_cost_matrix(shard, support, tau=6.0 * float(tau))
+            local_k = min(payload["local_center_factor"] * payload["k"], shard.size)
+            preclusters[float(tau)] = precluster_site(
+                costs, local_k, payload["t"], objective="median", rho=payload["rho"],
+                rng=rng, **payload["local_kwargs"],
+            )
+    words = float(sum(p.profile.words for p in preclusters.values()))
+    return {
+        "state": {"shard": shard, "support": support, "preclusters": preclusters, "local_k": local_k},
+        "timer": timer,
+        "rng": rng,
+        "words": words,
+        "profiles": {float(tau): p.profile for tau, p in preclusters.items()},
+    }
+
+
+def _center_g_round2(payload: dict) -> dict:
+    """Site phase of round 2: ship the ``tau_hat`` precluster (outlier nodes in full)."""
+    uncertain = payload["uncertain"]
+    state = payload["state"]
+    tau_hat = payload["tau_hat"]
+    t_i = payload["t_i"]
+    B = payload["B"]
+    node_words = payload["node_words"]
+    rng = payload["rng"]
+    site_id = payload["site_id"]
+    timer = Timer()
+    demand_anchor: List[int] = []
+    demand_node: List[Optional[int]] = []
+    demand_weight: List[float] = []
+    demand_origin: List[tuple] = []
+    facility_candidates: List[np.ndarray] = []
+    with timer.measure("round2"):
+        precluster = state["preclusters"][tau_hat]
+        t_used = int(round(precluster.profile.snap_up_to_vertex(t_i)))
+        t_used = min(t_used, state["shard"].size)
+        solution = precluster.solution_for(
+            t_used, state["local_k"], "median", rng=rng, **payload["local_kwargs"]
+        )
+        state["t_i"] = t_used
+        state["solution"] = solution
+        words = 0.0
+        center_weights = solution.center_weights()
+        support = state["support"]
+        for c_local, weight in sorted(center_weights.items()):
+            point = int(support[int(c_local)])
+            demand_anchor.append(point)
+            demand_node.append(None)
+            demand_weight.append(float(weight))
+            demand_origin.append((site_id, "center", int(c_local)))
+            facility_candidates.append(np.asarray([point]))
+            words += B + 1
+        for j_local in solution.outlier_indices:
+            node_global = int(state["shard"][int(j_local)])
+            node = uncertain.nodes[node_global]
+            demand_anchor.append(-1)
+            demand_node.append(node_global)
+            demand_weight.append(1.0)
+            demand_origin.append((site_id, "outlier", int(j_local)))
+            facility_candidates.append(node.support)
+            words += node_words
+    return {
+        "state": state,
+        "timer": timer,
+        "rng": rng,
+        "words": words,
+        "demand_anchor": demand_anchor,
+        "demand_node": demand_node,
+        "demand_weight": demand_weight,
+        "demand_origin": demand_origin,
+        "facility_candidates": facility_candidates,
+    }
+
+
 def distributed_uncertain_center_g(
     instance: UncertainDistributedInstance,
     *,
@@ -61,6 +168,7 @@ def distributed_uncertain_center_g(
     rng: RngLike = None,
     local_solver_kwargs: Optional[dict] = None,
     coordinator_solver_kwargs: Optional[dict] = None,
+    backend: BackendLike = None,
 ) -> DistributedResult:
     """Distributed uncertain ``(k, (1+eps)t)``-center-g (Theorem 5.14).
 
@@ -78,6 +186,9 @@ def distributed_uncertain_center_g(
     cost_budget_factor:
         The constant in the stopping rule ``sum_i Csol <= factor * tau``
         (``12`` in Lemma 5.10).
+    backend:
+        Execution backend for the per-site phases (see
+        :mod:`repro.runtime`); the result is backend-invariant.
     """
     if epsilon <= 0 or rho <= 1:
         raise ValueError("epsilon must be positive and rho > 1")
@@ -94,109 +205,114 @@ def distributed_uncertain_center_g(
     site_timers = [Timer() for _ in range(s)]
     coord_timer = Timer()
 
-    # ------------------------------------------------------------------
-    # Round 1a: every party reports its local distance extremes (O(s) words).
-    # ------------------------------------------------------------------
-    local_extremes = []
-    for i in range(s):
-        shard = instance.shard(i)
-        support = uncertain.support_union(shard)
-        with site_timers[i].measure("extremes"):
-            block = ground.pairwise(support, support)
-            positive = block[block > 0]
-            d_min_i = float(positive.min()) if positive.size else 0.0
-            d_max_i = float(block.max()) if block.size else 0.0
-        local_extremes.append((d_min_i, d_max_i))
-        ledger.record(Message(i, COORDINATOR, 1, "extremes", 2, (d_min_i, d_max_i)))
-    d_min = min(e[0] for e in local_extremes if e[0] > 0)
-    d_max = max(e[1] for e in local_extremes)
-    taus = truncation_grid(d_min, d_max, base=tau_base)
+    with backend_scope(backend) as exec_backend:
+        # --------------------------------------------------------------
+        # Round 1a: every party reports its local distance extremes (O(s) words).
+        # --------------------------------------------------------------
+        extremes_out = run_tasks(
+            _extremes_task,
+            [{"uncertain": uncertain, "shard": instance.shard(i)} for i in range(s)],
+            backend=exec_backend,
+        )
+        local_extremes = []
+        for i, out in enumerate(extremes_out):
+            site_timers[i].merge(out["timer"])
+            local_extremes.append(out["extremes"])
+            ledger.record(Message(i, COORDINATOR, 1, "extremes", 2, out["extremes"]))
+        d_min = min(e[0] for e in local_extremes if e[0] > 0)
+        d_max = max(e[1] for e in local_extremes)
+        taus = truncation_grid(d_min, d_max, base=tau_base)
 
-    # ------------------------------------------------------------------
-    # Round 1b: per-tau compressed preclustering profiles.
-    # ------------------------------------------------------------------
-    site_state: List[dict] = []
-    for i in range(s):
-        shard = instance.shard(i)
-        support = uncertain.support_union(shard)
-        preclusters: Dict[float, object] = {}
-        with site_timers[i].measure("precluster"):
+        # --------------------------------------------------------------
+        # Round 1b: per-tau compressed preclustering profiles.
+        # --------------------------------------------------------------
+        sweep_out = run_tasks(
+            _tau_sweep_task,
+            [
+                {
+                    "uncertain": uncertain,
+                    "shard": instance.shard(i),
+                    "taus": taus,
+                    "k": k,
+                    "t": t,
+                    "rho": rho,
+                    "local_center_factor": local_center_factor,
+                    "local_kwargs": local_kwargs,
+                    "rng": site_rngs[i],
+                }
+                for i in range(s)
+            ],
+            backend=exec_backend,
+        )
+        site_state: List[dict] = []
+        for i, out in enumerate(sweep_out):
+            site_state.append(out["state"])
+            site_timers[i].merge(out["timer"])
+            site_rngs[i] = out["rng"]
+            ledger.record(Message(i, COORDINATOR, 1, "tau_profiles", out["words"], out["profiles"]))
+
+        # Coordinator: parametric search for tau_hat (Algorithm 4, line 6).
+        with coord_timer.measure("tau_search"):
+            budget = int(math.floor(rho * t))
+            tau_hat = float(taus[-1])
+            allocation_hat = None
             for tau in taus:
-                costs = uncertain.expected_cost_matrix(shard, support, tau=6.0 * float(tau))
-                local_k = min(local_center_factor * k, shard.size)
-                preclusters[float(tau)] = precluster_site(
-                    costs, local_k, t, objective="median", rho=rho,
-                    rng=site_rngs[i], **local_kwargs,
+                profiles = [site_state[i]["preclusters"][float(tau)].profile for i in range(s)]
+                allocation = allocate_outlier_budget([p.marginals() for p in profiles], budget)
+                total_cost = float(
+                    sum(profiles[i](int(allocation.t_allocated[i])) for i in range(s))
                 )
-        site_state.append({"shard": shard, "support": support, "preclusters": preclusters, "local_k": local_k})
-        words = float(sum(p.profile.words for p in preclusters.values()))
-        ledger.record(Message(i, COORDINATOR, 1, "tau_profiles", words,
-                              {float(tau): p.profile for tau, p in preclusters.items()}))
+                if total_cost <= cost_budget_factor * float(tau):
+                    tau_hat = float(tau)
+                    allocation_hat = allocation
+                    break
+            if allocation_hat is None:
+                profiles = [site_state[i]["preclusters"][float(taus[-1])].profile for i in range(s)]
+                allocation_hat = allocate_outlier_budget([p.marginals() for p in profiles], budget)
 
-    # Coordinator: parametric search for tau_hat (Algorithm 4, line 6).
-    with coord_timer.measure("tau_search"):
-        budget = int(math.floor(rho * t))
-        tau_hat = float(taus[-1])
-        allocation_hat = None
-        for tau in taus:
-            profiles = [site_state[i]["preclusters"][float(tau)].profile for i in range(s)]
-            allocation = allocate_outlier_budget([p.marginals() for p in profiles], budget)
-            total_cost = float(
-                sum(profiles[i](int(allocation.t_allocated[i])) for i in range(s))
+        # --------------------------------------------------------------
+        # Round 2: tau_hat + allocations out; preclusters (with full outlier
+        # node distributions) back.
+        # --------------------------------------------------------------
+        for i in range(s):
+            ledger.record(
+                Message(COORDINATOR, i, 2, "allocation", 2,
+                        {"tau": tau_hat, "t_i": int(allocation_hat.t_allocated[i])})
             )
-            if total_cost <= cost_budget_factor * float(tau):
-                tau_hat = float(tau)
-                allocation_hat = allocation
-                break
-        if allocation_hat is None:
-            profiles = [site_state[i]["preclusters"][float(taus[-1])].profile for i in range(s)]
-            allocation_hat = allocate_outlier_budget([p.marginals() for p in profiles], budget)
+        round2 = run_tasks(
+            _center_g_round2,
+            [
+                {
+                    "uncertain": uncertain,
+                    "site_id": i,
+                    "state": site_state[i],
+                    "tau_hat": tau_hat,
+                    "t_i": int(allocation_hat.t_allocated[i]),
+                    "B": B,
+                    "node_words": instance.node_words(),
+                    "local_kwargs": local_kwargs,
+                    "rng": site_rngs[i],
+                }
+                for i in range(s)
+            ],
+            backend=exec_backend,
+        )
 
-    # ------------------------------------------------------------------
-    # Round 2: tau_hat + allocations out; preclusters (with full outlier
-    # node distributions) back.
-    # ------------------------------------------------------------------
     demand_anchor: List[int] = []
     demand_node: List[Optional[int]] = []   # global node id when the demand is a shipped node
     demand_weight: List[float] = []
     demand_origin: List[tuple] = []
     facility_candidates: List[np.ndarray] = []
-
-    for i in range(s):
-        state = site_state[i]
-        t_i = int(allocation_hat.t_allocated[i])
-        ledger.record(Message(COORDINATOR, i, 2, "allocation", 2, {"tau": tau_hat, "t_i": t_i}))
-        with site_timers[i].measure("round2"):
-            precluster = state["preclusters"][tau_hat]
-            t_used = int(round(precluster.profile.snap_up_to_vertex(t_i)))
-            t_used = min(t_used, state["shard"].size)
-            solution = precluster.solution_for(
-                t_used, state["local_k"], "median", rng=site_rngs[i], **local_kwargs
-            )
-            state["t_i"] = t_used
-            state["solution"] = solution
-            words = 0.0
-            center_weights = solution.center_weights()
-            support = state["support"]
-            for c_local, weight in sorted(center_weights.items()):
-                point = int(support[int(c_local)])
-                demand_anchor.append(point)
-                demand_node.append(None)
-                demand_weight.append(float(weight))
-                demand_origin.append((i, "center", int(c_local)))
-                facility_candidates.append(np.asarray([point]))
-                words += B + 1
-            node_words = instance.node_words()
-            for j_local in solution.outlier_indices:
-                node_global = int(state["shard"][int(j_local)])
-                node = uncertain.nodes[node_global]
-                demand_anchor.append(-1)
-                demand_node.append(node_global)
-                demand_weight.append(1.0)
-                demand_origin.append((i, "outlier", int(j_local)))
-                facility_candidates.append(node.support)
-                words += node_words
-        ledger.record(Message(i, COORDINATOR, 2, "local_solution", words, None))
+    for i, out in enumerate(round2):
+        site_state[i] = out["state"]
+        site_timers[i].merge(out["timer"])
+        site_rngs[i] = out["rng"]
+        demand_anchor.extend(out["demand_anchor"])
+        demand_node.extend(out["demand_node"])
+        demand_weight.extend(out["demand_weight"])
+        demand_origin.extend(out["demand_origin"])
+        facility_candidates.extend(out["facility_candidates"])
+        ledger.record(Message(i, COORDINATOR, 2, "local_solution", out["words"], None))
 
     # ------------------------------------------------------------------
     # Coordinator: weighted (k, (1+eps)t)-center over what it received.

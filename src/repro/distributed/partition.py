@@ -37,8 +37,12 @@ def partition_balanced(n: int, s: int, rng: RngLike = None) -> List[np.ndarray]:
     return [np.sort(part) for part in np.array_split(perm, s)]
 
 
-def partition_round_robin(n: int, s: int) -> List[np.ndarray]:
-    """Deterministic partition: point ``i`` goes to site ``i mod s``."""
+def partition_round_robin(n: int, s: int, rng: RngLike = None) -> List[np.ndarray]:
+    """Deterministic partition: point ``i`` goes to site ``i mod s``.
+
+    ``rng`` is accepted (and ignored) so every named partitioner shares the
+    ``(n, s, rng)`` signature the high-level drivers call with.
+    """
     _validate(n, s)
     return [np.arange(n)[i::s] for i in range(s)]
 

@@ -1,0 +1,86 @@
+"""Pluggable parallel execution backends for site-local computation.
+
+The coordinator model is embarrassingly parallel across sites: in every
+round each site computes its summary (preclustering profile, Gonzalez
+traversal, aggregated distances) independently, and only the coordinator
+steps synchronise.  This subsystem separates *what* a site computes from
+*where* it runs:
+
+* :mod:`repro.runtime.backends` — the execution strategies.
+  :class:`SerialBackend` (the reference loop), :class:`ThreadPoolBackend`
+  (shared memory, GIL-releasing numpy kernels run concurrently) and
+  :class:`ProcessPoolBackend` (true parallelism; everything crosses the
+  boundary through pickle).
+* :mod:`repro.runtime.transport` — :class:`TransportPolicy` controls how
+  payloads are materialised between parties.  :class:`PickleTransport`
+  gives the in-process backends the same honest message materialisation
+  the process backend gets for free, and counts the actual bytes a real
+  wire would carry (word accounting stays semantic and backend-invariant).
+* :mod:`repro.runtime.tasks` — :class:`SiteTask` / :class:`SiteContext` and
+  the scheduler :func:`run_site_tasks`, which fans a round's site tasks out
+  to a backend, joins deterministically in site order, and merges state,
+  timers, RNG streams and ledger charges back into the
+  :class:`~repro.distributed.network.StarNetwork`.
+
+Every distributed protocol accepts ``backend=`` (``"serial"`` — the
+default — ``"thread"``, ``"process"``, or an
+:class:`~repro.runtime.backends.ExecutionBackend` instance) and is
+bit-identical across backends for a fixed seed: same centers, same cost,
+same ledger word counts.  Pass an instance to share one warm pool across
+many runs::
+
+    from repro import partial_kmedian
+    from repro.runtime import ProcessPoolBackend
+
+    with ProcessPoolBackend(max_workers=4) as pool:
+        for seed in range(10):
+            partial_kmedian(points, k=3, t=30, seed=seed, backend=pool)
+"""
+
+from repro.runtime.backends import (
+    BackendLike,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    backend_scope,
+    default_worker_count,
+    resolve_backend,
+)
+from repro.runtime.tasks import (
+    Outgoing,
+    SiteContext,
+    SiteTask,
+    SiteTaskResult,
+    run_site_tasks,
+    run_tasks,
+)
+from repro.runtime.transport import (
+    PickleTransport,
+    ReferenceTransport,
+    TransportLike,
+    TransportPolicy,
+    resolve_transport,
+)
+
+__all__ = [
+    "BackendLike",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "backend_scope",
+    "default_worker_count",
+    "resolve_backend",
+    "TransportLike",
+    "TransportPolicy",
+    "ReferenceTransport",
+    "PickleTransport",
+    "resolve_transport",
+    "Outgoing",
+    "SiteContext",
+    "SiteTask",
+    "SiteTaskResult",
+    "run_site_tasks",
+    "run_tasks",
+]

@@ -1,0 +1,191 @@
+"""Execution backends: where site-local computation actually runs.
+
+A backend is a strategy for evaluating a batch of independent callables —
+one per site — and returning their results in submission order.  Three
+are provided:
+
+``SerialBackend``
+    The reference implementation: a plain Python loop in the calling
+    process, in submission (site-id) order.  Zero overhead, always
+    available, and the behaviour every other backend must reproduce
+    bit-for-bit.
+
+``ThreadPoolBackend``
+    A :class:`concurrent.futures.ThreadPoolExecutor`.  Site tasks share the
+    interpreter, so speedup comes from numpy/BLAS kernels releasing the GIL
+    during distance and linear-algebra work; task payloads are shared by
+    reference (no serialisation).
+
+``ProcessPoolBackend``
+    A :class:`concurrent.futures.ProcessPoolExecutor`.  Every task and its
+    context crosses a process boundary through pickle, which makes the
+    backend honest about message materialisation: nothing reaches a worker
+    that could not have been transmitted.  True parallelism, at the price
+    of serialisation overhead — the right trade at large ``n_i``.
+
+Backends evaluate eagerly and join deterministically: results come back in
+the order tasks were submitted regardless of completion order, and the
+first failing task re-raises its original exception in the caller.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Union
+
+BackendLike = Union[None, str, "ExecutionBackend"]
+
+
+def default_worker_count() -> int:
+    """Default pool size: the machine's CPU count (at least 1)."""
+    return max(1, os.cpu_count() or 1)
+
+
+class ExecutionBackend(ABC):
+    """Strategy for running a batch of independent site-local callables."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def map_ordered(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        """Evaluate ``fn`` over ``items``, returning results in input order.
+
+        Implementations must propagate the first raised exception to the
+        caller (in input order, so failures are deterministic too).
+        """
+
+    def close(self) -> None:
+        """Release pooled workers, if any.  Safe to call more than once."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every task inline, one after the other (the reference semantics)."""
+
+    name = "serial"
+
+    def map_ordered(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        return [fn(item) for item in items]
+
+
+class _PooledBackend(ExecutionBackend):
+    """Shared plumbing for executor-based backends (lazy pool creation)."""
+
+    def __init__(self, max_workers: Optional[int] = None):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers or default_worker_count()
+        self._executor: Optional[Executor] = None
+
+    def _make_executor(self) -> Executor:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def map_ordered(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        items = list(items)
+        if not items:
+            return []
+        # Even a single task goes through the pool: the process backend's
+        # isolation/pickling guarantee must not silently vary with batch size.
+        if self._executor is None:
+            self._executor = self._make_executor()
+        futures = [self._executor.submit(fn, item) for item in items]
+        # Joining in submission order keeps both results and failures
+        # deterministic: the earliest-submitted failing task wins.
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(max_workers={self.max_workers})"
+
+
+class ThreadPoolBackend(_PooledBackend):
+    """Fan site tasks out to a shared-memory thread pool."""
+
+    name = "thread"
+
+    def _make_executor(self) -> Executor:
+        return ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="repro-site"
+        )
+
+
+class ProcessPoolBackend(_PooledBackend):
+    """Fan site tasks out to worker processes (tasks must be picklable)."""
+
+    name = "process"
+
+    def _make_executor(self) -> Executor:
+        return ProcessPoolExecutor(max_workers=self.max_workers)
+
+
+_BACKENDS = {
+    "serial": SerialBackend,
+    "thread": ThreadPoolBackend,
+    "process": ProcessPoolBackend,
+}
+
+
+def resolve_backend(backend: BackendLike) -> ExecutionBackend:
+    """Normalise a backend spec into an :class:`ExecutionBackend` instance.
+
+    Accepts ``None`` (serial), one of the names ``"serial"`` / ``"thread"``
+    / ``"process"``, or an existing backend instance (returned unchanged,
+    so pools can be shared across protocol runs).
+    """
+    if backend is None:
+        return SerialBackend()
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if isinstance(backend, str):
+        try:
+            return _BACKENDS[backend.lower()]()
+        except KeyError as exc:
+            raise ValueError(
+                f"unknown backend {backend!r}; choose from {sorted(_BACKENDS)}"
+            ) from exc
+    raise TypeError(f"backend must be None, a name or an ExecutionBackend, got {backend!r}")
+
+
+@contextmanager
+def backend_scope(backend: BackendLike) -> Iterator[ExecutionBackend]:
+    """Resolve a backend spec, closing the pool afterwards only if we made it.
+
+    A caller-supplied :class:`ExecutionBackend` instance is yielded as-is and
+    left open (the caller owns its lifetime and may be sharing the pool
+    across rounds or protocol runs); a ``None``/string spec is resolved to a
+    fresh backend that is closed on exit.
+    """
+    owned = not isinstance(backend, ExecutionBackend)
+    resolved = resolve_backend(backend)
+    try:
+        yield resolved
+    finally:
+        if owned:
+            resolved.close()
+
+
+__all__ = [
+    "BackendLike",
+    "backend_scope",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "default_worker_count",
+    "resolve_backend",
+]

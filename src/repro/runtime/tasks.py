@@ -1,0 +1,230 @@
+"""Site tasks: the unit of work a backend schedules.
+
+A protocol round is an embarrassingly parallel batch of *site tasks*: each
+task runs one site's share of the round against a :class:`SiteContext` — a
+self-contained, picklable view of that site (shard, local metric, mutable
+state, RNG stream, inbox) — and buffers its transmissions in an outbox
+instead of touching the shared :class:`~repro.distributed.network.StarNetwork`
+directly.  :func:`run_site_tasks` fans the batch out to an execution backend,
+joins the results in site order, and merges everything back into the
+network: state replaces state, per-task timers fold into the site timers,
+outboxes replay through the instrumented ledger, and the advanced RNG
+streams come back to the caller so the next round continues each site's
+stream exactly where it stopped.
+
+Because a task only ever sees its own context and results are merged in a
+fixed order, a protocol run is bit-identical across backends for a fixed
+seed: same centers, same costs, same ledger word counts.
+
+Task functions must be module-level callables (the process backend ships
+them to workers by pickling their qualified name).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.distributed.messages import Message
+from repro.runtime.backends import BackendLike, backend_scope
+from repro.runtime.transport import TransportLike, resolve_transport
+from repro.utils.timing import Timer
+
+
+@dataclass
+class Outgoing:
+    """One buffered site-to-coordinator transmission."""
+
+    kind: str
+    payload: Any
+    words: float
+
+
+class SiteContext:
+    """Everything a site task may touch — and nothing else.
+
+    The context mirrors the :class:`~repro.distributed.network.Site` interface
+    that protocol code relies on (``site_id``, ``shard``, ``local_metric``,
+    ``state``, ``to_global``) so per-site phase functions read the same
+    whether they run inline or in a worker.  Transmissions go through
+    :meth:`send_to_coordinator`, which buffers them for deterministic replay
+    into the ledger after the task joins.
+    """
+
+    def __init__(
+        self,
+        site_id: int,
+        shard: np.ndarray,
+        local_metric,
+        state: Dict[str, Any],
+        rng: Optional[np.random.Generator],
+        inbox: List[Message],
+    ):
+        self.site_id = int(site_id)
+        self.shard = shard
+        self.local_metric = local_metric
+        self.state = state
+        self.rng = rng
+        self.inbox = inbox
+        self.timer = Timer()
+        self.outbox: List[Outgoing] = []
+
+    @property
+    def n_points(self) -> int:
+        """Number of points held by the site."""
+        return int(self.shard.size)
+
+    def to_global(self, local_indices) -> np.ndarray:
+        """Map site-local indices to global point indices."""
+        return self.local_metric.to_parent(local_indices)
+
+    def messages(self, kind: Optional[str] = None) -> List[Message]:
+        """Messages delivered to this site this round (optionally of one kind)."""
+        return [m for m in self.inbox if kind is None or m.kind == kind]
+
+    def send_to_coordinator(self, kind: str, payload: Any, words: float) -> None:
+        """Buffer a transmission; it is charged when the task joins."""
+        self.outbox.append(Outgoing(kind=kind, payload=payload, words=float(words)))
+
+
+@dataclass
+class SiteTask:
+    """One site's share of a protocol round.
+
+    ``fn`` is called as ``fn(ctx, *args, **kwargs)`` with a
+    :class:`SiteContext`; its return value comes back as
+    :attr:`SiteTaskResult.value`.  ``rng`` is the site's RNG stream for the
+    round (spawn one per site with :func:`repro.utils.rng.spawn_rngs`).
+    """
+
+    site_id: int
+    fn: Callable[..., Any]
+    args: Tuple = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    rng: Optional[np.random.Generator] = None
+
+
+@dataclass
+class SiteTaskResult:
+    """What comes back from one site task after the join."""
+
+    site_id: int
+    value: Any
+    state: Dict[str, Any]
+    timer: Timer
+    rng: Optional[np.random.Generator]
+    outbox: List[Outgoing]
+
+
+def _execute_site_task(task_and_ctx: Tuple[SiteTask, SiteContext]) -> SiteTaskResult:
+    """Run one task against its context (in the caller or in a worker)."""
+    task, ctx = task_and_ctx
+    value = task.fn(ctx, *task.args, **task.kwargs)
+    return SiteTaskResult(
+        site_id=ctx.site_id,
+        value=value,
+        state=ctx.state,
+        timer=ctx.timer,
+        rng=ctx.rng,
+        outbox=ctx.outbox,
+    )
+
+
+def run_site_tasks(
+    network,
+    tasks: Sequence[SiteTask],
+    *,
+    backend: BackendLike = None,
+    transport: TransportLike = None,
+) -> List[SiteTaskResult]:
+    """Fan site tasks out to a backend and merge the results into the network.
+
+    Parameters
+    ----------
+    network:
+        The :class:`~repro.distributed.network.StarNetwork` being driven.
+        Inboxes of the addressed sites are drained into the task contexts;
+        after the join, site state, timers and buffered transmissions are
+        merged back in submission order.
+    tasks:
+        At most one :class:`SiteTask` per site.
+    backend:
+        ``None`` / ``"serial"`` / ``"thread"`` / ``"process"`` or an
+        :class:`~repro.runtime.backends.ExecutionBackend` instance.
+    transport:
+        ``None`` / ``"reference"`` / ``"pickle"`` or a
+        :class:`~repro.runtime.transport.TransportPolicy`; applied to inbox
+        payloads entering a task and outbox payloads leaving it.
+
+    Returns
+    -------
+    list of :class:`SiteTaskResult` in submission order.  Callers that
+    carry RNG streams across rounds must adopt ``result.rng`` (under the
+    process backend the stream advanced in the worker, not in the parent).
+    """
+    tasks = list(tasks)
+    seen = set()
+    for task in tasks:
+        if not (0 <= task.site_id < network.n_sites):
+            raise ValueError(f"task addresses unknown site id {task.site_id}")
+        if task.site_id in seen:
+            raise ValueError(f"multiple tasks address site {task.site_id}")
+        seen.add(task.site_id)
+
+    policy = resolve_transport(transport)
+
+    pairs: List[Tuple[SiteTask, SiteContext]] = []
+    for task in tasks:
+        site = network.sites[task.site_id]
+        inbox = [replace(m, payload=policy.roundtrip(m.payload)) for m in site.drain_inbox()]
+        ctx = SiteContext(
+            site_id=site.site_id,
+            shard=site.shard,
+            local_metric=site.local_metric,
+            state=site.state,
+            rng=task.rng,
+            inbox=inbox,
+        )
+        pairs.append((task, ctx))
+
+    with backend_scope(backend) as exec_backend:
+        results = exec_backend.map_ordered(_execute_site_task, pairs)
+
+    for result in results:
+        site = network.sites[result.site_id]
+        site.state = result.state
+        site.timer.merge(result.timer)
+        for out in result.outbox:
+            network.send_to_coordinator(
+                result.site_id, out.kind, policy.roundtrip(out.payload), out.words
+            )
+    return results
+
+
+def run_tasks(
+    fn: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    *,
+    backend: BackendLike = None,
+) -> List[Any]:
+    """Evaluate ``fn`` over independent payloads on a backend, in order.
+
+    The structure-free sibling of :func:`run_site_tasks`, used by protocols
+    that manage their own ledger and timers (the uncertain Algorithms 3 and
+    4).  ``fn`` must be a module-level callable and each payload picklable
+    for the process backend.
+    """
+    with backend_scope(backend) as exec_backend:
+        return exec_backend.map_ordered(fn, list(payloads))
+
+
+__all__ = [
+    "Outgoing",
+    "SiteContext",
+    "SiteTask",
+    "SiteTaskResult",
+    "run_site_tasks",
+    "run_tasks",
+]

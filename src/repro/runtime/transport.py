@@ -1,0 +1,129 @@
+"""Transport policies: how payloads are materialised between parties.
+
+The star-network simulator charges every message a semantic word count but
+delivers the payload object by reference.  That is the right accounting for
+the paper's claims — yet it lets an in-process backend accidentally share
+state a real network never could (a site mutating an object the coordinator
+also holds).  A :class:`TransportPolicy` closes that gap: it encodes and
+decodes payloads at the process boundary of :func:`repro.runtime.run_site_tasks`,
+so the serial and thread backends can opt into the same materialisation the
+process backend gets for free from pickle.
+
+Word accounting is *never* derived from the encoded size — the protocols
+compute ``words`` from what they semantically transmit, identically on all
+backends — but each policy keeps byte counters as a rough materialisation
+gauge.  Note the counters are an *upper bound* on real wire traffic: some
+simulator payloads carry uncharged side-channel data (e.g. the per-point
+``members`` lists a :class:`~repro.core.combine.PreclusterSummary` keeps for
+the free output-realization step), which pickle serialises along with the
+charged content.
+"""
+
+from __future__ import annotations
+
+import pickle
+from abc import ABC, abstractmethod
+from typing import Any, Union
+
+TransportLike = Union[None, str, "TransportPolicy"]
+
+
+class TransportPolicy(ABC):
+    """Strategy for materialising payloads that cross a party boundary."""
+
+    name: str = "abstract"
+
+    def __init__(self):
+        self.messages_encoded = 0
+        self.bytes_encoded = 0
+
+    @abstractmethod
+    def encode(self, payload: Any) -> Any:
+        """Turn a payload into its transmitted form."""
+
+    @abstractmethod
+    def decode(self, encoded: Any) -> Any:
+        """Recover a payload from its transmitted form."""
+
+    def roundtrip(self, payload: Any) -> Any:
+        """Encode then decode — what a receiving party actually observes."""
+        return self.decode(self.encode(payload))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class ReferenceTransport(TransportPolicy):
+    """Deliver payloads by reference (the simulator's historical behaviour)."""
+
+    name = "reference"
+
+    def encode(self, payload: Any) -> Any:
+        self.messages_encoded += 1
+        return payload
+
+    def decode(self, encoded: Any) -> Any:
+        return encoded
+
+
+class PickleTransport(TransportPolicy):
+    """Materialise every payload through :mod:`pickle`.
+
+    The receiving party observes a deep, independent copy — exactly what a
+    real network delivers — and the byte counters record the serialised size
+    of each payload (an upper bound on wire traffic; see the module
+    docstring).  numpy arrays ride through pickle protocol 5 as raw buffers.
+    """
+
+    name = "pickle"
+
+    def __init__(self, protocol: int = pickle.HIGHEST_PROTOCOL):
+        super().__init__()
+        self.protocol = protocol
+
+    def encode(self, payload: Any) -> bytes:
+        data = pickle.dumps(payload, protocol=self.protocol)
+        self.messages_encoded += 1
+        self.bytes_encoded += len(data)
+        return data
+
+    def decode(self, encoded: bytes) -> Any:
+        return pickle.loads(encoded)
+
+
+_TRANSPORTS = {
+    "reference": ReferenceTransport,
+    "pickle": PickleTransport,
+}
+
+
+def resolve_transport(transport: TransportLike) -> TransportPolicy:
+    """Normalise a transport spec into a :class:`TransportPolicy` instance.
+
+    Accepts ``None`` (reference delivery), ``"reference"`` / ``"pickle"``,
+    or an existing policy instance (returned unchanged so its byte counters
+    accumulate across rounds).
+    """
+    if transport is None:
+        return ReferenceTransport()
+    if isinstance(transport, TransportPolicy):
+        return transport
+    if isinstance(transport, str):
+        try:
+            return _TRANSPORTS[transport.lower()]()
+        except KeyError as exc:
+            raise ValueError(
+                f"unknown transport {transport!r}; choose from {sorted(_TRANSPORTS)}"
+            ) from exc
+    raise TypeError(
+        f"transport must be None, a name or a TransportPolicy, got {transport!r}"
+    )
+
+
+__all__ = [
+    "TransportLike",
+    "TransportPolicy",
+    "ReferenceTransport",
+    "PickleTransport",
+    "resolve_transport",
+]

@@ -1,0 +1,124 @@
+"""Tests for the execution backends."""
+
+import pytest
+
+from repro.runtime import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    backend_scope,
+    default_worker_count,
+    resolve_backend,
+)
+
+ALL_BACKENDS = ["serial", "thread", "process"]
+
+
+def _square(x):
+    return x * x
+
+
+def _explode(x):
+    raise ValueError(f"site task {x} failed on purpose")
+
+
+class TestResolveBackend:
+    def test_none_is_serial(self):
+        assert isinstance(resolve_backend(None), SerialBackend)
+
+    @pytest.mark.parametrize(
+        "name, cls",
+        [("serial", SerialBackend), ("thread", ThreadPoolBackend), ("process", ProcessPoolBackend)],
+    )
+    def test_names(self, name, cls):
+        backend = resolve_backend(name)
+        assert isinstance(backend, cls)
+        assert backend.name == name
+        backend.close()
+
+    def test_names_are_case_insensitive(self):
+        assert isinstance(resolve_backend("SERIAL"), SerialBackend)
+
+    def test_instance_passes_through(self):
+        backend = SerialBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("gpu")
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            resolve_backend(42)
+
+    def test_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            ThreadPoolBackend(max_workers=0)
+
+    def test_default_worker_count_positive(self):
+        assert default_worker_count() >= 1
+
+
+class TestMapOrdered:
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_results_in_submission_order(self, name):
+        with backend_scope(name) as backend:
+            assert backend.map_ordered(_square, list(range(10))) == [x * x for x in range(10)]
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_empty_batch(self, name):
+        with backend_scope(name) as backend:
+            assert backend.map_ordered(_square, []) == []
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_single_item(self, name):
+        with backend_scope(name) as backend:
+            assert backend.map_ordered(_square, [7]) == [49]
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_original_exception_surfaces(self, name):
+        with backend_scope(name) as backend:
+            with pytest.raises(ValueError, match="site task 3 failed on purpose"):
+                backend.map_ordered(_explode, [3, 4])
+
+    def test_pool_is_reused_across_batches(self):
+        backend = ThreadPoolBackend(max_workers=2)
+        try:
+            backend.map_ordered(_square, [1, 2, 3])
+            pool = backend._executor
+            backend.map_ordered(_square, [4, 5, 6])
+            assert backend._executor is pool
+        finally:
+            backend.close()
+        assert backend._executor is None
+
+    def test_close_is_idempotent(self):
+        backend = ThreadPoolBackend(max_workers=2)
+        backend.map_ordered(_square, [1, 2])
+        backend.close()
+        backend.close()
+
+
+class TestBackendScope:
+    def test_owned_backend_is_closed(self):
+        with backend_scope("thread") as backend:
+            backend.map_ordered(_square, [1, 2, 3])
+            assert backend._executor is not None
+        assert backend._executor is None
+
+    def test_caller_owned_backend_stays_open(self):
+        backend = ThreadPoolBackend(max_workers=2)
+        try:
+            with backend_scope(backend) as scoped:
+                assert scoped is backend
+                scoped.map_ordered(_square, [1, 2, 3])
+            assert backend._executor is not None  # still warm for the next round
+        finally:
+            backend.close()
+
+    def test_context_manager_protocol(self):
+        with ThreadPoolBackend(max_workers=2) as backend:
+            assert isinstance(backend, ExecutionBackend)
+            backend.map_ordered(_square, [1, 2])
+        assert backend._executor is None

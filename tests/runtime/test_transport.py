@@ -1,0 +1,67 @@
+"""Tests for the transport policies."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    PickleTransport,
+    ReferenceTransport,
+    resolve_transport,
+)
+
+
+class TestResolveTransport:
+    def test_none_is_reference(self):
+        assert isinstance(resolve_transport(None), ReferenceTransport)
+
+    def test_names(self):
+        assert isinstance(resolve_transport("reference"), ReferenceTransport)
+        assert isinstance(resolve_transport("pickle"), PickleTransport)
+
+    def test_instance_passes_through(self):
+        policy = PickleTransport()
+        assert resolve_transport(policy) is policy
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown transport"):
+            resolve_transport("carrier-pigeon")
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            resolve_transport(3.14)
+
+
+class TestReferenceTransport:
+    def test_roundtrip_is_identity(self):
+        policy = ReferenceTransport()
+        payload = {"a": np.arange(5)}
+        assert policy.roundtrip(payload) is payload
+
+    def test_counts_messages_not_bytes(self):
+        policy = ReferenceTransport()
+        policy.roundtrip([1, 2, 3])
+        policy.roundtrip("x")
+        assert policy.messages_encoded == 2
+        assert policy.bytes_encoded == 0
+
+
+class TestPickleTransport:
+    def test_roundtrip_materializes_a_copy(self):
+        policy = PickleTransport()
+        payload = {"values": np.arange(4, dtype=float), "label": "profile"}
+        received = policy.roundtrip(payload)
+        assert received is not payload
+        assert received["label"] == "profile"
+        np.testing.assert_array_equal(received["values"], payload["values"])
+        # Mutating the received copy must not leak back to the sender.
+        received["values"][0] = 99.0
+        assert payload["values"][0] == 0.0
+
+    def test_byte_counters_accumulate(self):
+        policy = PickleTransport()
+        policy.roundtrip(np.zeros(100))
+        first = policy.bytes_encoded
+        assert first > 0
+        policy.roundtrip(np.zeros(100))
+        assert policy.bytes_encoded == 2 * first
+        assert policy.messages_encoded == 2
