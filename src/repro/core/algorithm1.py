@@ -38,6 +38,12 @@ from repro.core.preclustering import precluster_site
 from repro.distributed.instance import DistributedInstance
 from repro.distributed.network import StarNetwork
 from repro.distributed.result import DistributedResult
+from repro.metrics.blocked import (
+    MemoryBudgetLike,
+    memmap_handle,
+    resolve_memory_budget,
+    shard_scratch,
+)
 from repro.metrics.cost_matrix import build_cost_matrix, validate_objective
 from repro.runtime.backends import BackendLike, backend_scope
 from repro.runtime.tasks import SiteTask, run_site_tasks
@@ -45,11 +51,22 @@ from repro.runtime.transport import TransportLike, resolve_transport
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 
 
-def _round1_task(ctx, k, t, objective, rho, local_center_factor, local_kwargs):
-    """Site phase of round 1: solve the local grid and ship the cost profile."""
+def _round1_task(
+    ctx, k, t, objective, rho, local_center_factor, local_kwargs,
+    memory_budget=None, workdir=None,
+):
+    """Site phase of round 1: solve the local grid and ship the cost profile.
+
+    Under a ``memory_budget`` the site's ``n_i x n_i`` cost matrix is built in
+    row blocks and — when larger than the budget — streamed from a disk shard
+    under ``workdir`` instead of RAM (bit-identical costs either way).
+    """
     with ctx.timer.measure("precluster"):
         local_indices = np.arange(ctx.n_points)
-        local_costs = build_cost_matrix(ctx.local_metric, local_indices, local_indices, objective)
+        local_costs = build_cost_matrix(
+            ctx.local_metric, local_indices, local_indices, objective,
+            memory_budget=memory_budget, workdir=workdir,
+        )
         local_k = min(local_center_factor * k, ctx.n_points)
         precluster = precluster_site(
             local_costs,
@@ -62,6 +79,7 @@ def _round1_task(ctx, k, t, objective, rho, local_center_factor, local_kwargs):
         )
     ctx.state["precluster"] = precluster
     ctx.state["local_k"] = local_k
+    ctx.state["cost_storage"] = "memmap" if memmap_handle(local_costs) else "dense"
     ctx.send_to_coordinator("cost_profile", precluster.profile, words=precluster.profile.words)
 
 
@@ -103,6 +121,7 @@ def distributed_partial_median(
     realize: bool = True,
     backend: BackendLike = None,
     transport: TransportLike = None,
+    memory_budget: MemoryBudgetLike = None,
 ) -> DistributedResult:
     """Run Algorithm 1 on a distributed instance.
 
@@ -140,6 +159,12 @@ def distributed_partial_median(
     transport:
         :class:`~repro.runtime.transport.TransportPolicy` (or name) applied
         to payloads crossing the site/coordinator boundary.
+    memory_budget:
+        Byte cap (int or ``"64MB"``-style string) on any single distance/cost
+        block a party materialises.  Site cost matrices larger than the
+        budget are streamed from disk shards in a per-run scratch directory
+        (removed when the run completes).  ``None`` (default) keeps the
+        legacy dense behaviour; results are bit-identical for every setting.
     """
     objective = validate_objective(instance.objective)
     if objective == "center":
@@ -161,116 +186,128 @@ def distributed_partial_median(
     coord_rng = ensure_rng(generator)
     local_kwargs = dict(local_solver_kwargs or {})
     policy = resolve_transport(transport)
+    mem_budget = resolve_memory_budget(memory_budget)
+    if mem_budget is not None:
+        local_kwargs.setdefault("memory_budget", mem_budget)
 
-    with backend_scope(backend) as exec_backend:
-        # --------------------------------------------------------------
-        # Round 1: local cost profiles.
-        # --------------------------------------------------------------
-        network.next_round()
-        round1 = run_site_tasks(
-            network,
-            [
-                SiteTask(
-                    i,
-                    _round1_task,
-                    args=(k, t, objective, rho, local_center_factor, local_kwargs),
-                    rng=site_rngs[i],
+    with shard_scratch(mem_budget) as workdir:
+        with backend_scope(backend) as exec_backend:
+            # --------------------------------------------------------------
+            # Round 1: local cost profiles.
+            # --------------------------------------------------------------
+            network.next_round()
+            round1 = run_site_tasks(
+                network,
+                [
+                    SiteTask(
+                        i,
+                        _round1_task,
+                        args=(
+                            k, t, objective, rho, local_center_factor, local_kwargs,
+                            mem_budget, workdir,
+                        ),
+                        rng=site_rngs[i],
+                    )
+                    for i in range(network.n_sites)
+                ],
+                backend=exec_backend,
+                transport=policy,
+            )
+            site_rngs = [r.rng for r in round1]
+
+            # Coordinator: allocate the outlier budget.
+            with network.coordinator.timer.measure("allocation"):
+                profiles = [
+                    network.coordinator.messages_from(i, "cost_profile")[0].payload
+                    for i in range(network.n_sites)
+                ]
+                budget = int(math.floor(rho * t))
+                allocation = allocate_outlier_budget([p.marginals() for p in profiles], budget)
+
+            # --------------------------------------------------------------
+            # Round 2: allocations out, local solutions back, final solve.
+            # --------------------------------------------------------------
+            network.next_round()
+            for site in network.sites:
+                t_i = int(allocation.t_allocated[site.site_id])
+                is_exceptional = allocation.exceptional_site == site.site_id
+                network.send_to_site(
+                    site.site_id,
+                    "allocation",
+                    {"t_i": t_i, "threshold": allocation.threshold, "exceptional": is_exceptional},
+                    words=3,
                 )
-                for i in range(network.n_sites)
-            ],
-            backend=exec_backend,
-            transport=policy,
-        )
-        site_rngs = [r.rng for r in round1]
-
-        # Coordinator: allocate the outlier budget.
-        with network.coordinator.timer.measure("allocation"):
-            profiles = [
-                network.coordinator.messages_from(i, "cost_profile")[0].payload
+            run_site_tasks(
+                network,
+                [
+                    SiteTask(
+                        i,
+                        _round2_task,
+                        args=(objective, words_per_point, local_kwargs),
+                        rng=site_rngs[i],
+                    )
+                    for i in range(network.n_sites)
+                ],
+                backend=exec_backend,
+                transport=policy,
+            )
+            # Combine from the coordinator's inbox (not the task return values) so
+            # the transport policy's materialisation is what actually gets solved.
+            summaries = [
+                network.coordinator.messages_from(i, "local_solution")[0].payload
                 for i in range(network.n_sites)
             ]
-            budget = int(math.floor(rho * t))
-            allocation = allocate_outlier_budget([p.marginals() for p in profiles], budget)
 
-        # --------------------------------------------------------------
-        # Round 2: allocations out, local solutions back, final solve.
-        # --------------------------------------------------------------
-        network.next_round()
-        for site in network.sites:
-            t_i = int(allocation.t_allocated[site.site_id])
-            is_exceptional = allocation.exceptional_site == site.site_id
-            network.send_to_site(
-                site.site_id,
-                "allocation",
-                {"t_i": t_i, "threshold": allocation.threshold, "exceptional": is_exceptional},
-                words=3,
+        with network.coordinator.timer.measure("final_solve"):
+            combine = combine_preclusters(
+                metric,
+                summaries,
+                k,
+                t,
+                objective=objective,
+                epsilon=epsilon,
+                relax=relax,
+                rng=coord_rng,
+                realize=realize,
+                coordinator_solver_kwargs=coordinator_solver_kwargs,
+                memory_budget=mem_budget,
+                workdir=workdir,
             )
-        run_site_tasks(
-            network,
-            [
-                SiteTask(
-                    i,
-                    _round2_task,
-                    args=(objective, words_per_point, local_kwargs),
-                    rng=site_rngs[i],
-                )
-                for i in range(network.n_sites)
-            ],
-            backend=exec_backend,
-            transport=policy,
-        )
-        # Combine from the coordinator's inbox (not the task return values) so
-        # the transport policy's materialisation is what actually gets solved.
-        summaries = [
-            network.coordinator.messages_from(i, "local_solution")[0].payload
-            for i in range(network.n_sites)
-        ]
 
-    with network.coordinator.timer.measure("final_solve"):
-        combine = combine_preclusters(
-            metric,
-            summaries,
-            k,
-            t,
+        if relax == "outliers":
+            outlier_budget = math.floor((1.0 + epsilon) * t + 1e-9)
+        else:
+            outlier_budget = float(t)
+        result = DistributedResult(
+            centers=combine.centers_global,
+            outlier_budget=float(outlier_budget),
             objective=objective,
-            epsilon=epsilon,
-            relax=relax,
-            rng=coord_rng,
-            realize=realize,
-            coordinator_solver_kwargs=coordinator_solver_kwargs,
+            cost=float(combine.coordinator_solution.cost),
+            ledger=network.ledger,
+            rounds=network.current_round,
+            outliers=combine.realized_outliers if realize else combine.explicit_outliers,
+            site_time=network.site_times(),
+            coordinator_time=network.coordinator_time(),
+            coordinator_solution=combine.coordinator_solution,
+            metadata={
+                "algorithm": "algorithm1",
+                "epsilon": float(epsilon),
+                "rho": float(rho),
+                "relax": relax,
+                "t_allocated": allocation.t_allocated.tolist(),
+                "t_used": [int(s.state["t_i"]) for s in network.sites],
+                "threshold": float(allocation.threshold),
+                "exceptional_site": allocation.exceptional_site,
+                "n_coordinator_demands": int(combine.demand_points.size),
+                "realized_assignment": combine.realized_assignment,
+                "explicit_outliers": combine.explicit_outliers,
+                "local_k": [int(s.state["local_k"]) for s in network.sites],
+                "memory_budget": mem_budget,
+                "cost_matrix_storage": [s.state.get("cost_storage") for s in network.sites],
+            },
         )
+        return result
 
-    if relax == "outliers":
-        outlier_budget = math.floor((1.0 + epsilon) * t + 1e-9)
-    else:
-        outlier_budget = float(t)
-    result = DistributedResult(
-        centers=combine.centers_global,
-        outlier_budget=float(outlier_budget),
-        objective=objective,
-        cost=float(combine.coordinator_solution.cost),
-        ledger=network.ledger,
-        rounds=network.current_round,
-        outliers=combine.realized_outliers if realize else combine.explicit_outliers,
-        site_time=network.site_times(),
-        coordinator_time=network.coordinator_time(),
-        coordinator_solution=combine.coordinator_solution,
-        metadata={
-            "algorithm": "algorithm1",
-            "epsilon": float(epsilon),
-            "rho": float(rho),
-            "relax": relax,
-            "t_allocated": allocation.t_allocated.tolist(),
-            "t_used": [int(s.state["t_i"]) for s in network.sites],
-            "threshold": float(allocation.threshold),
-            "exceptional_site": allocation.exceptional_site,
-            "n_coordinator_demands": int(combine.demand_points.size),
-            "realized_assignment": combine.realized_assignment,
-            "explicit_outliers": combine.explicit_outliers,
-            "local_k": [int(s.state["local_k"]) for s in network.sites],
-        },
-    )
-    return result
 
 
 __all__ = ["distributed_partial_median"]

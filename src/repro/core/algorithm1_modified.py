@@ -34,6 +34,7 @@ from repro.core.combine import combine_preclusters, summarize_local_solution
 from repro.distributed.instance import DistributedInstance
 from repro.distributed.network import StarNetwork
 from repro.distributed.result import DistributedResult
+from repro.metrics.blocked import MemoryBudgetLike, resolve_memory_budget, shard_scratch
 from repro.metrics.cost_matrix import validate_objective
 from repro.runtime.backends import BackendLike, backend_scope
 from repro.runtime.tasks import SiteTask, run_site_tasks
@@ -108,6 +109,7 @@ def distributed_partial_median_no_shipping(
     coordinator_solver_kwargs: Optional[dict] = None,
     backend: BackendLike = None,
     transport: TransportLike = None,
+    memory_budget: MemoryBudgetLike = None,
 ) -> DistributedResult:
     """Run the Theorem 3.8 variant (no outlier points are ever transmitted).
 
@@ -124,6 +126,11 @@ def distributed_partial_median_no_shipping(
     backend, transport:
         Execution backend and transport policy for the per-site phases (see
         :mod:`repro.runtime`); the result is backend-invariant.
+    memory_budget:
+        Byte cap on any single distance/cost block (site cost matrices spill
+        to disk shards beyond it); ``None`` keeps the dense behaviour and the
+        result is bit-identical for every setting (see
+        :func:`repro.core.algorithm1.distributed_partial_median`).
     """
     objective = validate_objective(instance.objective)
     if objective == "center":
@@ -140,104 +147,116 @@ def distributed_partial_median_no_shipping(
     site_rngs = spawn_rngs(generator, network.n_sites)
     local_kwargs = dict(local_solver_kwargs or {})
     policy = resolve_transport(transport)
+    mem_budget = resolve_memory_budget(memory_budget)
+    if mem_budget is not None:
+        local_kwargs.setdefault("memory_budget", mem_budget)
 
-    with backend_scope(backend) as exec_backend:
-        # Round 1: profiles on the finer grid.
-        network.next_round()
-        round1 = run_site_tasks(
-            network,
-            [
-                SiteTask(
-                    i,
-                    _round1_task,
-                    args=(k, t, objective, rho, local_center_factor, local_kwargs),
-                    rng=site_rngs[i],
+    with shard_scratch(mem_budget) as workdir:
+        with backend_scope(backend) as exec_backend:
+            # Round 1: profiles on the finer grid.
+            network.next_round()
+            round1 = run_site_tasks(
+                network,
+                [
+                    SiteTask(
+                        i,
+                        _round1_task,
+                        args=(
+                            k, t, objective, rho, local_center_factor, local_kwargs,
+                            mem_budget, workdir,
+                        ),
+                        rng=site_rngs[i],
+                    )
+                    for i in range(network.n_sites)
+                ],
+                backend=exec_backend,
+                transport=policy,
+            )
+            site_rngs = [r.rng for r in round1]
+
+            with network.coordinator.timer.measure("allocation"):
+                profiles = [
+                    network.coordinator.messages_from(i, "cost_profile")[0].payload
+                    for i in range(network.n_sites)
+                ]
+                budget = int(math.floor(rho * t))
+                allocation = allocate_outlier_budget([p.marginals() for p in profiles], budget)
+
+            # Round 2: centers and counts only.
+            network.next_round()
+            for site in network.sites:
+                t_i = int(allocation.t_allocated[site.site_id])
+                is_exceptional = allocation.exceptional_site == site.site_id
+                network.send_to_site(
+                    site.site_id,
+                    "allocation",
+                    {"t_i": t_i, "threshold": allocation.threshold, "exceptional": is_exceptional},
+                    words=3,
                 )
-                for i in range(network.n_sites)
-            ],
-            backend=exec_backend,
-            transport=policy,
-        )
-        site_rngs = [r.rng for r in round1]
-
-        with network.coordinator.timer.measure("allocation"):
-            profiles = [
-                network.coordinator.messages_from(i, "cost_profile")[0].payload
+            run_site_tasks(
+                network,
+                [
+                    SiteTask(
+                        i,
+                        _round2_no_shipping_task,
+                        args=(objective, words_per_point, local_kwargs),
+                        rng=site_rngs[i],
+                    )
+                    for i in range(network.n_sites)
+                ],
+                backend=exec_backend,
+                transport=policy,
+            )
+            summaries = [
+                network.coordinator.messages_from(i, "local_solution")[0].payload
                 for i in range(network.n_sites)
             ]
-            budget = int(math.floor(rho * t))
-            allocation = allocate_outlier_budget([p.marginals() for p in profiles], budget)
 
-        # Round 2: centers and counts only.
-        network.next_round()
-        for site in network.sites:
-            t_i = int(allocation.t_allocated[site.site_id])
-            is_exceptional = allocation.exceptional_site == site.site_id
-            network.send_to_site(
-                site.site_id,
-                "allocation",
-                {"t_i": t_i, "threshold": allocation.threshold, "exceptional": is_exceptional},
-                words=3,
+        with network.coordinator.timer.measure("final_solve"):
+            combine = combine_preclusters(
+                metric,
+                summaries,
+                k,
+                t,
+                objective=objective,
+                epsilon=epsilon,
+                relax="outliers",
+                rng=generator,
+                realize=True,
+                coordinator_solver_kwargs=coordinator_solver_kwargs,
+                memory_budget=mem_budget,
+                workdir=workdir,
             )
-        run_site_tasks(
-            network,
-            [
-                SiteTask(
-                    i,
-                    _round2_no_shipping_task,
-                    args=(objective, words_per_point, local_kwargs),
-                    rng=site_rngs[i],
-                )
-                for i in range(network.n_sites)
-            ],
-            backend=exec_backend,
-            transport=policy,
-        )
-        summaries = [
-            network.coordinator.messages_from(i, "local_solution")[0].payload
-            for i in range(network.n_sites)
-        ]
 
-    with network.coordinator.timer.measure("final_solve"):
-        combine = combine_preclusters(
-            metric,
-            summaries,
-            k,
-            t,
+        total_preclustering_ignored = int(sum(s.state["t_i"] for s in network.sites))
+        outlier_budget = math.floor((2.0 + epsilon + delta) * t + 1e-9)
+        return DistributedResult(
+            centers=combine.centers_global,
+            outlier_budget=float(outlier_budget),
             objective=objective,
-            epsilon=epsilon,
-            relax="outliers",
-            rng=generator,
-            realize=True,
-            coordinator_solver_kwargs=coordinator_solver_kwargs,
+            cost=float(combine.coordinator_solution.cost),
+            ledger=network.ledger,
+            rounds=network.current_round,
+            outliers=None,  # the defining property of this variant: outliers are not named
+            site_time=network.site_times(),
+            coordinator_time=network.coordinator_time(),
+            coordinator_solution=combine.coordinator_solution,
+            metadata={
+                "algorithm": "algorithm1_no_shipping",
+                "epsilon": float(epsilon),
+                "delta": float(delta),
+                "rho": float(rho),
+                "t_allocated": allocation.t_allocated.tolist(),
+                "preclustering_ignored": total_preclustering_ignored,
+                "coordinator_dropped_weight": combine.metadata["coordinator_dropped_weight"],
+                "exceptional_site": allocation.exceptional_site,
+                "exceptional_combined_4k": [bool(s.state.get("combined_4k")) for s in network.sites],
+                "n_coordinator_demands": int(combine.demand_points.size),
+                "memory_budget": mem_budget,
+                "cost_matrix_storage": [s.state.get("cost_storage") for s in network.sites],
+            },
         )
 
-    total_preclustering_ignored = int(sum(s.state["t_i"] for s in network.sites))
-    outlier_budget = math.floor((2.0 + epsilon + delta) * t + 1e-9)
-    return DistributedResult(
-        centers=combine.centers_global,
-        outlier_budget=float(outlier_budget),
-        objective=objective,
-        cost=float(combine.coordinator_solution.cost),
-        ledger=network.ledger,
-        rounds=network.current_round,
-        outliers=None,  # the defining property of this variant: outliers are not named
-        site_time=network.site_times(),
-        coordinator_time=network.coordinator_time(),
-        coordinator_solution=combine.coordinator_solution,
-        metadata={
-            "algorithm": "algorithm1_no_shipping",
-            "epsilon": float(epsilon),
-            "delta": float(delta),
-            "rho": float(rho),
-            "t_allocated": allocation.t_allocated.tolist(),
-            "preclustering_ignored": total_preclustering_ignored,
-            "coordinator_dropped_weight": combine.metadata["coordinator_dropped_weight"],
-            "exceptional_site": allocation.exceptional_site,
-            "exceptional_combined_4k": [bool(s.state.get("combined_4k")) for s in network.sites],
-            "n_coordinator_demands": int(combine.demand_points.size),
-        },
-    )
 
 
 __all__ = ["distributed_partial_median_no_shipping", "combine_two_solutions"]

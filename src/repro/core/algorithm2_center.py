@@ -35,27 +35,38 @@ from repro.core.preclustering import precluster_site_center
 from repro.distributed.instance import DistributedInstance
 from repro.distributed.network import StarNetwork
 from repro.distributed.result import DistributedResult
+from repro.metrics.blocked import (
+    MemoryBudgetLike,
+    argmin_per_row,
+    resolve_memory_budget,
+    shard_scratch,
+)
 from repro.runtime.backends import BackendLike, backend_scope
 from repro.runtime.tasks import SiteTask, run_site_tasks
 from repro.runtime.transport import TransportLike, resolve_transport
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 
 
-def _center_summary(site, traversal, k: int, t_i: int) -> PreclusterSummary:
+def _center_summary(site, traversal, k: int, t_i: int, memory_budget=None) -> PreclusterSummary:
     """Precluster of one site: the first ``k + t_i`` traversal points, weighted.
 
     Every local point is attached to its nearest candidate (none is ignored —
     Remark 3(i)); the candidates beyond the first ``k`` are the locally most
     isolated points, i.e. the site's outlier suspects, but they travel as
     weighted candidates exactly like the others.
+
+    The nearest-candidate sweep is a blocked per-row argmin
+    (:func:`repro.metrics.blocked.argmin_per_row`): the ``n_i x (k + t_i)``
+    distance block is never materialised whole under a ``memory_budget``,
+    and the attachment is bit-identical for every budget.
     """
     n_local = site.n_points
     m = min(n_local, k + t_i)
     candidates_local = traversal.ordering[:m]
     all_local = np.arange(n_local)
-    dists = site.local_metric.pairwise(all_local, candidates_local)
-    nearest = np.argmin(dists, axis=1)
-    nearest_dist = dists[np.arange(n_local), nearest]
+    nearest_dist, nearest = argmin_per_row(
+        site.local_metric, all_local, candidates_local, memory_budget=memory_budget
+    )
 
     centers_global = site.to_global(candidates_local)
     weights = np.zeros(m, dtype=float)
@@ -75,20 +86,22 @@ def _center_summary(site, traversal, k: int, t_i: int) -> PreclusterSummary:
     )
 
 
-def _round1_center_task(ctx, k, t, rho):
+def _round1_center_task(ctx, k, t, rho, memory_budget=None):
     """Site phase of round 1: Gonzalez traversal and witness curve."""
     with ctx.timer.measure("precluster"):
-        precluster = precluster_site_center(ctx.local_metric, k, t, rho=rho, rng=ctx.rng)
+        precluster = precluster_site_center(
+            ctx.local_metric, k, t, rho=rho, rng=ctx.rng, memory_budget=memory_budget
+        )
     ctx.state["precluster"] = precluster
     ctx.send_to_coordinator("witness_curve", precluster, words=precluster.transmitted_words())
 
 
-def _round2_center_task(ctx, k, words_per_point):
+def _round2_center_task(ctx, k, words_per_point, memory_budget=None):
     """Site phase of round 2: ship the first ``k + t_i`` traversal points."""
     t_i = int(ctx.messages("allocation")[0].payload["t_i"])
     with ctx.timer.measure("round2"):
         precluster = ctx.state["precluster"]
-        summary = _center_summary(ctx, precluster.traversal, k, t_i)
+        summary = _center_summary(ctx, precluster.traversal, k, t_i, memory_budget)
     ctx.state["t_i"] = t_i
     ctx.send_to_coordinator(
         "local_solution", summary, words=summary.transmitted_words(words_per_point)
@@ -105,6 +118,7 @@ def distributed_partial_center(
     realize: bool = True,
     backend: BackendLike = None,
     transport: TransportLike = None,
+    memory_budget: MemoryBudgetLike = None,
 ) -> DistributedResult:
     """Run Algorithm 2 on a distributed instance with the center objective.
 
@@ -125,6 +139,11 @@ def distributed_partial_center(
     backend, transport:
         Execution backend and transport policy for the per-site phases (see
         :mod:`repro.runtime`); the result is backend-invariant.
+    memory_budget:
+        Byte cap on any single distance block a party materialises (the
+        traversal sweeps, the nearest-candidate attachment and the
+        coordinator's weighted solve all run blocked); ``None`` keeps the
+        dense behaviour and the result is bit-identical for every setting.
     """
     if instance.objective != "center":
         raise ValueError("distributed_partial_center requires a center-objective instance")
@@ -138,92 +157,101 @@ def distributed_partial_center(
     generator = ensure_rng(rng)
     site_rngs = spawn_rngs(generator, network.n_sites)
     policy = resolve_transport(transport)
+    mem_budget = resolve_memory_budget(memory_budget)
 
-    with backend_scope(backend) as exec_backend:
-        # --------------------------------------------------------------
-        # Round 1: Gonzalez traversals and witness curves.
-        # --------------------------------------------------------------
-        network.next_round()
-        round1 = run_site_tasks(
-            network,
-            [
-                SiteTask(i, _round1_center_task, args=(k, t, rho), rng=site_rngs[i])
-                for i in range(network.n_sites)
-            ],
-            backend=exec_backend,
-            transport=policy,
-        )
-        site_rngs = [r.rng for r in round1]
+    with shard_scratch(mem_budget) as workdir:
+        with backend_scope(backend) as exec_backend:
+            # --------------------------------------------------------------
+            # Round 1: Gonzalez traversals and witness curves.
+            # --------------------------------------------------------------
+            network.next_round()
+            round1 = run_site_tasks(
+                network,
+                [
+                    SiteTask(i, _round1_center_task, args=(k, t, rho, mem_budget), rng=site_rngs[i])
+                    for i in range(network.n_sites)
+                ],
+                backend=exec_backend,
+                transport=policy,
+            )
+            site_rngs = [r.rng for r in round1]
 
-        with network.coordinator.timer.measure("allocation"):
-            witness_curves = [
-                network.coordinator.messages_from(i, "witness_curve")[0].payload
+            with network.coordinator.timer.measure("allocation"):
+                witness_curves = [
+                    network.coordinator.messages_from(i, "witness_curve")[0].payload
+                    for i in range(network.n_sites)
+                ]
+                budget = int(math.floor(rho * t))
+                marginals = [curve.marginals_from_grid(t) for curve in witness_curves]
+                allocation = allocate_outlier_budget(marginals, budget)
+
+            # --------------------------------------------------------------
+            # Round 2: allocations out, weighted candidate sets back, final solve.
+            # --------------------------------------------------------------
+            network.next_round()
+            for site in network.sites:
+                t_i = int(allocation.t_allocated[site.site_id])
+                network.send_to_site(
+                    site.site_id,
+                    "allocation",
+                    {"t_i": t_i, "threshold": allocation.threshold},
+                    words=2,
+                )
+            run_site_tasks(
+                network,
+                [
+                    SiteTask(
+                        i, _round2_center_task, args=(k, words_per_point, mem_budget),
+                        rng=site_rngs[i],
+                    )
+                    for i in range(network.n_sites)
+                ],
+                backend=exec_backend,
+                transport=policy,
+            )
+            summaries = [
+                network.coordinator.messages_from(i, "local_solution")[0].payload
                 for i in range(network.n_sites)
             ]
-            budget = int(math.floor(rho * t))
-            marginals = [curve.marginals_from_grid(t) for curve in witness_curves]
-            allocation = allocate_outlier_budget(marginals, budget)
 
-        # --------------------------------------------------------------
-        # Round 2: allocations out, weighted candidate sets back, final solve.
-        # --------------------------------------------------------------
-        network.next_round()
-        for site in network.sites:
-            t_i = int(allocation.t_allocated[site.site_id])
-            network.send_to_site(
-                site.site_id,
-                "allocation",
-                {"t_i": t_i, "threshold": allocation.threshold},
-                words=2,
+        with network.coordinator.timer.measure("final_solve"):
+            combine = combine_preclusters(
+                metric,
+                summaries,
+                k,
+                t,
+                objective="center",
+                rng=generator,
+                realize=realize,
+                coordinator_solver_kwargs=coordinator_solver_kwargs,
+                memory_budget=mem_budget,
+                workdir=workdir,
             )
-        run_site_tasks(
-            network,
-            [
-                SiteTask(i, _round2_center_task, args=(k, words_per_point), rng=site_rngs[i])
-                for i in range(network.n_sites)
-            ],
-            backend=exec_backend,
-            transport=policy,
-        )
-        summaries = [
-            network.coordinator.messages_from(i, "local_solution")[0].payload
-            for i in range(network.n_sites)
-        ]
 
-    with network.coordinator.timer.measure("final_solve"):
-        combine = combine_preclusters(
-            metric,
-            summaries,
-            k,
-            t,
+        result = DistributedResult(
+            centers=combine.centers_global,
+            outlier_budget=float(t),
             objective="center",
-            rng=generator,
-            realize=realize,
-            coordinator_solver_kwargs=coordinator_solver_kwargs,
+            cost=float(combine.coordinator_solution.cost),
+            ledger=network.ledger,
+            rounds=network.current_round,
+            outliers=combine.realized_outliers if realize else combine.explicit_outliers,
+            site_time=network.site_times(),
+            coordinator_time=network.coordinator_time(),
+            coordinator_solution=combine.coordinator_solution,
+            metadata={
+                "algorithm": "algorithm2_center",
+                "rho": float(rho),
+                "t_allocated": allocation.t_allocated.tolist(),
+                "threshold": float(allocation.threshold),
+                "exceptional_site": allocation.exceptional_site,
+                "n_coordinator_demands": int(combine.demand_points.size),
+                "realized_assignment": combine.realized_assignment,
+                "memory_budget": mem_budget,
+            },
         )
+        return result
 
-    result = DistributedResult(
-        centers=combine.centers_global,
-        outlier_budget=float(t),
-        objective="center",
-        cost=float(combine.coordinator_solution.cost),
-        ledger=network.ledger,
-        rounds=network.current_round,
-        outliers=combine.realized_outliers if realize else combine.explicit_outliers,
-        site_time=network.site_times(),
-        coordinator_time=network.coordinator_time(),
-        coordinator_solution=combine.coordinator_solution,
-        metadata={
-            "algorithm": "algorithm2_center",
-            "rho": float(rho),
-            "t_allocated": allocation.t_allocated.tolist(),
-            "threshold": float(allocation.threshold),
-            "exceptional_site": allocation.exceptional_site,
-            "n_coordinator_demands": int(combine.demand_points.size),
-            "realized_assignment": combine.realized_assignment,
-        },
-    )
-    return result
 
 
 __all__ = ["distributed_partial_center"]

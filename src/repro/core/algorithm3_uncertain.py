@@ -30,6 +30,13 @@ from repro.core.preclustering import precluster_site
 from repro.distributed.instance import UncertainDistributedInstance
 from repro.distributed.messages import CommunicationLedger, Message, COORDINATOR
 from repro.distributed.result import DistributedResult
+from repro.metrics.blocked import (
+    MemoryBudgetLike,
+    materialize,
+    memmap_handle,
+    resolve_memory_budget,
+    shard_scratch,
+)
 from repro.runtime.backends import BackendLike, backend_scope
 from repro.runtime.tasks import run_tasks
 from repro.sequential.bicriteria import bicriteria_solve
@@ -40,18 +47,36 @@ from repro.utils.timing import Timer
 
 
 def _local_compressed_costs(
-    anchors: np.ndarray, collapse: np.ndarray, ground_metric, objective: str
+    anchors: np.ndarray,
+    collapse: np.ndarray,
+    ground_metric,
+    objective: str,
+    memory_budget=None,
+    workdir=None,
 ) -> np.ndarray:
     """Node-by-node compressed-graph assignment costs within one site.
 
     Demand ``j`` (a node) served by facility ``j'`` (the anchor of another
     local node) costs ``l_j + d(y_j, y_{j'})`` for median/center-pp, and
     ``l'_j + d^2(y'_j, y'_{j'})`` for means (Lemma 5.5(b)).
+
+    Under a ``memory_budget`` the matrix is produced in row blocks (squaring
+    and collapse offsets are per-row, so entries are bit-identical) and
+    spills to a disk shard under ``workdir`` when larger than the budget.
     """
-    base = ground_metric.pairwise(anchors, anchors)
-    if objective == "means":
-        base = base * base
-    return base + collapse[:, None]
+    def transform(block, row_slice):
+        if objective == "means":
+            block = block * block
+        return block + collapse[row_slice][:, None]
+
+    return materialize(
+        ground_metric,
+        anchors,
+        anchors,
+        transform=transform,
+        memory_budget=memory_budget,
+        workdir=workdir,
+    )
 
 
 def _uncertain_round1(payload: dict) -> dict:
@@ -66,7 +91,10 @@ def _uncertain_round1(payload: dict) -> dict:
         nodes = [uncertain.nodes[int(j)] for j in shard]
         anchors, collapse = collapse_nodes(nodes, ground, objective)
     with timer.measure("precluster"):
-        costs = _local_compressed_costs(anchors, collapse, ground, objective)
+        costs = _local_compressed_costs(
+            anchors, collapse, ground, objective,
+            payload.get("memory_budget"), payload.get("workdir"),
+        )
         local_k = min(payload["local_center_factor"] * payload["k"], shard.size)
         precluster = precluster_site(
             costs, local_k, payload["t"],
@@ -80,6 +108,7 @@ def _uncertain_round1(payload: dict) -> dict:
             "collapse": collapse,
             "precluster": precluster,
             "local_k": local_k,
+            "cost_storage": "memmap" if memmap_handle(costs) else "dense",
         },
         "timer": timer,
         "rng": rng,
@@ -150,6 +179,7 @@ def distributed_uncertain_clustering(
     local_solver_kwargs: Optional[dict] = None,
     coordinator_solver_kwargs: Optional[dict] = None,
     backend: BackendLike = None,
+    memory_budget: MemoryBudgetLike = None,
 ) -> DistributedResult:
     """Distributed uncertain ``(k, (1+eps)t)``-median/means/center-pp (Theorem 5.6).
 
@@ -164,6 +194,10 @@ def distributed_uncertain_clustering(
     backend:
         Execution backend for the per-site phases (see
         :mod:`repro.runtime`); the result is backend-invariant.
+    memory_budget:
+        Byte cap on any single compressed-cost block; site matrices larger
+        than the budget stream from disk shards (bit-identical results for
+        every setting).
 
     Returns
     -------
@@ -186,177 +220,195 @@ def distributed_uncertain_clustering(
     generator = ensure_rng(rng)
     site_rngs = spawn_rngs(generator, s)
     local_kwargs = dict(local_solver_kwargs or {})
+    mem_budget = resolve_memory_budget(memory_budget)
+    if mem_budget is not None:
+        local_kwargs.setdefault("memory_budget", mem_budget)
 
     ledger = CommunicationLedger()
     site_timers = [Timer() for _ in range(s)]
     coord_timer = Timer()
 
-    with backend_scope(backend) as exec_backend:
-        # --------------------------------------------------------------
-        # Round 1: collapse + compressed-graph preclustering profiles.
-        # --------------------------------------------------------------
-        round1 = run_tasks(
-            _uncertain_round1,
-            [
-                {
-                    "uncertain": uncertain,
-                    "shard": instance.shard(i),
-                    "objective": objective,
-                    "k": k,
-                    "t": t,
-                    "rho": rho,
-                    "local_center_factor": local_center_factor,
-                    "local_kwargs": local_kwargs,
-                    "rng": site_rngs[i],
-                }
-                for i in range(s)
-            ],
-            backend=exec_backend,
-        )
-        site_state: List[dict] = []
-        profiles = []
-        for i, out in enumerate(round1):
-            site_state.append(out["state"])
+    with shard_scratch(mem_budget) as workdir:
+        with backend_scope(backend) as exec_backend:
+            # --------------------------------------------------------------
+            # Round 1: collapse + compressed-graph preclustering profiles.
+            # --------------------------------------------------------------
+            round1 = run_tasks(
+                _uncertain_round1,
+                [
+                    {
+                        "uncertain": uncertain,
+                        "shard": instance.shard(i),
+                        "objective": objective,
+                        "k": k,
+                        "t": t,
+                        "rho": rho,
+                        "local_center_factor": local_center_factor,
+                        "local_kwargs": local_kwargs,
+                        "rng": site_rngs[i],
+                        "memory_budget": mem_budget,
+                        "workdir": workdir,
+                    }
+                    for i in range(s)
+                ],
+                backend=exec_backend,
+            )
+            site_state: List[dict] = []
+            profiles = []
+            for i, out in enumerate(round1):
+                site_state.append(out["state"])
+                site_timers[i].merge(out["timer"])
+                site_rngs[i] = out["rng"]
+                profile = out["state"]["precluster"].profile
+                profiles.append(profile)
+                ledger.record(Message(i, COORDINATOR, 1, "cost_profile", profile.words, profile))
+
+            with coord_timer.measure("allocation"):
+                budget = int(math.floor(rho * t))
+                allocation = allocate_outlier_budget([p.marginals() for p in profiles], budget)
+
+            # --------------------------------------------------------------
+            # Round 2: allocations out; centers, counts and collapsed outliers back.
+            # --------------------------------------------------------------
+            for i in range(s):
+                ledger.record(
+                    Message(COORDINATOR, i, 2, "allocation", 3, {"t_i": int(allocation.t_allocated[i])})
+                )
+            round2 = run_tasks(
+                _uncertain_round2,
+                [
+                    {
+                        "site_id": i,
+                        "state": site_state[i],
+                        "objective": objective,
+                        "t_i": int(allocation.t_allocated[i]),
+                        "B": B,
+                        "local_kwargs": local_kwargs,
+                        "rng": site_rngs[i],
+                    }
+                    for i in range(s)
+                ],
+                backend=exec_backend,
+            )
+
+        demand_anchor: List[int] = []      # ground point each coordinator demand sits at
+        demand_offset: List[float] = []    # additive collapse offset of the demand
+        demand_weight: List[float] = []
+        demand_origin: List[tuple] = []    # (site, kind, payload) for mapping back
+        for i, out in enumerate(round2):
+            site_state[i] = out["state"]
             site_timers[i].merge(out["timer"])
             site_rngs[i] = out["rng"]
-            profile = out["state"]["precluster"].profile
-            profiles.append(profile)
-            ledger.record(Message(i, COORDINATOR, 1, "cost_profile", profile.words, profile))
+            demand_anchor.extend(out["demand_anchor"])
+            demand_offset.extend(out["demand_offset"])
+            demand_weight.extend(out["demand_weight"])
+            demand_origin.extend(out["demand_origin"])
+            ledger.record(Message(i, COORDINATOR, 2, "local_solution", out["words"], None))
 
-        with coord_timer.measure("allocation"):
-            budget = int(math.floor(rho * t))
-            allocation = allocate_outlier_budget([p.marginals() for p in profiles], budget)
-
-        # --------------------------------------------------------------
-        # Round 2: allocations out; centers, counts and collapsed outliers back.
-        # --------------------------------------------------------------
-        for i in range(s):
-            ledger.record(
-                Message(COORDINATOR, i, 2, "allocation", 3, {"t_i": int(allocation.t_allocated[i])})
+        # ------------------------------------------------------------------
+        # Coordinator: weighted clustering on the received compressed summary.
+        # ------------------------------------------------------------------
+        with coord_timer.measure("final_solve"):
+            demand_anchor_arr = np.asarray(demand_anchor, dtype=int)
+            demand_offset_arr = np.asarray(demand_offset, dtype=float)
+            demand_weight_arr = np.asarray(demand_weight, dtype=float)
+            facility_points = np.unique(demand_anchor_arr)
+            cost_matrix = materialize(
+                ground,
+                demand_anchor_arr,
+                facility_points,
+                transform=lambda block, rs: (
+                    (block * block if objective == "means" else block)
+                    + demand_offset_arr[rs][:, None]
+                ),
+                memory_budget=mem_budget,
+                workdir=workdir,
             )
-        round2 = run_tasks(
-            _uncertain_round2,
-            [
-                {
-                    "site_id": i,
-                    "state": site_state[i],
-                    "objective": objective,
-                    "t_i": int(allocation.t_allocated[i]),
-                    "B": B,
-                    "local_kwargs": local_kwargs,
-                    "rng": site_rngs[i],
-                }
-                for i in range(s)
-            ],
-            backend=exec_backend,
+
+            coordinator_kwargs = dict(coordinator_solver_kwargs or {})
+            if objective == "center":
+                coordinator_solution = kcenter_with_outliers(
+                    cost_matrix, k, t, weights=demand_weight_arr,
+                    memory_budget=mem_budget, **coordinator_kwargs
+                )
+                outlier_budget = float(t)
+            else:
+                coordinator_solution = bicriteria_solve(
+                    cost_matrix,
+                    k,
+                    t,
+                    epsilon=epsilon,
+                    relax="outliers",
+                    objective="means" if objective == "means" else "median",
+                    weights=demand_weight_arr,
+                    rng=generator,
+                    memory_budget=mem_budget,
+                    **coordinator_kwargs,
+                )
+                outlier_budget = float(math.floor((1.0 + epsilon) * t + 1e-9))
+
+            centers_global = facility_points[coordinator_solution.centers]
+
+        # ------------------------------------------------------------------
+        # Output: expand to a per-node assignment (uncharged output step).
+        # ------------------------------------------------------------------
+        node_assignment: Dict[int, int] = {}
+        node_outliers: List[int] = []
+        dropped = (
+            coordinator_solution.dropped_weight
+            if coordinator_solution.dropped_weight is not None
+            else np.zeros(demand_anchor_arr.size)
+        )
+        assignment_arr = coordinator_solution.assignment
+        for idx, (site_id, kind, payload) in enumerate(demand_origin):
+            target = int(facility_points[assignment_arr[idx]]) if assignment_arr[idx] >= 0 else -1
+            state = site_state[site_id]
+            if kind == "outlier":
+                node_global = int(state["shard"][int(payload)])
+                if target < 0:
+                    node_outliers.append(node_global)
+                else:
+                    node_assignment[node_global] = target
+                continue
+            # A precluster center demand: distribute the attached nodes.
+            c_local = int(payload)
+            members_local = np.flatnonzero(state["solution"].assignment == c_local)
+            member_costs = state["precluster"].cost_matrix[members_local, c_local]
+            n_drop = int(round(float(dropped[idx]))) if target >= 0 else members_local.size
+            n_drop = min(n_drop, members_local.size)
+            drop_positions = set(np.argsort(-member_costs, kind="stable")[:n_drop].tolist())
+            for pos, j_local in enumerate(members_local):
+                node_global = int(state["shard"][int(j_local)])
+                if pos in drop_positions or target < 0:
+                    node_outliers.append(node_global)
+                else:
+                    node_assignment[node_global] = target
+
+        return DistributedResult(
+            centers=centers_global,
+            outlier_budget=outlier_budget,
+            objective=objective,
+            cost=float(coordinator_solution.cost),
+            ledger=ledger,
+            rounds=2,
+            outliers=np.asarray(sorted(set(node_outliers)), dtype=int),
+            site_time={i: float(sum(site_timers[i].totals.values())) for i in range(s)},
+            coordinator_time=float(sum(coord_timer.totals.values())),
+            coordinator_solution=coordinator_solution,
+            metadata={
+                "algorithm": "algorithm3_uncertain",
+                "epsilon": float(epsilon),
+                "rho": float(rho),
+                "t_allocated": allocation.t_allocated.tolist(),
+                "t_used": [int(state["t_i"]) for state in site_state],
+                "node_assignment": node_assignment,
+                "n_coordinator_demands": int(demand_anchor_arr.size),
+                "collapse_cost_total": float(sum(float(st["collapse"].sum()) for st in site_state)),
+                "memory_budget": mem_budget,
+                "cost_matrix_storage": [st.get("cost_storage") for st in site_state],
+            },
         )
 
-    demand_anchor: List[int] = []      # ground point each coordinator demand sits at
-    demand_offset: List[float] = []    # additive collapse offset of the demand
-    demand_weight: List[float] = []
-    demand_origin: List[tuple] = []    # (site, kind, payload) for mapping back
-    for i, out in enumerate(round2):
-        site_state[i] = out["state"]
-        site_timers[i].merge(out["timer"])
-        site_rngs[i] = out["rng"]
-        demand_anchor.extend(out["demand_anchor"])
-        demand_offset.extend(out["demand_offset"])
-        demand_weight.extend(out["demand_weight"])
-        demand_origin.extend(out["demand_origin"])
-        ledger.record(Message(i, COORDINATOR, 2, "local_solution", out["words"], None))
-
-    # ------------------------------------------------------------------
-    # Coordinator: weighted clustering on the received compressed summary.
-    # ------------------------------------------------------------------
-    with coord_timer.measure("final_solve"):
-        demand_anchor_arr = np.asarray(demand_anchor, dtype=int)
-        demand_offset_arr = np.asarray(demand_offset, dtype=float)
-        demand_weight_arr = np.asarray(demand_weight, dtype=float)
-        facility_points = np.unique(demand_anchor_arr)
-        base = ground.pairwise(demand_anchor_arr, facility_points)
-        if objective == "means":
-            base = base * base
-        cost_matrix = base + demand_offset_arr[:, None]
-
-        coordinator_kwargs = dict(coordinator_solver_kwargs or {})
-        if objective == "center":
-            coordinator_solution = kcenter_with_outliers(
-                cost_matrix, k, t, weights=demand_weight_arr, **coordinator_kwargs
-            )
-            outlier_budget = float(t)
-        else:
-            coordinator_solution = bicriteria_solve(
-                cost_matrix,
-                k,
-                t,
-                epsilon=epsilon,
-                relax="outliers",
-                objective="means" if objective == "means" else "median",
-                weights=demand_weight_arr,
-                rng=generator,
-                **coordinator_kwargs,
-            )
-            outlier_budget = float(math.floor((1.0 + epsilon) * t + 1e-9))
-
-        centers_global = facility_points[coordinator_solution.centers]
-
-    # ------------------------------------------------------------------
-    # Output: expand to a per-node assignment (uncharged output step).
-    # ------------------------------------------------------------------
-    node_assignment: Dict[int, int] = {}
-    node_outliers: List[int] = []
-    dropped = (
-        coordinator_solution.dropped_weight
-        if coordinator_solution.dropped_weight is not None
-        else np.zeros(demand_anchor_arr.size)
-    )
-    assignment_arr = coordinator_solution.assignment
-    for idx, (site_id, kind, payload) in enumerate(demand_origin):
-        target = int(facility_points[assignment_arr[idx]]) if assignment_arr[idx] >= 0 else -1
-        state = site_state[site_id]
-        if kind == "outlier":
-            node_global = int(state["shard"][int(payload)])
-            if target < 0:
-                node_outliers.append(node_global)
-            else:
-                node_assignment[node_global] = target
-            continue
-        # A precluster center demand: distribute the attached nodes.
-        c_local = int(payload)
-        members_local = np.flatnonzero(state["solution"].assignment == c_local)
-        member_costs = state["precluster"].cost_matrix[members_local, c_local]
-        n_drop = int(round(float(dropped[idx]))) if target >= 0 else members_local.size
-        n_drop = min(n_drop, members_local.size)
-        drop_positions = set(np.argsort(-member_costs, kind="stable")[:n_drop].tolist())
-        for pos, j_local in enumerate(members_local):
-            node_global = int(state["shard"][int(j_local)])
-            if pos in drop_positions or target < 0:
-                node_outliers.append(node_global)
-            else:
-                node_assignment[node_global] = target
-
-    return DistributedResult(
-        centers=centers_global,
-        outlier_budget=outlier_budget,
-        objective=objective,
-        cost=float(coordinator_solution.cost),
-        ledger=ledger,
-        rounds=2,
-        outliers=np.asarray(sorted(set(node_outliers)), dtype=int),
-        site_time={i: float(sum(site_timers[i].totals.values())) for i in range(s)},
-        coordinator_time=float(sum(coord_timer.totals.values())),
-        coordinator_solution=coordinator_solution,
-        metadata={
-            "algorithm": "algorithm3_uncertain",
-            "epsilon": float(epsilon),
-            "rho": float(rho),
-            "t_allocated": allocation.t_allocated.tolist(),
-            "t_used": [int(state["t_i"]) for state in site_state],
-            "node_assignment": node_assignment,
-            "n_coordinator_demands": int(demand_anchor_arr.size),
-            "collapse_cost_total": float(sum(float(st["collapse"].sum()) for st in site_state)),
-        },
-    )
 
 
 __all__ = ["distributed_uncertain_clustering"]

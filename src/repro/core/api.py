@@ -25,6 +25,7 @@ from repro.distributed.partition import (
     partition_round_robin,
 )
 from repro.distributed.result import DistributedResult
+from repro.metrics.blocked import MemoryBudgetLike
 from repro.metrics.euclidean import EuclideanMetric
 from repro.runtime.backends import BackendLike
 from repro.uncertain.instance import UncertainInstance
@@ -78,6 +79,7 @@ def partial_kmedian(
     partition: Union[str, Sequence, callable] = "balanced",
     seed: RngLike = None,
     backend: BackendLike = "serial",
+    memory_budget: MemoryBudgetLike = None,
     **kwargs,
 ) -> DistributedResult:
     """Distributed ``(k, (1+eps)t)``-median over a Euclidean point cloud.
@@ -102,6 +104,13 @@ def partial_kmedian(
         (default), ``"thread"``, ``"process"`` or an
         :class:`~repro.runtime.backends.ExecutionBackend` instance.  The
         result is bit-identical across backends for a fixed seed.
+    memory_budget:
+        Byte cap (int or ``"64MB"``-style string) on any single distance or
+        cost block a party materialises.  Site-local ``n_i x n_i`` cost
+        matrices larger than the budget stream from disk-backed shards
+        instead of RAM, so instances whose dense matrices would blow the
+        budget still run — with bit-identical centers, cost and ledger word
+        counts for every setting.  ``None`` (default) keeps the dense path.
     kwargs:
         Forwarded to :func:`repro.core.algorithm1.distributed_partial_median`
         (e.g. ``transport=`` for a runtime transport policy).
@@ -109,7 +118,8 @@ def partial_kmedian(
     generator = ensure_rng(seed)
     instance = _deterministic_instance(points, k, t, n_sites, "median", partition, generator)
     return distributed_partial_median(
-        instance, epsilon=epsilon, rho=rho, rng=generator, backend=backend, **kwargs
+        instance, epsilon=epsilon, rho=rho, rng=generator, backend=backend,
+        memory_budget=memory_budget, **kwargs
     )
 
 
@@ -124,6 +134,7 @@ def partial_kmeans(
     partition: Union[str, Sequence, callable] = "balanced",
     seed: RngLike = None,
     backend: BackendLike = "serial",
+    memory_budget: MemoryBudgetLike = None,
     **kwargs,
 ) -> DistributedResult:
     """Distributed ``(k, (1+eps)t)``-means over a Euclidean point cloud.
@@ -134,7 +145,8 @@ def partial_kmeans(
     generator = ensure_rng(seed)
     instance = _deterministic_instance(points, k, t, n_sites, "means", partition, generator)
     return distributed_partial_median(
-        instance, epsilon=epsilon, rho=rho, rng=generator, backend=backend, **kwargs
+        instance, epsilon=epsilon, rho=rho, rng=generator, backend=backend,
+        memory_budget=memory_budget, **kwargs
     )
 
 
@@ -148,12 +160,21 @@ def partial_kcenter(
     partition: Union[str, Sequence, callable] = "balanced",
     seed: RngLike = None,
     backend: BackendLike = "serial",
+    memory_budget: MemoryBudgetLike = None,
     **kwargs,
 ) -> DistributedResult:
-    """Distributed ``(k, t)``-center over a Euclidean point cloud (Algorithm 2)."""
+    """Distributed ``(k, t)``-center over a Euclidean point cloud (Algorithm 2).
+
+    ``memory_budget`` bounds any single distance block a party materialises
+    (see :func:`partial_kmedian`); results are bit-identical for every
+    setting.
+    """
     generator = ensure_rng(seed)
     instance = _deterministic_instance(points, k, t, n_sites, "center", partition, generator)
-    return distributed_partial_center(instance, rho=rho, rng=generator, backend=backend, **kwargs)
+    return distributed_partial_center(
+        instance, rho=rho, rng=generator, backend=backend,
+        memory_budget=memory_budget, **kwargs
+    )
 
 
 def _node_partition(n_nodes: int, n_sites: int, partition, rng) -> list:
@@ -172,6 +193,7 @@ def uncertain_partial_kmedian(
     partition: Union[str, Sequence, callable] = "balanced",
     seed: RngLike = None,
     backend: BackendLike = "serial",
+    memory_budget: MemoryBudgetLike = None,
     **kwargs,
 ) -> DistributedResult:
     """Distributed uncertain ``(k, (1+eps)t)``-median/means/center-pp (Algorithm 3).
@@ -184,12 +206,16 @@ def uncertain_partial_kmedian(
         ``"median"`` (default), ``"means"`` or ``"center"`` (center-pp).
     backend:
         Execution backend for site-local computation (see :func:`partial_kmedian`).
+    memory_budget:
+        Byte cap on any single compressed-cost block (see
+        :func:`partial_kmedian`); bit-identical results for every setting.
     """
     generator = ensure_rng(seed)
     shards = _node_partition(instance.n_nodes, n_sites, partition, generator)
     dist_instance = UncertainDistributedInstance.from_partition(instance, shards, k, t, objective)
     return distributed_uncertain_clustering(
-        dist_instance, epsilon=epsilon, rho=rho, rng=generator, backend=backend, **kwargs
+        dist_instance, epsilon=epsilon, rho=rho, rng=generator, backend=backend,
+        memory_budget=memory_budget, **kwargs
     )
 
 
@@ -204,14 +230,21 @@ def uncertain_partial_kcenter_g(
     partition: Union[str, Sequence, callable] = "balanced",
     seed: RngLike = None,
     backend: BackendLike = "serial",
+    memory_budget: MemoryBudgetLike = None,
     **kwargs,
 ) -> DistributedResult:
-    """Distributed uncertain ``(k, (1+eps)t)``-center-g (Algorithm 4)."""
+    """Distributed uncertain ``(k, (1+eps)t)``-center-g (Algorithm 4).
+
+    ``memory_budget`` bounds any single distance/cost block a party
+    materialises (see :func:`partial_kmedian`); bit-identical results for
+    every setting.
+    """
     generator = ensure_rng(seed)
     shards = _node_partition(instance.n_nodes, n_sites, partition, generator)
     dist_instance = UncertainDistributedInstance.from_partition(instance, shards, k, t, "center-g")
     return distributed_uncertain_center_g(
-        dist_instance, epsilon=epsilon, rho=rho, rng=generator, backend=backend, **kwargs
+        dist_instance, epsilon=epsilon, rho=rho, rng=generator, backend=backend,
+        memory_budget=memory_budget, **kwargs
     )
 
 

@@ -37,6 +37,15 @@ from repro.core.preclustering import precluster_site
 from repro.distributed.instance import UncertainDistributedInstance
 from repro.distributed.messages import COORDINATOR, CommunicationLedger, Message
 from repro.distributed.result import DistributedResult
+from repro.metrics.blocked import (
+    DEFAULT_REDUCTION_BUDGET,
+    MemoryBudgetLike,
+    materialize_rows,
+    reduce_max,
+    reduce_min_positive,
+    resolve_memory_budget,
+    shard_scratch,
+)
 from repro.runtime.backends import BackendLike, backend_scope
 from repro.runtime.tasks import run_tasks
 from repro.sequential.kcenter_outliers import kcenter_with_outliers
@@ -59,16 +68,22 @@ def truncation_grid(d_min: float, d_max: float, base: float = 2.0, extra_steps: 
 
 
 def _extremes_task(payload: dict) -> dict:
-    """Site phase of round 1a: local distance extremes (O(1) words per site)."""
+    """Site phase of round 1a: local distance extremes (O(1) words per site).
+
+    Pure reductions, so they always run blocked: the ``|support|^2`` distance
+    matrix the old phrasing materialised never exists — transient memory is
+    one tile of at most the memory budget (values are budget-independent).
+    """
     uncertain = payload["uncertain"]
     shard = payload["shard"]
+    budget = payload.get("memory_budget") or DEFAULT_REDUCTION_BUDGET
     timer = Timer()
     support = uncertain.support_union(shard)
     with timer.measure("extremes"):
-        block = uncertain.ground_metric.pairwise(support, support)
-        positive = block[block > 0]
-        d_min_i = float(positive.min()) if positive.size else 0.0
-        d_max_i = float(block.max()) if block.size else 0.0
+        d_min_i = reduce_min_positive(
+            uncertain.ground_metric, support, support, memory_budget=budget
+        )
+        d_max_i = reduce_max(uncertain.ground_metric, support, support, memory_budget=budget)
     return {"timer": timer, "extremes": (d_min_i, d_max_i)}
 
 
@@ -81,9 +96,23 @@ def _tau_sweep_task(payload: dict) -> dict:
     timer = Timer()
     support = uncertain.support_union(shard)
     preclusters: Dict[float, object] = {}
+    mem_budget = payload.get("memory_budget")
+    workdir = payload.get("workdir")
     with timer.measure("precluster"):
         for tau in taus:
-            costs = uncertain.expected_cost_matrix(shard, support, tau=6.0 * float(tau))
+            # Row-blocked build: each node's expected-cost row is computed in
+            # one call regardless of budget (bit-identical), spilling to a
+            # disk shard when the matrix exceeds the budget.
+            tau_scaled = 6.0 * float(tau)
+            costs = materialize_rows(
+                lambda rs: uncertain.expected_cost_matrix(
+                    shard[rs], support, tau=tau_scaled
+                ),
+                shard.size,
+                support.size,
+                memory_budget=mem_budget,
+                workdir=workdir,
+            )
             local_k = min(payload["local_center_factor"] * payload["k"], shard.size)
             preclusters[float(tau)] = precluster_site(
                 costs, local_k, payload["t"], objective="median", rho=payload["rho"],
@@ -169,6 +198,7 @@ def distributed_uncertain_center_g(
     local_solver_kwargs: Optional[dict] = None,
     coordinator_solver_kwargs: Optional[dict] = None,
     backend: BackendLike = None,
+    memory_budget: MemoryBudgetLike = None,
 ) -> DistributedResult:
     """Distributed uncertain ``(k, (1+eps)t)``-center-g (Theorem 5.14).
 
@@ -189,6 +219,11 @@ def distributed_uncertain_center_g(
     backend:
         Execution backend for the per-site phases (see
         :mod:`repro.runtime`); the result is backend-invariant.
+    memory_budget:
+        Byte cap on any single distance/cost block (distance extremes, the
+        per-``tau`` sweep matrices and the coordinator solve all run
+        blocked, spilling to disk shards beyond the budget); results are
+        bit-identical for every setting.
     """
     if epsilon <= 0 or rho <= 1:
         raise ValueError("epsilon must be positive and rho > 1")
@@ -200,197 +235,224 @@ def distributed_uncertain_center_g(
     generator = ensure_rng(rng)
     site_rngs = spawn_rngs(generator, s)
     local_kwargs = dict(local_solver_kwargs or {})
+    mem_budget = resolve_memory_budget(memory_budget)
+    if mem_budget is not None:
+        local_kwargs.setdefault("memory_budget", mem_budget)
 
     ledger = CommunicationLedger()
     site_timers = [Timer() for _ in range(s)]
     coord_timer = Timer()
 
-    with backend_scope(backend) as exec_backend:
-        # --------------------------------------------------------------
-        # Round 1a: every party reports its local distance extremes (O(s) words).
-        # --------------------------------------------------------------
-        extremes_out = run_tasks(
-            _extremes_task,
-            [{"uncertain": uncertain, "shard": instance.shard(i)} for i in range(s)],
-            backend=exec_backend,
-        )
-        local_extremes = []
-        for i, out in enumerate(extremes_out):
-            site_timers[i].merge(out["timer"])
-            local_extremes.append(out["extremes"])
-            ledger.record(Message(i, COORDINATOR, 1, "extremes", 2, out["extremes"]))
-        d_min = min(e[0] for e in local_extremes if e[0] > 0)
-        d_max = max(e[1] for e in local_extremes)
-        taus = truncation_grid(d_min, d_max, base=tau_base)
+    with shard_scratch(mem_budget) as workdir:
+        with backend_scope(backend) as exec_backend:
+            # --------------------------------------------------------------
+            # Round 1a: every party reports its local distance extremes (O(s) words).
+            # --------------------------------------------------------------
+            extremes_out = run_tasks(
+                _extremes_task,
+                [
+                    {
+                        "uncertain": uncertain,
+                        "shard": instance.shard(i),
+                        "memory_budget": mem_budget,
+                    }
+                    for i in range(s)
+                ],
+                backend=exec_backend,
+            )
+            local_extremes = []
+            for i, out in enumerate(extremes_out):
+                site_timers[i].merge(out["timer"])
+                local_extremes.append(out["extremes"])
+                ledger.record(Message(i, COORDINATOR, 1, "extremes", 2, out["extremes"]))
+            d_min = min(e[0] for e in local_extremes if e[0] > 0)
+            d_max = max(e[1] for e in local_extremes)
+            taus = truncation_grid(d_min, d_max, base=tau_base)
 
-        # --------------------------------------------------------------
-        # Round 1b: per-tau compressed preclustering profiles.
-        # --------------------------------------------------------------
-        sweep_out = run_tasks(
-            _tau_sweep_task,
-            [
-                {
-                    "uncertain": uncertain,
-                    "shard": instance.shard(i),
-                    "taus": taus,
-                    "k": k,
-                    "t": t,
-                    "rho": rho,
-                    "local_center_factor": local_center_factor,
-                    "local_kwargs": local_kwargs,
-                    "rng": site_rngs[i],
-                }
-                for i in range(s)
-            ],
-            backend=exec_backend,
-        )
-        site_state: List[dict] = []
-        for i, out in enumerate(sweep_out):
-            site_state.append(out["state"])
+            # --------------------------------------------------------------
+            # Round 1b: per-tau compressed preclustering profiles.
+            # --------------------------------------------------------------
+            sweep_out = run_tasks(
+                _tau_sweep_task,
+                [
+                    {
+                        "uncertain": uncertain,
+                        "shard": instance.shard(i),
+                        "taus": taus,
+                        "k": k,
+                        "t": t,
+                        "rho": rho,
+                        "local_center_factor": local_center_factor,
+                        "local_kwargs": local_kwargs,
+                        "rng": site_rngs[i],
+                        "memory_budget": mem_budget,
+                        "workdir": workdir,
+                    }
+                    for i in range(s)
+                ],
+                backend=exec_backend,
+            )
+            site_state: List[dict] = []
+            for i, out in enumerate(sweep_out):
+                site_state.append(out["state"])
+                site_timers[i].merge(out["timer"])
+                site_rngs[i] = out["rng"]
+                ledger.record(Message(i, COORDINATOR, 1, "tau_profiles", out["words"], out["profiles"]))
+
+            # Coordinator: parametric search for tau_hat (Algorithm 4, line 6).
+            with coord_timer.measure("tau_search"):
+                budget = int(math.floor(rho * t))
+                tau_hat = float(taus[-1])
+                allocation_hat = None
+                for tau in taus:
+                    profiles = [site_state[i]["preclusters"][float(tau)].profile for i in range(s)]
+                    allocation = allocate_outlier_budget([p.marginals() for p in profiles], budget)
+                    total_cost = float(
+                        sum(profiles[i](int(allocation.t_allocated[i])) for i in range(s))
+                    )
+                    if total_cost <= cost_budget_factor * float(tau):
+                        tau_hat = float(tau)
+                        allocation_hat = allocation
+                        break
+                if allocation_hat is None:
+                    profiles = [site_state[i]["preclusters"][float(taus[-1])].profile for i in range(s)]
+                    allocation_hat = allocate_outlier_budget([p.marginals() for p in profiles], budget)
+
+            # --------------------------------------------------------------
+            # Round 2: tau_hat + allocations out; preclusters (with full outlier
+            # node distributions) back.
+            # --------------------------------------------------------------
+            for i in range(s):
+                ledger.record(
+                    Message(COORDINATOR, i, 2, "allocation", 2,
+                            {"tau": tau_hat, "t_i": int(allocation_hat.t_allocated[i])})
+                )
+            round2 = run_tasks(
+                _center_g_round2,
+                [
+                    {
+                        "uncertain": uncertain,
+                        "site_id": i,
+                        "state": site_state[i],
+                        "tau_hat": tau_hat,
+                        "t_i": int(allocation_hat.t_allocated[i]),
+                        "B": B,
+                        "node_words": instance.node_words(),
+                        "local_kwargs": local_kwargs,
+                        "rng": site_rngs[i],
+                    }
+                    for i in range(s)
+                ],
+                backend=exec_backend,
+            )
+
+        demand_anchor: List[int] = []
+        demand_node: List[Optional[int]] = []   # global node id when the demand is a shipped node
+        demand_weight: List[float] = []
+        demand_origin: List[tuple] = []
+        facility_candidates: List[np.ndarray] = []
+        for i, out in enumerate(round2):
+            site_state[i] = out["state"]
             site_timers[i].merge(out["timer"])
             site_rngs[i] = out["rng"]
-            ledger.record(Message(i, COORDINATOR, 1, "tau_profiles", out["words"], out["profiles"]))
+            demand_anchor.extend(out["demand_anchor"])
+            demand_node.extend(out["demand_node"])
+            demand_weight.extend(out["demand_weight"])
+            demand_origin.extend(out["demand_origin"])
+            facility_candidates.extend(out["facility_candidates"])
+            ledger.record(Message(i, COORDINATOR, 2, "local_solution", out["words"], None))
 
-        # Coordinator: parametric search for tau_hat (Algorithm 4, line 6).
-        with coord_timer.measure("tau_search"):
-            budget = int(math.floor(rho * t))
-            tau_hat = float(taus[-1])
-            allocation_hat = None
-            for tau in taus:
-                profiles = [site_state[i]["preclusters"][float(tau)].profile for i in range(s)]
-                allocation = allocate_outlier_budget([p.marginals() for p in profiles], budget)
-                total_cost = float(
-                    sum(profiles[i](int(allocation.t_allocated[i])) for i in range(s))
-                )
-                if total_cost <= cost_budget_factor * float(tau):
-                    tau_hat = float(tau)
-                    allocation_hat = allocation
-                    break
-            if allocation_hat is None:
-                profiles = [site_state[i]["preclusters"][float(taus[-1])].profile for i in range(s)]
-                allocation_hat = allocate_outlier_budget([p.marginals() for p in profiles], budget)
+        # ------------------------------------------------------------------
+        # Coordinator: weighted (k, (1+eps)t)-center over what it received.
+        # ------------------------------------------------------------------
+        with coord_timer.measure("final_solve"):
+            facility_points = np.unique(np.concatenate(facility_candidates))
+            n_demands = len(demand_anchor)
 
-        # --------------------------------------------------------------
-        # Round 2: tau_hat + allocations out; preclusters (with full outlier
-        # node distributions) back.
-        # --------------------------------------------------------------
-        for i in range(s):
-            ledger.record(
-                Message(COORDINATOR, i, 2, "allocation", 2,
-                        {"tau": tau_hat, "t_i": int(allocation_hat.t_allocated[i])})
+            def _demand_rows(row_slice: slice) -> np.ndarray:
+                block = np.empty((row_slice.stop - row_slice.start, facility_points.size))
+                for pos, row in enumerate(range(row_slice.start, row_slice.stop)):
+                    if demand_node[row] is None:
+                        block[pos] = ground.pairwise([demand_anchor[row]], facility_points)[0]
+                    else:
+                        node = uncertain.nodes[int(demand_node[row])]
+                        block[pos] = node.expected_distances(ground, facility_points)
+                return block
+
+            # Row-blocked (each demand row is computed in one call regardless of
+            # budget, so entries are bit-identical), spilling to a disk shard
+            # when the matrix exceeds the budget.
+            cost_matrix = materialize_rows(
+                _demand_rows, n_demands, facility_points.size,
+                memory_budget=mem_budget, workdir=workdir,
             )
-        round2 = run_tasks(
-            _center_g_round2,
-            [
-                {
-                    "uncertain": uncertain,
-                    "site_id": i,
-                    "state": site_state[i],
-                    "tau_hat": tau_hat,
-                    "t_i": int(allocation_hat.t_allocated[i]),
-                    "B": B,
-                    "node_words": instance.node_words(),
-                    "local_kwargs": local_kwargs,
-                    "rng": site_rngs[i],
-                }
-                for i in range(s)
-            ],
-            backend=exec_backend,
+            weights_arr = np.asarray(demand_weight, dtype=float)
+            outlier_budget = float(math.floor((1.0 + epsilon) * t + 1e-9))
+            coordinator_solution = kcenter_with_outliers(
+                cost_matrix, k, outlier_budget, weights=weights_arr,
+                memory_budget=mem_budget,
+                **dict(coordinator_solver_kwargs or {}),
+            )
+            centers_global = facility_points[coordinator_solution.centers]
+
+        # Output: per-node assignment (uncharged output step).
+        node_assignment: Dict[int, int] = {}
+        node_outliers: List[int] = []
+        assignment_arr = coordinator_solution.assignment
+        dropped = (
+            coordinator_solution.dropped_weight
+            if coordinator_solution.dropped_weight is not None
+            else np.zeros(n_demands)
+        )
+        for idx, (site_id, kind, payload) in enumerate(demand_origin):
+            target = int(facility_points[assignment_arr[idx]]) if assignment_arr[idx] >= 0 else -1
+            state = site_state[site_id]
+            if kind == "outlier":
+                node_global = int(state["shard"][int(payload)])
+                if target < 0:
+                    node_outliers.append(node_global)
+                else:
+                    node_assignment[node_global] = target
+                continue
+            c_local = int(payload)
+            members_local = np.flatnonzero(state["solution"].assignment == c_local)
+            # The center objective never partially drops aggregated weight, so a
+            # center demand is either fully served or fully dropped.
+            fully_dropped = target < 0 or dropped[idx] >= weights_arr[idx] - 1e-9
+            for j_local in members_local:
+                node_global = int(state["shard"][int(j_local)])
+                if fully_dropped:
+                    node_outliers.append(node_global)
+                else:
+                    node_assignment[node_global] = target
+
+        return DistributedResult(
+            centers=centers_global,
+            outlier_budget=outlier_budget,
+            objective="center-g",
+            cost=float(coordinator_solution.cost),
+            ledger=ledger,
+            rounds=2,
+            outliers=np.asarray(sorted(set(node_outliers)), dtype=int),
+            site_time={i: float(sum(site_timers[i].totals.values())) for i in range(s)},
+            coordinator_time=float(sum(coord_timer.totals.values())),
+            coordinator_solution=coordinator_solution,
+            metadata={
+                "algorithm": "algorithm4_center_g",
+                "epsilon": float(epsilon),
+                "rho": float(rho),
+                "tau_grid": taus.tolist(),
+                "tau_hat": tau_hat,
+                "d_min": d_min,
+                "d_max": d_max,
+                "spread": d_max / d_min if d_min > 0 else float("inf"),
+                "t_allocated": allocation_hat.t_allocated.tolist(),
+                "node_assignment": node_assignment,
+                "n_coordinator_demands": int(n_demands),
+                "memory_budget": mem_budget,
+            },
         )
 
-    demand_anchor: List[int] = []
-    demand_node: List[Optional[int]] = []   # global node id when the demand is a shipped node
-    demand_weight: List[float] = []
-    demand_origin: List[tuple] = []
-    facility_candidates: List[np.ndarray] = []
-    for i, out in enumerate(round2):
-        site_state[i] = out["state"]
-        site_timers[i].merge(out["timer"])
-        site_rngs[i] = out["rng"]
-        demand_anchor.extend(out["demand_anchor"])
-        demand_node.extend(out["demand_node"])
-        demand_weight.extend(out["demand_weight"])
-        demand_origin.extend(out["demand_origin"])
-        facility_candidates.extend(out["facility_candidates"])
-        ledger.record(Message(i, COORDINATOR, 2, "local_solution", out["words"], None))
-
-    # ------------------------------------------------------------------
-    # Coordinator: weighted (k, (1+eps)t)-center over what it received.
-    # ------------------------------------------------------------------
-    with coord_timer.measure("final_solve"):
-        facility_points = np.unique(np.concatenate(facility_candidates))
-        n_demands = len(demand_anchor)
-        cost_matrix = np.empty((n_demands, facility_points.size), dtype=float)
-        for row in range(n_demands):
-            if demand_node[row] is None:
-                cost_matrix[row] = ground.pairwise([demand_anchor[row]], facility_points)[0]
-            else:
-                node = uncertain.nodes[int(demand_node[row])]
-                cost_matrix[row] = node.expected_distances(ground, facility_points)
-        weights_arr = np.asarray(demand_weight, dtype=float)
-        outlier_budget = float(math.floor((1.0 + epsilon) * t + 1e-9))
-        coordinator_solution = kcenter_with_outliers(
-            cost_matrix, k, outlier_budget, weights=weights_arr,
-            **dict(coordinator_solver_kwargs or {}),
-        )
-        centers_global = facility_points[coordinator_solution.centers]
-
-    # Output: per-node assignment (uncharged output step).
-    node_assignment: Dict[int, int] = {}
-    node_outliers: List[int] = []
-    assignment_arr = coordinator_solution.assignment
-    dropped = (
-        coordinator_solution.dropped_weight
-        if coordinator_solution.dropped_weight is not None
-        else np.zeros(n_demands)
-    )
-    for idx, (site_id, kind, payload) in enumerate(demand_origin):
-        target = int(facility_points[assignment_arr[idx]]) if assignment_arr[idx] >= 0 else -1
-        state = site_state[site_id]
-        if kind == "outlier":
-            node_global = int(state["shard"][int(payload)])
-            if target < 0:
-                node_outliers.append(node_global)
-            else:
-                node_assignment[node_global] = target
-            continue
-        c_local = int(payload)
-        members_local = np.flatnonzero(state["solution"].assignment == c_local)
-        # The center objective never partially drops aggregated weight, so a
-        # center demand is either fully served or fully dropped.
-        fully_dropped = target < 0 or dropped[idx] >= weights_arr[idx] - 1e-9
-        for j_local in members_local:
-            node_global = int(state["shard"][int(j_local)])
-            if fully_dropped:
-                node_outliers.append(node_global)
-            else:
-                node_assignment[node_global] = target
-
-    return DistributedResult(
-        centers=centers_global,
-        outlier_budget=outlier_budget,
-        objective="center-g",
-        cost=float(coordinator_solution.cost),
-        ledger=ledger,
-        rounds=2,
-        outliers=np.asarray(sorted(set(node_outliers)), dtype=int),
-        site_time={i: float(sum(site_timers[i].totals.values())) for i in range(s)},
-        coordinator_time=float(sum(coord_timer.totals.values())),
-        coordinator_solution=coordinator_solution,
-        metadata={
-            "algorithm": "algorithm4_center_g",
-            "epsilon": float(epsilon),
-            "rho": float(rho),
-            "tau_grid": taus.tolist(),
-            "tau_hat": tau_hat,
-            "d_min": d_min,
-            "d_max": d_max,
-            "spread": d_max / d_min if d_min > 0 else float("inf"),
-            "t_allocated": allocation_hat.t_allocated.tolist(),
-            "node_assignment": node_assignment,
-            "n_coordinator_demands": int(n_demands),
-        },
-    )
 
 
 __all__ = ["distributed_uncertain_center_g", "truncation_grid"]

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.metrics.base import MetricSpace
+from repro.metrics.blocked import MemoryBudgetLike
 from repro.metrics.cost_matrix import build_cost_matrix, validate_objective
 from repro.sequential.bicriteria import bicriteria_solve
 from repro.sequential.kcenter_outliers import kcenter_with_outliers
@@ -163,6 +164,8 @@ def combine_preclusters(
     rng: RngLike = None,
     realize: bool = True,
     coordinator_solver_kwargs: Optional[dict] = None,
+    memory_budget: MemoryBudgetLike = None,
+    workdir: Optional[str] = None,
 ) -> CombineResult:
     """Solve the induced weighted problem at the coordinator and map back.
 
@@ -183,6 +186,10 @@ def combine_preclusters(
     realize:
         Whether to also construct a per-point assignment from the member
         lists of the summaries (output step; free of communication).
+    memory_budget, workdir:
+        Memory discipline for the coordinator's cost matrix (see
+        :func:`repro.metrics.cost_matrix.build_cost_matrix`); results are
+        bit-identical for every budget.
     """
     obj = validate_objective(objective)
     solver_kwargs = dict(coordinator_solver_kwargs or {})
@@ -191,11 +198,15 @@ def combine_preclusters(
     if demand_points.size == 0:
         raise ValueError("no preclustering information received from any site")
     facility_points = np.unique(demand_points)
-    cost_matrix = build_cost_matrix(metric, demand_points, facility_points, obj)
+    cost_matrix = build_cost_matrix(
+        metric, demand_points, facility_points, obj,
+        memory_budget=memory_budget, workdir=workdir,
+    )
 
     if obj == "center":
         coordinator_solution = kcenter_with_outliers(
-            cost_matrix, k, t, weights=demand_weights, **solver_kwargs
+            cost_matrix, k, t, weights=demand_weights,
+            memory_budget=memory_budget, **solver_kwargs
         )
     else:
         coordinator_solution = bicriteria_solve(
@@ -207,6 +218,7 @@ def combine_preclusters(
             objective=obj,
             weights=demand_weights,
             rng=rng,
+            memory_budget=memory_budget,
             **solver_kwargs,
         )
 

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.convex_hull import CostProfile
 from repro.metrics.base import MetricSpace
+from repro.metrics.blocked import memmap_handle, open_memmap
 from repro.sequential.gonzalez import GonzalezResult, center_witnesses, gonzalez
 from repro.sequential.local_search import local_search_partial
 from repro.sequential.solution import ClusterSolution
@@ -88,6 +89,25 @@ class SitePreclustering:
     weights: Optional[np.ndarray] = None
     metadata: dict = field(default_factory=dict)
 
+    def __getstate__(self) -> dict:
+        # A memmap-backed cost matrix crosses process/transport boundaries as
+        # a shard *handle* (path + shape + dtype), never as n^2 bytes: both
+        # sides of a runtime backend share the local filesystem, and the
+        # protocol driver owns the shard files' lifetime.
+        state = dict(self.__dict__)
+        handle = memmap_handle(self.cost_matrix)
+        if handle is not None:
+            state["cost_matrix"] = ("__memmap_handle__",) + handle
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        cost_matrix = state.get("cost_matrix")
+        if isinstance(cost_matrix, tuple) and cost_matrix[0] == "__memmap_handle__":
+            _, path, shape, dtype = cost_matrix
+            state = dict(state)
+            state["cost_matrix"] = open_memmap(path, shape, dtype)
+        self.__dict__.update(state)
+
     def solution_for(
         self,
         q: int,
@@ -150,7 +170,10 @@ def precluster_site(
     solver_kwargs:
         Forwarded to :func:`local_search_partial`.
     """
-    cost_matrix = np.asarray(cost_matrix, dtype=float)
+    # Memmap-backed matrices are kept as memmaps (an asarray view would lose
+    # the filename the shard-handle pickling in __getstate__ relies on).
+    if not isinstance(cost_matrix, np.memmap):
+        cost_matrix = np.asarray(cost_matrix, dtype=float)
     n_local = cost_matrix.shape[0]
     generator = ensure_rng(rng)
     if grid is None:
@@ -276,11 +299,17 @@ def precluster_site_center(
     rho: float = 2.0,
     grid: Optional[Sequence[int]] = None,
     rng: RngLike = None,
+    memory_budget=None,
 ) -> CenterPreclustering:
-    """Gonzalez traversal + witness extraction for one site (Algorithm 2, lines 1-5)."""
+    """Gonzalez traversal + witness extraction for one site (Algorithm 2, lines 1-5).
+
+    ``memory_budget`` chunks the traversal's distance sweeps (see
+    :func:`repro.sequential.gonzalez.gonzalez`); witnesses are bit-identical
+    for every budget.
+    """
     n_local = len(local_metric)
     m = min(n_local, k + t + 1)
-    traversal = gonzalez(local_metric, m=m, rng=rng)
+    traversal = gonzalez(local_metric, m=m, rng=rng, memory_budget=memory_budget)
     witnesses = center_witnesses(traversal, k, t)
     if grid is None:
         grid_arr = geometric_grid(t, rho=rho)

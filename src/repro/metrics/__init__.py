@@ -10,9 +10,28 @@ pair at a time or as vectorised blocks.  Concrete implementations cover
 * :class:`CompressedGraphMetric` — the clique-with-tentacles graph of
   Definition 5.2 used to cluster uncertain data,
 * :class:`TruncatedDistance` — the ``L_tau`` distance of Definition 5.7.
+
+:mod:`repro.metrics.blocked` adds the memory discipline: blocked iteration
+and reductions over any metric (or explicit cost matrix) under a byte
+budget, plus disk-backed :class:`MemmapCostShard` spill for matrices that
+must outlive the budget.  All blocked results are bit-identical to the
+dense path.
 """
 
 from repro.metrics.base import MetricSpace, SubsetMetric
+from repro.metrics.blocked import (
+    DEFAULT_REDUCTION_BUDGET,
+    MemmapCostShard,
+    argmin_per_row,
+    count_within,
+    iter_blocks,
+    materialize,
+    materialize_rows,
+    reduce_max,
+    reduce_min_per_row,
+    reduce_min_positive,
+    resolve_memory_budget,
+)
 from repro.metrics.euclidean import EuclideanMetric
 from repro.metrics.matrix import MatrixMetric
 from repro.metrics.graph import GraphMetric
@@ -23,6 +42,17 @@ from repro.metrics.cost_matrix import build_cost_matrix, pairwise_distances
 __all__ = [
     "MetricSpace",
     "SubsetMetric",
+    "DEFAULT_REDUCTION_BUDGET",
+    "MemmapCostShard",
+    "argmin_per_row",
+    "count_within",
+    "iter_blocks",
+    "materialize",
+    "materialize_rows",
+    "reduce_max",
+    "reduce_min_per_row",
+    "reduce_min_positive",
+    "resolve_memory_budget",
     "EuclideanMetric",
     "MatrixMetric",
     "GraphMetric",

@@ -15,6 +15,13 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.metrics.blocked import (
+    DEFAULT_REDUCTION_BUDGET,
+    MemoryBudgetLike,
+    reduce_max,
+    reduce_min_positive,
+)
+
 
 class MetricSpace(abc.ABC):
     """A finite metric space whose points are addressed by integer index."""
@@ -49,34 +56,54 @@ class MetricSpace(abc.ABC):
         idx = np.arange(len(self))
         return self.pairwise(idx, idx)
 
-    def diameter(self, indices: Optional[Sequence[int]] = None) -> float:
-        """Maximum pairwise distance over ``indices`` (default: all points)."""
-        idx = np.arange(len(self)) if indices is None else np.asarray(indices, dtype=int)
-        if idx.size <= 1:
-            return 0.0
-        return float(self.pairwise(idx, idx).max())
+    def diameter(
+        self,
+        indices: Optional[Sequence[int]] = None,
+        *,
+        memory_budget: MemoryBudgetLike = None,
+    ) -> float:
+        """Maximum pairwise distance over ``indices`` (default: all points).
 
-    def min_positive_distance(self, indices: Optional[Sequence[int]] = None) -> float:
-        """Minimum non-zero pairwise distance over ``indices`` (default: all points).
-
-        Returns 0.0 when all points coincide.  Used for the ``Delta``
-        (spread) parameter of Algorithm 4.
+        Evaluated as a blocked reduction — never more than ``memory_budget``
+        bytes (default :data:`~repro.metrics.blocked.DEFAULT_REDUCTION_BUDGET`)
+        of the distance matrix exist at a time, and the value is bit-identical
+        for every budget.
         """
         idx = np.arange(len(self)) if indices is None else np.asarray(indices, dtype=int)
         if idx.size <= 1:
             return 0.0
-        mat = self.pairwise(idx, idx)
-        positive = mat[mat > 0]
-        if positive.size == 0:
-            return 0.0
-        return float(positive.min())
+        budget = DEFAULT_REDUCTION_BUDGET if memory_budget is None else memory_budget
+        return reduce_max(self, idx, idx, memory_budget=budget)
 
-    def spread(self, indices: Optional[Sequence[int]] = None) -> float:
+    def min_positive_distance(
+        self,
+        indices: Optional[Sequence[int]] = None,
+        *,
+        memory_budget: MemoryBudgetLike = None,
+    ) -> float:
+        """Minimum non-zero pairwise distance over ``indices`` (default: all points).
+
+        Returns 0.0 when all points coincide.  Used for the ``Delta``
+        (spread) parameter of Algorithm 4.  Blocked like :meth:`diameter`:
+        ``O(budget)`` transient memory, budget-independent value.
+        """
+        idx = np.arange(len(self)) if indices is None else np.asarray(indices, dtype=int)
+        if idx.size <= 1:
+            return 0.0
+        budget = DEFAULT_REDUCTION_BUDGET if memory_budget is None else memory_budget
+        return reduce_min_positive(self, idx, idx, memory_budget=budget)
+
+    def spread(
+        self,
+        indices: Optional[Sequence[int]] = None,
+        *,
+        memory_budget: MemoryBudgetLike = None,
+    ) -> float:
         """The aspect ratio ``Delta = d_max / d_min`` of the (sub-)space."""
-        dmin = self.min_positive_distance(indices)
+        dmin = self.min_positive_distance(indices, memory_budget=memory_budget)
         if dmin == 0.0:
             return 1.0
-        return self.diameter(indices) / dmin
+        return self.diameter(indices, memory_budget=memory_budget) / dmin
 
     def subset(self, indices: Sequence[int]) -> "SubsetMetric":
         """A view of this metric restricted to ``indices`` (re-indexed from 0)."""

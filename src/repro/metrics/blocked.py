@@ -1,0 +1,557 @@
+"""Blocked, memory-budgeted evaluation over metric spaces and cost matrices.
+
+The coordinator-model algorithms only ever need *blocks* of the distance
+function — a max here, a per-row argmin there — yet the natural numpy
+phrasing materialises full ``n x n`` arrays, which OOMs large shards long
+before the algorithms' communication bounds matter.  This module is the
+streaming layer that fixes that:
+
+* :func:`iter_blocks` — tile a ``rows x cols`` slab of any *block source*
+  (a :class:`~repro.metrics.base.MetricSpace`-like object with ``pairwise``,
+  or an explicit 2-D array) into tiles of at most ``memory_budget`` bytes;
+* blocked reductions — :func:`reduce_max`, :func:`reduce_min_positive`,
+  :func:`reduce_min_per_row`, :func:`argmin_per_row`, :func:`count_within` —
+  which never hold more than one tile;
+* :func:`materialize_rows` / :func:`materialize` — build a cost matrix in
+  row blocks, spilling to a disk-backed :class:`MemmapCostShard` when the
+  result itself would not fit the budget.
+
+Bit-identical semantics
+-----------------------
+Every function here is required to return *bitwise* the same result for any
+``memory_budget`` (including ``None`` — one tile covering everything).  The
+reductions achieve this structurally: ``min``/``max``/``argmin`` commute with
+tiling exactly, :func:`count_within` sums each column over all rows in a
+single ``np.add.reduce`` (columns are tiled, the reduction axis never is),
+and the materialisers tile rows only, so every row is produced by the same
+call shape.  The remaining obligation falls on block sources: ``pairwise``
+must be *tiling-invariant* (a sub-block equals the corresponding slice of the
+full block, bit for bit).  Index-backed metrics are invariant for free;
+:class:`~repro.metrics.euclidean.EuclideanMetric` uses a shape-independent
+per-dimension kernel for exactly this reason.
+
+Memory budgets
+--------------
+A budget is ``None`` (no tiling — the legacy dense behaviour), a number of
+bytes, or a string like ``"64MB"`` (binary units: KB = 2**10, MB = 2**20,
+GB = 2**30).  Budgets bound the *transient* tile, not O(1) per-row/column
+state; a budget smaller than one row still works (the tile degenerates to a
+single row, or to a column sliver for the 2-D tilers) and still returns
+bit-identical results.
+
+Shard handles
+-------------
+:class:`MemmapCostShard` streams a site's cost matrix from an ``np.memmap``
+instead of RAM.  It pickles as a *handle* (path + shape + dtype, never the
+data), so a shard created by a worker process crosses the
+:mod:`repro.runtime` boundary for the price of a filename.  File lifetime
+belongs to whoever owns the directory the shard lives in: the protocol
+drivers create a scratch directory per run and remove it when the run
+completes; direct callers should pass ``workdir=`` and clean up themselves.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import uuid
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+#: Budget used by always-blocked pure reductions (e.g. ``MetricSpace.diameter``)
+#: when the caller does not specify one.  64 MiB keeps tiles comfortably in
+#: cache-friendly territory while staying far below any dense ``n x n``.
+DEFAULT_REDUCTION_BUDGET = 64 * 2**20
+
+_UNIT_SUFFIXES = {
+    "B": 1,
+    "KB": 2**10,
+    "KIB": 2**10,
+    "MB": 2**20,
+    "MIB": 2**20,
+    "GB": 2**30,
+    "GIB": 2**30,
+}
+
+MemoryBudgetLike = Union[None, int, float, str]
+
+
+def resolve_memory_budget(budget: MemoryBudgetLike) -> Optional[int]:
+    """Normalise a memory budget to bytes (``None`` means unbudgeted/dense).
+
+    Accepts ``None``, a number of bytes, or a string with a binary unit
+    suffix: ``"4096"``, ``"256KB"``, ``"64MB"``, ``"2GB"``.
+    """
+    if budget is None:
+        return None
+    if isinstance(budget, str):
+        text = budget.strip().upper().replace(" ", "")
+        for suffix in sorted(_UNIT_SUFFIXES, key=len, reverse=True):
+            if text.endswith(suffix):
+                number = text[: -len(suffix)]
+                break
+        else:
+            suffix, number = "B", text
+        try:
+            value = float(number)
+        except ValueError as exc:
+            raise ValueError(f"cannot parse memory budget {budget!r}") from exc
+        value *= _UNIT_SUFFIXES[suffix]
+    else:
+        value = float(budget)
+    if value < 1:
+        raise ValueError(f"memory budget must be at least 1 byte, got {budget!r}")
+    return int(value)
+
+
+def contiguous_slice(indices: np.ndarray) -> Optional[slice]:
+    """The equivalent ``slice`` when ``indices`` is a contiguous ascending run.
+
+    Lets index-backed sources hand out *views* instead of gather copies (see
+    the aliasing contracts of :class:`~repro.metrics.matrix.MatrixMetric`).
+    Returns ``None`` when the indices are not of the form ``a, a+1, ..., b``.
+    """
+    indices = np.asarray(indices)
+    if indices.ndim != 1 or indices.size == 0:
+        return None
+    start = int(indices[0])
+    stop = int(indices[-1]) + 1
+    if start < 0 or stop - start != indices.size:
+        # Python-style negative indices cannot be served as a plain slice
+        # (slice(-1, 0) is empty); let callers fall back to fancy indexing.
+        return None
+    if indices.size > 1 and not np.array_equal(
+        indices, np.arange(start, stop, dtype=indices.dtype)
+    ):
+        return None
+    return slice(start, stop)
+
+
+def _source_shape(source: Any) -> Tuple[int, int]:
+    if isinstance(source, np.ndarray):
+        if source.ndim != 2:
+            raise ValueError(f"array block source must be 2-D, got shape {source.shape}")
+        return source.shape
+    n = len(source)
+    return n, n
+
+
+def _resolve_axis(source: Any, indices, axis_len: int) -> np.ndarray:
+    if indices is None:
+        return np.arange(axis_len)
+    return np.asarray(indices, dtype=int)
+
+
+def _get_block(source: Any, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """One tile of the source: ``pairwise`` for metrics, slicing for arrays."""
+    if isinstance(source, np.ndarray):
+        rs, cs = contiguous_slice(rows), contiguous_slice(cols)
+        if rs is not None and cs is not None:
+            return source[rs, cs]
+        if rs is not None:
+            return source[rs][:, cols]
+        return source[rows][:, cols]
+    return np.asarray(source.pairwise(rows, cols))
+
+
+def _tile_shape(n_rows: int, n_cols: int, budget: Optional[int], itemsize: int) -> Tuple[int, int]:
+    """Largest ``(row_chunk, col_chunk)`` whose tile fits the budget.
+
+    Prefers whole rows (row blocks); only when the budget cannot hold a single
+    row does the tile degenerate to one row of a column sliver.
+    """
+    if budget is None:
+        return n_rows, n_cols
+    max_cells = max(1, budget // itemsize)
+    if n_cols <= max_cells:
+        return max(1, min(n_rows, max_cells // n_cols)), n_cols
+    return 1, int(max_cells)
+
+
+def iter_blocks(
+    source: Any,
+    rows: Optional[Sequence[int]] = None,
+    cols: Optional[Sequence[int]] = None,
+    *,
+    memory_budget: MemoryBudgetLike = None,
+    itemsize: int = 8,
+) -> Iterator[Tuple[slice, slice, np.ndarray]]:
+    """Tile ``rows x cols`` of a block source under a memory budget.
+
+    Yields ``(row_slice, col_slice, block)`` where the slices index into the
+    *given* ``rows`` / ``cols`` sequences (or ``range(len(source))`` when
+    omitted) and ``block`` is the corresponding tile of distances/costs, at
+    most ``memory_budget`` bytes large.  ``memory_budget=None`` yields a
+    single tile — the legacy dense evaluation.
+    """
+    n_rows_total, n_cols_total = _source_shape(source)
+    row_idx = _resolve_axis(source, rows, n_rows_total)
+    col_idx = _resolve_axis(source, cols, n_cols_total)
+    if row_idx.size == 0 or col_idx.size == 0:
+        return  # an empty slab has no tiles (reductions fall back to their defaults)
+    budget = resolve_memory_budget(memory_budget)
+    row_chunk, col_chunk = _tile_shape(row_idx.size, col_idx.size, budget, itemsize)
+    for r0 in range(0, row_idx.size, row_chunk):
+        r1 = min(r0 + row_chunk, row_idx.size)
+        for c0 in range(0, col_idx.size, col_chunk):
+            c1 = min(c0 + col_chunk, col_idx.size)
+            block = _get_block(source, row_idx[r0:r1], col_idx[c0:c1])
+            yield slice(r0, r1), slice(c0, c1), block
+
+
+# ----------------------------------------------------------------------
+# Blocked reductions
+# ----------------------------------------------------------------------
+
+
+def reduce_max(
+    source: Any,
+    rows: Optional[Sequence[int]] = None,
+    cols: Optional[Sequence[int]] = None,
+    *,
+    memory_budget: MemoryBudgetLike = None,
+) -> float:
+    """Maximum over the ``rows x cols`` slab (0.0 when the slab is empty)."""
+    best = -np.inf
+    for _, _, block in iter_blocks(source, rows, cols, memory_budget=memory_budget):
+        if block.size:
+            best = max(best, float(block.max()))
+    return best if np.isfinite(best) else 0.0
+
+
+def reduce_min_positive(
+    source: Any,
+    rows: Optional[Sequence[int]] = None,
+    cols: Optional[Sequence[int]] = None,
+    *,
+    memory_budget: MemoryBudgetLike = None,
+) -> float:
+    """Minimum strictly positive entry of the slab (0.0 when there is none)."""
+    best = np.inf
+    for _, _, block in iter_blocks(source, rows, cols, memory_budget=memory_budget):
+        positive = block[block > 0]
+        if positive.size:
+            best = min(best, float(positive.min()))
+    return best if np.isfinite(best) else 0.0
+
+
+def reduce_min_per_row(
+    source: Any,
+    rows: Optional[Sequence[int]] = None,
+    cols: Optional[Sequence[int]] = None,
+    *,
+    memory_budget: MemoryBudgetLike = None,
+) -> np.ndarray:
+    """Per-row minimum over the columns, as a ``(n_rows,)`` array."""
+    n_rows = _resolve_axis(source, rows, _source_shape(source)[0]).size
+    out = np.full(n_rows, np.inf)
+    for rs, _, block in iter_blocks(source, rows, cols, memory_budget=memory_budget):
+        np.minimum(out[rs], block.min(axis=1), out=out[rs])
+    return out
+
+
+def argmin_per_row(
+    source: Any,
+    rows: Optional[Sequence[int]] = None,
+    cols: Optional[Sequence[int]] = None,
+    *,
+    memory_budget: MemoryBudgetLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-row ``(min value, argmin column position)`` over the columns.
+
+    Positions index into ``cols`` (or ``range(n)``), and ties resolve to the
+    first occurrence — exactly ``np.argmin`` semantics — because column tiles
+    are scanned left to right and only a *strictly* smaller value displaces
+    the incumbent.
+    """
+    n_rows = _resolve_axis(source, rows, _source_shape(source)[0]).size
+    values = np.full(n_rows, np.inf)
+    positions = np.zeros(n_rows, dtype=int)
+    for rs, cs, block in iter_blocks(source, rows, cols, memory_budget=memory_budget):
+        local_arg = np.argmin(block, axis=1)
+        local_val = block[np.arange(block.shape[0]), local_arg]
+        better = local_val < values[rs]
+        rows_in = np.flatnonzero(better) + rs.start
+        values[rows_in] = local_val[better]
+        positions[rows_in] = local_arg[better] + cs.start
+    return values, positions
+
+
+def count_within(
+    source: Any,
+    threshold: float,
+    rows: Optional[Sequence[int]] = None,
+    cols: Optional[Sequence[int]] = None,
+    *,
+    weights: Optional[np.ndarray] = None,
+    memory_budget: MemoryBudgetLike = None,
+) -> np.ndarray:
+    """Per-column (weighted) count of entries ``<= threshold``.
+
+    Tiles *columns only*, and reduces a Fortran-ordered product so every
+    column is summed over a contiguous run of all rows: the accumulation
+    order per column never depends on the budget and the result is
+    bit-identical across budgets (BLAS ``weights @ mask`` is not — its
+    reduction blocking varies with the panel shape, and even numpy's
+    pairwise summation takes a different path for strided columns).
+    Transient memory is ``O(n_rows * col_chunk)``.
+    """
+    n_rows, n_cols = _source_shape(source)
+    row_idx = _resolve_axis(source, rows, n_rows)
+    col_idx = _resolve_axis(source, cols, n_cols)
+    budget = resolve_memory_budget(memory_budget)
+    if budget is None:
+        col_chunk = col_idx.size
+    else:
+        col_chunk = max(1, budget // (8 * max(1, row_idx.size)))
+    w = None if weights is None else np.asarray(weights, dtype=float)[:, None]
+    out = np.empty(col_idx.size, dtype=float)
+    for c0 in range(0, col_idx.size, max(1, col_chunk)):
+        c1 = min(c0 + max(1, col_chunk), col_idx.size)
+        block = _get_block(source, row_idx, col_idx[c0:c1])
+        mask = block <= threshold
+        if w is None:
+            prod = np.asfortranarray(mask, dtype=float)
+        else:
+            prod = np.multiply(w, mask, order="F")
+        out[c0:c1] = np.add.reduce(prod, axis=0)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Materialisation (with disk spill)
+# ----------------------------------------------------------------------
+
+
+class MemmapCostShard:
+    """A cost matrix streamed from a disk-backed ``np.memmap``.
+
+    The shard object is a cheap *handle*: it pickles as ``(path, shape,
+    dtype)`` — never the data — so it can cross the
+    :mod:`repro.runtime` process boundary as part of a site's state for the
+    price of a filename (both sides of a :class:`ProcessPoolBackend` see the
+    same local filesystem).  :attr:`matrix` opens the file read-only; writers
+    go through :meth:`create` / :meth:`write_rows` / :meth:`finalize`.
+
+    The shard never deletes its file: lifetime belongs to the owner of the
+    directory it lives in (the protocol drivers use a scratch directory per
+    run, removed when the run completes).
+    """
+
+    def __init__(self, path: str, shape: Tuple[int, int], dtype: str = "float64"):
+        self.path = str(path)
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.dtype = str(np.dtype(dtype))
+        self._readonly: Optional[np.memmap] = None
+        self._writable: Optional[np.memmap] = None
+
+    @classmethod
+    def create(
+        cls,
+        shape: Tuple[int, int],
+        *,
+        workdir: Optional[str] = None,
+        dtype: str = "float64",
+    ) -> "MemmapCostShard":
+        """Allocate a writable shard file in ``workdir`` (or the system tempdir)."""
+        directory = workdir or tempfile.gettempdir()
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"cost-shard-{uuid.uuid4().hex}.npy")
+        shard = cls(path, shape, dtype)
+        shard._writable = np.memmap(path, dtype=shard.dtype, mode="w+", shape=shard.shape)
+        return shard
+
+    def write_rows(self, row_slice: slice, values: np.ndarray) -> None:
+        """Fill a row block of a shard opened with :meth:`create`."""
+        if self._writable is None:
+            raise RuntimeError("shard is not open for writing (use MemmapCostShard.create)")
+        self._writable[row_slice] = values
+
+    def finalize(self) -> np.memmap:
+        """Flush writes and reopen the shard read-only; returns :attr:`matrix`."""
+        if self._writable is not None:
+            self._writable.flush()
+            self._writable = None
+        return self.matrix
+
+    @property
+    def matrix(self) -> np.memmap:
+        """The cost matrix as a read-only, lazily-paged ``np.memmap``."""
+        if self._readonly is None:
+            self._readonly = np.memmap(self.path, dtype=self.dtype, mode="r", shape=self.shape)
+        return self._readonly
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the full matrix on disk."""
+        return self.shape[0] * self.shape[1] * np.dtype(self.dtype).itemsize
+
+    def unlink(self) -> None:
+        """Delete the backing file (only the directory owner should call this)."""
+        self._readonly = None
+        self._writable = None
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+    def __reduce__(self):
+        # Handle-only pickling: a shard crossing a transport/process boundary
+        # costs a filename, not an n x n payload.
+        return (MemmapCostShard, (self.path, self.shape, self.dtype))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MemmapCostShard(path={self.path!r}, shape={self.shape})"
+
+
+@contextmanager
+def shard_scratch(memory_budget: Optional[int]) -> Iterator[Optional[str]]:
+    """Per-run scratch directory for spilled cost shards.
+
+    Yields ``None`` when no budget is set (nothing will spill), otherwise a
+    fresh temporary directory that is removed — shards and all — when the
+    block exits.  Memmaps opened from the directory stay readable after the
+    removal on POSIX (the inode lives until unmapped), so cleanup is safe
+    even while results are still being assembled.
+    """
+    workdir = tempfile.mkdtemp(prefix="repro-shards-") if memory_budget is not None else None
+    try:
+        yield workdir
+    finally:
+        if workdir is not None:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+
+def memmap_handle(array: np.ndarray) -> Optional[Tuple[str, Tuple[int, int], str]]:
+    """The ``(path, shape, dtype)`` handle behind a memmap-backed array, if any.
+
+    Only *whole-file* mappings are representable as a handle: for a sliced or
+    otherwise offset view of a memmap the function returns ``None`` (instead
+    of a handle that would silently reopen the wrong rows), so callers fall
+    back to pickling the data itself.
+    """
+    candidate = array
+    while candidate is not None:
+        if isinstance(candidate, np.memmap) and isinstance(candidate.filename, str):
+            # Reopening by (path, shape, dtype) reproduces the array iff it
+            # is a contiguous map of the entire file from byte 0: a sliced
+            # view has fewer bytes than the file and is rejected.
+            try:
+                file_size = os.path.getsize(candidate.filename)
+            except OSError:
+                return None
+            if not array.flags["C_CONTIGUOUS"] or array.nbytes != file_size:
+                return None
+            return candidate.filename, tuple(array.shape), str(array.dtype)
+        candidate = getattr(candidate, "base", None)
+    return None
+
+
+def open_memmap(path: str, shape: Tuple[int, int], dtype: str = "float64") -> np.memmap:
+    """Reopen a shard file read-only (the inverse of :func:`memmap_handle`)."""
+    return MemmapCostShard(path, shape, dtype).matrix
+
+
+def materialize_rows(
+    block_fn: Callable[[slice], np.ndarray],
+    n_rows: int,
+    n_cols: int,
+    *,
+    memory_budget: MemoryBudgetLike = None,
+    workdir: Optional[str] = None,
+    dtype: str = "float64",
+) -> np.ndarray:
+    """Build an ``(n_rows, n_cols)`` matrix from row blocks under a budget.
+
+    ``block_fn(row_slice)`` must return the rows ``row_slice`` of the result;
+    it is the caller's tiling-invariant kernel (every row is produced with
+    the same column width regardless of budget, so results are bit-identical
+    across budgets).  With ``memory_budget=None`` the matrix is built in one
+    call and returned as a plain array.  With a budget, rows are produced in
+    blocks of at most ``memory_budget`` bytes (never less than one row) and —
+    when the *result itself* exceeds the budget — streamed into a
+    :class:`MemmapCostShard`, whose read-only memmap is returned.
+    """
+    budget = resolve_memory_budget(memory_budget)
+    if budget is None:
+        out = np.asarray(block_fn(slice(0, n_rows)), dtype=dtype)
+        if out.shape != (n_rows, n_cols):
+            raise ValueError(f"block_fn returned shape {out.shape}, expected {(n_rows, n_cols)}")
+        return out
+    itemsize = np.dtype(dtype).itemsize
+    row_bytes = max(1, n_cols * itemsize)
+    row_chunk = max(1, budget // row_bytes)
+    total_bytes = n_rows * n_cols * itemsize
+    shard = None
+    if total_bytes > budget:
+        shard = MemmapCostShard.create((n_rows, n_cols), workdir=workdir, dtype=dtype)
+    else:
+        out = np.empty((n_rows, n_cols), dtype=dtype)
+    for r0 in range(0, n_rows, row_chunk):
+        rs = slice(r0, min(r0 + row_chunk, n_rows))
+        block = block_fn(rs)
+        if shard is not None:
+            shard.write_rows(rs, block)
+        else:
+            out[rs] = block
+    if shard is not None:
+        return shard.finalize()
+    return out
+
+
+def materialize(
+    source: Any,
+    rows: Optional[Sequence[int]] = None,
+    cols: Optional[Sequence[int]] = None,
+    *,
+    transform: Optional[Callable[[np.ndarray, slice], np.ndarray]] = None,
+    memory_budget: MemoryBudgetLike = None,
+    workdir: Optional[str] = None,
+) -> np.ndarray:
+    """Materialise ``rows x cols`` of a block source, spilling to disk on demand.
+
+    ``transform(block, row_slice)`` — applied to each row block before it is
+    stored — must be elementwise/row-local (e.g. squaring for the means
+    objective, adding per-row collapse offsets) so the result stays
+    bit-identical across budgets.
+    """
+    n_rows_total, n_cols_total = _source_shape(source)
+    row_idx = _resolve_axis(source, rows, n_rows_total)
+    col_idx = _resolve_axis(source, cols, n_cols_total)
+
+    def block_fn(rs: slice) -> np.ndarray:
+        block = _get_block(source, row_idx[rs], col_idx)
+        if transform is not None:
+            block = transform(block, rs)
+        return block
+
+    return materialize_rows(
+        block_fn,
+        row_idx.size,
+        col_idx.size,
+        memory_budget=memory_budget,
+        workdir=workdir,
+    )
+
+
+__all__ = [
+    "DEFAULT_REDUCTION_BUDGET",
+    "MemoryBudgetLike",
+    "MemmapCostShard",
+    "argmin_per_row",
+    "contiguous_slice",
+    "count_within",
+    "iter_blocks",
+    "materialize",
+    "materialize_rows",
+    "memmap_handle",
+    "open_memmap",
+    "reduce_max",
+    "reduce_min_per_row",
+    "reduce_min_positive",
+    "resolve_memory_budget",
+    "shard_scratch",
+]

@@ -7,20 +7,44 @@ from typing import Sequence
 import numpy as np
 
 from repro.metrics.base import MetricSpace
+from repro.metrics.blocked import contiguous_slice
 from repro.utils.validation import check_points_array
+
+
+def _take_rows(points: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """Rows of ``points`` — a *view* when ``indices`` is a contiguous run.
+
+    Blocked evaluation walks contiguous index ranges, so the common tile
+    avoids the gather copy entirely.  Callers must treat the result as
+    read-only (it may alias the metric's own coordinate buffer).
+    """
+    rng = contiguous_slice(indices)
+    if rng is not None:
+        return points[rng]
+    return points[indices]
 
 
 class EuclideanMetric(MetricSpace):
     """Points in R^d under the Euclidean (L2) distance.
 
     This is the paper's canonical metric: each point costs ``d`` machine
-    words to transmit (``words_per_point``), and distance blocks are computed
-    with a vectorised ``(a - b)^2 = a^2 + b^2 - 2ab`` expansion.
+    words to transmit (``words_per_point``).
+
+    Distance blocks are computed with a per-dimension accumulation,
+    ``sum_dim (a_dim - b_dim)^2``, instead of the classic
+    ``a^2 + b^2 - 2ab`` BLAS expansion.  The per-dimension kernel is
+    *tiling-invariant*: every entry of a block is produced by the same
+    sequence of scalar operations regardless of the block's shape, so a
+    sub-block equals the corresponding slice of the full matrix bit for bit.
+    (BLAS matmul is not shape-stable — its reduction blocking changes with
+    the panel size — which would break the blocked layer's bit-identical
+    guarantee.)  The difference form is also immune to the cancellation the
+    expansion suffers for near-duplicate points, and identical points get an
+    exact zero without post-hoc masking.
     """
 
     def __init__(self, points: np.ndarray):
         self._points = check_points_array(points, "points")
-        self._sqnorms = np.einsum("ij,ij->i", self._points, self._points)
 
     @classmethod
     def from_random(cls, n: int, dim: int, rng: np.random.Generator, scale: float = 1.0) -> "EuclideanMetric":
@@ -51,24 +75,18 @@ class EuclideanMetric(MetricSpace):
     def pairwise(self, rows: Sequence[int], cols: Sequence[int]) -> np.ndarray:
         rows = np.asarray(rows, dtype=int)
         cols = np.asarray(cols, dtype=int)
-        a = self._points[rows]
-        b = self._points[cols]
-        # ||a - b||^2 = ||a||^2 + ||b||^2 - 2 a.b, clipped to guard against
-        # tiny negative values from floating-point cancellation.
-        sq = (
-            self._sqnorms[rows][:, None]
-            + self._sqnorms[cols][None, :]
-            - 2.0 * (a @ b.T)
-        )
-        np.maximum(sq, 0.0, out=sq)
-        # The expansion suffers cancellation for identical points; force the
-        # distance of a point to itself to be exactly zero.
-        sq[rows[:, None] == cols[None, :]] = 0.0
-        return np.sqrt(sq)
+        a = _take_rows(self._points, rows)
+        b = _take_rows(self._points, cols)
+        sq = np.zeros((a.shape[0], b.shape[0]), dtype=float)
+        for dim in range(self._points.shape[1]):
+            diff = a[:, dim][:, None] - b[None, :, dim]
+            diff *= diff
+            sq += diff
+        return np.sqrt(sq, out=sq)
 
     def distances_from(self, i: int, cols: Sequence[int]) -> np.ndarray:
         cols = np.asarray(cols, dtype=int)
-        diff = self._points[cols] - self._points[i]
+        diff = _take_rows(self._points, cols) - self._points[i]
         return np.sqrt(np.einsum("ij,ij->i", diff, diff))
 
 

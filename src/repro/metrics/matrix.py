@@ -7,6 +7,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.metrics.base import MetricSpace
+from repro.metrics.blocked import contiguous_slice
 
 
 class MatrixMetric(MetricSpace):
@@ -15,6 +16,13 @@ class MatrixMetric(MetricSpace):
     The constructor validates symmetry and zero diagonal; the (optional)
     triangle-inequality check is quadratic per point and therefore off by
     default, but exposed for tests.
+
+    Aliasing contract: :meth:`full_matrix`, the :attr:`matrix` property and
+    :meth:`pairwise` (for contiguous index ranges) return **read-only views**
+    of the metric's own buffer — no ``n x n`` copy is ever made for them.
+    The buffer is marked non-writable at construction, so accidental
+    mutation through a view raises instead of silently corrupting the
+    metric.  Callers that need a private writable copy must ``.copy()``.
     """
 
     def __init__(self, matrix: np.ndarray, *, words_per_point: int = 1, validate: bool = True):
@@ -29,6 +37,7 @@ class MatrixMetric(MetricSpace):
             if np.any(mat < -1e-12):
                 raise ValueError("distances must be non-negative")
         self._matrix = np.maximum(mat, 0.0)
+        self._matrix.setflags(write=False)
         self._words = int(words_per_point)
 
     def __len__(self) -> int:
@@ -36,7 +45,7 @@ class MatrixMetric(MetricSpace):
 
     @property
     def matrix(self) -> np.ndarray:
-        """The full distance matrix."""
+        """The full distance matrix (read-only; aliases the metric's buffer)."""
         return self._matrix
 
     @property
@@ -49,9 +58,17 @@ class MatrixMetric(MetricSpace):
     def pairwise(self, rows: Sequence[int], cols: Sequence[int]) -> np.ndarray:
         rows = np.asarray(rows, dtype=int)
         cols = np.asarray(cols, dtype=int)
+        # Contiguous ranges — the shape blocked tiles take — are served as
+        # zero-copy (read-only) views of the stored matrix.
+        row_rng, col_rng = contiguous_slice(rows), contiguous_slice(cols)
+        if row_rng is not None and col_rng is not None:
+            return self._matrix[row_rng, col_rng]
+        if row_rng is not None:
+            return self._matrix[row_rng][:, cols]
         return self._matrix[np.ix_(rows, cols)]
 
     def full_matrix(self) -> np.ndarray:
+        """The whole matrix as a read-only view (no copy; see the class docstring)."""
         return self._matrix
 
     def check_triangle_inequality(self, atol: float = 1e-8) -> bool:

@@ -45,6 +45,7 @@ from repro.runtime.backends import (
     ThreadPoolBackend,
     backend_scope,
     default_worker_count,
+    effective_cpu_count,
     resolve_backend,
 )
 from repro.runtime.tasks import (
@@ -71,6 +72,7 @@ __all__ = [
     "ProcessPoolBackend",
     "backend_scope",
     "default_worker_count",
+    "effective_cpu_count",
     "resolve_backend",
     "TransportLike",
     "TransportPolicy",

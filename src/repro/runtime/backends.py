@@ -39,9 +39,27 @@ from typing import Any, Callable, Iterator, List, Optional, Sequence, Union
 BackendLike = Union[None, str, "ExecutionBackend"]
 
 
-def default_worker_count() -> int:
-    """Default pool size: the machine's CPU count (at least 1)."""
+def effective_cpu_count() -> int:
+    """CPUs actually available to this process (at least 1).
+
+    ``os.cpu_count()`` reports the *host's* cores and ignores cgroup / CPU
+    affinity limits, so inside a constrained container it wildly overstates
+    the useful pool size (and makes speedup assertions unsound).  The
+    scheduler affinity mask, where the platform exposes it, is the honest
+    number.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return max(1, len(getaffinity(0)))
+        except OSError:  # pragma: no cover - platform quirk
+            pass
     return max(1, os.cpu_count() or 1)
+
+
+def default_worker_count() -> int:
+    """Default pool size: the CPUs available to this process (at least 1)."""
+    return effective_cpu_count()
 
 
 class ExecutionBackend(ABC):
@@ -187,5 +205,6 @@ __all__ = [
     "ThreadPoolBackend",
     "ProcessPoolBackend",
     "default_worker_count",
+    "effective_cpu_count",
     "resolve_backend",
 ]

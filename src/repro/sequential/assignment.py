@@ -19,25 +19,34 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.metrics.blocked import MemoryBudgetLike, argmin_per_row
 from repro.metrics.cost_matrix import validate_objective
 from repro.sequential.solution import ClusterSolution
 
 
 def nearest_center_distances(
-    cost_matrix: np.ndarray, centers: Sequence[int]
+    cost_matrix: np.ndarray,
+    centers: Sequence[int],
+    *,
+    memory_budget: MemoryBudgetLike = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Per-demand nearest open center.
 
     Returns ``(unit_costs, nearest)`` where ``unit_costs[i]`` is the cost of
     serving one unit of demand ``i`` from its nearest open center and
     ``nearest[i]`` is that center's column index in ``cost_matrix``.
+
+    A blocked per-row argmin (:func:`repro.metrics.blocked.argmin_per_row`
+    over the open-center columns): under a ``memory_budget`` the transient
+    footprint stays ``O(budget)`` even when ``cost_matrix`` is a disk-backed
+    memmap, and the result is bit-identical for every budget.
     """
     centers = np.asarray(centers, dtype=int)
     if centers.size == 0:
         raise ValueError("at least one center is required")
-    block = cost_matrix[:, centers]
-    arg = np.argmin(block, axis=1)
-    unit = block[np.arange(block.shape[0]), arg]
+    unit, arg = argmin_per_row(
+        np.asarray(cost_matrix), None, centers, memory_budget=memory_budget
+    )
     return unit, centers[arg]
 
 
@@ -105,6 +114,8 @@ def assign_with_outliers(
     t: float,
     weights: Optional[np.ndarray] = None,
     objective: str = "median",
+    *,
+    memory_budget: MemoryBudgetLike = None,
 ) -> ClusterSolution:
     """Assign demands to their nearest open center, excluding up to ``t`` weight.
 
@@ -121,6 +132,9 @@ def assign_with_outliers(
         Per-demand weights (default: all ones).
     objective:
         ``"median"``, ``"means"`` or ``"center"``.
+    memory_budget:
+        Byte cap on the transient nearest-center blocks (see
+        :func:`nearest_center_distances`); bit-identical for every budget.
     """
     obj = validate_objective(objective)
     cost_matrix = np.asarray(cost_matrix, dtype=float)
@@ -129,7 +143,7 @@ def assign_with_outliers(
     if w.shape != (n,):
         raise ValueError(f"weights must have shape ({n},), got {w.shape}")
 
-    unit, nearest = nearest_center_distances(cost_matrix, centers)
+    unit, nearest = nearest_center_distances(cost_matrix, centers, memory_budget=memory_budget)
     dropped, cost = trim_outliers(unit, w, t, obj)
 
     assignment = nearest.copy()
@@ -153,9 +167,13 @@ def solution_cost(
     t: float,
     weights: Optional[np.ndarray] = None,
     objective: str = "median",
+    *,
+    memory_budget: MemoryBudgetLike = None,
 ) -> float:
     """Cost of the best assignment to ``centers`` with ``t`` outlier weight excluded."""
-    return assign_with_outliers(cost_matrix, centers, t, weights, objective).cost
+    return assign_with_outliers(
+        cost_matrix, centers, t, weights, objective, memory_budget=memory_budget
+    ).cost
 
 
 __all__ = [

@@ -25,6 +25,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.metrics.blocked import MemoryBudgetLike
 from repro.metrics.cost_matrix import validate_objective
 from repro.sequential.kcenter_outliers import kcenter_with_outliers
 from repro.sequential.local_search import local_search_partial
@@ -59,6 +60,7 @@ def bicriteria_solve(
     objective: str = "median",
     weights: Optional[np.ndarray] = None,
     rng: RngLike = None,
+    memory_budget: MemoryBudgetLike = None,
     **solver_kwargs,
 ) -> ClusterSolution:
     """Solve the weighted partial clustering problem with one relaxed budget.
@@ -80,6 +82,10 @@ def bicriteria_solve(
         Per-demand weights.
     rng:
         Seed or generator forwarded to the stochastic solvers.
+    memory_budget:
+        Byte cap on transient blocks, forwarded to the concrete solver (the
+        cost matrix itself may be a read-only memmap shard); results are
+        bit-identical for every budget.
     solver_kwargs:
         Extra keyword arguments forwarded to the concrete solver.
     """
@@ -89,7 +95,12 @@ def bicriteria_solve(
 
     if obj == "center":
         solution = kcenter_with_outliers(
-            cost_matrix, k_used, t_used, weights=weights, **solver_kwargs
+            cost_matrix,
+            k_used,
+            t_used,
+            weights=weights,
+            memory_budget=memory_budget,
+            **solver_kwargs,
         )
     else:
         solution = local_search_partial(
@@ -99,6 +110,7 @@ def bicriteria_solve(
             weights=weights,
             objective=obj,
             rng=rng,
+            memory_budget=memory_budget,
             **solver_kwargs,
         )
     solution.metadata.update(

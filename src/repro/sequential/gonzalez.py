@@ -22,6 +22,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.metrics.base import MetricSpace
+from repro.metrics.blocked import MemoryBudgetLike, resolve_memory_budget
 from repro.utils.rng import RngLike, ensure_rng
 
 
@@ -55,6 +56,25 @@ class GonzalezResult:
         return self.ordering[:r]
 
 
+def _distances_from_chunked(
+    metric: MetricSpace, i: int, cols: np.ndarray, budget: Optional[int]
+) -> np.ndarray:
+    """One traversal sweep, evaluated in column chunks of at most ``budget`` bytes.
+
+    ``distances_from`` is computed independently per target point, so
+    chunking is bit-identical to the one-shot call; only the transient
+    gather inside the metric shrinks.
+    """
+    if budget is None:
+        return metric.distances_from(i, cols)
+    chunk = max(1, budget // 8)
+    out = np.empty(cols.size, dtype=float)
+    for c0 in range(0, cols.size, chunk):
+        c1 = min(c0 + chunk, cols.size)
+        out[c0:c1] = metric.distances_from(i, cols[c0:c1])
+    return out
+
+
 def gonzalez(
     metric: MetricSpace,
     indices: Optional[Sequence[int]] = None,
@@ -62,6 +82,7 @@ def gonzalez(
     *,
     start: Optional[int] = None,
     rng: RngLike = None,
+    memory_budget: MemoryBudgetLike = None,
 ) -> GonzalezResult:
     """Farthest-first traversal of ``indices`` (default: all points of ``metric``).
 
@@ -77,6 +98,11 @@ def gonzalez(
         Index (into ``indices``) of the first point; random if omitted.
     rng:
         Seed or generator used only to choose the starting point.
+    memory_budget:
+        Byte cap on each sweep's transient blocks.  The traversal already
+        streams — its state is three ``O(n)`` vectors, never a matrix — so
+        the budget only chunks the per-step distance sweeps; results are
+        bit-identical for every budget.
     """
     idx = np.arange(len(metric)) if indices is None else np.asarray(indices, dtype=int)
     metric.validate_indices(idx)
@@ -96,12 +122,13 @@ def gonzalez(
     radii = np.empty(m, dtype=float)
     coverage = np.empty(m, dtype=float)
 
+    budget = resolve_memory_budget(memory_budget)
     ordering[0] = idx[start]
     radii[0] = np.inf
     # ``dist_to_chosen`` holds the true distance of every point to the prefix;
     # ``selection`` is the same array with already-chosen points masked out so
     # that ties at distance zero (duplicate points) never re-select a point.
-    dist_to_chosen = metric.distances_from(int(idx[start]), idx)
+    dist_to_chosen = _distances_from_chunked(metric, int(idx[start]), idx, budget)
     selection = dist_to_chosen.copy()
     selection[start] = -np.inf
     coverage[0] = float(dist_to_chosen.max()) if n > 1 else 0.0
@@ -110,7 +137,7 @@ def gonzalez(
         nxt = int(np.argmax(selection))
         ordering[r] = idx[nxt]
         radii[r] = float(dist_to_chosen[nxt])
-        new_dist = metric.distances_from(int(idx[nxt]), idx)
+        new_dist = _distances_from_chunked(metric, int(idx[nxt]), idx, budget)
         np.minimum(dist_to_chosen, new_dist, out=dist_to_chosen)
         np.minimum(selection, new_dist, out=selection)
         selection[nxt] = -np.inf

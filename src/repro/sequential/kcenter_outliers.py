@@ -19,19 +19,46 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.metrics.blocked import (
+    MemoryBudgetLike,
+    count_within,
+    iter_blocks,
+    resolve_memory_budget,
+)
 from repro.sequential.assignment import assign_with_outliers
 from repro.sequential.solution import ClusterSolution
 
 
-def candidate_radii(cost_matrix: np.ndarray, max_candidates: int = 256) -> np.ndarray:
+def candidate_radii(
+    cost_matrix: np.ndarray,
+    max_candidates: int = 256,
+    *,
+    memory_budget: MemoryBudgetLike = None,
+) -> np.ndarray:
     """Sorted candidate radii for the Charikar guess.
 
     The optimal ``(k, t)``-center radius is always one of the demand-facility
     distances.  When there are more than ``max_candidates`` distinct values we
     keep evenly spaced quantiles (always including the extremes), which costs
     at most one quantile step of accuracy in the guess.
+
+    Under a ``memory_budget`` the distinct values are merged tile by tile
+    (unique-of-uniques equals unique-of-all exactly), so a memmap-backed
+    cost matrix is streamed rather than pulled into RAM whole.  Note the
+    *result set* is still ``O(#distinct values)`` — exact radius collection
+    cannot be sublinear for distinct-valued matrices — which is fine at the
+    coordinator (the only caller on ``(sk + t)``-sized instances) but makes
+    this the wrong primitive for huge distinct-valued site matrices.
     """
-    values = np.unique(np.asarray(cost_matrix, dtype=float).ravel())
+    cost_matrix = np.asarray(cost_matrix, dtype=float)
+    if memory_budget is None:
+        values = np.unique(cost_matrix.ravel())
+    else:
+        values = np.empty(0)
+        for _, _, block in iter_blocks(cost_matrix, memory_budget=memory_budget):
+            # Incremental merge: peak transient memory is one tile plus the
+            # (deduplicated) running set, never a list of all tiles.
+            values = np.union1d(values, block)
     if values.size <= max_candidates:
         return values
     positions = np.linspace(0, values.size - 1, max_candidates).round().astype(int)
@@ -44,25 +71,41 @@ def _greedy_cover(
     k: int,
     radius: float,
     expansion: float,
+    memory_budget: MemoryBudgetLike = None,
 ) -> tuple:
     """One run of the greedy disk cover at a fixed radius guess.
 
     Returns ``(centers, uncovered_weight)`` where ``centers`` are the chosen
     facility columns and ``uncovered_weight`` is the demand weight not within
     ``expansion * radius`` of any chosen center.
+
+    Under a ``memory_budget`` the per-facility gains are blocked column
+    reductions (:func:`repro.metrics.blocked.count_within`), so the ``n x m``
+    boolean disk matrices of the classic phrasing are never materialised:
+    transient memory is one column tile, and only the chosen center's column
+    is ever read in full.  The unbudgeted path hoists the disk mask once per
+    radius guess (as the classic phrasing does) and accumulates gains with
+    the same column-contiguous reduction, so both paths are bit-identical.
     """
-    n, _ = cost_matrix.shape
     remaining = weights.astype(float).copy()
     centers = []
-    inner = cost_matrix <= radius
-    outer = cost_matrix <= expansion * radius
+    outer_radius = expansion * radius
+    inner = None
+    if resolve_memory_budget(memory_budget) is None:
+        inner = cost_matrix <= radius
     for _ in range(k):
         if not np.any(remaining > 0):
             break
-        gain = remaining @ inner  # weight inside the radius-r disk of each facility
+        # Weight inside the radius-r disk of each facility.
+        if inner is not None:
+            gain = np.add.reduce(np.multiply(remaining[:, None], inner, order="F"), axis=0)
+        else:
+            gain = count_within(
+                cost_matrix, radius, weights=remaining, memory_budget=memory_budget
+            )
         best = int(np.argmax(gain))
         centers.append(best)
-        remaining[outer[:, best]] = 0.0
+        remaining[cost_matrix[:, best] <= outer_radius] = 0.0
     return np.asarray(centers, dtype=int), float(remaining.sum())
 
 
@@ -74,6 +117,7 @@ def kcenter_with_outliers(
     *,
     expansion: float = 3.0,
     max_candidates: int = 256,
+    memory_budget: MemoryBudgetLike = None,
 ) -> ClusterSolution:
     """Weighted ``(k, t)``-center with outliers via the Charikar greedy.
 
@@ -92,6 +136,9 @@ def kcenter_with_outliers(
         the value from the original analysis.
     max_candidates:
         Cap on the number of radius guesses tried.
+    memory_budget:
+        Byte cap on transient blocks (the cost matrix itself may be a
+        read-only memmap); results are bit-identical for every budget.
 
     Returns
     -------
@@ -111,7 +158,7 @@ def kcenter_with_outliers(
     if w.shape != (n,):
         raise ValueError(f"weights must have shape ({n},), got {w.shape}")
 
-    radii = candidate_radii(cost_matrix, max_candidates=max_candidates)
+    radii = candidate_radii(cost_matrix, max_candidates=max_candidates, memory_budget=memory_budget)
     total_weight = float(w.sum())
 
     best_centers: Optional[np.ndarray] = None
@@ -120,7 +167,9 @@ def kcenter_with_outliers(
     feasible_at: Optional[int] = None
     while lo <= hi:
         mid = (lo + hi) // 2
-        centers, uncovered = _greedy_cover(cost_matrix, w, k, float(radii[mid]), expansion)
+        centers, uncovered = _greedy_cover(
+            cost_matrix, w, k, float(radii[mid]), expansion, memory_budget
+        )
         if uncovered <= t + 1e-9 or total_weight - uncovered <= 1e-12:
             feasible_at = mid
             best_centers = centers
@@ -131,12 +180,16 @@ def kcenter_with_outliers(
     if best_centers is None or best_centers.size == 0:
         # No radius guess was feasible (can only happen with an aggressive
         # candidate subsample); fall back to the largest radius greedy.
-        best_centers, _ = _greedy_cover(cost_matrix, w, k, float(radii[-1]), expansion)
+        best_centers, _ = _greedy_cover(
+            cost_matrix, w, k, float(radii[-1]), expansion, memory_budget
+        )
         if best_centers.size == 0:
             best_centers = np.asarray([0], dtype=int)
         feasible_at = radii.size - 1
 
-    solution = assign_with_outliers(cost_matrix, best_centers, t, w, objective="center")
+    solution = assign_with_outliers(
+        cost_matrix, best_centers, t, w, objective="center", memory_budget=memory_budget
+    )
     solution.metadata.update(
         {
             "method": "charikar_greedy",

@@ -15,22 +15,51 @@ from typing import Optional
 
 import numpy as np
 
+from repro.metrics.blocked import MemoryBudgetLike, resolve_memory_budget
 from repro.sequential.solution import ClusterSolution
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_points_array
 
 
-def _closest_sq_distances(points: np.ndarray, centers: np.ndarray) -> tuple:
-    """Squared distance to, and index of, the nearest center for every point."""
-    # (n, k) squared distances via the expansion trick.
-    sq = (
-        np.einsum("ij,ij->i", points, points)[:, None]
-        + np.einsum("ij,ij->i", centers, centers)[None, :]
-        - 2.0 * points @ centers.T
-    )
-    np.maximum(sq, 0.0, out=sq)
-    idx = np.argmin(sq, axis=1)
-    return sq[np.arange(points.shape[0]), idx], idx
+def _sq_distance_block(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """``(n, k)`` squared distances via a shape-stable per-dimension kernel.
+
+    Accumulating per dimension (instead of the BLAS ``a^2 + b^2 - 2ab``
+    expansion) makes every entry independent of the block's row count, so
+    the row-chunked assignment step below is bit-identical to the one-shot
+    evaluation for any memory budget (and needs no negative-value clipping).
+    """
+    sq = np.zeros((points.shape[0], centers.shape[0]), dtype=float)
+    for dim in range(points.shape[1]):
+        diff = points[:, dim][:, None] - centers[None, :, dim]
+        diff *= diff
+        sq += diff
+    return sq
+
+
+def _closest_sq_distances(
+    points: np.ndarray,
+    centers: np.ndarray,
+    memory_budget: MemoryBudgetLike = None,
+) -> tuple:
+    """Squared distance to, and index of, the nearest center for every point.
+
+    The assignment step is the memory hot spot of trimmed Lloyd: under a
+    ``memory_budget`` the ``(n, k)`` block is produced in row chunks of at
+    most that many bytes (per-row results, so bit-identical across budgets).
+    """
+    n, k = points.shape[0], centers.shape[0]
+    budget = resolve_memory_budget(memory_budget)
+    chunk = n if budget is None else max(1, budget // max(1, k * 8))
+    best = np.empty(n, dtype=float)
+    idx = np.empty(n, dtype=int)
+    for r0 in range(0, n, max(1, chunk)):
+        r1 = min(r0 + max(1, chunk), n)
+        sq = _sq_distance_block(points[r0:r1], centers)
+        local = np.argmin(sq, axis=1)
+        best[r0:r1] = sq[np.arange(sq.shape[0]), local]
+        idx[r0:r1] = local
+    return best, idx
 
 
 def trimmed_lloyd_kmeans(
@@ -44,6 +73,7 @@ def trimmed_lloyd_kmeans(
     tol: float = 1e-7,
     snap_to_points: bool = True,
     rng: RngLike = None,
+    memory_budget: MemoryBudgetLike = None,
 ) -> ClusterSolution:
     """Trimmed k-means on a Euclidean point cloud.
 
@@ -67,6 +97,9 @@ def trimmed_lloyd_kmeans(
         ``metadata["center_coords"]`` either way.
     rng:
         Seed or generator.
+    memory_budget:
+        Byte cap on the transient ``(n, k)`` blocks of the assignment and
+        snapping steps (row-chunked; bit-identical for every budget).
     """
     pts = check_points_array(points, "points")
     n, d = pts.shape
@@ -102,7 +135,7 @@ def trimmed_lloyd_kmeans(
         labels = np.zeros(n, dtype=int)
         outlier_mask = np.zeros(n, dtype=bool)
         for _ in range(max_iter):
-            sq, labels = _closest_sq_distances(pts, centers)
+            sq, labels = _closest_sq_distances(pts, centers, memory_budget)
             # Trim the t most expensive points before the mean update.
             outlier_mask = np.zeros(n, dtype=bool)
             if t > 0:
@@ -121,7 +154,7 @@ def trimmed_lloyd_kmeans(
                 break
             prev_cost = cost
 
-        sq, labels = _closest_sq_distances(pts, centers)
+        sq, labels = _closest_sq_distances(pts, centers, memory_budget)
         outlier_mask = np.zeros(n, dtype=bool)
         if t > 0:
             outlier_mask[np.argsort(-sq, kind="stable")[:t]] = True
@@ -135,13 +168,19 @@ def trimmed_lloyd_kmeans(
     assert best_centers is not None
     # Snap continuous centers to the nearest input point if requested.
     if snap_to_points:
-        sq_to_centers = (
-            np.einsum("ij,ij->i", pts, pts)[:, None]
-            + np.einsum("ij,ij->i", best_centers, best_centers)[None, :]
-            - 2.0 * pts @ best_centers.T
-        )
-        center_indices = np.argmin(sq_to_centers, axis=0)
-        sq, labels = _closest_sq_distances(pts, pts[center_indices])
+        budget = resolve_memory_budget(memory_budget)
+        chunk = n if budget is None else max(1, budget // max(1, k * 8))
+        best_sq = np.full(k, np.inf)
+        center_indices = np.zeros(k, dtype=int)
+        for r0 in range(0, n, max(1, chunk)):
+            sq_block = _sq_distance_block(pts[r0 : r0 + chunk], best_centers)
+            local = np.argmin(sq_block, axis=0)
+            local_val = sq_block[local, np.arange(k)]
+            # Strict less keeps np.argmin's first-occurrence tie-breaking.
+            better = local_val < best_sq
+            best_sq[better] = local_val[better]
+            center_indices[better] = local[better] + r0
+        sq, labels = _closest_sq_distances(pts, pts[center_indices], memory_budget)
         outlier_mask = np.zeros(n, dtype=bool)
         if t > 0:
             outlier_mask[np.argsort(-sq, kind="stable")[:t]] = True

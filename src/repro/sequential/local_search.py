@@ -24,6 +24,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.metrics.blocked import MemoryBudgetLike
 from repro.metrics.cost_matrix import validate_objective
 from repro.sequential.assignment import assign_with_outliers, trim_outliers
 from repro.sequential.solution import ClusterSolution
@@ -107,6 +108,7 @@ def local_search_partial(
     sample_size: Optional[int] = None,
     min_relative_gain: float = 1e-4,
     rng: RngLike = None,
+    memory_budget: MemoryBudgetLike = None,
 ) -> ClusterSolution:
     """Outlier-trimmed single-swap local search for weighted ``(k, t)``-median/means.
 
@@ -136,6 +138,11 @@ def local_search_partial(
         amount; controls termination.
     rng:
         Seed or generator for seeding and candidate sampling.
+    memory_budget:
+        Byte cap forwarded to the final assignment pass.  The search itself
+        already streams the matrix column by column — its working set is
+        ``O(n k)`` vectors, never ``O(n^2)`` — so a disk-backed memmap cost
+        matrix is paged, not copied.  Results are budget-independent.
     """
     obj = validate_objective(objective)
     if obj == "center":
@@ -208,7 +215,9 @@ def local_search_partial(
         first_idx, first_val, second_val = _first_second_nearest(block)
         current_cost = trimmed_cost(first_val)
 
-    solution = assign_with_outliers(cost_matrix, centers, t, w, objective=obj)
+    solution = assign_with_outliers(
+        cost_matrix, centers, t, w, objective=obj, memory_budget=memory_budget
+    )
     solution.metadata.update(
         {
             "method": "local_search_partial",

@@ -1,0 +1,107 @@
+"""Peak-RSS smoke checks for the blocked, memory-budgeted layer.
+
+The point of ``repro.metrics.blocked`` is that the dense ``n x n`` footprint
+never has to exist.  These tests run real workloads whose dense matrices
+would dwarf the budget and assert, via ``resource.getrusage``, that the
+process high-water mark moves by far less than the dense footprint.
+
+``ru_maxrss`` is a monotone high-water mark for the whole process, so the
+assertions measure the *delta* across the workload: standalone they bound
+the workload's true peak; inside a larger suite an already-high watermark
+only makes them easier, never flaky.
+"""
+
+import resource
+import sys
+
+import numpy as np
+import pytest
+
+from repro import partial_kcenter, partial_kmedian
+from repro.data import gaussian_mixture_with_outliers
+from repro.metrics import EuclideanMetric
+
+
+def _peak_rss_bytes() -> int:
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    return peak * 1024 if sys.platform != "darwin" else peak
+
+
+class TestBlockedReductionRss:
+    def test_spread_of_large_metric_stays_in_budget(self):
+        """``spread`` over 12k points: dense needs ~1.1 GiB, blocked ~8 MiB."""
+        n = 12_000
+        rng = np.random.default_rng(11)
+        metric = EuclideanMetric(rng.normal(size=(n, 4)) * 10.0)
+        dense_bytes = n * n * 8  # ~1.15 GiB that must never be allocated
+
+        before = _peak_rss_bytes()
+        spread = metric.spread(memory_budget=8 * 2**20)
+        delta = _peak_rss_bytes() - before
+
+        assert spread > 1.0
+        assert delta < dense_bytes // 4, (
+            f"blocked spread moved peak RSS by {delta / 2**20:.0f} MiB; "
+            f"dense footprint is {dense_bytes / 2**20:.0f} MiB"
+        )
+
+
+class TestProtocolRss:
+    def test_kcenter_protocol_under_tiny_budget(self):
+        """Algorithm 2 on 20k points with a 4 MiB budget: the dense global
+        matrix would be ~3 GiB; the budgeted run must stay far below it."""
+        n_inliers, n_outliers = 19_920, 80
+        n = n_inliers + n_outliers
+        workload = gaussian_mixture_with_outliers(
+            n_inliers=n_inliers, n_outliers=n_outliers, n_clusters=4, dim=2,
+            separation=20.0, rng=5,
+        )
+        dense_bytes = n * n * 8
+        budget = 4 * 2**20
+        assert dense_bytes > 100 * budget  # the instance genuinely over-runs the budget
+
+        before = _peak_rss_bytes()
+        result = partial_kcenter(
+            workload.points, k=4, t=n_outliers, n_sites=4, seed=5,
+            memory_budget=budget,
+        )
+        delta = _peak_rss_bytes() - before
+
+        assert result.n_centers <= 4
+        assert result.rounds == 2
+        assert delta < dense_bytes // 8, (
+            f"budgeted k-center moved peak RSS by {delta / 2**20:.0f} MiB; "
+            f"dense footprint is {dense_bytes / 2**20:.0f} MiB"
+        )
+
+    def test_kmedian_spills_sites_to_disk_and_completes(self):
+        """Algorithm 1 with a budget below every site matrix: all sites must
+        stream their cost matrices from disk shards and still match the
+        dense run bit for bit."""
+        workload = gaussian_mixture_with_outliers(
+            n_inliers=570, n_outliers=30, n_clusters=3, dim=2,
+            separation=12.0, rng=9,
+        )
+        budget = 64 * 2**10  # 64 KiB; each site matrix is 200^2 * 8 = 320 KiB
+        dense = partial_kmedian(workload.points, k=3, t=30, n_sites=3, seed=9)
+        budgeted = partial_kmedian(
+            workload.points, k=3, t=30, n_sites=3, seed=9, memory_budget=budget
+        )
+        assert budgeted.metadata["cost_matrix_storage"] == ["memmap"] * 3
+        np.testing.assert_array_equal(dense.centers, budgeted.centers)
+        assert dense.cost == budgeted.cost
+        assert dense.ledger.total_words() == budgeted.ledger.total_words()
+
+    def test_shard_scratch_directory_is_removed(self, tmp_path, monkeypatch):
+        """The per-run scratch directory (and its shard files) must not leak."""
+        import tempfile
+
+        monkeypatch.setattr(tempfile, "tempdir", str(tmp_path))
+        workload = gaussian_mixture_with_outliers(
+            n_inliers=150, n_outliers=15, n_clusters=3, dim=2,
+            separation=12.0, rng=3,
+        )
+        partial_kmedian(workload.points, k=3, t=15, n_sites=3, seed=3, memory_budget=2048)
+        leftovers = list(tmp_path.glob("repro-shards-*"))
+        assert leftovers == []
