@@ -2,11 +2,41 @@
 
 from __future__ import annotations
 
+import json
+import os
 from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.analysis import format_table
+
+#: Directory machine-readable benchmark artifacts are written into (the
+#: benchmarks directory itself, next to the modules that produce them).
+BENCH_ARTIFACT_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def _jsonable(value):
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON-serialisable: {type(value)}")
+
+
+def write_bench_json(name: str, payload: dict) -> str:
+    """Write a machine-readable benchmark artifact (e.g. ``BENCH_blocked_plan.json``).
+
+    The artifact lands next to the benchmark modules so successive runs can
+    be diffed as a perf trajectory.  numpy scalars/arrays are converted;
+    returns the written path.
+    """
+    path = os.path.join(BENCH_ARTIFACT_DIR, name)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True, default=_jsonable)
+        fh.write("\n")
+    return path
 
 
 def record_rows(benchmark, experiment_id: str, rows, columns: Optional[Sequence[str]] = None, title: Optional[str] = None) -> str:
@@ -29,4 +59,4 @@ def record_rows(benchmark, experiment_id: str, rows, columns: Optional[Sequence[
     return table
 
 
-__all__ = ["record_rows"]
+__all__ = ["BENCH_ARTIFACT_DIR", "record_rows", "write_bench_json"]

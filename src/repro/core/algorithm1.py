@@ -122,6 +122,7 @@ def distributed_partial_median(
     backend: BackendLike = None,
     transport: TransportLike = None,
     memory_budget: MemoryBudgetLike = None,
+    prefetch: Optional[bool] = None,
 ) -> DistributedResult:
     """Run Algorithm 1 on a distributed instance.
 
@@ -165,6 +166,11 @@ def distributed_partial_median(
         budget are streamed from disk shards in a per-run scratch directory
         (removed when the run completes).  ``None`` (default) keeps the
         legacy dense behaviour; results are bit-identical for every setting.
+    prefetch:
+        Double-buffered background tile prefetch for memmap-backed cost
+        matrices (``None`` = auto: on exactly when a matrix streams from
+        disk); forwarded to the site solvers and the coordinator solve.
+        Never changes the result.
     """
     objective = validate_objective(instance.objective)
     if objective == "center":
@@ -189,6 +195,8 @@ def distributed_partial_median(
     mem_budget = resolve_memory_budget(memory_budget)
     if mem_budget is not None:
         local_kwargs.setdefault("memory_budget", mem_budget)
+    if prefetch is not None:
+        local_kwargs.setdefault("prefetch", prefetch)
 
     with shard_scratch(mem_budget) as workdir:
         with backend_scope(backend) as exec_backend:
@@ -271,6 +279,7 @@ def distributed_partial_median(
                 realize=realize,
                 coordinator_solver_kwargs=coordinator_solver_kwargs,
                 memory_budget=mem_budget,
+                prefetch=prefetch,
                 workdir=workdir,
             )
 

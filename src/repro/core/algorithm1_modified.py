@@ -110,6 +110,7 @@ def distributed_partial_median_no_shipping(
     backend: BackendLike = None,
     transport: TransportLike = None,
     memory_budget: MemoryBudgetLike = None,
+    prefetch: Optional[bool] = None,
 ) -> DistributedResult:
     """Run the Theorem 3.8 variant (no outlier points are ever transmitted).
 
@@ -131,6 +132,9 @@ def distributed_partial_median_no_shipping(
         to disk shards beyond it); ``None`` keeps the dense behaviour and the
         result is bit-identical for every setting (see
         :func:`repro.core.algorithm1.distributed_partial_median`).
+    prefetch:
+        Background tile prefetch knob for memmap-backed cost matrices
+        (``None`` = auto); never changes the result.
     """
     objective = validate_objective(instance.objective)
     if objective == "center":
@@ -150,6 +154,8 @@ def distributed_partial_median_no_shipping(
     mem_budget = resolve_memory_budget(memory_budget)
     if mem_budget is not None:
         local_kwargs.setdefault("memory_budget", mem_budget)
+    if prefetch is not None:
+        local_kwargs.setdefault("prefetch", prefetch)
 
     with shard_scratch(mem_budget) as workdir:
         with backend_scope(backend) as exec_backend:
@@ -225,6 +231,7 @@ def distributed_partial_median_no_shipping(
                 realize=True,
                 coordinator_solver_kwargs=coordinator_solver_kwargs,
                 memory_budget=mem_budget,
+                prefetch=prefetch,
                 workdir=workdir,
             )
 

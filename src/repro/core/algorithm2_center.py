@@ -47,7 +47,9 @@ from repro.runtime.transport import TransportLike, resolve_transport
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 
 
-def _center_summary(site, traversal, k: int, t_i: int, memory_budget=None) -> PreclusterSummary:
+def _center_summary(
+    site, traversal, k: int, t_i: int, memory_budget=None, prefetch=None
+) -> PreclusterSummary:
     """Precluster of one site: the first ``k + t_i`` traversal points, weighted.
 
     Every local point is attached to its nearest candidate (none is ignored —
@@ -65,7 +67,8 @@ def _center_summary(site, traversal, k: int, t_i: int, memory_budget=None) -> Pr
     candidates_local = traversal.ordering[:m]
     all_local = np.arange(n_local)
     nearest_dist, nearest = argmin_per_row(
-        site.local_metric, all_local, candidates_local, memory_budget=memory_budget
+        site.local_metric, all_local, candidates_local,
+        memory_budget=memory_budget, prefetch=prefetch,
     )
 
     centers_global = site.to_global(candidates_local)
@@ -96,12 +99,12 @@ def _round1_center_task(ctx, k, t, rho, memory_budget=None):
     ctx.send_to_coordinator("witness_curve", precluster, words=precluster.transmitted_words())
 
 
-def _round2_center_task(ctx, k, words_per_point, memory_budget=None):
+def _round2_center_task(ctx, k, words_per_point, memory_budget=None, prefetch=None):
     """Site phase of round 2: ship the first ``k + t_i`` traversal points."""
     t_i = int(ctx.messages("allocation")[0].payload["t_i"])
     with ctx.timer.measure("round2"):
         precluster = ctx.state["precluster"]
-        summary = _center_summary(ctx, precluster.traversal, k, t_i, memory_budget)
+        summary = _center_summary(ctx, precluster.traversal, k, t_i, memory_budget, prefetch)
     ctx.state["t_i"] = t_i
     ctx.send_to_coordinator(
         "local_solution", summary, words=summary.transmitted_words(words_per_point)
@@ -119,6 +122,7 @@ def distributed_partial_center(
     backend: BackendLike = None,
     transport: TransportLike = None,
     memory_budget: MemoryBudgetLike = None,
+    prefetch: Optional[bool] = None,
 ) -> DistributedResult:
     """Run Algorithm 2 on a distributed instance with the center objective.
 
@@ -144,6 +148,10 @@ def distributed_partial_center(
         traversal sweeps, the nearest-candidate attachment and the
         coordinator's weighted solve all run blocked); ``None`` keeps the
         dense behaviour and the result is bit-identical for every setting.
+    prefetch:
+        Double-buffered background tile prefetch for memmap-backed blocks
+        (``None`` = auto: on exactly when a matrix streams from disk);
+        never changes the result.
     """
     if instance.objective != "center":
         raise ValueError("distributed_partial_center requires a center-objective instance")
@@ -201,7 +209,8 @@ def distributed_partial_center(
                 network,
                 [
                     SiteTask(
-                        i, _round2_center_task, args=(k, words_per_point, mem_budget),
+                        i, _round2_center_task,
+                        args=(k, words_per_point, mem_budget, prefetch),
                         rng=site_rngs[i],
                     )
                     for i in range(network.n_sites)
@@ -225,6 +234,7 @@ def distributed_partial_center(
                 realize=realize,
                 coordinator_solver_kwargs=coordinator_solver_kwargs,
                 memory_budget=mem_budget,
+                prefetch=prefetch,
                 workdir=workdir,
             )
 

@@ -180,6 +180,7 @@ def distributed_uncertain_clustering(
     coordinator_solver_kwargs: Optional[dict] = None,
     backend: BackendLike = None,
     memory_budget: MemoryBudgetLike = None,
+    prefetch: Optional[bool] = None,
 ) -> DistributedResult:
     """Distributed uncertain ``(k, (1+eps)t)``-median/means/center-pp (Theorem 5.6).
 
@@ -198,6 +199,9 @@ def distributed_uncertain_clustering(
         Byte cap on any single compressed-cost block; site matrices larger
         than the budget stream from disk shards (bit-identical results for
         every setting).
+    prefetch:
+        Background tile prefetch knob for memmap-backed cost blocks
+        (``None`` = auto); never changes the result.
 
     Returns
     -------
@@ -223,6 +227,8 @@ def distributed_uncertain_clustering(
     mem_budget = resolve_memory_budget(memory_budget)
     if mem_budget is not None:
         local_kwargs.setdefault("memory_budget", mem_budget)
+    if prefetch is not None:
+        local_kwargs.setdefault("prefetch", prefetch)
 
     ledger = CommunicationLedger()
     site_timers = [Timer() for _ in range(s)]
@@ -329,7 +335,7 @@ def distributed_uncertain_clustering(
             if objective == "center":
                 coordinator_solution = kcenter_with_outliers(
                     cost_matrix, k, t, weights=demand_weight_arr,
-                    memory_budget=mem_budget, **coordinator_kwargs
+                    memory_budget=mem_budget, prefetch=prefetch, **coordinator_kwargs
                 )
                 outlier_budget = float(t)
             else:
@@ -343,6 +349,7 @@ def distributed_uncertain_clustering(
                     weights=demand_weight_arr,
                     rng=generator,
                     memory_budget=mem_budget,
+                    prefetch=prefetch,
                     **coordinator_kwargs,
                 )
                 outlier_budget = float(math.floor((1.0 + epsilon) * t + 1e-9))

@@ -171,6 +171,16 @@ def optimal_allocation_dp(
     allocation is optimal whenever the inputs really are convex, and to
     measure the gap when they are not.
 
+    The min-plus inner product per site is fully vectorised: the candidate
+    matrix ``C[b, q] = dp[b - q] + f_i(q)`` is assembled from a sliding
+    window over the padded previous row and reduced with one ``argmin``.
+    *Exactly* equal candidates resolve to the smallest ``q`` (argmin's
+    first occurrence, as the old ascending scan did); candidates within
+    the old scan's ``1e-15`` hysteresis band now select the true minimum
+    instead of keeping the incumbent, so sub-epsilon near-ties may pick a
+    different ``q`` than the pre-vectorised loop (the cost can only be
+    equal or smaller).
+
     Returns ``(t_allocated, optimal_cost)``.
     """
     if budget < 0:
@@ -182,21 +192,19 @@ def optimal_allocation_dp(
     s = len(tables)
 
     # dp[b] = best total cost using budget exactly <= b over sites processed so far.
-    dp = np.full(budget + 1, np.inf)
-    dp[:] = 0.0
+    dp = np.zeros(budget + 1)
     choice = np.zeros((s, budget + 1), dtype=int)
     for i, tbl in enumerate(tables):
-        new_dp = np.full(budget + 1, np.inf)
         max_q = min(tbl.size - 1, budget)
-        for b in range(budget + 1):
-            best_cost, best_q = np.inf, 0
-            for q in range(min(b, max_q) + 1):
-                cand = dp[b - q] + tbl[q]
-                if cand < best_cost - 1e-15:
-                    best_cost, best_q = cand, q
-            new_dp[b] = best_cost
-            choice[i, b] = best_q
-        dp = new_dp
+        # padded[b + max_q - q] = dp[b - q] for q <= b, +inf otherwise, so a
+        # reversed length-(max_q + 1) window ending at b enumerates dp[b - q]
+        # for q = 0..max_q.
+        padded = np.concatenate([np.full(max_q, np.inf), dp])
+        windows = np.lib.stride_tricks.sliding_window_view(padded, max_q + 1)[:, ::-1]
+        cand = windows + tbl[: max_q + 1]
+        best_q = np.argmin(cand, axis=1)
+        dp = cand[np.arange(budget + 1), best_q]
+        choice[i] = best_q
 
     # Trace back the allocation from the full budget.
     t_allocated = np.zeros(s, dtype=int)

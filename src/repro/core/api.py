@@ -80,6 +80,7 @@ def partial_kmedian(
     seed: RngLike = None,
     backend: BackendLike = "serial",
     memory_budget: MemoryBudgetLike = None,
+    prefetch: Union[None, bool] = None,
     **kwargs,
 ) -> DistributedResult:
     """Distributed ``(k, (1+eps)t)``-median over a Euclidean point cloud.
@@ -111,6 +112,11 @@ def partial_kmedian(
         instead of RAM, so instances whose dense matrices would blow the
         budget still run — with bit-identical centers, cost and ledger word
         counts for every setting.  ``None`` (default) keeps the dense path.
+    prefetch:
+        Double-buffered background tile prefetch for disk-backed cost
+        matrices: ``None`` (default — auto: on exactly when a matrix
+        streams from a memmap shard), ``True`` or ``False``.  Purely a
+        wall-clock knob; results are bit-identical either way.
     kwargs:
         Forwarded to :func:`repro.core.algorithm1.distributed_partial_median`
         (e.g. ``transport=`` for a runtime transport policy).
@@ -119,7 +125,7 @@ def partial_kmedian(
     instance = _deterministic_instance(points, k, t, n_sites, "median", partition, generator)
     return distributed_partial_median(
         instance, epsilon=epsilon, rho=rho, rng=generator, backend=backend,
-        memory_budget=memory_budget, **kwargs
+        memory_budget=memory_budget, prefetch=prefetch, **kwargs
     )
 
 
@@ -135,6 +141,7 @@ def partial_kmeans(
     seed: RngLike = None,
     backend: BackendLike = "serial",
     memory_budget: MemoryBudgetLike = None,
+    prefetch: Union[None, bool] = None,
     **kwargs,
 ) -> DistributedResult:
     """Distributed ``(k, (1+eps)t)``-means over a Euclidean point cloud.
@@ -146,7 +153,7 @@ def partial_kmeans(
     instance = _deterministic_instance(points, k, t, n_sites, "means", partition, generator)
     return distributed_partial_median(
         instance, epsilon=epsilon, rho=rho, rng=generator, backend=backend,
-        memory_budget=memory_budget, **kwargs
+        memory_budget=memory_budget, prefetch=prefetch, **kwargs
     )
 
 
@@ -161,6 +168,7 @@ def partial_kcenter(
     seed: RngLike = None,
     backend: BackendLike = "serial",
     memory_budget: MemoryBudgetLike = None,
+    prefetch: Union[None, bool] = None,
     **kwargs,
 ) -> DistributedResult:
     """Distributed ``(k, t)``-center over a Euclidean point cloud (Algorithm 2).
@@ -173,7 +181,7 @@ def partial_kcenter(
     instance = _deterministic_instance(points, k, t, n_sites, "center", partition, generator)
     return distributed_partial_center(
         instance, rho=rho, rng=generator, backend=backend,
-        memory_budget=memory_budget, **kwargs
+        memory_budget=memory_budget, prefetch=prefetch, **kwargs
     )
 
 
@@ -194,6 +202,7 @@ def uncertain_partial_kmedian(
     seed: RngLike = None,
     backend: BackendLike = "serial",
     memory_budget: MemoryBudgetLike = None,
+    prefetch: Union[None, bool] = None,
     **kwargs,
 ) -> DistributedResult:
     """Distributed uncertain ``(k, (1+eps)t)``-median/means/center-pp (Algorithm 3).
@@ -215,7 +224,7 @@ def uncertain_partial_kmedian(
     dist_instance = UncertainDistributedInstance.from_partition(instance, shards, k, t, objective)
     return distributed_uncertain_clustering(
         dist_instance, epsilon=epsilon, rho=rho, rng=generator, backend=backend,
-        memory_budget=memory_budget, **kwargs
+        memory_budget=memory_budget, prefetch=prefetch, **kwargs
     )
 
 
@@ -231,6 +240,7 @@ def uncertain_partial_kcenter_g(
     seed: RngLike = None,
     backend: BackendLike = "serial",
     memory_budget: MemoryBudgetLike = None,
+    prefetch: Union[None, bool] = None,
     **kwargs,
 ) -> DistributedResult:
     """Distributed uncertain ``(k, (1+eps)t)``-center-g (Algorithm 4).
@@ -244,7 +254,7 @@ def uncertain_partial_kcenter_g(
     dist_instance = UncertainDistributedInstance.from_partition(instance, shards, k, t, "center-g")
     return distributed_uncertain_center_g(
         dist_instance, epsilon=epsilon, rho=rho, rng=generator, backend=backend,
-        memory_budget=memory_budget, **kwargs
+        memory_budget=memory_budget, prefetch=prefetch, **kwargs
     )
 
 

@@ -41,11 +41,10 @@ from repro.metrics.blocked import (
     DEFAULT_REDUCTION_BUDGET,
     MemoryBudgetLike,
     materialize_rows,
-    reduce_max,
-    reduce_min_positive,
     resolve_memory_budget,
     shard_scratch,
 )
+from repro.metrics.plan import ReductionPlan
 from repro.runtime.backends import BackendLike, backend_scope
 from repro.runtime.tasks import run_tasks
 from repro.sequential.kcenter_outliers import kcenter_with_outliers
@@ -70,9 +69,10 @@ def truncation_grid(d_min: float, d_max: float, base: float = 2.0, extra_steps: 
 def _extremes_task(payload: dict) -> dict:
     """Site phase of round 1a: local distance extremes (O(1) words per site).
 
-    Pure reductions, so they always run blocked: the ``|support|^2`` distance
-    matrix the old phrasing materialised never exists — transient memory is
-    one tile of at most the memory budget (values are budget-independent).
+    One *fused* blocked pass: the ``|support|^2`` distance matrix the old
+    phrasing materialised never exists — transient memory is one tile of at
+    most the memory budget — and both extremes consume every tile of the
+    single streaming pass (values are budget-independent either way).
     """
     uncertain = payload["uncertain"]
     shard = payload["shard"]
@@ -80,10 +80,14 @@ def _extremes_task(payload: dict) -> dict:
     timer = Timer()
     support = uncertain.support_union(shard)
     with timer.measure("extremes"):
-        d_min_i = reduce_min_positive(
-            uncertain.ground_metric, support, support, memory_budget=budget
+        plan = ReductionPlan(
+            uncertain.ground_metric, support, support,
+            memory_budget=budget, prefetch=payload.get("prefetch"),
         )
-        d_max_i = reduce_max(uncertain.ground_metric, support, support, memory_budget=budget)
+        h_min = plan.add_min_positive()
+        h_max = plan.add_max()
+        plan.execute()
+        d_min_i, d_max_i = h_min.value, h_max.value
     return {"timer": timer, "extremes": (d_min_i, d_max_i)}
 
 
@@ -199,6 +203,7 @@ def distributed_uncertain_center_g(
     coordinator_solver_kwargs: Optional[dict] = None,
     backend: BackendLike = None,
     memory_budget: MemoryBudgetLike = None,
+    prefetch: Optional[bool] = None,
 ) -> DistributedResult:
     """Distributed uncertain ``(k, (1+eps)t)``-center-g (Theorem 5.14).
 
@@ -224,6 +229,9 @@ def distributed_uncertain_center_g(
         per-``tau`` sweep matrices and the coordinator solve all run
         blocked, spilling to disk shards beyond the budget); results are
         bit-identical for every setting.
+    prefetch:
+        Background tile prefetch knob for memmap-backed cost blocks
+        (``None`` = auto); never changes the result.
     """
     if epsilon <= 0 or rho <= 1:
         raise ValueError("epsilon must be positive and rho > 1")
@@ -238,6 +246,8 @@ def distributed_uncertain_center_g(
     mem_budget = resolve_memory_budget(memory_budget)
     if mem_budget is not None:
         local_kwargs.setdefault("memory_budget", mem_budget)
+    if prefetch is not None:
+        local_kwargs.setdefault("prefetch", prefetch)
 
     ledger = CommunicationLedger()
     site_timers = [Timer() for _ in range(s)]
@@ -255,6 +265,7 @@ def distributed_uncertain_center_g(
                         "uncertain": uncertain,
                         "shard": instance.shard(i),
                         "memory_budget": mem_budget,
+                        "prefetch": prefetch,
                     }
                     for i in range(s)
                 ],
@@ -390,7 +401,7 @@ def distributed_uncertain_center_g(
             outlier_budget = float(math.floor((1.0 + epsilon) * t + 1e-9))
             coordinator_solution = kcenter_with_outliers(
                 cost_matrix, k, outlier_budget, weights=weights_arr,
-                memory_budget=mem_budget,
+                memory_budget=mem_budget, prefetch=prefetch,
                 **dict(coordinator_solver_kwargs or {}),
             )
             centers_global = facility_points[coordinator_solution.centers]

@@ -27,6 +27,7 @@ from repro.distributed.instance import DistributedInstance
 from repro.distributed.partition import partition_balanced
 from repro.distributed.result import DistributedResult
 from repro.metrics.base import MetricSpace
+from repro.metrics.blocked import MemoryBudgetLike
 from repro.metrics.cost_matrix import validate_objective
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.timing import timed
@@ -100,6 +101,8 @@ def subquadratic_partial_clustering(
     rng: RngLike = None,
     local_solver_kwargs: Optional[dict] = None,
     coordinator_solver_kwargs: Optional[dict] = None,
+    memory_budget: MemoryBudgetLike = None,
+    prefetch: Optional[bool] = None,
 ) -> SubquadraticResult:
     """Centralized ``(k, (1+eps)t)``-median/means (or ``(k, t)``-center) in sub-quadratic time.
 
@@ -117,6 +120,14 @@ def subquadratic_partial_clustering(
         Forwarded to the simulated distributed algorithm.
     rng:
         Seed or generator (controls both the split and the local solvers).
+    memory_budget:
+        Byte cap on any single distance/cost block of the simulation (piece
+        matrices larger than the budget stream from disk shards); results
+        are bit-identical for every setting.
+    prefetch:
+        Background tile prefetch knob for memmap-backed blocks (``None`` =
+        auto); never changes the result — it trades nothing but wall-clock,
+        which is exactly the quantity Theorem 3.10 is about.
     """
     obj = validate_objective(objective)
     n = len(metric)
@@ -137,6 +148,8 @@ def subquadratic_partial_clustering(
                 rho=rho,
                 rng=generator,
                 coordinator_solver_kwargs=coordinator_solver_kwargs,
+                memory_budget=memory_budget,
+                prefetch=prefetch,
             )
         else:
             result = distributed_partial_median(
@@ -146,6 +159,8 @@ def subquadratic_partial_clustering(
                 rng=generator,
                 local_solver_kwargs=local_solver_kwargs,
                 coordinator_solver_kwargs=coordinator_solver_kwargs,
+                memory_budget=memory_budget,
+                prefetch=prefetch,
             )
 
     return SubquadraticResult(

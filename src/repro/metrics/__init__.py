@@ -14,8 +14,11 @@ pair at a time or as vectorised blocks.  Concrete implementations cover
 :mod:`repro.metrics.blocked` adds the memory discipline: blocked iteration
 and reductions over any metric (or explicit cost matrix) under a byte
 budget, plus disk-backed :class:`MemmapCostShard` spill for matrices that
-must outlive the budget.  All blocked results are bit-identical to the
-dense path.
+must outlive the budget.  :mod:`repro.metrics.plan` adds the scheduling on
+top: :class:`ReductionPlan` fuses several reductions into one streaming
+pass over cache-aware tiles, double-buffering memmap-backed tiles with a
+background prefetch thread.  All blocked and fused results are
+bit-identical to the dense path.
 """
 
 from repro.metrics.base import MetricSpace, SubsetMetric
@@ -27,10 +30,18 @@ from repro.metrics.blocked import (
     iter_blocks,
     materialize,
     materialize_rows,
+    read_block,
     reduce_max,
     reduce_min_per_row,
     reduce_min_positive,
     resolve_memory_budget,
+)
+from repro.metrics.plan import (
+    DEFAULT_CACHE_TARGET,
+    PlanStats,
+    ReductionPlan,
+    effective_tile_bytes,
+    is_memmap_backed,
 )
 from repro.metrics.euclidean import EuclideanMetric
 from repro.metrics.matrix import MatrixMetric
@@ -49,10 +60,16 @@ __all__ = [
     "iter_blocks",
     "materialize",
     "materialize_rows",
+    "read_block",
     "reduce_max",
     "reduce_min_per_row",
     "reduce_min_positive",
     "resolve_memory_budget",
+    "DEFAULT_CACHE_TARGET",
+    "PlanStats",
+    "ReductionPlan",
+    "effective_tile_bytes",
+    "is_memmap_backed",
     "EuclideanMetric",
     "MatrixMetric",
     "GraphMetric",

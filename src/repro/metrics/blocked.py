@@ -135,6 +135,11 @@ def _source_shape(source: Any) -> Tuple[int, int]:
         if source.ndim != 2:
             raise ValueError(f"array block source must be 2-D, got shape {source.shape}")
         return source.shape
+    if hasattr(source, "get_block"):
+        shape = tuple(source.shape)
+        if len(shape) != 2:
+            raise ValueError(f"block source must be 2-D, got shape {shape}")
+        return int(shape[0]), int(shape[1])
     n = len(source)
     return n, n
 
@@ -146,15 +151,57 @@ def _resolve_axis(source: Any, indices, axis_len: int) -> np.ndarray:
 
 
 def _get_block(source: Any, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
-    """One tile of the source: ``pairwise`` for metrics, slicing for arrays."""
+    """One tile of the source: ``pairwise`` for metrics, slicing for arrays.
+
+    Besides arrays and metrics, any object exposing ``shape`` and
+    ``get_block(rows, cols)`` works as an *explicit block source* — the
+    test-suite's counting wrappers use this to assert tile-load counts.
+    """
     if isinstance(source, np.ndarray):
         rs, cs = contiguous_slice(rows), contiguous_slice(cols)
         if rs is not None and cs is not None:
             return source[rs, cs]
         if rs is not None:
             return source[rs][:, cols]
-        return source[rows][:, cols]
+        # Scattered rows: gather exactly the requested cells.  (A chained
+        # ``source[rows][:, cols]`` would copy ALL columns of the rows once
+        # per tile — quadratic traffic for the row-subset gain downdates.)
+        return source[np.ix_(rows, cols)]
+    if hasattr(source, "get_block"):
+        return np.asarray(source.get_block(rows, cols))
     return np.asarray(source.pairwise(rows, cols))
+
+
+def read_block(source: Any, rows: Sequence[int], cols: Sequence[int]) -> np.ndarray:
+    """Public one-shot block read through the block-source dispatch."""
+    return _get_block(
+        source, np.asarray(rows, dtype=int), np.asarray(cols, dtype=int)
+    )
+
+
+def as_block_source(source: Any, *, dtype: Optional[str] = "float64") -> Any:
+    """Normalise a cost-matrix argument into a 2-D block source.
+
+    Objects exposing ``shape`` + ``get_block`` (explicit block sources, e.g.
+    counting wrappers) pass through untouched.  Arrays — including memmaps —
+    pass through when already 2-D of ``dtype`` (so a disk-backed matrix
+    stays lazy) and are coerced otherwise; ``dtype=None`` skips the dtype
+    coercion entirely.
+    """
+    if not isinstance(source, np.ndarray) and hasattr(source, "get_block"):
+        shape = tuple(source.shape)
+        if len(shape) != 2:
+            raise ValueError(f"block source must be 2-D, got shape {shape}")
+        return source
+    if isinstance(source, np.ndarray) and (
+        dtype is None or source.dtype == np.dtype(dtype)
+    ):
+        arr = source
+    else:
+        arr = np.asarray(source, dtype=dtype)
+    if arr.ndim != 2:
+        raise ValueError(f"block source must be 2-D, got shape {arr.shape}")
+    return arr
 
 
 def _tile_shape(n_rows: int, n_cols: int, budget: Optional[int], itemsize: int) -> Tuple[int, int]:
@@ -203,8 +250,36 @@ def iter_blocks(
 
 
 # ----------------------------------------------------------------------
-# Blocked reductions
+# Blocked reductions — thin wrappers over single-op ReductionPlans.
+#
+# The plan executor (repro.metrics.plan) owns the tiling: under a budget
+# the tile is additionally clamped to a cache target, and memmap-backed
+# sources are double-buffered by a background prefetch thread
+# (``prefetch=None`` means auto).  All of that is invisible in the
+# results: every reduction is bitwise identical for every budget, tile
+# shape and prefetch setting, exactly as before.
 # ----------------------------------------------------------------------
+
+
+def _single_op_plan(
+    source: Any,
+    rows,
+    cols,
+    memory_budget: MemoryBudgetLike,
+    prefetch,
+):
+    # Imported lazily: plan.py imports this module's tiling helpers at load
+    # time, so the reverse import must wait until both are initialised.
+    from repro.metrics.plan import DEFAULT_CACHE_TARGET, ReductionPlan
+
+    budget = resolve_memory_budget(memory_budget)
+    # ``None`` keeps the documented legacy behaviour (one dense tile);
+    # budgeted calls get cache-aware tiles.
+    cache_target = DEFAULT_CACHE_TARGET if budget is not None else None
+    return ReductionPlan(
+        source, rows, cols,
+        memory_budget=budget, cache_target=cache_target, prefetch=prefetch,
+    )
 
 
 def reduce_max(
@@ -213,13 +288,13 @@ def reduce_max(
     cols: Optional[Sequence[int]] = None,
     *,
     memory_budget: MemoryBudgetLike = None,
+    prefetch: Optional[bool] = None,
 ) -> float:
     """Maximum over the ``rows x cols`` slab (0.0 when the slab is empty)."""
-    best = -np.inf
-    for _, _, block in iter_blocks(source, rows, cols, memory_budget=memory_budget):
-        if block.size:
-            best = max(best, float(block.max()))
-    return best if np.isfinite(best) else 0.0
+    plan = _single_op_plan(source, rows, cols, memory_budget, prefetch)
+    handle = plan.add_max()
+    plan.execute()
+    return handle.value
 
 
 def reduce_min_positive(
@@ -228,14 +303,13 @@ def reduce_min_positive(
     cols: Optional[Sequence[int]] = None,
     *,
     memory_budget: MemoryBudgetLike = None,
+    prefetch: Optional[bool] = None,
 ) -> float:
     """Minimum strictly positive entry of the slab (0.0 when there is none)."""
-    best = np.inf
-    for _, _, block in iter_blocks(source, rows, cols, memory_budget=memory_budget):
-        positive = block[block > 0]
-        if positive.size:
-            best = min(best, float(positive.min()))
-    return best if np.isfinite(best) else 0.0
+    plan = _single_op_plan(source, rows, cols, memory_budget, prefetch)
+    handle = plan.add_min_positive()
+    plan.execute()
+    return handle.value
 
 
 def reduce_min_per_row(
@@ -244,13 +318,13 @@ def reduce_min_per_row(
     cols: Optional[Sequence[int]] = None,
     *,
     memory_budget: MemoryBudgetLike = None,
+    prefetch: Optional[bool] = None,
 ) -> np.ndarray:
     """Per-row minimum over the columns, as a ``(n_rows,)`` array."""
-    n_rows = _resolve_axis(source, rows, _source_shape(source)[0]).size
-    out = np.full(n_rows, np.inf)
-    for rs, _, block in iter_blocks(source, rows, cols, memory_budget=memory_budget):
-        np.minimum(out[rs], block.min(axis=1), out=out[rs])
-    return out
+    plan = _single_op_plan(source, rows, cols, memory_budget, prefetch)
+    handle = plan.add_min_per_row()
+    plan.execute()
+    return handle.value
 
 
 def argmin_per_row(
@@ -259,6 +333,7 @@ def argmin_per_row(
     cols: Optional[Sequence[int]] = None,
     *,
     memory_budget: MemoryBudgetLike = None,
+    prefetch: Optional[bool] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Per-row ``(min value, argmin column position)`` over the columns.
 
@@ -267,17 +342,10 @@ def argmin_per_row(
     are scanned left to right and only a *strictly* smaller value displaces
     the incumbent.
     """
-    n_rows = _resolve_axis(source, rows, _source_shape(source)[0]).size
-    values = np.full(n_rows, np.inf)
-    positions = np.zeros(n_rows, dtype=int)
-    for rs, cs, block in iter_blocks(source, rows, cols, memory_budget=memory_budget):
-        local_arg = np.argmin(block, axis=1)
-        local_val = block[np.arange(block.shape[0]), local_arg]
-        better = local_val < values[rs]
-        rows_in = np.flatnonzero(better) + rs.start
-        values[rows_in] = local_val[better]
-        positions[rows_in] = local_arg[better] + cs.start
-    return values, positions
+    plan = _single_op_plan(source, rows, cols, memory_budget, prefetch)
+    handle = plan.add_argmin_per_row()
+    plan.execute()
+    return handle.value
 
 
 def count_within(
@@ -288,37 +356,22 @@ def count_within(
     *,
     weights: Optional[np.ndarray] = None,
     memory_budget: MemoryBudgetLike = None,
+    prefetch: Optional[bool] = None,
 ) -> np.ndarray:
     """Per-column (weighted) count of entries ``<= threshold``.
 
-    Tiles *columns only*, and reduces a Fortran-ordered product so every
-    column is summed over a contiguous run of all rows: the accumulation
-    order per column never depends on the budget and the result is
-    bit-identical across budgets (BLAS ``weights @ mask`` is not — its
-    reduction blocking varies with the panel shape, and even numpy's
-    pairwise summation takes a different path for strided columns).
-    Transient memory is ``O(n_rows * col_chunk)``.
+    Tiles *columns only* (the plan's column-strip orientation), and reduces
+    a Fortran-ordered product so every column is summed over a contiguous
+    run of all rows: the accumulation order per column never depends on the
+    budget and the result is bit-identical across budgets (BLAS
+    ``weights @ mask`` is not — its reduction blocking varies with the
+    panel shape, and even numpy's pairwise summation takes a different path
+    for strided columns).  Transient memory is ``O(n_rows * col_chunk)``.
     """
-    n_rows, n_cols = _source_shape(source)
-    row_idx = _resolve_axis(source, rows, n_rows)
-    col_idx = _resolve_axis(source, cols, n_cols)
-    budget = resolve_memory_budget(memory_budget)
-    if budget is None:
-        col_chunk = col_idx.size
-    else:
-        col_chunk = max(1, budget // (8 * max(1, row_idx.size)))
-    w = None if weights is None else np.asarray(weights, dtype=float)[:, None]
-    out = np.empty(col_idx.size, dtype=float)
-    for c0 in range(0, col_idx.size, max(1, col_chunk)):
-        c1 = min(c0 + max(1, col_chunk), col_idx.size)
-        block = _get_block(source, row_idx, col_idx[c0:c1])
-        mask = block <= threshold
-        if w is None:
-            prod = np.asfortranarray(mask, dtype=float)
-        else:
-            prod = np.multiply(w, mask, order="F")
-        out[c0:c1] = np.add.reduce(prod, axis=0)
-    return out
+    plan = _single_op_plan(source, rows, cols, memory_budget, prefetch)
+    handle = plan.add_count_within(threshold, weights=weights)
+    plan.execute()
+    return handle.value
 
 
 # ----------------------------------------------------------------------
@@ -542,6 +595,7 @@ __all__ = [
     "MemoryBudgetLike",
     "MemmapCostShard",
     "argmin_per_row",
+    "as_block_source",
     "contiguous_slice",
     "count_within",
     "iter_blocks",
@@ -549,6 +603,7 @@ __all__ = [
     "materialize_rows",
     "memmap_handle",
     "open_memmap",
+    "read_block",
     "reduce_max",
     "reduce_min_per_row",
     "reduce_min_positive",

@@ -19,7 +19,12 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.metrics.blocked import MemoryBudgetLike, argmin_per_row
+from repro.metrics.blocked import (
+    MemoryBudgetLike,
+    _source_shape,
+    argmin_per_row,
+    as_block_source,
+)
 from repro.metrics.cost_matrix import validate_objective
 from repro.sequential.solution import ClusterSolution
 
@@ -29,6 +34,7 @@ def nearest_center_distances(
     centers: Sequence[int],
     *,
     memory_budget: MemoryBudgetLike = None,
+    prefetch: Optional[bool] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Per-demand nearest open center.
 
@@ -39,13 +45,16 @@ def nearest_center_distances(
     A blocked per-row argmin (:func:`repro.metrics.blocked.argmin_per_row`
     over the open-center columns): under a ``memory_budget`` the transient
     footprint stays ``O(budget)`` even when ``cost_matrix`` is a disk-backed
-    memmap, and the result is bit-identical for every budget.
+    memmap, and the result is bit-identical for every budget.  ``prefetch``
+    double-buffers memmap tiles (``None`` = auto) without changing the
+    result.
     """
     centers = np.asarray(centers, dtype=int)
     if centers.size == 0:
         raise ValueError("at least one center is required")
     unit, arg = argmin_per_row(
-        np.asarray(cost_matrix), None, centers, memory_budget=memory_budget
+        as_block_source(cost_matrix), None, centers,
+        memory_budget=memory_budget, prefetch=prefetch,
     )
     return unit, centers[arg]
 
@@ -116,6 +125,7 @@ def assign_with_outliers(
     objective: str = "median",
     *,
     memory_budget: MemoryBudgetLike = None,
+    prefetch: Optional[bool] = None,
 ) -> ClusterSolution:
     """Assign demands to their nearest open center, excluding up to ``t`` weight.
 
@@ -135,15 +145,20 @@ def assign_with_outliers(
     memory_budget:
         Byte cap on the transient nearest-center blocks (see
         :func:`nearest_center_distances`); bit-identical for every budget.
+    prefetch:
+        Background tile prefetch knob, forwarded to the nearest-center
+        sweep; never changes the result.
     """
     obj = validate_objective(objective)
-    cost_matrix = np.asarray(cost_matrix, dtype=float)
-    n = cost_matrix.shape[0]
+    source = as_block_source(cost_matrix)
+    n = _source_shape(source)[0]
     w = np.ones(n, dtype=float) if weights is None else np.asarray(weights, dtype=float)
     if w.shape != (n,):
         raise ValueError(f"weights must have shape ({n},), got {w.shape}")
 
-    unit, nearest = nearest_center_distances(cost_matrix, centers, memory_budget=memory_budget)
+    unit, nearest = nearest_center_distances(
+        source, centers, memory_budget=memory_budget, prefetch=prefetch
+    )
     dropped, cost = trim_outliers(unit, w, t, obj)
 
     assignment = nearest.copy()
@@ -169,10 +184,12 @@ def solution_cost(
     objective: str = "median",
     *,
     memory_budget: MemoryBudgetLike = None,
+    prefetch: Optional[bool] = None,
 ) -> float:
     """Cost of the best assignment to ``centers`` with ``t`` outlier weight excluded."""
     return assign_with_outliers(
-        cost_matrix, centers, t, weights, objective, memory_budget=memory_budget
+        cost_matrix, centers, t, weights, objective,
+        memory_budget=memory_budget, prefetch=prefetch,
     ).cost
 
 

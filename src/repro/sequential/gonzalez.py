@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.metrics.base import MetricSpace
 from repro.metrics.blocked import MemoryBudgetLike, resolve_memory_budget
+from repro.metrics.plan import effective_tile_bytes
 from repro.utils.rng import RngLike, ensure_rng
 
 
@@ -63,11 +64,13 @@ def _distances_from_chunked(
 
     ``distances_from`` is computed independently per target point, so
     chunking is bit-identical to the one-shot call; only the transient
-    gather inside the metric shrinks.
+    gather inside the metric shrinks.  Budgeted chunks are additionally
+    clamped to the planner's cache target, so a generous budget still
+    sweeps in cache-resident pieces.
     """
     if budget is None:
         return metric.distances_from(i, cols)
-    chunk = max(1, budget // 8)
+    chunk = max(1, effective_tile_bytes(budget) // 8)
     out = np.empty(cols.size, dtype=float)
     for c0 in range(0, cols.size, chunk):
         c1 = min(c0 + chunk, cols.size)

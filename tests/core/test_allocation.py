@@ -113,6 +113,43 @@ class TestOptimalityAgainstDP:
         with pytest.raises(ValueError):
             optimal_allocation_dp([np.empty(0)], 1)
 
+    def test_dp_matches_brute_force_on_arbitrary_tables(self):
+        """The vectorised min-plus step must equal exhaustive enumeration
+        (cost *and* a feasible optimal traceback) on non-convex tables."""
+        import itertools
+
+        rng = np.random.default_rng(7)
+        for trial in range(5):
+            tables = [
+                rng.random(int(rng.integers(1, 6))) * 10 for _ in range(3)
+            ]
+            budget = int(rng.integers(0, 8))
+            t_alloc, cost = optimal_allocation_dp(tables, budget)
+            assert t_alloc.sum() <= budget
+            assert cost == pytest.approx(
+                sum(tbl[min(int(q), tbl.size - 1)] for tbl, q in zip(tables, t_alloc))
+            )
+            best = min(
+                sum(tbl[q] for tbl, q in zip(tables, qs))
+                for qs in itertools.product(*(range(tbl.size) for tbl in tables))
+                if sum(qs) <= budget
+            )
+            assert cost == pytest.approx(best)
+
+    def test_dp_zero_budget(self):
+        tables = [np.asarray([5.0, 1.0]), np.asarray([3.0, 2.0])]
+        t_alloc, cost = optimal_allocation_dp(tables, 0)
+        np.testing.assert_array_equal(t_alloc, [0, 0])
+        assert cost == pytest.approx(8.0)
+
+    def test_dp_ties_resolve_to_smallest_q(self):
+        # Flat tables: every allocation is optimal; the ascending argmin
+        # must keep q = 0 everywhere (the old scan's behaviour).
+        tables = [np.full(4, 2.0), np.full(4, 3.0)]
+        t_alloc, cost = optimal_allocation_dp(tables, 5)
+        np.testing.assert_array_equal(t_alloc, [0, 0])
+        assert cost == pytest.approx(5.0)
+
 
 class TestAllocationFromProfiles:
     def test_profiles_path(self):

@@ -1,0 +1,319 @@
+"""Tests for the fused reduction planner (``repro.metrics.plan``).
+
+The acceptance bar mirrors ``tests/metrics/test_blocked.py``: every fused
+plan must be *bitwise* identical to the equivalent sequence of standalone
+blocked reductions — for dense arrays, budgeted tiles, memmap-backed shards,
+and with the prefetcher on or off.  On top of parity, the pass-count tests
+prove (via :class:`~repro.metrics.plan.CountingSource`, deterministically —
+no wall-clock) that a fused plan reads each tile exactly once where the
+standalone sequence reads the slab once per reduction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.metrics import EuclideanMetric
+from repro.metrics.blocked import (
+    MemmapCostShard,
+    argmin_per_row,
+    count_within,
+    reduce_max,
+    reduce_min_per_row,
+    reduce_min_positive,
+)
+from repro.metrics.plan import (
+    DEFAULT_CACHE_TARGET,
+    CountingSource,
+    ReductionPlan,
+    effective_tile_bytes,
+    is_memmap_backed,
+)
+
+BUDGETS = [None, 1 << 30, 4096, 256, 64, 8]  # 64 and 8 are below one row
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    rng = np.random.default_rng(17)
+    base = rng.normal(size=(61, 37)) * 4.0
+    return np.abs(base)
+
+
+@pytest.fixture(scope="module")
+def euclid():
+    rng = np.random.default_rng(23)
+    return EuclideanMetric(rng.normal(size=(53, 3)) * 5.0)
+
+
+@pytest.fixture()
+def memmap_matrix(matrix, tmp_path):
+    shard = MemmapCostShard.create(matrix.shape, workdir=str(tmp_path))
+    shard.write_rows(slice(0, matrix.shape[0]), matrix)
+    return shard.finalize()
+
+
+def _full_plan(source, *, radii, weights, budget, prefetch):
+    plan = ReductionPlan(source, memory_budget=budget, prefetch=prefetch)
+    handles = {
+        "max": plan.add_max(),
+        "min_positive": plan.add_min_positive(),
+        "min_per_row": plan.add_min_per_row(),
+        "argmin": plan.add_argmin_per_row(),
+        "count": plan.add_count_within(radii, weights=weights),
+        "count_scalar": plan.add_count_within(float(radii[0]), weights=weights),
+    }
+    plan.execute()
+    return plan, handles
+
+
+class TestEffectiveTileBytes:
+    def test_none_none(self):
+        assert effective_tile_bytes(None, None) is None
+
+    def test_budget_only(self):
+        assert effective_tile_bytes(1024, None) == 1024
+
+    def test_cache_only(self):
+        assert effective_tile_bytes(None) == DEFAULT_CACHE_TARGET
+
+    def test_min_of_both(self):
+        assert effective_tile_bytes(1 << 30) == DEFAULT_CACHE_TARGET
+        assert effective_tile_bytes(512) == 512
+
+    def test_string_budget(self):
+        assert effective_tile_bytes("1KB", None) == 1024
+
+
+class TestFusedParity:
+    """Fused results must be bitwise equal to the standalone sequence."""
+
+    @pytest.mark.parametrize("budget", BUDGETS)
+    @pytest.mark.parametrize("prefetch", [False, True])
+    def test_array_source(self, matrix, budget, prefetch):
+        rng = np.random.default_rng(5)
+        weights = rng.uniform(0.1, 3.0, size=matrix.shape[0])
+        radii = np.quantile(matrix, [0.2, 0.5, 0.9])
+        plan, handles = _full_plan(
+            matrix, radii=radii, weights=weights, budget=budget, prefetch=prefetch
+        )
+        assert handles["max"].value == reduce_max(matrix, memory_budget=budget)
+        assert handles["min_positive"].value == reduce_min_positive(matrix, memory_budget=budget)
+        np.testing.assert_array_equal(
+            handles["min_per_row"].value, reduce_min_per_row(matrix, memory_budget=budget)
+        )
+        values, positions = handles["argmin"].value
+        exp_values, exp_positions = argmin_per_row(matrix, memory_budget=budget)
+        np.testing.assert_array_equal(values, exp_values)
+        np.testing.assert_array_equal(positions, exp_positions)
+        for pos, radius in enumerate(radii):
+            np.testing.assert_array_equal(
+                handles["count"].value[pos],
+                count_within(matrix, float(radius), weights=weights, memory_budget=budget),
+            )
+        np.testing.assert_array_equal(
+            handles["count_scalar"].value,
+            count_within(matrix, float(radii[0]), weights=weights, memory_budget=budget),
+        )
+        # count_within forces full-height column strips.
+        assert plan.orientation == "cols"
+        assert plan.stats.passes == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("budget", [None, 4096, 64])
+    def test_metric_source(self, euclid, budget):
+        plan = ReductionPlan(euclid, memory_budget=budget)
+        h_max = plan.add_max()
+        h_arg = plan.add_argmin_per_row()
+        plan.execute()
+        assert h_max.value == reduce_max(euclid, memory_budget=budget)
+        values, positions = h_arg.value
+        exp_values, exp_positions = argmin_per_row(euclid, memory_budget=budget)
+        np.testing.assert_array_equal(values, exp_values)
+        np.testing.assert_array_equal(positions, exp_positions)
+
+    @pytest.mark.parametrize("budget", [4096, 256, 64])
+    @pytest.mark.parametrize("prefetch", [None, False, True])
+    def test_memmap_source(self, matrix, memmap_matrix, budget, prefetch):
+        weights = np.linspace(0.5, 2.0, matrix.shape[0])
+        radii = np.quantile(matrix, [0.3, 0.7])
+        plan, handles = _full_plan(
+            memmap_matrix, radii=radii, weights=weights, budget=budget, prefetch=prefetch
+        )
+        # Parity against the *dense in-RAM* standalone calls: the memmap, the
+        # budget and the prefetcher must all be invisible in the values.
+        assert handles["max"].value == reduce_max(matrix)
+        np.testing.assert_array_equal(
+            handles["min_per_row"].value, reduce_min_per_row(matrix)
+        )
+        for pos, radius in enumerate(radii):
+            np.testing.assert_array_equal(
+                handles["count"].value[pos],
+                count_within(matrix, float(radius), weights=weights),
+            )
+        # Auto-prefetch engages for multi-tile memmap plans.
+        if prefetch is None and plan.stats.n_tiles > 1:
+            assert plan.stats.prefetch
+
+    def test_rows_cols_subsets(self, matrix):
+        rows = [3, 4, 5, 9, 11]
+        cols = [0, 2, 30, 31]
+        plan = ReductionPlan(matrix, rows, cols, memory_budget=64)
+        h = plan.add_argmin_per_row()
+        plan.execute()
+        values, positions = h.value
+        exp_values, exp_positions = argmin_per_row(matrix, rows, cols, memory_budget=64)
+        np.testing.assert_array_equal(values, exp_values)
+        np.testing.assert_array_equal(positions, exp_positions)
+
+    def test_empty_slab_defaults(self, matrix):
+        plan = ReductionPlan(matrix, rows=[], cols=None)
+        h_max = plan.add_max()
+        h_count = plan.add_count_within(1.0)
+        plan.execute()
+        assert h_max.value == 0.0
+        np.testing.assert_array_equal(h_count.value, np.zeros(matrix.shape[1]))
+        assert plan.stats.n_tiles == 0
+
+
+class TestPassCounts:
+    """Deterministic pass-count proofs via the counting source wrapper."""
+
+    def test_fused_plan_reads_each_tile_exactly_once(self, matrix):
+        source = CountingSource(matrix)
+        plan = ReductionPlan(source, memory_budget=2048, prefetch=False)
+        plan.add_max()
+        plan.add_argmin_per_row()
+        plan.add_count_within([0.5, 1.5, 2.5], weights=np.ones(matrix.shape[0]))
+        plan.execute()
+        # Every cell served exactly once: one streaming pass for all six
+        # reductions (3 thresholds fused into one op + max + argmin).
+        assert source.cells_read == matrix.size
+        assert source.cell_counts.min() == 1
+        assert source.cell_counts.max() == 1
+        assert plan.stats.passes == pytest.approx(1.0)
+
+    def test_standalone_sequence_reads_slab_per_reduction(self, matrix):
+        source = CountingSource(matrix)
+        reduce_max(source, memory_budget=2048)
+        argmin_per_row(source, memory_budget=2048)
+        for radius in (0.5, 1.5, 2.5):
+            count_within(source, radius, memory_budget=2048)
+        # Five standalone calls -> five full passes; the fused plan above
+        # does the same work in one.
+        assert source.cells_read == 5 * matrix.size
+        assert source.cell_counts.min() == 5
+
+    def test_prefetch_does_not_change_pass_count(self, matrix):
+        source = CountingSource(matrix)
+        plan = ReductionPlan(source, memory_budget=2048, prefetch=True)
+        plan.add_count_within([1.0, 2.0])
+        plan.execute()
+        assert source.cells_read == matrix.size
+        assert plan.stats.prefetch
+
+
+class TestTileShapes:
+    def test_tiles_respect_budget_and_cache(self, matrix):
+        plan = ReductionPlan(matrix, memory_budget=1 << 30, cache_target=2048)
+        plan.add_max()
+        plan.execute()
+        # Cache target caps the tile even under a huge budget.
+        assert plan.stats.tile_rows * plan.stats.tile_cols * 8 <= 2048
+
+    def test_count_plans_use_column_strips(self, matrix):
+        plan = ReductionPlan(matrix, memory_budget=4096)
+        plan.add_count_within(1.0)
+        plan.execute()
+        assert plan.stats.orientation == "cols"
+        assert plan.stats.tile_rows == matrix.shape[0]
+
+    def test_pure_row_reductions_use_row_blocks(self, matrix):
+        plan = ReductionPlan(matrix, memory_budget=4096)
+        plan.add_argmin_per_row()
+        plan.execute()
+        assert plan.stats.orientation == "rows"
+
+    def test_prefetch_buffers_fit_inside_the_budget(self, memmap_matrix):
+        """With prefetch, up to PREFETCH_DEPTH queued copies + the in-flight
+        tile + the consumer's tile coexist; the budget covers them all."""
+        from repro.metrics.plan import PREFETCH_DEPTH
+
+        budget = 4096
+        plan = ReductionPlan(memmap_matrix, memory_budget=budget, prefetch=True)
+        plan.add_max()  # overhead-0 op: the buffer chain is the whole story
+        plan.execute()
+        tile_bytes = plan.stats.tile_rows * plan.stats.tile_cols * 8
+        assert tile_bytes * (PREFETCH_DEPTH + 2) <= budget
+        assert plan.stats.prefetch
+
+    def test_unbudgeted_uncached_plan_is_one_tile(self, matrix):
+        plan = ReductionPlan(matrix, memory_budget=None, cache_target=None)
+        plan.add_max()
+        plan.execute()
+        assert plan.stats.n_tiles == 1
+
+
+class TestPlanLifecycle:
+    def test_value_before_execute_raises(self, matrix):
+        plan = ReductionPlan(matrix)
+        handle = plan.add_max()
+        with pytest.raises(RuntimeError, match="not been executed"):
+            _ = handle.value
+
+    def test_execute_twice_raises(self, matrix):
+        plan = ReductionPlan(matrix)
+        plan.add_max()
+        plan.execute()
+        with pytest.raises(RuntimeError, match="only be called once"):
+            plan.execute()
+
+    def test_add_after_execute_raises(self, matrix):
+        plan = ReductionPlan(matrix)
+        plan.add_max()
+        plan.execute()
+        with pytest.raises(RuntimeError, match="executed plan"):
+            plan.add_min_positive()
+
+    def test_count_weight_shape_validated(self, matrix):
+        plan = ReductionPlan(matrix)
+        with pytest.raises(ValueError, match="weights"):
+            plan.add_count_within(1.0, weights=np.ones(3))
+
+
+class TestPrefetcher:
+    def test_loader_error_propagates_to_consumer(self):
+        class Exploding:
+            shape = (8, 8)
+
+            def __init__(self):
+                self.calls = 0
+
+            def get_block(self, rows, cols):
+                self.calls += 1
+                if self.calls > 1:
+                    raise RuntimeError("disk on fire")
+                return np.zeros((len(rows), len(cols)))
+
+        plan = ReductionPlan(Exploding(), memory_budget=64, prefetch=True)
+        plan.add_argmin_per_row()
+        with pytest.raises(RuntimeError, match="disk on fire"):
+            plan.execute()
+
+    def test_prefetch_load_copies_memmap_tiles(self, matrix, memmap_matrix):
+        """The producer must materialise memmap tiles, not park lazy views.
+
+        Row tiles of a C-order memmap are themselves C-contiguous views, so
+        a naive ``ascontiguousarray`` would be a no-op and the page-in
+        would silently move back into the consumer.
+        """
+        plan = ReductionPlan(memmap_matrix, memory_budget=2048, prefetch=True)
+        plan.add_argmin_per_row()  # rows orientation: contiguous row tiles
+        block = plan._load(slice(0, 4), slice(0, matrix.shape[1]), True)
+        assert not np.shares_memory(block, memmap_matrix)
+        assert not is_memmap_backed(block)
+        np.testing.assert_array_equal(block, matrix[:4])
+
+    def test_is_memmap_backed(self, matrix, memmap_matrix):
+        assert not is_memmap_backed(matrix)
+        assert is_memmap_backed(memmap_matrix)
+        # A view of a memmap is still memmap-backed.
+        assert is_memmap_backed(np.asarray(memmap_matrix)[2:5])
