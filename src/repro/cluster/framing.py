@@ -1,0 +1,128 @@
+"""Length-prefixed pickle framing over stream sockets.
+
+The cluster backend ships every task and payload over a real byte stream
+(a unix-domain socket per host), so the framing layer is where wire-level
+byte accounting becomes exact: a frame is an 8-byte big-endian length
+prefix followed by a pickled object, and both :meth:`FrameChannel.send`
+and :meth:`FrameChannel.recv` report the number of bytes that actually
+crossed the socket (prefix included).
+
+Framing errors are surfaced as :class:`ConnectionError` — a short read
+means the peer went away mid-frame, which the backend turns into a
+host-death diagnostic.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any, Tuple
+
+#: Frame header: unsigned 64-bit big-endian payload length.
+_HEADER = struct.Struct(">Q")
+
+#: Wire bytes a frame occupies beyond its pickled body.
+FRAME_OVERHEAD = _HEADER.size
+
+#: Pickle protocol used for every frame (protocol 5: numpy arrays ride
+#: through as raw out-of-band-capable buffers).
+PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+
+def encode_payload(obj: Any) -> bytes:
+    """Serialise one object exactly as the wire would carry it."""
+    return pickle.dumps(obj, protocol=PICKLE_PROTOCOL)
+
+
+def decode_payload(data: bytes) -> Any:
+    """Inverse of :func:`encode_payload`."""
+    return pickle.loads(data)
+
+
+def recv_exact(sock: socket.socket, n_bytes: int) -> bytes:
+    """Read exactly ``n_bytes`` from ``sock`` or raise :class:`ConnectionError`."""
+    chunks = []
+    remaining = n_bytes
+    while remaining > 0:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError(
+                f"peer closed the connection mid-frame ({n_bytes - remaining}"
+                f"/{n_bytes} bytes received)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+class FrameChannel:
+    """A framed, byte-counted pickle channel over one connected socket.
+
+    Counters accumulate over the channel's lifetime:
+
+    ``bytes_sent`` / ``bytes_received``
+        Total wire bytes in each direction, length prefixes included.
+    ``frames_sent`` / ``frames_received``
+        Number of frames in each direction.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.frames_sent = 0
+        self.frames_received = 0
+
+    def send(self, obj: Any) -> int:
+        """Send one frame; returns the wire bytes it occupied."""
+        return self.send_encoded(encode_payload(obj))
+
+    def send_encoded(self, data: bytes) -> int:
+        """Send one pre-encoded frame body; returns the wire bytes it occupied.
+
+        Lets a caller separate serialization (and its byte accounting) from
+        the potentially blocking socket write.
+        """
+        self._sock.sendall(_HEADER.pack(len(data)) + data)
+        n_bytes = _HEADER.size + len(data)
+        self.bytes_sent += n_bytes
+        self.frames_sent += 1
+        return n_bytes
+
+    def recv(self) -> Tuple[Any, int]:
+        """Receive one frame; returns ``(object, wire_bytes)``.
+
+        Raises :class:`ConnectionError` when the peer disconnects — at a
+        frame boundary (clean EOF) or mid-frame (short read).
+        """
+        try:
+            header = recv_exact(self._sock, _HEADER.size)
+        except ConnectionError:
+            raise
+        except OSError as exc:  # pragma: no cover - platform-dependent errno
+            raise ConnectionError(f"socket receive failed: {exc}") from exc
+        (length,) = _HEADER.unpack(header)
+        data = recv_exact(self._sock, length)
+        n_bytes = _HEADER.size + length
+        self.bytes_received += n_bytes
+        self.frames_received += 1
+        return decode_payload(data), n_bytes
+
+    def close(self) -> None:
+        """Close the underlying socket (idempotent)."""
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+
+__all__ = [
+    "FRAME_OVERHEAD",
+    "FrameChannel",
+    "PICKLE_PROTOCOL",
+    "decode_payload",
+    "encode_payload",
+    "recv_exact",
+]

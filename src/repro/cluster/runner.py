@@ -1,0 +1,187 @@
+"""The long-lived per-host runner process of the cluster backend.
+
+One runner is spawned per simulated host.  It connects back to the
+coordinator over a unix-domain socket, announces itself, then serves
+dispatch frames until it is told to shut down (or its socket dies with the
+coordinator).  Two task shapes exist:
+
+``("task", seq, fn, payload)``
+    A structure-free task (:func:`repro.runtime.run_tasks`): evaluate
+    ``fn(payload)`` and reply ``("res", seq, value)``.
+
+``("site", seq, resident_key, sticky, dyn, evict)``
+    One site's share of a protocol round.  ``sticky`` is the site's heavy
+    immutable half — ``(shard, local_metric)`` — shipped **once** per
+    protocol run and kept resident under ``resident_key``; later rounds send
+    ``sticky=None`` and the runner reuses its cached copy, so the metric is
+    never re-pickled round after round.  ``evict`` lists superseded keys to
+    drop (a new run reusing the site slot), bounding resident memory by the
+    number of live site slots.  ``dyn`` carries the per-round state
+    (task function, arguments, site state, RNG stream, inbox).  The reply
+    ``("site_res", seq, result)`` encodes every buffered site-to-coordinator
+    payload *individually*, so the coordinator learns the exact serialized
+    size of each semantic message (the ``n_bytes`` it stamps on the
+    communication ledger).
+
+Failures inside a task are caught and relayed as ``("exc", seq, exc, tb)``
+frames with the original exception object whenever it pickles; the runner
+itself stays alive for the next frame.  The runner is started as a fresh
+``python -m repro.cluster.runner`` subprocess: it inherits nothing from the
+coordinator's address space, so anything it computes on genuinely arrived
+through the socket — distributed memory, not shared memory with extra
+steps.  A runner also exits on its own when the coordinator's socket
+closes, so an abruptly killed coordinator never leaks runner processes.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import traceback
+from typing import Any, Dict, Tuple
+
+from repro.cluster.framing import FrameChannel, encode_payload
+
+
+def _execute_generic(frame: Tuple) -> Tuple:
+    """Evaluate a ``("task", ...)`` frame; returns the response frame."""
+    _, seq, fn, payload = frame
+    value = fn(payload)
+    return ("res", seq, value)
+
+
+def _execute_site(frame: Tuple, resident: Dict[Any, Tuple]) -> Tuple:
+    """Evaluate a ``("site", ...)`` frame against the resident cache."""
+    from repro.runtime.tasks import SiteContext
+
+    _, seq, resident_key, sticky, dyn, evict = frame
+    for stale_key in evict:
+        # The coordinator names superseded keys (a new protocol run reusing
+        # this host's site slot), so resident memory stays bounded by the
+        # number of live site slots, not the number of runs served.
+        resident.pop(stale_key, None)
+    if sticky is not None:
+        if resident_key is not None:
+            resident[resident_key] = sticky
+    else:
+        if resident_key not in resident:
+            raise RuntimeError(
+                f"runner has no resident state for {resident_key!r}; the "
+                "coordinator must ship (shard, local_metric) before reusing it"
+            )
+        sticky = resident[resident_key]
+    shard, local_metric = sticky
+
+    ctx = SiteContext(
+        site_id=dyn["site_id"],
+        shard=shard,
+        local_metric=local_metric,
+        state=dyn["state"],
+        rng=dyn["rng"],
+        inbox=dyn["inbox"],
+    )
+    value = dyn["fn"](ctx, *dyn["args"], **dyn["kwargs"])
+
+    # Encode each buffered transmission separately: the byte length of one
+    # payload here is exactly the n_bytes the coordinator stamps on the
+    # corresponding ledger message.
+    outbox = []
+    for out in ctx.outbox:
+        blob = encode_payload(out.payload)
+        outbox.append((out.kind, blob, out.words, len(blob)))
+
+    result = {
+        "site_id": ctx.site_id,
+        "value": value,
+        "state": ctx.state,
+        "timer": ctx.timer,
+        "rng": ctx.rng,
+        "outbox": outbox,
+    }
+    return ("site_res", seq, result)
+
+
+def _exception_frame(seq: int, exc: BaseException) -> Tuple:
+    """Relay a task failure, preserving the original exception when it pickles."""
+    tb = "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
+    try:
+        pickle.dumps(exc, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return ("exc", seq, None, tb)
+    return ("exc", seq, exc, tb)
+
+
+def serve(channel: FrameChannel, host_id: int) -> None:
+    """Serve dispatch frames until shutdown or coordinator disconnect."""
+    resident: Dict[Any, Tuple] = {}
+    channel.send(("hello", host_id))
+    while True:
+        try:
+            frame, _ = channel.recv()
+        except ConnectionError:
+            return  # coordinator went away; nothing left to serve
+        except Exception as exc:  # noqa: BLE001 - e.g. an unimportable task fn
+            # The frame failed to decode before a sequence number was known,
+            # so it cannot be answered; report why and die loudly instead of
+            # leaving the coordinator a bare connection reset.
+            tb = traceback.format_exc()
+            try:
+                channel.send(("fatal", f"frame decode failed: {exc!r}\n{tb}"))
+            except OSError:
+                pass
+            raise
+        tag = frame[0]
+        if tag == "shutdown":
+            try:
+                channel.send(("bye", host_id))
+            except OSError:
+                pass
+            return
+        if tag == "clear_resident":
+            resident.clear()
+            channel.send(("res", frame[1], None))
+            continue
+        seq = frame[1]
+        try:
+            if tag == "task":
+                response = _execute_generic(frame)
+            elif tag == "site":
+                response = _execute_site(frame, resident)
+            else:
+                raise RuntimeError(f"unknown frame tag {tag!r}")
+        except BaseException as exc:  # noqa: BLE001 - relayed to the coordinator
+            response = _exception_frame(seq, exc)
+        try:
+            channel.send(response)
+        except OSError:
+            return  # coordinator gone mid-reply; nothing left to serve
+        except Exception as exc:  # noqa: BLE001 - e.g. an unpicklable result
+            # Frames are encoded before any byte hits the socket, so a
+            # serialization failure leaves the stream clean: relay it as
+            # this task's failure instead of dying and losing the host.
+            channel.send(
+                _exception_frame(
+                    seq,
+                    RuntimeError(f"task result could not be serialized: {exc!r}"),
+                )
+            )
+
+
+def runner_main(socket_path: str, host_id: int) -> None:
+    """Entry point of a runner process: connect, serve, exit."""
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.connect(socket_path)
+    channel = FrameChannel(sock)
+    try:
+        serve(channel, host_id)
+    finally:
+        channel.close()
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised in a child process
+    import sys
+
+    runner_main(sys.argv[1], int(sys.argv[2]))
+
+
+__all__ = ["runner_main", "serve"]

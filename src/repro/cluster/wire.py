@@ -1,0 +1,130 @@
+"""Wire-level byte accounting for the cluster backend.
+
+The semantic :class:`~repro.distributed.messages.CommunicationLedger` charges
+every message a *word* count computed by the protocol from what it
+semantically transmits — the paper's accounting, identical on every backend.
+The :class:`WireLedger` is its physical twin: it records the bytes each
+dispatch and result frame actually occupied on a runner socket, so a run on
+the cluster backend can report words *and* bytes side by side (the
+bytes-per-word ratio is what makes transmission claims comparable to
+byte-level schemes in the literature).
+
+This module is dependency-free on purpose: the communication ledger attaches
+a ``WireLedger`` lazily without importing the rest of the cluster machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class WireRecord:
+    """One frame that crossed a coordinator-to-runner socket.
+
+    Attributes
+    ----------
+    round_index:
+        Protocol round the frame belongs to (0 for out-of-round traffic such
+        as handshakes).
+    host:
+        Runner host id the frame was exchanged with.
+    direction:
+        ``"send"`` (coordinator -> runner) or ``"recv"`` (runner ->
+        coordinator).
+    kind:
+        Frame label (``"site_dispatch"``, ``"site_result"``,
+        ``"task_dispatch"``, ``"task_result"``).
+    n_bytes:
+        Wire bytes the frame occupied, length prefix included.
+    """
+
+    round_index: int
+    host: int
+    direction: str
+    kind: str
+    n_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.n_bytes < 0:
+            raise ValueError(f"frame byte count must be non-negative, got {self.n_bytes}")
+        if self.direction not in ("send", "recv"):
+            raise ValueError(f"direction must be 'send' or 'recv', got {self.direction!r}")
+
+
+@dataclass
+class WireLedger:
+    """Append-only record of every frame sent over runner sockets."""
+
+    records: List[WireRecord] = field(default_factory=list)
+
+    def record(
+        self, *, round_index: int, host: int, direction: str, kind: str, n_bytes: int
+    ) -> WireRecord:
+        """Append one frame record and return it."""
+        rec = WireRecord(
+            round_index=int(round_index),
+            host=int(host),
+            direction=str(direction),
+            kind=str(kind),
+            n_bytes=int(n_bytes),
+        )
+        self.records.append(rec)
+        return rec
+
+    # ------------------------------------------------------------------
+    # Aggregations
+    # ------------------------------------------------------------------
+
+    def total_bytes(self) -> int:
+        """Total wire bytes across all frames and rounds."""
+        return int(sum(r.n_bytes for r in self.records))
+
+    def bytes_by_round(self) -> Dict[int, int]:
+        """Total wire bytes per protocol round."""
+        out: Dict[int, int] = {}
+        for r in self.records:
+            out[r.round_index] = out.get(r.round_index, 0) + r.n_bytes
+        return out
+
+    def bytes_by_host(self) -> Dict[int, int]:
+        """Total wire bytes exchanged with each runner host."""
+        out: Dict[int, int] = {}
+        for r in self.records:
+            out[r.host] = out.get(r.host, 0) + r.n_bytes
+        return out
+
+    def bytes_by_kind(self) -> Dict[str, int]:
+        """Total wire bytes per frame kind."""
+        out: Dict[str, int] = {}
+        for r in self.records:
+            out[r.kind] = out.get(r.kind, 0) + r.n_bytes
+        return out
+
+    def bytes_by_direction(self) -> Dict[str, int]:
+        """Total wire bytes split into dispatch (send) and result (recv) traffic."""
+        sent = sum(r.n_bytes for r in self.records if r.direction == "send")
+        received = sum(r.n_bytes for r in self.records if r.direction == "recv")
+        return {"send": int(sent), "recv": int(received)}
+
+    def n_frames(self) -> int:
+        """Number of frames recorded."""
+        return len(self.records)
+
+    def merge(self, other: "WireLedger") -> None:
+        """Fold another wire ledger's frames into this one."""
+        self.records.extend(other.records)
+
+    def summary(self) -> Dict[str, object]:
+        """Compact dictionary used by reports and benchmark output."""
+        return {
+            "total_bytes": self.total_bytes(),
+            "frames": self.n_frames(),
+            "by_round": self.bytes_by_round(),
+            "by_host": self.bytes_by_host(),
+            "by_direction": self.bytes_by_direction(),
+        }
+
+
+__all__ = ["WireLedger", "WireRecord"]

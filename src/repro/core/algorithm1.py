@@ -123,6 +123,7 @@ def distributed_partial_median(
     transport: TransportLike = None,
     memory_budget: MemoryBudgetLike = None,
     prefetch: Optional[bool] = None,
+    async_rounds: bool = False,
 ) -> DistributedResult:
     """Run Algorithm 1 on a distributed instance.
 
@@ -154,7 +155,9 @@ def distributed_partial_median(
         Also produce a full per-point assignment (output step, uncharged).
     backend:
         Execution backend for the per-site phases: ``None``/``"serial"``
-        (default), ``"thread"``, ``"process"`` or an
+        (default), ``"thread"``, ``"process"``, ``"cluster"`` (one runner
+        process per host, payloads over real sockets with byte-accounted
+        frames — optionally with a host count, e.g. ``"cluster:3"``) or an
         :class:`~repro.runtime.backends.ExecutionBackend` instance.  Results
         are bit-identical across backends for a fixed seed.
     transport:
@@ -171,6 +174,11 @@ def distributed_partial_median(
         matrices (``None`` = auto: on exactly when a matrix streams from
         disk); forwarded to the site solvers and the coordinator solve.
         Never changes the result.
+    async_rounds:
+        Stream the round joins: the coordinator absorbs each completed
+        site's profile (and computes its allocation marginals) while the
+        remaining sites are still computing, instead of waiting at a
+        barrier.  Pure latency hiding — never changes any result.
     """
     objective = validate_objective(instance.objective)
     if objective == "center":
@@ -204,6 +212,17 @@ def distributed_partial_median(
             # Round 1: local cost profiles.
             # --------------------------------------------------------------
             network.next_round()
+            marginals: list = [None] * network.n_sites
+
+            def _absorb_profile(result):
+                # Per-site allocation prep; under async_rounds this runs
+                # while later sites are still computing their profiles.
+                with network.coordinator.timer.measure("allocation"):
+                    profile = network.coordinator.messages_from(
+                        result.site_id, "cost_profile"
+                    )[0].payload
+                    marginals[result.site_id] = profile.marginals()
+
             round1 = run_site_tasks(
                 network,
                 [
@@ -220,17 +239,15 @@ def distributed_partial_median(
                 ],
                 backend=exec_backend,
                 transport=policy,
+                async_rounds=async_rounds,
+                consume=_absorb_profile,
             )
             site_rngs = [r.rng for r in round1]
 
             # Coordinator: allocate the outlier budget.
             with network.coordinator.timer.measure("allocation"):
-                profiles = [
-                    network.coordinator.messages_from(i, "cost_profile")[0].payload
-                    for i in range(network.n_sites)
-                ]
                 budget = int(math.floor(rho * t))
-                allocation = allocate_outlier_budget([p.marginals() for p in profiles], budget)
+                allocation = allocate_outlier_budget(marginals, budget)
 
             # --------------------------------------------------------------
             # Round 2: allocations out, local solutions back, final solve.
@@ -258,6 +275,7 @@ def distributed_partial_median(
                 ],
                 backend=exec_backend,
                 transport=policy,
+                async_rounds=async_rounds,
             )
             # Combine from the coordinator's inbox (not the task return values) so
             # the transport policy's materialisation is what actually gets solved.
@@ -313,6 +331,7 @@ def distributed_partial_median(
                 "local_k": [int(s.state["local_k"]) for s in network.sites],
                 "memory_budget": mem_budget,
                 "cost_matrix_storage": [s.state.get("cost_storage") for s in network.sites],
+                "async_rounds": bool(async_rounds),
             },
         )
         return result

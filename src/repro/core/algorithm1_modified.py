@@ -111,6 +111,7 @@ def distributed_partial_median_no_shipping(
     transport: TransportLike = None,
     memory_budget: MemoryBudgetLike = None,
     prefetch: Optional[bool] = None,
+    async_rounds: bool = False,
 ) -> DistributedResult:
     """Run the Theorem 3.8 variant (no outlier points are ever transmitted).
 
@@ -135,6 +136,10 @@ def distributed_partial_median_no_shipping(
     prefetch:
         Background tile prefetch knob for memmap-backed cost matrices
         (``None`` = auto); never changes the result.
+    async_rounds:
+        Stream the round joins (the coordinator absorbs each completed
+        site's profile while others still compute); never changes the
+        result.
     """
     objective = validate_objective(instance.objective)
     if objective == "center":
@@ -161,6 +166,15 @@ def distributed_partial_median_no_shipping(
         with backend_scope(backend) as exec_backend:
             # Round 1: profiles on the finer grid.
             network.next_round()
+            marginals: list = [None] * network.n_sites
+
+            def _absorb_profile(result):
+                with network.coordinator.timer.measure("allocation"):
+                    profile = network.coordinator.messages_from(
+                        result.site_id, "cost_profile"
+                    )[0].payload
+                    marginals[result.site_id] = profile.marginals()
+
             round1 = run_site_tasks(
                 network,
                 [
@@ -177,16 +191,14 @@ def distributed_partial_median_no_shipping(
                 ],
                 backend=exec_backend,
                 transport=policy,
+                async_rounds=async_rounds,
+                consume=_absorb_profile,
             )
             site_rngs = [r.rng for r in round1]
 
             with network.coordinator.timer.measure("allocation"):
-                profiles = [
-                    network.coordinator.messages_from(i, "cost_profile")[0].payload
-                    for i in range(network.n_sites)
-                ]
                 budget = int(math.floor(rho * t))
-                allocation = allocate_outlier_budget([p.marginals() for p in profiles], budget)
+                allocation = allocate_outlier_budget(marginals, budget)
 
             # Round 2: centers and counts only.
             network.next_round()
@@ -212,6 +224,7 @@ def distributed_partial_median_no_shipping(
                 ],
                 backend=exec_backend,
                 transport=policy,
+                async_rounds=async_rounds,
             )
             summaries = [
                 network.coordinator.messages_from(i, "local_solution")[0].payload
@@ -261,6 +274,7 @@ def distributed_partial_median_no_shipping(
                 "n_coordinator_demands": int(combine.demand_points.size),
                 "memory_budget": mem_budget,
                 "cost_matrix_storage": [s.state.get("cost_storage") for s in network.sites],
+                "async_rounds": bool(async_rounds),
             },
         )
 

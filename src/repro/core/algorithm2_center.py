@@ -123,6 +123,7 @@ def distributed_partial_center(
     transport: TransportLike = None,
     memory_budget: MemoryBudgetLike = None,
     prefetch: Optional[bool] = None,
+    async_rounds: bool = False,
 ) -> DistributedResult:
     """Run Algorithm 2 on a distributed instance with the center objective.
 
@@ -152,6 +153,10 @@ def distributed_partial_center(
         Double-buffered background tile prefetch for memmap-backed blocks
         (``None`` = auto: on exactly when a matrix streams from disk);
         never changes the result.
+    async_rounds:
+        Stream the round joins (the coordinator absorbs each completed
+        site's witness curve while others still compute); never changes
+        the result.
     """
     if instance.objective != "center":
         raise ValueError("distributed_partial_center requires a center-objective instance")
@@ -173,6 +178,15 @@ def distributed_partial_center(
             # Round 1: Gonzalez traversals and witness curves.
             # --------------------------------------------------------------
             network.next_round()
+            marginals: list = [None] * network.n_sites
+
+            def _absorb_curve(result):
+                with network.coordinator.timer.measure("allocation"):
+                    curve = network.coordinator.messages_from(
+                        result.site_id, "witness_curve"
+                    )[0].payload
+                    marginals[result.site_id] = curve.marginals_from_grid(t)
+
             round1 = run_site_tasks(
                 network,
                 [
@@ -181,16 +195,13 @@ def distributed_partial_center(
                 ],
                 backend=exec_backend,
                 transport=policy,
+                async_rounds=async_rounds,
+                consume=_absorb_curve,
             )
             site_rngs = [r.rng for r in round1]
 
             with network.coordinator.timer.measure("allocation"):
-                witness_curves = [
-                    network.coordinator.messages_from(i, "witness_curve")[0].payload
-                    for i in range(network.n_sites)
-                ]
                 budget = int(math.floor(rho * t))
-                marginals = [curve.marginals_from_grid(t) for curve in witness_curves]
                 allocation = allocate_outlier_budget(marginals, budget)
 
             # --------------------------------------------------------------
@@ -217,6 +228,7 @@ def distributed_partial_center(
                 ],
                 backend=exec_backend,
                 transport=policy,
+                async_rounds=async_rounds,
             )
             summaries = [
                 network.coordinator.messages_from(i, "local_solution")[0].payload
@@ -258,6 +270,7 @@ def distributed_partial_center(
                 "n_coordinator_demands": int(combine.demand_points.size),
                 "realized_assignment": combine.realized_assignment,
                 "memory_budget": mem_budget,
+                "async_rounds": bool(async_rounds),
             },
         )
         return result

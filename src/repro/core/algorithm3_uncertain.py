@@ -181,6 +181,7 @@ def distributed_uncertain_clustering(
     backend: BackendLike = None,
     memory_budget: MemoryBudgetLike = None,
     prefetch: Optional[bool] = None,
+    async_rounds: bool = False,
 ) -> DistributedResult:
     """Distributed uncertain ``(k, (1+eps)t)``-median/means/center-pp (Theorem 5.6).
 
@@ -202,6 +203,10 @@ def distributed_uncertain_clustering(
     prefetch:
         Background tile prefetch knob for memmap-backed cost blocks
         (``None`` = auto); never changes the result.
+    async_rounds:
+        Stream the round joins — the coordinator absorbs each completed
+        site's profile/summary (and its allocation marginals) while later
+        sites still compute; never changes the result.
 
     Returns
     -------
@@ -239,7 +244,21 @@ def distributed_uncertain_clustering(
             # --------------------------------------------------------------
             # Round 1: collapse + compressed-graph preclustering profiles.
             # --------------------------------------------------------------
-            round1 = run_tasks(
+            site_state: List[dict] = [None] * s
+            marginals: List = [None] * s
+
+            def _absorb_round1(i, out):
+                # Merged in site order; under async_rounds this runs while
+                # later sites still collapse/precluster.
+                site_state[i] = out["state"]
+                site_timers[i].merge(out["timer"])
+                site_rngs[i] = out["rng"]
+                profile = out["state"]["precluster"].profile
+                ledger.record(Message(i, COORDINATOR, 1, "cost_profile", profile.words, profile))
+                with coord_timer.measure("allocation"):
+                    marginals[i] = profile.marginals()
+
+            run_tasks(
                 _uncertain_round1,
                 [
                     {
@@ -258,20 +277,15 @@ def distributed_uncertain_clustering(
                     for i in range(s)
                 ],
                 backend=exec_backend,
+                ledger=ledger,
+                round_index=1,
+                async_rounds=async_rounds,
+                consume=_absorb_round1,
             )
-            site_state: List[dict] = []
-            profiles = []
-            for i, out in enumerate(round1):
-                site_state.append(out["state"])
-                site_timers[i].merge(out["timer"])
-                site_rngs[i] = out["rng"]
-                profile = out["state"]["precluster"].profile
-                profiles.append(profile)
-                ledger.record(Message(i, COORDINATOR, 1, "cost_profile", profile.words, profile))
 
             with coord_timer.measure("allocation"):
                 budget = int(math.floor(rho * t))
-                allocation = allocate_outlier_budget([p.marginals() for p in profiles], budget)
+                allocation = allocate_outlier_budget(marginals, budget)
 
             # --------------------------------------------------------------
             # Round 2: allocations out; centers, counts and collapsed outliers back.
@@ -280,7 +294,22 @@ def distributed_uncertain_clustering(
                 ledger.record(
                     Message(COORDINATOR, i, 2, "allocation", 3, {"t_i": int(allocation.t_allocated[i])})
                 )
-            round2 = run_tasks(
+            demand_anchor: List[int] = []      # ground point each coordinator demand sits at
+            demand_offset: List[float] = []    # additive collapse offset of the demand
+            demand_weight: List[float] = []
+            demand_origin: List[tuple] = []    # (site, kind, payload) for mapping back
+
+            def _absorb_round2(i, out):
+                site_state[i] = out["state"]
+                site_timers[i].merge(out["timer"])
+                site_rngs[i] = out["rng"]
+                demand_anchor.extend(out["demand_anchor"])
+                demand_offset.extend(out["demand_offset"])
+                demand_weight.extend(out["demand_weight"])
+                demand_origin.extend(out["demand_origin"])
+                ledger.record(Message(i, COORDINATOR, 2, "local_solution", out["words"], None))
+
+            run_tasks(
                 _uncertain_round2,
                 [
                     {
@@ -295,21 +324,11 @@ def distributed_uncertain_clustering(
                     for i in range(s)
                 ],
                 backend=exec_backend,
+                ledger=ledger,
+                round_index=2,
+                async_rounds=async_rounds,
+                consume=_absorb_round2,
             )
-
-        demand_anchor: List[int] = []      # ground point each coordinator demand sits at
-        demand_offset: List[float] = []    # additive collapse offset of the demand
-        demand_weight: List[float] = []
-        demand_origin: List[tuple] = []    # (site, kind, payload) for mapping back
-        for i, out in enumerate(round2):
-            site_state[i] = out["state"]
-            site_timers[i].merge(out["timer"])
-            site_rngs[i] = out["rng"]
-            demand_anchor.extend(out["demand_anchor"])
-            demand_offset.extend(out["demand_offset"])
-            demand_weight.extend(out["demand_weight"])
-            demand_origin.extend(out["demand_origin"])
-            ledger.record(Message(i, COORDINATOR, 2, "local_solution", out["words"], None))
 
         # ------------------------------------------------------------------
         # Coordinator: weighted clustering on the received compressed summary.
@@ -413,6 +432,7 @@ def distributed_uncertain_clustering(
                 "collapse_cost_total": float(sum(float(st["collapse"].sum()) for st in site_state)),
                 "memory_budget": mem_budget,
                 "cost_matrix_storage": [st.get("cost_storage") for st in site_state],
+                "async_rounds": bool(async_rounds),
             },
         )
 

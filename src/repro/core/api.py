@@ -81,6 +81,7 @@ def partial_kmedian(
     backend: BackendLike = "serial",
     memory_budget: MemoryBudgetLike = None,
     prefetch: Union[None, bool] = None,
+    async_rounds: bool = False,
     **kwargs,
 ) -> DistributedResult:
     """Distributed ``(k, (1+eps)t)``-median over a Euclidean point cloud.
@@ -102,7 +103,11 @@ def partial_kmedian(
         Seed or generator for reproducibility.
     backend:
         Execution backend for site-local computation: ``"serial"``
-        (default), ``"thread"``, ``"process"`` or an
+        (default), ``"thread"``, ``"process"``, ``"cluster"`` — one
+        long-lived runner process per host, payloads shipped over real
+        sockets, the ledger reporting wire bytes next to the semantic words
+        — any of those with a worker count (``"thread:4"``,
+        ``"cluster:3"``), or an
         :class:`~repro.runtime.backends.ExecutionBackend` instance.  The
         result is bit-identical across backends for a fixed seed.
     memory_budget:
@@ -117,6 +122,11 @@ def partial_kmedian(
         matrices: ``None`` (default — auto: on exactly when a matrix
         streams from a memmap shard), ``True`` or ``False``.  Purely a
         wall-clock knob; results are bit-identical either way.
+    async_rounds:
+        Stream the round joins: the coordinator consumes each completed
+        site (allocation marginals, ledger charges) while the remaining
+        sites still compute, overlapping site compute with coordinator
+        allocation.  Purely a wall-clock knob; never changes any result.
     kwargs:
         Forwarded to :func:`repro.core.algorithm1.distributed_partial_median`
         (e.g. ``transport=`` for a runtime transport policy).
@@ -125,7 +135,8 @@ def partial_kmedian(
     instance = _deterministic_instance(points, k, t, n_sites, "median", partition, generator)
     return distributed_partial_median(
         instance, epsilon=epsilon, rho=rho, rng=generator, backend=backend,
-        memory_budget=memory_budget, prefetch=prefetch, **kwargs
+        memory_budget=memory_budget, prefetch=prefetch, async_rounds=async_rounds,
+        **kwargs
     )
 
 
@@ -142,6 +153,7 @@ def partial_kmeans(
     backend: BackendLike = "serial",
     memory_budget: MemoryBudgetLike = None,
     prefetch: Union[None, bool] = None,
+    async_rounds: bool = False,
     **kwargs,
 ) -> DistributedResult:
     """Distributed ``(k, (1+eps)t)``-means over a Euclidean point cloud.
@@ -153,7 +165,8 @@ def partial_kmeans(
     instance = _deterministic_instance(points, k, t, n_sites, "means", partition, generator)
     return distributed_partial_median(
         instance, epsilon=epsilon, rho=rho, rng=generator, backend=backend,
-        memory_budget=memory_budget, prefetch=prefetch, **kwargs
+        memory_budget=memory_budget, prefetch=prefetch, async_rounds=async_rounds,
+        **kwargs
     )
 
 
@@ -169,19 +182,21 @@ def partial_kcenter(
     backend: BackendLike = "serial",
     memory_budget: MemoryBudgetLike = None,
     prefetch: Union[None, bool] = None,
+    async_rounds: bool = False,
     **kwargs,
 ) -> DistributedResult:
     """Distributed ``(k, t)``-center over a Euclidean point cloud (Algorithm 2).
 
     ``memory_budget`` bounds any single distance block a party materialises
-    (see :func:`partial_kmedian`); results are bit-identical for every
-    setting.
+    and ``async_rounds`` streams the round joins (see
+    :func:`partial_kmedian`); results are bit-identical for every setting.
     """
     generator = ensure_rng(seed)
     instance = _deterministic_instance(points, k, t, n_sites, "center", partition, generator)
     return distributed_partial_center(
         instance, rho=rho, rng=generator, backend=backend,
-        memory_budget=memory_budget, prefetch=prefetch, **kwargs
+        memory_budget=memory_budget, prefetch=prefetch, async_rounds=async_rounds,
+        **kwargs
     )
 
 
@@ -203,6 +218,7 @@ def uncertain_partial_kmedian(
     backend: BackendLike = "serial",
     memory_budget: MemoryBudgetLike = None,
     prefetch: Union[None, bool] = None,
+    async_rounds: bool = False,
     **kwargs,
 ) -> DistributedResult:
     """Distributed uncertain ``(k, (1+eps)t)``-median/means/center-pp (Algorithm 3).
@@ -218,13 +234,17 @@ def uncertain_partial_kmedian(
     memory_budget:
         Byte cap on any single compressed-cost block (see
         :func:`partial_kmedian`); bit-identical results for every setting.
+    async_rounds:
+        Stream the round joins (see :func:`partial_kmedian`); never changes
+        the result.
     """
     generator = ensure_rng(seed)
     shards = _node_partition(instance.n_nodes, n_sites, partition, generator)
     dist_instance = UncertainDistributedInstance.from_partition(instance, shards, k, t, objective)
     return distributed_uncertain_clustering(
         dist_instance, epsilon=epsilon, rho=rho, rng=generator, backend=backend,
-        memory_budget=memory_budget, prefetch=prefetch, **kwargs
+        memory_budget=memory_budget, prefetch=prefetch, async_rounds=async_rounds,
+        **kwargs
     )
 
 
@@ -241,20 +261,22 @@ def uncertain_partial_kcenter_g(
     backend: BackendLike = "serial",
     memory_budget: MemoryBudgetLike = None,
     prefetch: Union[None, bool] = None,
+    async_rounds: bool = False,
     **kwargs,
 ) -> DistributedResult:
     """Distributed uncertain ``(k, (1+eps)t)``-center-g (Algorithm 4).
 
     ``memory_budget`` bounds any single distance/cost block a party
-    materialises (see :func:`partial_kmedian`); bit-identical results for
-    every setting.
+    materialises and ``async_rounds`` streams the round joins (see
+    :func:`partial_kmedian`); bit-identical results for every setting.
     """
     generator = ensure_rng(seed)
     shards = _node_partition(instance.n_nodes, n_sites, partition, generator)
     dist_instance = UncertainDistributedInstance.from_partition(instance, shards, k, t, "center-g")
     return distributed_uncertain_center_g(
         dist_instance, epsilon=epsilon, rho=rho, rng=generator, backend=backend,
-        memory_budget=memory_budget, prefetch=prefetch, **kwargs
+        memory_budget=memory_budget, prefetch=prefetch, async_rounds=async_rounds,
+        **kwargs
     )
 
 

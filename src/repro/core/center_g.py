@@ -204,6 +204,7 @@ def distributed_uncertain_center_g(
     backend: BackendLike = None,
     memory_budget: MemoryBudgetLike = None,
     prefetch: Optional[bool] = None,
+    async_rounds: bool = False,
 ) -> DistributedResult:
     """Distributed uncertain ``(k, (1+eps)t)``-center-g (Theorem 5.14).
 
@@ -232,6 +233,10 @@ def distributed_uncertain_center_g(
     prefetch:
         Background tile prefetch knob for memmap-backed cost blocks
         (``None`` = auto); never changes the result.
+    async_rounds:
+        Stream the round joins — the coordinator absorbs each completed
+        site's extremes / per-``tau`` profiles / summaries while later
+        sites still compute; never changes the result.
     """
     if epsilon <= 0 or rho <= 1:
         raise ValueError("epsilon must be positive and rho > 1")
@@ -258,7 +263,14 @@ def distributed_uncertain_center_g(
             # --------------------------------------------------------------
             # Round 1a: every party reports its local distance extremes (O(s) words).
             # --------------------------------------------------------------
-            extremes_out = run_tasks(
+            local_extremes: List[tuple] = [None] * s
+
+            def _absorb_extremes(i, out):
+                site_timers[i].merge(out["timer"])
+                local_extremes[i] = out["extremes"]
+                ledger.record(Message(i, COORDINATOR, 1, "extremes", 2, out["extremes"]))
+
+            run_tasks(
                 _extremes_task,
                 [
                     {
@@ -270,12 +282,11 @@ def distributed_uncertain_center_g(
                     for i in range(s)
                 ],
                 backend=exec_backend,
+                ledger=ledger,
+                round_index=1,
+                async_rounds=async_rounds,
+                consume=_absorb_extremes,
             )
-            local_extremes = []
-            for i, out in enumerate(extremes_out):
-                site_timers[i].merge(out["timer"])
-                local_extremes.append(out["extremes"])
-                ledger.record(Message(i, COORDINATOR, 1, "extremes", 2, out["extremes"]))
             d_min = min(e[0] for e in local_extremes if e[0] > 0)
             d_max = max(e[1] for e in local_extremes)
             taus = truncation_grid(d_min, d_max, base=tau_base)
@@ -283,7 +294,15 @@ def distributed_uncertain_center_g(
             # --------------------------------------------------------------
             # Round 1b: per-tau compressed preclustering profiles.
             # --------------------------------------------------------------
-            sweep_out = run_tasks(
+            site_state: List[dict] = [None] * s
+
+            def _absorb_sweep(i, out):
+                site_state[i] = out["state"]
+                site_timers[i].merge(out["timer"])
+                site_rngs[i] = out["rng"]
+                ledger.record(Message(i, COORDINATOR, 1, "tau_profiles", out["words"], out["profiles"]))
+
+            run_tasks(
                 _tau_sweep_task,
                 [
                     {
@@ -302,13 +321,11 @@ def distributed_uncertain_center_g(
                     for i in range(s)
                 ],
                 backend=exec_backend,
+                ledger=ledger,
+                round_index=1,
+                async_rounds=async_rounds,
+                consume=_absorb_sweep,
             )
-            site_state: List[dict] = []
-            for i, out in enumerate(sweep_out):
-                site_state.append(out["state"])
-                site_timers[i].merge(out["timer"])
-                site_rngs[i] = out["rng"]
-                ledger.record(Message(i, COORDINATOR, 1, "tau_profiles", out["words"], out["profiles"]))
 
             # Coordinator: parametric search for tau_hat (Algorithm 4, line 6).
             with coord_timer.measure("tau_search"):
@@ -338,7 +355,24 @@ def distributed_uncertain_center_g(
                     Message(COORDINATOR, i, 2, "allocation", 2,
                             {"tau": tau_hat, "t_i": int(allocation_hat.t_allocated[i])})
                 )
-            round2 = run_tasks(
+            demand_anchor: List[int] = []
+            demand_node: List[Optional[int]] = []   # global node id when the demand is a shipped node
+            demand_weight: List[float] = []
+            demand_origin: List[tuple] = []
+            facility_candidates: List[np.ndarray] = []
+
+            def _absorb_round2(i, out):
+                site_state[i] = out["state"]
+                site_timers[i].merge(out["timer"])
+                site_rngs[i] = out["rng"]
+                demand_anchor.extend(out["demand_anchor"])
+                demand_node.extend(out["demand_node"])
+                demand_weight.extend(out["demand_weight"])
+                demand_origin.extend(out["demand_origin"])
+                facility_candidates.extend(out["facility_candidates"])
+                ledger.record(Message(i, COORDINATOR, 2, "local_solution", out["words"], None))
+
+            run_tasks(
                 _center_g_round2,
                 [
                     {
@@ -355,23 +389,11 @@ def distributed_uncertain_center_g(
                     for i in range(s)
                 ],
                 backend=exec_backend,
+                ledger=ledger,
+                round_index=2,
+                async_rounds=async_rounds,
+                consume=_absorb_round2,
             )
-
-        demand_anchor: List[int] = []
-        demand_node: List[Optional[int]] = []   # global node id when the demand is a shipped node
-        demand_weight: List[float] = []
-        demand_origin: List[tuple] = []
-        facility_candidates: List[np.ndarray] = []
-        for i, out in enumerate(round2):
-            site_state[i] = out["state"]
-            site_timers[i].merge(out["timer"])
-            site_rngs[i] = out["rng"]
-            demand_anchor.extend(out["demand_anchor"])
-            demand_node.extend(out["demand_node"])
-            demand_weight.extend(out["demand_weight"])
-            demand_origin.extend(out["demand_origin"])
-            facility_candidates.extend(out["facility_candidates"])
-            ledger.record(Message(i, COORDINATOR, 2, "local_solution", out["words"], None))
 
         # ------------------------------------------------------------------
         # Coordinator: weighted (k, (1+eps)t)-center over what it received.
@@ -461,6 +483,7 @@ def distributed_uncertain_center_g(
                 "node_assignment": node_assignment,
                 "n_coordinator_demands": int(n_demands),
                 "memory_budget": mem_budget,
+                "async_rounds": bool(async_rounds),
             },
         )
 

@@ -5,12 +5,23 @@ one word, and a point of a ``d``-dimensional Euclidean metric equals ``d``
 words (the metric's ``words_per_point`` — the paper's ``B``).  This is a
 constant-factor rescaling of the paper's "bits", which is all the asymptotic
 claims need (see DESIGN.md Substitutions).
+
+Next to the semantic word counts the ledger can carry *wire* bytes: when a
+run executes on the cluster backend, every message that physically crossed a
+runner socket is stamped with its serialized size (``Message.n_bytes``) and
+the backend's frame-level :class:`~repro.cluster.wire.WireLedger` is
+attached, so :meth:`CommunicationLedger.summary` reports ``total_bytes`` /
+``bytes_by_round`` alongside the words.  On purely in-process backends no
+wire ever ran and both report 0 — words stay the backend-invariant currency.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import-cycle-free type hint only
+    from repro.cluster.wire import WireLedger
 
 COORDINATOR = -1
 """Sentinel party id for the coordinator."""
@@ -35,6 +46,9 @@ class Message:
     payload:
         The actual Python object delivered to the receiver.  Not serialised —
         the simulator only accounts for size via ``words``.
+    n_bytes:
+        Serialized size of the payload when it physically crossed a wire
+        (cluster backend), ``None`` when it was delivered in-process.
     """
 
     sender: int
@@ -43,12 +57,15 @@ class Message:
     kind: str
     words: float
     payload: Any = None
+    n_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.words < 0:
             raise ValueError(f"message word count must be non-negative, got {self.words}")
         if self.round_index < 1:
             raise ValueError(f"round_index must be >= 1, got {self.round_index}")
+        if self.n_bytes is not None and self.n_bytes < 0:
+            raise ValueError(f"message byte count must be non-negative, got {self.n_bytes}")
 
     @property
     def to_coordinator(self) -> bool:
@@ -58,13 +75,61 @@ class Message:
 
 @dataclass
 class CommunicationLedger:
-    """Append-only record of every message sent during a protocol run."""
+    """Append-only record of every message sent during a protocol run.
+
+    Per-kind and per-site views are served from lazily built indices: the
+    first call to :meth:`words_by_kind` / :meth:`words_by_site` /
+    :meth:`filter` (by kind) builds them, after which :meth:`record` and
+    :meth:`merge` keep them consistent incrementally — a protocol that polls
+    ``filter(kind=...)`` every round no longer rescans the whole history.
+    """
 
     messages: List[Message] = field(default_factory=list)
+    #: Frame-level wire accounting, attached when a cluster backend ran
+    #: (see :meth:`ensure_wire`).  ``None`` on purely in-process runs.
+    wire: Optional["WireLedger"] = field(default=None, repr=False, compare=False)
+    _kind_index: Optional[Dict[str, List[Message]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _site_index: Optional[Dict[int, List[Message]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def record(self, message: Message) -> None:
         """Append a message to the ledger."""
         self.messages.append(message)
+        self._index_message(message)
+
+    def _index_message(self, message: Message) -> None:
+        if self._kind_index is not None:
+            self._kind_index.setdefault(message.kind, []).append(message)
+        if self._site_index is not None and message.to_coordinator:
+            self._site_index.setdefault(message.sender, []).append(message)
+
+    def _by_kind(self) -> Dict[str, List[Message]]:
+        if self._kind_index is None:
+            index: Dict[str, List[Message]] = {}
+            for m in self.messages:
+                index.setdefault(m.kind, []).append(m)
+            self._kind_index = index
+        return self._kind_index
+
+    def _by_site(self) -> Dict[int, List[Message]]:
+        if self._site_index is None:
+            index: Dict[int, List[Message]] = {}
+            for m in self.messages:
+                if m.to_coordinator:
+                    index.setdefault(m.sender, []).append(m)
+            self._site_index = index
+        return self._site_index
+
+    def ensure_wire(self) -> "WireLedger":
+        """The attached wire ledger, creating an empty one on first use."""
+        if self.wire is None:
+            from repro.cluster.wire import WireLedger
+
+            self.wire = WireLedger()
+        return self.wire
 
     # ------------------------------------------------------------------
     # Aggregations
@@ -83,10 +148,10 @@ class CommunicationLedger:
 
     def words_by_kind(self) -> Dict[str, float]:
         """Total words per message kind."""
-        out: Dict[str, float] = {}
-        for m in self.messages:
-            out[m.kind] = out.get(m.kind, 0.0) + m.words
-        return out
+        return {
+            kind: float(sum(m.words for m in msgs))
+            for kind, msgs in self._by_kind().items()
+        }
 
     def words_by_direction(self) -> Dict[str, float]:
         """Total words split into uplink (site -> coordinator) and downlink."""
@@ -96,10 +161,35 @@ class CommunicationLedger:
 
     def words_by_site(self) -> Dict[int, float]:
         """Uplink words contributed by each site."""
-        out: Dict[int, float] = {}
+        return {
+            site: float(sum(m.words for m in msgs))
+            for site, msgs in self._by_site().items()
+        }
+
+    # ------------------------------------------------------------------
+    # Wire bytes (0 unless a wire transport actually ran)
+    # ------------------------------------------------------------------
+
+    def total_bytes(self) -> int:
+        """Total wire bytes of the run.
+
+        The frame-level :attr:`wire` ledger is authoritative when attached
+        (it covers dispatch *and* result traffic, headers included);
+        otherwise the per-message ``n_bytes`` stamps are summed.  Both are 0
+        when no wire transport ran.
+        """
+        if self.wire is not None:
+            return self.wire.total_bytes()
+        return int(sum(m.n_bytes or 0 for m in self.messages))
+
+    def bytes_by_round(self) -> Dict[int, int]:
+        """Total wire bytes per round (empty/zero when no wire transport ran)."""
+        if self.wire is not None:
+            return self.wire.bytes_by_round()
+        out: Dict[int, int] = {}
         for m in self.messages:
-            if m.to_coordinator:
-                out[m.sender] = out.get(m.sender, 0.0) + m.words
+            if m.n_bytes is not None:
+                out[m.round_index] = out.get(m.round_index, 0) + m.n_bytes
         return out
 
     def n_rounds(self) -> int:
@@ -112,25 +202,39 @@ class CommunicationLedger:
 
     def filter(self, *, kind: Optional[str] = None, round_index: Optional[int] = None) -> List[Message]:
         """Messages matching the given kind and/or round."""
-        out: Iterable[Message] = self.messages
+        out: Iterable[Message]
         if kind is not None:
-            out = (m for m in out if m.kind == kind)
+            out = self._by_kind().get(kind, [])
+        else:
+            out = self.messages
         if round_index is not None:
             out = (m for m in out if m.round_index == round_index)
         return list(out)
 
     def merge(self, other: "CommunicationLedger") -> None:
-        """Fold another ledger's messages into this one (used by meta-protocols)."""
+        """Fold another ledger's messages into this one (used by meta-protocols).
+
+        Any lazily built per-kind/per-site indices stay consistent (the
+        other ledger's messages are folded into them too, not just into the
+        flat list), and an attached wire ledger is merged as well.
+        """
         self.messages.extend(other.messages)
+        if self._kind_index is not None or self._site_index is not None:
+            for message in other.messages:
+                self._index_message(message)
+        if other.wire is not None:
+            self.ensure_wire().merge(other.wire)
 
     def summary(self) -> Dict[str, Any]:
         """Compact dictionary used by reports and benchmark output."""
         return {
             "total_words": self.total_words(),
+            "total_bytes": self.total_bytes(),
             "rounds": self.n_rounds(),
             "messages": self.n_messages(),
             "by_round": self.words_by_round(),
             "by_direction": self.words_by_direction(),
+            "bytes_by_round": self.bytes_by_round(),
         }
 
 

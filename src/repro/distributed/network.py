@@ -15,6 +15,7 @@ the paper's "Local Time" columns.
 from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
+from uuid import uuid4
 
 import numpy as np
 
@@ -41,6 +42,11 @@ class Site:
         self.inbox: List[Message] = []
         self.timer = Timer()
         self.state: Dict[str, Any] = {}
+        # Identity of this site's immutable half (shard + local metric) for
+        # runner-resident caching: unique per Site instance, so a new
+        # protocol run (new StarNetwork, new Sites) never aliases stale
+        # remote state.
+        self.resident_key = f"site-{self.site_id}-{uuid4().hex}"
 
     @property
     def n_points(self) -> int:
@@ -137,9 +143,20 @@ class StarNetwork:
             raise RuntimeError("call next_round() before sending messages")
 
     def send_to_coordinator(
-        self, site_id: int, kind: str, payload: Any, words: float
+        self,
+        site_id: int,
+        kind: str,
+        payload: Any,
+        words: float,
+        *,
+        n_bytes: Optional[int] = None,
     ) -> Message:
-        """Send ``payload`` from a site to the coordinator, charging ``words``."""
+        """Send ``payload`` from a site to the coordinator, charging ``words``.
+
+        ``n_bytes`` is the payload's serialized size when it physically
+        crossed a wire (cluster backend); in-process deliveries leave it
+        ``None``.
+        """
         self._require_started()
         if not (0 <= site_id < self.n_sites):
             raise ValueError(f"unknown site id {site_id}")
@@ -150,12 +167,21 @@ class StarNetwork:
             kind=kind,
             words=float(words),
             payload=payload,
+            n_bytes=n_bytes,
         )
         self.ledger.record(message)
         self.coordinator.receive(message)
         return message
 
-    def send_to_site(self, site_id: int, kind: str, payload: Any, words: float) -> Message:
+    def send_to_site(
+        self,
+        site_id: int,
+        kind: str,
+        payload: Any,
+        words: float,
+        *,
+        n_bytes: Optional[int] = None,
+    ) -> Message:
         """Send ``payload`` from the coordinator to one site, charging ``words``."""
         self._require_started()
         if not (0 <= site_id < self.n_sites):
@@ -167,6 +193,7 @@ class StarNetwork:
             kind=kind,
             words=float(words),
             payload=payload,
+            n_bytes=n_bytes,
         )
         self.ledger.record(message)
         self.sites[site_id].receive(message)

@@ -22,12 +22,15 @@ steps synchronise.  This subsystem separates *what* a site computes from
   timers, RNG streams and ledger charges back into the
   :class:`~repro.distributed.network.StarNetwork`.
 
-Every distributed protocol accepts ``backend=`` (``"serial"`` — the
-default — ``"thread"``, ``"process"``, or an
-:class:`~repro.runtime.backends.ExecutionBackend` instance) and is
+Every distributed protocol accepts ``backend=`` — ``"serial"`` (the
+default), ``"thread"``, ``"process"``, ``"cluster"`` (one spawned runner
+process per host, payloads over real sockets — see :mod:`repro.cluster`),
+any of those with a worker count (``"thread:4"``, ``"cluster:3"``), or an
+:class:`~repro.runtime.backends.ExecutionBackend` instance — and is
 bit-identical across backends for a fixed seed: same centers, same cost,
-same ledger word counts.  Pass an instance to share one warm pool across
-many runs::
+same ledger word counts.  New backends plug in through
+:func:`~repro.runtime.backends.register_backend`.  Pass an instance to
+share one warm pool across many runs::
 
     from repro import partial_kmedian
     from repro.runtime import ProcessPoolBackend
@@ -35,17 +38,25 @@ many runs::
     with ProcessPoolBackend(max_workers=4) as pool:
         for seed in range(10):
             partial_kmedian(points, k=3, t=30, seed=seed, backend=pool)
+
+Protocols also accept ``async_rounds=True``: round joins stream, so the
+coordinator consumes each completed site (allocation marginals, ledger
+charges) while the remaining sites are still computing.  Never changes any
+result — merge order stays the submission order.
 """
 
 from repro.runtime.backends import (
+    BackendFactory,
     BackendLike,
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
     ThreadPoolBackend,
+    available_backends,
     backend_scope,
     default_worker_count,
     effective_cpu_count,
+    register_backend,
     resolve_backend,
 )
 from repro.runtime.tasks import (
@@ -65,7 +76,10 @@ from repro.runtime.transport import (
 )
 
 __all__ = [
+    "BackendFactory",
     "BackendLike",
+    "available_backends",
+    "register_backend",
     "ExecutionBackend",
     "SerialBackend",
     "ThreadPoolBackend",

@@ -32,11 +32,15 @@ from __future__ import annotations
 
 import os
 from abc import ABC, abstractmethod
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
 from contextlib import contextmanager
-from typing import Any, Callable, Iterator, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Union
 
 BackendLike = Union[None, str, "ExecutionBackend"]
+
+#: A registered backend constructor: receives the optional worker count from a
+#: ``"name:workers"`` spec (``None`` when the spec carried no count).
+BackendFactory = Callable[[Optional[int]], "ExecutionBackend"]
 
 
 def effective_cpu_count() -> int:
@@ -75,6 +79,34 @@ class ExecutionBackend(ABC):
         caller (in input order, so failures are deterministic too).
         """
 
+    def submit_ordered(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> List["Future"]:
+        """Submit every item, returning one future per item in input order.
+
+        The futures interface is what the async-round scheduler builds on: a
+        caller may consume completed results (in submission order) while
+        later items are still computing.  The base implementation delegates
+        to :meth:`map_ordered` — a subclass that only implements the
+        abstract batch contract (e.g. a third-party MPI pool) keeps its
+        parallelism and its failure semantics; truly incremental futures
+        come from the subclasses that override this (pools, cluster).  On a
+        batch failure every future carries the raised exception, so the
+        join sees it at the earliest index — before any result is consumed,
+        matching ``map_ordered``'s all-or-nothing contract.
+        """
+        items = list(items)
+        futures: List[Future] = [Future() for _ in items]
+        try:
+            results = self.map_ordered(fn, items)
+        except BaseException as exc:  # noqa: BLE001 - relayed via the futures
+            for future in futures:
+                future.set_exception(exc)
+        else:
+            for future, result in zip(futures, results):
+                future.set_result(result)
+        return futures
+
     def close(self) -> None:
         """Release pooled workers, if any.  Safe to call more than once."""
 
@@ -109,18 +141,20 @@ class _PooledBackend(ExecutionBackend):
     def _make_executor(self) -> Executor:  # pragma: no cover - overridden
         raise NotImplementedError
 
-    def map_ordered(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+    def submit_ordered(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> List[Future]:
         items = list(items)
-        if not items:
-            return []
         # Even a single task goes through the pool: the process backend's
         # isolation/pickling guarantee must not silently vary with batch size.
-        if self._executor is None:
+        if items and self._executor is None:
             self._executor = self._make_executor()
-        futures = [self._executor.submit(fn, item) for item in items]
+        return [self._executor.submit(fn, item) for item in items]
+
+    def map_ordered(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
         # Joining in submission order keeps both results and failures
         # deterministic: the earliest-submitted failing task wins.
-        return [future.result() for future in futures]
+        return [future.result() for future in self.submit_ordered(fn, items)]
 
     def close(self) -> None:
         if self._executor is not None:
@@ -151,31 +185,80 @@ class ProcessPoolBackend(_PooledBackend):
         return ProcessPoolExecutor(max_workers=self.max_workers)
 
 
-_BACKENDS = {
-    "serial": SerialBackend,
-    "thread": ThreadPoolBackend,
-    "process": ProcessPoolBackend,
-}
+_BACKEND_FACTORIES: Dict[str, BackendFactory] = {}
+
+
+def register_backend(name: str, factory: BackendFactory, *, overwrite: bool = False) -> None:
+    """Register a backend under ``name`` so :func:`resolve_backend` finds it.
+
+    ``factory`` receives the optional worker count parsed from a
+    ``"name:workers"`` spec (``None`` when the spec is just the bare name).
+    New backends plug in here — the resolver never needs editing.
+    """
+    key = str(name).lower()
+    if not key or ":" in key:
+        raise ValueError(f"backend name must be non-empty and ':'-free, got {name!r}")
+    if key in _BACKEND_FACTORIES and not overwrite:
+        raise ValueError(f"backend {key!r} is already registered")
+    _BACKEND_FACTORIES[key] = factory
+
+
+def available_backends() -> List[str]:
+    """Sorted names of all registered backends."""
+    return sorted(_BACKEND_FACTORIES)
+
+
+def _serial_factory(workers: Optional[int]) -> ExecutionBackend:
+    if workers is not None:
+        raise ValueError("the serial backend runs inline and takes no worker count")
+    return SerialBackend()
+
+
+def _cluster_factory(workers: Optional[int]) -> ExecutionBackend:
+    # Imported lazily: the cluster subsystem pulls in sockets/multiprocessing
+    # machinery that purely in-process runs never need.
+    from repro.cluster.backend import ClusterBackend
+
+    return ClusterBackend(n_hosts=workers)
+
+
+register_backend("serial", _serial_factory)
+register_backend("thread", lambda workers: ThreadPoolBackend(max_workers=workers))
+register_backend("process", lambda workers: ProcessPoolBackend(max_workers=workers))
+register_backend("cluster", _cluster_factory)
 
 
 def resolve_backend(backend: BackendLike) -> ExecutionBackend:
     """Normalise a backend spec into an :class:`ExecutionBackend` instance.
 
-    Accepts ``None`` (serial), one of the names ``"serial"`` / ``"thread"``
-    / ``"process"``, or an existing backend instance (returned unchanged,
-    so pools can be shared across protocol runs).
+    Accepts ``None`` (serial), a registered name — optionally with a worker
+    count, e.g. ``"thread:4"`` or ``"cluster:3"`` — or an existing backend
+    instance (returned unchanged, so pools can be shared across protocol
+    runs).
     """
     if backend is None:
         return SerialBackend()
     if isinstance(backend, ExecutionBackend):
         return backend
     if isinstance(backend, str):
+        name, sep, count = backend.partition(":")
+        workers: Optional[int] = None
+        if sep:
+            try:
+                workers = int(count)
+            except ValueError as exc:
+                raise ValueError(
+                    f"malformed backend spec {backend!r}: worker count {count!r} is not an integer"
+                ) from exc
+            if workers < 1:
+                raise ValueError(f"backend spec {backend!r} needs a worker count >= 1")
         try:
-            return _BACKENDS[backend.lower()]()
+            factory = _BACKEND_FACTORIES[name.lower()]
         except KeyError as exc:
             raise ValueError(
-                f"unknown backend {backend!r}; choose from {sorted(_BACKENDS)}"
+                f"unknown backend {name!r}; choose from {available_backends()}"
             ) from exc
+        return factory(workers)
     raise TypeError(f"backend must be None, a name or an ExecutionBackend, got {backend!r}")
 
 
@@ -198,7 +281,9 @@ def backend_scope(backend: BackendLike) -> Iterator[ExecutionBackend]:
 
 
 __all__ = [
+    "BackendFactory",
     "BackendLike",
+    "available_backends",
     "backend_scope",
     "ExecutionBackend",
     "SerialBackend",
@@ -206,5 +291,6 @@ __all__ = [
     "ProcessPoolBackend",
     "default_worker_count",
     "effective_cpu_count",
+    "register_backend",
     "resolve_backend",
 ]

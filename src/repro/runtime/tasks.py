@@ -16,12 +16,28 @@ Because a task only ever sees its own context and results are merged in a
 fixed order, a protocol run is bit-identical across backends for a fixed
 seed: same centers, same costs, same ledger word counts.
 
+Dispatch is future-based: each backend returns one future per task
+(:meth:`~repro.runtime.backends.ExecutionBackend.submit_ordered`), and the
+join walks them in submission order.  With ``async_rounds=True`` the
+coordinator *streams* the join — site ``i``'s state, ledger charges and
+``consume`` callback run while sites ``i+1..`` are still computing, the
+latency-hiding idea of the tile prefetcher one level up.  The merge order is
+the submission order either way, so results are identical; only wall-clock
+overlap changes.
+
+On a :class:`~repro.cluster.backend.ClusterBackend` the pairs are shipped
+through :meth:`~repro.cluster.backend.ClusterBackend.submit_site_pairs`
+instead: payloads cross real sockets, the network ledger's wire ledger
+records every frame's bytes, and uplink messages come back stamped with the
+serialized size of their payload (``Message.n_bytes``).
+
 Task functions must be module-level callables (the process backend ships
 them to workers by pickling their qualified name).
 """
 
 from __future__ import annotations
 
+from concurrent.futures import Future, wait as _wait_futures
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -35,11 +51,16 @@ from repro.utils.timing import Timer
 
 @dataclass
 class Outgoing:
-    """One buffered site-to-coordinator transmission."""
+    """One buffered site-to-coordinator transmission.
+
+    ``n_bytes`` is stamped by the cluster runner with the payload's
+    serialized wire size; in-process backends leave it ``None``.
+    """
 
     kind: str
     payload: Any
     words: float
+    n_bytes: Optional[int] = None
 
 
 class SiteContext:
@@ -61,6 +82,7 @@ class SiteContext:
         state: Dict[str, Any],
         rng: Optional[np.random.Generator],
         inbox: List[Message],
+        resident_key: Optional[str] = None,
     ):
         self.site_id = int(site_id)
         self.shard = shard
@@ -70,6 +92,9 @@ class SiteContext:
         self.inbox = inbox
         self.timer = Timer()
         self.outbox: List[Outgoing] = []
+        #: Cache identity of (shard, local_metric) for runner-resident state
+        #: on the cluster backend; ``None`` disables caching for this context.
+        self.resident_key = resident_key
 
     @property
     def n_points(self) -> int:
@@ -132,12 +157,26 @@ def _execute_site_task(task_and_ctx: Tuple[SiteTask, SiteContext]) -> SiteTaskRe
     )
 
 
+def _barrier_check(futures: Sequence[Future]) -> None:
+    """Wait for every future; re-raise the earliest-submitted failure.
+
+    The synchronous (non-async) join semantics: nothing is merged into the
+    network until the whole round completed, and a failing round leaves the
+    network untouched.
+    """
+    _wait_futures(futures)
+    for future in futures:
+        future.result()
+
+
 def run_site_tasks(
     network,
     tasks: Sequence[SiteTask],
     *,
     backend: BackendLike = None,
     transport: TransportLike = None,
+    async_rounds: bool = False,
+    consume: Optional[Callable[[SiteTaskResult], None]] = None,
 ) -> List[SiteTaskResult]:
     """Fan site tasks out to a backend and merge the results into the network.
 
@@ -151,12 +190,25 @@ def run_site_tasks(
     tasks:
         At most one :class:`SiteTask` per site.
     backend:
-        ``None`` / ``"serial"`` / ``"thread"`` / ``"process"`` or an
+        ``None`` / a registered backend name (optionally ``"name:workers"``,
+        e.g. ``"thread:4"`` or ``"cluster:3"``) or an
         :class:`~repro.runtime.backends.ExecutionBackend` instance.
     transport:
         ``None`` / ``"reference"`` / ``"pickle"`` or a
         :class:`~repro.runtime.transport.TransportPolicy`; applied to inbox
         payloads entering a task and outbox payloads leaving it.
+    async_rounds:
+        ``False`` (default): barrier join — every site completes before any
+        result is merged.  ``True``: streaming join — each result is merged
+        (and handed to ``consume``) as soon as it *and all its predecessors*
+        completed, overlapping coordinator-side work with the still-running
+        sites.  Merge order is submission order either way, so results and
+        ledgers are identical.
+    consume:
+        Optional callback invoked once per merged result, in submission
+        order, right after the result's state and ledger charges landed —
+        the hook protocols use to overlap per-site coordinator work (e.g.
+        computing allocation marginals) with site compute.
 
     Returns
     -------
@@ -186,20 +238,43 @@ def run_site_tasks(
             state=site.state,
             rng=task.rng,
             inbox=inbox,
+            resident_key=getattr(site, "resident_key", None),
         )
         pairs.append((task, ctx))
 
     with backend_scope(backend) as exec_backend:
-        results = exec_backend.map_ordered(_execute_site_task, pairs)
-
-    for result in results:
-        site = network.sites[result.site_id]
-        site.state = result.state
-        site.timer.merge(result.timer)
-        for out in result.outbox:
-            network.send_to_coordinator(
-                result.site_id, out.kind, policy.roundtrip(out.payload), out.words
+        submit_site_pairs = getattr(exec_backend, "submit_site_pairs", None)
+        if submit_site_pairs is not None:
+            # Wire-capable backend (cluster): payloads cross real sockets and
+            # every frame's bytes land in the run ledger's wire ledger.
+            futures = submit_site_pairs(
+                pairs,
+                round_index=network.current_round,
+                wire=network.ledger.ensure_wire(),
             )
+        else:
+            futures = exec_backend.submit_ordered(_execute_site_task, pairs)
+
+        if not async_rounds:
+            _barrier_check(futures)
+
+        results: List[SiteTaskResult] = []
+        for future in futures:
+            result = future.result()
+            site = network.sites[result.site_id]
+            site.state = result.state
+            site.timer.merge(result.timer)
+            for out in result.outbox:
+                network.send_to_coordinator(
+                    result.site_id,
+                    out.kind,
+                    policy.roundtrip(out.payload),
+                    out.words,
+                    n_bytes=out.n_bytes,
+                )
+            if consume is not None:
+                consume(result)
+            results.append(result)
     return results
 
 
@@ -208,16 +283,41 @@ def run_tasks(
     payloads: Sequence[Any],
     *,
     backend: BackendLike = None,
+    ledger=None,
+    round_index: int = 0,
+    async_rounds: bool = False,
+    consume: Optional[Callable[[int, Any], None]] = None,
 ) -> List[Any]:
     """Evaluate ``fn`` over independent payloads on a backend, in order.
 
     The structure-free sibling of :func:`run_site_tasks`, used by protocols
     that manage their own ledger and timers (the uncertain Algorithms 3 and
     4).  ``fn`` must be a module-level callable and each payload picklable
-    for the process backend.
+    for the process and cluster backends.
+
+    ``ledger`` (a :class:`~repro.distributed.messages.CommunicationLedger`)
+    and ``round_index`` give a wire-capable backend somewhere to account the
+    frames it exchanges; in-process backends ignore both.  ``async_rounds``
+    streams the join exactly as in :func:`run_site_tasks`, calling
+    ``consume(index, result)`` per completed payload in submission order.
     """
+    payloads = list(payloads)
     with backend_scope(backend) as exec_backend:
-        return exec_backend.map_ordered(fn, list(payloads))
+        submit_tasks = getattr(exec_backend, "submit_tasks", None)
+        if submit_tasks is not None:
+            wire = ledger.ensure_wire() if ledger is not None else None
+            futures = submit_tasks(fn, payloads, round_index=round_index, wire=wire)
+        else:
+            futures = exec_backend.submit_ordered(fn, payloads)
+        if not async_rounds:
+            _barrier_check(futures)
+        results: List[Any] = []
+        for index, future in enumerate(futures):
+            result = future.result()
+            if consume is not None:
+                consume(index, result)
+            results.append(result)
+        return results
 
 
 __all__ = [

@@ -1,0 +1,94 @@
+"""Tests for the length-prefixed frame protocol."""
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cluster.framing import FrameChannel, decode_payload, encode_payload, recv_exact
+
+
+@pytest.fixture()
+def channel_pair():
+    a, b = socket.socketpair(socket.AF_UNIX, socket.SOCK_STREAM)
+    left, right = FrameChannel(a), FrameChannel(b)
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestPayloadCodec:
+    def test_roundtrip(self):
+        obj = {"a": [1, 2, 3], "b": "text"}
+        assert decode_payload(encode_payload(obj)) == obj
+
+    def test_numpy_roundtrip(self):
+        arr = np.arange(12, dtype=float).reshape(3, 4)
+        np.testing.assert_array_equal(decode_payload(encode_payload(arr)), arr)
+
+
+class TestFrameChannel:
+    def test_roundtrip_and_byte_counts(self, channel_pair):
+        left, right = channel_pair
+        sent = left.send(("hello", 7))
+        obj, received = right.recv()
+        assert obj == ("hello", 7)
+        # Both sides observe the identical wire size: 8-byte prefix + pickle.
+        assert sent == received == 8 + len(encode_payload(("hello", 7)))
+        assert left.bytes_sent == sent
+        assert right.bytes_received == received
+        assert left.frames_sent == right.frames_received == 1
+
+    def test_many_frames_in_order(self, channel_pair):
+        left, right = channel_pair
+        for i in range(5):
+            left.send({"i": i, "blob": np.full(100, i)})
+        for i in range(5):
+            obj, _ = right.recv()
+            assert obj["i"] == i
+            np.testing.assert_array_equal(obj["blob"], np.full(100, i))
+        assert right.frames_received == 5
+
+    def test_bidirectional(self, channel_pair):
+        left, right = channel_pair
+        left.send("ping")
+        assert right.recv()[0] == "ping"
+        right.send("pong")
+        assert left.recv()[0] == "pong"
+
+    def test_clean_eof_raises_connection_error(self, channel_pair):
+        left, right = channel_pair
+        left.close()
+        with pytest.raises(ConnectionError):
+            right.recv()
+
+    def test_mid_frame_eof_raises_connection_error(self):
+        a, b = socket.socketpair(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            # A header promising more bytes than will ever arrive.
+            a.sendall(b"\x00\x00\x00\x00\x00\x00\x00\xff" + b"partial")
+            a.close()
+            with pytest.raises(ConnectionError, match="mid-frame"):
+                FrameChannel(b).recv()
+        finally:
+            b.close()
+
+    def test_recv_exact_requires_full_read(self):
+        a, b = socket.socketpair(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            payload = bytes(range(256)) * 10
+
+            def _writer():
+                for offset in range(0, len(payload), 100):
+                    a.sendall(payload[offset : offset + 100])
+                a.close()
+
+            thread = threading.Thread(target=_writer)
+            thread.start()
+            try:
+                assert recv_exact(b, len(payload)) == payload
+            finally:
+                thread.join()
+        finally:
+            b.close()

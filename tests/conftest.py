@@ -2,12 +2,49 @@
 
 from __future__ import annotations
 
+import os
+import signal
+import threading
+
 import numpy as np
 import pytest
 
 from repro.data import gaussian_mixture_with_outliers, uncertain_nodes_from_mixture
 from repro.distributed import DistributedInstance, partition_balanced
 from repro.metrics import EuclideanMetric, build_cost_matrix
+
+
+@pytest.fixture(autouse=True)
+def _cluster_hard_timeout(request):
+    """Hard per-test timeout for ``cluster``-marked tests.
+
+    Socket-based tests hang rather than fail when a runner wedges, so every
+    test that spawns runner subprocesses gets a SIGALRM deadline
+    (``REPRO_CLUSTER_TEST_TIMEOUT`` seconds, default 120).  The alarm
+    interrupts blocking socket waits in the main thread and raises, turning
+    a silent hang into a loud failure.
+    """
+    if request.node.get_closest_marker("cluster") is None:
+        yield
+        return
+    if not hasattr(signal, "SIGALRM") or threading.current_thread() is not threading.main_thread():
+        yield  # pragma: no cover - non-POSIX / exotic runner
+        return
+    seconds = int(os.environ.get("REPRO_CLUSTER_TEST_TIMEOUT", "120"))
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"cluster test exceeded its {seconds}s hard timeout "
+            f"(REPRO_CLUSTER_TEST_TIMEOUT)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")
