@@ -10,19 +10,27 @@ accounting and what a wire would actually carry (pickle framing, dtype
 width, dispatch overhead and all).
 
 Wall-clock is recorded through pytest-benchmark but never asserted (the CI
-box is 1-core and the runners are subprocesses).  The JSON artifact
-``BENCH_cluster_bytes.json`` is only (re)written when
-``REPRO_BENCH_ARTIFACTS=1`` is set::
+box is 1-core and the runners are subprocesses).  Byte counts, by contrast,
+*are* deterministic — frame sizes don't depend on timing — so the committed
+``BENCH_cluster_bytes.json`` doubles as a regression baseline: the benchmark
+fails if any protocol's measured bytes-per-word exceeds 2x the committed
+value (the headroom covers pickle/version drift, not a reintroduced state
+round-trip, which costs 10-20x).  The guard runs under ``--benchmark-disable``
+too, which is how CI executes it.
+
+The JSON artifact is only (re)written when ``REPRO_BENCH_ARTIFACTS=1`` is
+set::
 
     REPRO_BENCH_ARTIFACTS=1 pytest benchmarks/test_bench_cluster_bytes.py
 """
 
+import json
 import os
 
 import numpy as np
 import pytest
 
-from benchmarks.harness import record_rows, write_bench_json
+from benchmarks.harness import BENCH_ARTIFACT_DIR, record_rows, write_bench_json
 from repro import (
     partial_kcenter,
     partial_kmedian,
@@ -37,6 +45,20 @@ from repro.distributed import DistributedInstance, partition_balanced
 K, T = 3, 15
 N_SITES = 3
 N_HOSTS = 2  # deliberately != n_sites: placement is site_id % n_hosts
+
+#: Regression headroom over the committed per-protocol bytes-per-word
+#: baseline.  Byte counts are deterministic; 2x absorbs pickle-format and
+#: minor frame-layout drift while still catching a reintroduced site-state
+#: round-trip (a 10-20x blow-up for kmedian / no_shipping).
+BASELINE_HEADROOM = 2.0
+
+
+def _committed_baseline() -> dict:
+    """protocol -> bytes_per_word from the committed benchmark artifact."""
+    path = os.path.join(BENCH_ARTIFACT_DIR, "BENCH_cluster_bytes.json")
+    with open(path) as fh:
+        payload = json.load(fh)
+    return {row["protocol"]: float(row["bytes_per_word"]) for row in payload["rows"]}
 
 
 @pytest.fixture(scope="module")
@@ -120,6 +142,20 @@ def test_cluster_bytes_per_word(
                 sum(m.n_bytes or 0 for m in clustered.ledger.messages if m.to_coordinator)
             ),
         }
+
+    # The committed artifact is the regression baseline (read *before* any
+    # REPRO_BENCH_ARTIFACTS rewrite): a protocol whose measured ratio blows
+    # past 2x the committed value means untracked payloads are riding the
+    # wire again — exactly how the state round-trip bug would resurface.
+    baseline = _committed_baseline()
+    for row in rows:
+        committed = baseline.get(row["protocol"])
+        if committed is None:
+            continue
+        assert row["bytes_per_word"] <= BASELINE_HEADROOM * committed, (
+            f"{row['protocol']}: {row['bytes_per_word']:.0f} bytes/word exceeds "
+            f"{BASELINE_HEADROOM}x the committed baseline ({committed:.0f})"
+        )
 
     # Time one representative cluster run (pool already warm).
     benchmark.pedantic(lambda: runners[0][1](cluster_pool), rounds=1, iterations=1)

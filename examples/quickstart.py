@@ -122,6 +122,29 @@ def running_on_a_cluster_backend(points, k, t) -> None:
     are still computing — site compute overlaps coordinator allocation,
     the same latency-hiding idea as the tile prefetcher one level up.
 
+    Resident state and state digests
+    --------------------------------
+    Everything that *lives* at a site stays at its site.  The immutable
+    half — shard + local metric — is shipped once per run; the **mutable**
+    half gets the same treatment: after a site task completes, its
+    ``ctx.state`` (for kmedian, the precluster with its cached
+    ``n_i x n_i`` cost matrix) stays resident on the runner, and the result
+    frame carries only a *digest* — the entry keys, each entry's pickled
+    size, and a state epoch.  The next round's dispatch ships an epoch
+    token instead of re-pickling the dict, so round >= 2 dispatches cost
+    kilobytes where they used to cost the whole precluster.
+
+    On the coordinator, ``Site.state`` becomes a lazy
+    :class:`repro.runtime.RemoteStateProxy`: reading an entry faults
+    exactly that entry over the wire (recorded as ``state_pull_*`` frames
+    in the wire ledger), writes ride along with the next dispatch token,
+    ``state.pull_state()`` materialises everything (detaching the proxy
+    from the wire), ``state.evict()`` drops the local read cache, and
+    ``ClusterBackend.clear_resident()`` pulls live proxies before dropping
+    both resident halves — so even a mid-run clear stays bit-identical.
+    In-process backends still hand the state dict back directly; protocol
+    results are identical either way.
+
     Results are bit-identical to ``"serial"`` in every configuration: same
     centers, same cost, same word ledger.  Only ``total_bytes`` (and
     wall-clock) differ.
@@ -139,6 +162,16 @@ def running_on_a_cluster_backend(points, k, t) -> None:
             f"  backend={label:<10}: cost {result.cost:9.1f}, "
             f"words {summary['total_words']:6.0f}, bytes {summary['total_bytes']:8d}"
         )
+    # Resident state in numbers: round 2's dispatch is an epoch token plus
+    # the allocation inbox — the preclusters never left their runners.
+    dispatch = {}
+    for rec in clustered.ledger.wire.records:
+        if rec.kind == "site_dispatch":
+            dispatch[rec.round_index] = dispatch.get(rec.round_index, 0) + rec.n_bytes
+    print(
+        f"  dispatch bytes by round: round1={dispatch.get(1, 0)} (shard+metric), "
+        f"round2={dispatch.get(2, 0)} (state epoch token)"
+    )
 
 
 def memory_budgets_and_out_of_core_shards(points, k, t) -> None:

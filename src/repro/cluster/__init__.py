@@ -6,7 +6,9 @@ subsystem closes the loop on the paper's communication claims: a
 :class:`~repro.cluster.backend.ClusterBackend` spawns one long-lived runner
 process per simulated host, ships site tasks and payloads over real
 length-prefixed socket connections (:mod:`repro.cluster.framing`), keeps
-each site's shard and local metric resident on its runner across rounds, and
+each site's shard, local metric *and mutable round state* resident on its
+runner across rounds (state returns as a digest and is faulted lazily — see
+:mod:`repro.runtime.state`), and
 records the exact bytes every frame occupied in a
 :class:`~repro.cluster.wire.WireLedger` that the semantic
 :class:`~repro.distributed.messages.CommunicationLedger` folds into its

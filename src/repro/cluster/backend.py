@@ -16,8 +16,14 @@ claims honest:
   ``n_bytes`` next to the semantic word counts.
 * **Resident site state.**  A site's heavy immutable half — its shard and
   local metric — is shipped once per protocol run and kept resident on its
-  runner (sites are pinned to hosts by ``site_id % n_hosts``), so later
-  rounds pay wire cost only for what actually changed.
+  runner (sites are pinned to hosts by ``site_id % n_hosts``).  The
+  *mutable* half gets the same treatment: after a site task completes, its
+  ``ctx.state`` stays on the runner and only a digest (keys, per-entry
+  pickled sizes, a state epoch) crosses back; the next dispatch ships an
+  epoch token instead of the dict, and the coordinator's ``Site.state``
+  becomes a :class:`~repro.runtime.state.RemoteStateProxy` that faults
+  individual entries over the wire only on explicit access.  Later rounds
+  therefore pay wire cost only for what actually changed.
 
 Tasks return futures (:meth:`submit_tasks` / :meth:`submit_site_pairs`), the
 substrate of async round scheduling: the coordinator consumes completed
@@ -37,12 +43,14 @@ import subprocess
 import sys
 import tempfile
 import threading
+import weakref
 from concurrent.futures import Future
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.cluster.framing import FRAME_OVERHEAD, FrameChannel, decode_payload, encode_payload
 from repro.cluster.wire import WireLedger
 from repro.runtime.backends import ExecutionBackend, default_worker_count
+from repro.runtime.state import RemoteStateProxy, is_state_digest, materialize_state
 
 
 class _Pending:
@@ -78,24 +86,6 @@ class _Host:
         self.resident_by_site: Dict[int, Any] = {}
 
 
-def _decode_site_result(result: dict):
-    """Rebuild a SiteTaskResult from the runner's wire representation."""
-    from repro.runtime.tasks import Outgoing, SiteTaskResult
-
-    outbox = [
-        Outgoing(kind=kind, payload=decode_payload(blob), words=words, n_bytes=n_bytes)
-        for kind, blob, words, n_bytes in result["outbox"]
-    ]
-    return SiteTaskResult(
-        site_id=result["site_id"],
-        value=result["value"],
-        state=result["state"],
-        timer=result["timer"],
-        rng=result["rng"],
-        outbox=outbox,
-    )
-
-
 class ClusterBackend(ExecutionBackend):
     """Run site tasks on one long-lived runner process per simulated host."""
 
@@ -110,6 +100,11 @@ class ClusterBackend(ExecutionBackend):
         self._socket_dir: Optional[str] = None
         self._seq = 0
         self._submit_lock = threading.Lock()
+        #: resident_key -> weakref of the *current-epoch* proxy for that
+        #: key's mutable state; used to materialise proxies before their
+        #: runner-side copy is evicted or cleared.
+        self._live_state: Dict[Any, "weakref.ref[RemoteStateProxy]"] = {}
+        self._state_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -199,6 +194,11 @@ class ClusterBackend(ExecutionBackend):
         """Shut runners down and remove sockets/scratch dir.  Idempotent."""
         hosts, self._hosts = self._hosts, None
         socket_dir, self._socket_dir = self._socket_dir, None
+        with self._state_lock:
+            # Runner-resident state dies with the runners; attached proxies
+            # raise a "backend is closed" error on their next fault instead
+            # of silently re-spawning a pool that never held their state.
+            self._live_state.clear()
         if hosts is not None:
             for host in hosts:
                 host.send_queue.put(None)  # stop the sender loop
@@ -423,7 +423,12 @@ class ClusterBackend(ExecutionBackend):
         Site ``s`` is pinned to host ``s % n_hosts``, and its
         ``(shard, local_metric)`` sticky half is shipped only the first time
         the host sees the context's ``resident_key`` — later rounds reuse the
-        runner-resident copy.
+        runner-resident copy.  Mutable state gets the same residency: when
+        ``ctx.state`` is the :class:`~repro.runtime.state.RemoteStateProxy`
+        this backend produced for the same key, the dispatch carries only an
+        epoch token plus the coordinator's write overlay; otherwise (first
+        round, residency cleared, foreign proxy) the full dict is shipped
+        and the runner adopts it.
         """
         pairs = list(pairs)
         if not pairs:
@@ -445,6 +450,9 @@ class ClusterBackend(ExecutionBackend):
                     # its runner memory with dead runs' metrics.
                     stale = host.resident_by_site.get(ctx.site_id)
                     if stale is not None and stale != key:
+                        # Materialise the old run's proxy (if it is still
+                        # alive) before its runner-side copy disappears.
+                        self._detach_resident_key(stale)
                         evict.append(stale)
                         host.resident_keys.discard(stale)
                     host.resident_keys.add(key)
@@ -454,10 +462,13 @@ class ClusterBackend(ExecutionBackend):
                 "fn": task.fn,
                 "args": task.args,
                 "kwargs": task.kwargs,
-                "state": ctx.state,
+                "state": self._encode_dispatch_state(ctx.state, key),
                 "rng": ctx.rng,
                 "inbox": ctx.inbox,
             }
+            convert = self._site_result_converter(
+                host, key, ctx.site_id, wire, round_index
+            )
             futures.append(
                 self._submit_frame(
                     host,
@@ -465,10 +476,125 @@ class ClusterBackend(ExecutionBackend):
                         "site", seq, key, sticky, dyn, evict
                     ),
                     wire=wire, round_index=round_index, kind="site",
-                    convert=_decode_site_result,
+                    convert=convert,
                 )
             )
         return futures
+
+    # ------------------------------------------------------------------
+    # Resident mutable state
+    # ------------------------------------------------------------------
+
+    def _encode_dispatch_state(self, state: Any, key: Any) -> Any:
+        """What the dispatch frame carries in its state slot.
+
+        An attached current-epoch proxy of this backend collapses to its
+        epoch token (plus the coordinator-side write overlay); anything else
+        — a plain dict, a detached proxy, a proxy of another backend —
+        materialises into a full dict the runner adopts.
+        """
+        if (
+            isinstance(state, RemoteStateProxy)
+            and not state.detached
+            and state.owner() is self
+            and state.resident_key == key
+        ):
+            with self._state_lock:
+                ref = self._live_state.get(key)
+            if ref is not None and ref() is state:
+                return state.dispatch_token()
+        return materialize_state(state)
+
+    def _site_result_converter(
+        self,
+        host: _Host,
+        key: Any,
+        site_id: int,
+        wire: Optional[WireLedger],
+        round_index: int,
+    ) -> Callable[[dict], Any]:
+        """Build the wire->SiteTaskResult decoder for one dispatched site task.
+
+        Runs on the reader thread when the result frame arrives; a state
+        digest in the frame becomes a :class:`RemoteStateProxy` registered
+        as the key's current-epoch view.
+        """
+        from repro.runtime.tasks import Outgoing, SiteTaskResult
+
+        def convert(result: dict):
+            outbox = [
+                Outgoing(kind=kind, payload=decode_payload(blob), words=words, n_bytes=n_bytes)
+                for kind, blob, words, n_bytes in result["outbox"]
+            ]
+            state = result["state"]
+            if is_state_digest(state) and key is not None:
+                _, epoch, sizes = state
+                proxy = RemoteStateProxy(
+                    resident_key=key,
+                    site_id=site_id,
+                    epoch=epoch,
+                    sizes=sizes,
+                    fetch=lambda keys: self._pull_state_entries(
+                        host, key, epoch, keys, wire, round_index
+                    ),
+                    owner=self,
+                )
+                with self._state_lock:
+                    self._live_state[key] = weakref.ref(proxy)
+                state = proxy
+            return SiteTaskResult(
+                site_id=result["site_id"],
+                value=result["value"],
+                state=state,
+                timer=result["timer"],
+                rng=result["rng"],
+                outbox=outbox,
+            )
+
+        return convert
+
+    def _pull_state_entries(
+        self,
+        host: _Host,
+        key: Any,
+        epoch: int,
+        keys: Sequence[str],
+        wire: Optional[WireLedger],
+        round_index: int,
+    ) -> Dict[str, Any]:
+        """Fault resident-state entries from a runner (a proxy read missed).
+
+        The pull frames land in the same wire ledger as the round that
+        produced the digest, so the ledger stays an honest account of every
+        byte the protocol's state handling moved.
+        """
+        hosts = self._hosts
+        if hosts is None or host not in hosts:
+            raise RuntimeError(
+                f"cannot fault state entries {list(keys)!r} for {key!r}: the "
+                "cluster backend holding them was closed (pull_state() first)"
+            )
+        keys = list(keys)
+        future = self._submit_frame(
+            host,
+            lambda seq: ("pull_state", seq, key, epoch, keys),
+            wire=wire, round_index=round_index, kind="state_pull", convert=None,
+        )
+        return future.result()
+
+    def _detach_resident_key(self, key: Any) -> None:
+        """Forget a key's proxy registration, materialising it if still alive.
+
+        Called right before the runner-side copy goes away (slot eviction,
+        :meth:`clear_resident`): a live proxy pulls its remaining entries so
+        nothing the coordinator could still read is lost; a dead proxy means
+        nobody can read the state anymore and nothing needs shipping.
+        """
+        with self._state_lock:
+            ref = self._live_state.pop(key, None)
+        proxy = ref() if ref is not None else None
+        if proxy is not None and not proxy.detached:
+            proxy.pull_state()
 
     def submit_ordered(
         self, fn: Callable[[Any], Any], items: Sequence[Any]
@@ -479,9 +605,21 @@ class ClusterBackend(ExecutionBackend):
         return [future.result() for future in self.submit_ordered(fn, items)]
 
     def clear_resident(self) -> None:
-        """Drop all runner-resident site state (frees memory on shared pools)."""
+        """Drop all runner-resident site state (frees memory on shared pools).
+
+        Both halves go: the sticky ``(shard, local_metric)`` copies *and*
+        the mutable per-site state.  Live state proxies are materialised
+        first — their remaining entries are pulled to the coordinator — so a
+        mid-run clear loses nothing: the next dispatch simply re-ships the
+        full context (sticky half and state dict) and results stay
+        bit-identical.
+        """
         if self._hosts is None:
             return
+        with self._state_lock:
+            keys = list(self._live_state)
+        for key in keys:
+            self._detach_resident_key(key)
         futures = []
         for host in self._hosts:
             if host.dead is not None:

@@ -3,7 +3,7 @@
 One runner is spawned per simulated host.  It connects back to the
 coordinator over a unix-domain socket, announces itself, then serves
 dispatch frames until it is told to shut down (or its socket dies with the
-coordinator).  Two task shapes exist:
+coordinator).  The task shapes are:
 
 ``("task", seq, fn, payload)``
     A structure-free task (:func:`repro.runtime.run_tasks`): evaluate
@@ -16,12 +16,29 @@ coordinator).  Two task shapes exist:
     ``sticky=None`` and the runner reuses its cached copy, so the metric is
     never re-pickled round after round.  ``evict`` lists superseded keys to
     drop (a new run reusing the site slot), bounding resident memory by the
-    number of live site slots.  ``dyn`` carries the per-round state
-    (task function, arguments, site state, RNG stream, inbox).  The reply
-    ``("site_res", seq, result)`` encodes every buffered site-to-coordinator
-    payload *individually*, so the coordinator learns the exact serialized
-    size of each semantic message (the ``n_bytes`` it stamps on the
-    communication ledger).
+    number of live site slots.  ``dyn`` carries the per-round payload (task
+    function, arguments, site state, RNG stream, inbox) — where the *state*
+    slot is either a plain dict (first round, or residency was cleared) or a
+    :data:`~repro.runtime.state.STATE_TOKEN_TAG` token ``(tag, epoch,
+    writes, deleted)`` referencing the **mutable state this runner already
+    holds** from the previous round, with the coordinator's write overlay
+    applied on top.  After the task runs, the new state stays resident under
+    ``resident_key`` at ``epoch + 1`` and the reply carries only a
+    :data:`~repro.runtime.state.STATE_DIGEST_TAG` digest (keys, per-entry
+    pickled sizes, the new epoch) — never the dict itself.  The reply
+    ``("site_res", seq, result)`` also encodes every buffered
+    site-to-coordinator payload *individually*, so the coordinator learns
+    the exact serialized size of each semantic message (the ``n_bytes`` it
+    stamps on the communication ledger).
+
+``("pull_state", seq, resident_key, epoch, keys)``
+    Fault individual resident-state entries back to the coordinator (lazy
+    proxy access, e.g. final solution extraction).  The epoch must match the
+    resident copy — a stale proxy faulting after a newer round is an error,
+    not silently newer data.  Reply ``("res", seq, {key: value})``.
+
+``("clear_resident", seq)``
+    Drop every resident entry — the sticky halves *and* the mutable state.
 
 Failures inside a task are caught and relayed as ``("exc", seq, exc, tb)``
 frames with the original exception object whenever it pickles; the runner
@@ -41,6 +58,7 @@ import traceback
 from typing import Any, Dict, Tuple
 
 from repro.cluster.framing import FrameChannel, encode_payload
+from repro.runtime.state import STATE_DIGEST_TAG, is_state_token
 
 
 def _execute_generic(frame: Tuple) -> Tuple:
@@ -50,8 +68,35 @@ def _execute_generic(frame: Tuple) -> Tuple:
     return ("res", seq, value)
 
 
-def _execute_site(frame: Tuple, resident: Dict[Any, Tuple]) -> Tuple:
-    """Evaluate a ``("site", ...)`` frame against the resident cache."""
+def _resolve_state(resident_key, dyn_state, resident_state: Dict[Any, Tuple[int, dict]]):
+    """The state dict a site task runs against, honouring resident epochs."""
+    if not is_state_token(dyn_state):
+        return dict(dyn_state) if dyn_state else {}
+    _, epoch, writes, deleted = dyn_state
+    entry = resident_state.get(resident_key)
+    if entry is None:
+        raise RuntimeError(
+            f"runner has no resident mutable state for {resident_key!r}; the "
+            "coordinator must ship the state dict before referencing it by epoch"
+        )
+    held_epoch, state = entry
+    if held_epoch != epoch:
+        raise RuntimeError(
+            f"resident state for {resident_key!r} is at epoch {held_epoch}, "
+            f"but the dispatch references epoch {epoch}"
+        )
+    for key in deleted:
+        state.pop(key, None)
+    state.update(writes)
+    return state
+
+
+def _execute_site(
+    frame: Tuple,
+    resident: Dict[Any, Tuple],
+    resident_state: Dict[Any, Tuple[int, dict]],
+) -> Tuple:
+    """Evaluate a ``("site", ...)`` frame against the resident caches."""
     from repro.runtime.tasks import SiteContext
 
     _, seq, resident_key, sticky, dyn, evict = frame
@@ -60,6 +105,7 @@ def _execute_site(frame: Tuple, resident: Dict[Any, Tuple]) -> Tuple:
         # this host's site slot), so resident memory stays bounded by the
         # number of live site slots, not the number of runs served.
         resident.pop(stale_key, None)
+        resident_state.pop(stale_key, None)
     if sticky is not None:
         if resident_key is not None:
             resident[resident_key] = sticky
@@ -76,7 +122,7 @@ def _execute_site(frame: Tuple, resident: Dict[Any, Tuple]) -> Tuple:
         site_id=dyn["site_id"],
         shard=shard,
         local_metric=local_metric,
-        state=dyn["state"],
+        state=_resolve_state(resident_key, dyn["state"], resident_state),
         rng=dyn["rng"],
         inbox=dyn["inbox"],
     )
@@ -90,15 +136,50 @@ def _execute_site(frame: Tuple, resident: Dict[Any, Tuple]) -> Tuple:
         blob = encode_payload(out.payload)
         outbox.append((out.kind, blob, out.words, len(blob)))
 
+    if resident_key is not None:
+        # The mutable state stays where it was produced; the coordinator
+        # gets a digest (keys, per-entry pickled sizes, the new epoch) and
+        # faults entries individually through "pull_state" on demand.  The
+        # sizes are measured with the same encoder a fault would use, so
+        # the digest prices each entry at its true wire cost.
+        previous = resident_state.get(resident_key)
+        epoch = (previous[0] if previous is not None else 0) + 1
+        resident_state[resident_key] = (epoch, ctx.state)
+        sizes = {key: len(encode_payload(value_)) for key, value_ in ctx.state.items()}
+        state_field: Any = (STATE_DIGEST_TAG, epoch, sizes)
+    else:
+        state_field = ctx.state
+
     result = {
         "site_id": ctx.site_id,
         "value": value,
-        "state": ctx.state,
+        "state": state_field,
         "timer": ctx.timer,
         "rng": ctx.rng,
         "outbox": outbox,
     }
     return ("site_res", seq, result)
+
+
+def _execute_pull_state(frame: Tuple, resident_state: Dict[Any, Tuple[int, dict]]) -> Tuple:
+    """Fault resident-state entries back to the coordinator (lazy proxy read)."""
+    _, seq, resident_key, epoch, keys = frame
+    entry = resident_state.get(resident_key)
+    if entry is None:
+        raise RuntimeError(
+            f"runner holds no resident mutable state for {resident_key!r} "
+            "(evicted, cleared, or never produced)"
+        )
+    held_epoch, state = entry
+    if held_epoch != epoch:
+        raise RuntimeError(
+            f"resident state for {resident_key!r} advanced to epoch {held_epoch}; "
+            f"the proxy faulting epoch {epoch} is stale"
+        )
+    missing = [key for key in keys if key not in state]
+    if missing:
+        raise KeyError(missing[0])
+    return ("res", seq, {key: state[key] for key in keys})
 
 
 def _exception_frame(seq: int, exc: BaseException) -> Tuple:
@@ -114,6 +195,7 @@ def _exception_frame(seq: int, exc: BaseException) -> Tuple:
 def serve(channel: FrameChannel, host_id: int) -> None:
     """Serve dispatch frames until shutdown or coordinator disconnect."""
     resident: Dict[Any, Tuple] = {}
+    resident_state: Dict[Any, Tuple[int, dict]] = {}
     channel.send(("hello", host_id))
     while True:
         try:
@@ -139,6 +221,7 @@ def serve(channel: FrameChannel, host_id: int) -> None:
             return
         if tag == "clear_resident":
             resident.clear()
+            resident_state.clear()
             channel.send(("res", frame[1], None))
             continue
         seq = frame[1]
@@ -146,7 +229,9 @@ def serve(channel: FrameChannel, host_id: int) -> None:
             if tag == "task":
                 response = _execute_generic(frame)
             elif tag == "site":
-                response = _execute_site(frame, resident)
+                response = _execute_site(frame, resident, resident_state)
+            elif tag == "pull_state":
+                response = _execute_pull_state(frame, resident_state)
             else:
                 raise RuntimeError(f"unknown frame tag {tag!r}")
         except BaseException as exc:  # noqa: BLE001 - relayed to the coordinator

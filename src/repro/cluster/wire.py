@@ -18,6 +18,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+#: Frame kinds a cluster run can record, per direction: every dispatch kind
+#: pairs with its ``*_result`` response.  ``state_pull`` frames exist only
+#: when coordinator code faults runner-resident state entries (lazy site
+#: state proxies); a protocol whose rounds never read heavy state records
+#: none.
+FRAME_KINDS = (
+    "site_dispatch",
+    "site_result",
+    "task_dispatch",
+    "task_result",
+    "state_pull_dispatch",
+    "state_pull_result",
+)
+
 
 @dataclass(frozen=True)
 class WireRecord:
@@ -34,8 +48,11 @@ class WireRecord:
         ``"send"`` (coordinator -> runner) or ``"recv"`` (runner ->
         coordinator).
     kind:
-        Frame label (``"site_dispatch"``, ``"site_result"``,
-        ``"task_dispatch"``, ``"task_result"``).
+        Frame label — one of :data:`FRAME_KINDS`.  ``site_*`` frames carry a
+        protocol round's site tasks, ``task_*`` frames structure-free tasks,
+        and ``state_pull_*`` frames the resident-state faults of a lazy
+        :class:`~repro.runtime.state.RemoteStateProxy` (an entry of a site's
+        runner-resident mutable state crossing back on explicit access).
     n_bytes:
         Wire bytes the frame occupied, length prefix included.
     """
@@ -127,4 +144,4 @@ class WireLedger:
         }
 
 
-__all__ = ["WireLedger", "WireRecord"]
+__all__ = ["FRAME_KINDS", "WireLedger", "WireRecord"]

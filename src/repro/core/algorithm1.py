@@ -46,6 +46,7 @@ from repro.metrics.blocked import (
 )
 from repro.metrics.cost_matrix import build_cost_matrix, validate_objective
 from repro.runtime.backends import BackendLike, backend_scope
+from repro.runtime.state import snapshot_site_state
 from repro.runtime.tasks import SiteTask, run_site_tasks
 from repro.runtime.transport import TransportLike, resolve_transport
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
@@ -158,8 +159,12 @@ def distributed_partial_median(
         (default), ``"thread"``, ``"process"``, ``"cluster"`` (one runner
         process per host, payloads over real sockets with byte-accounted
         frames — optionally with a host count, e.g. ``"cluster:3"``) or an
-        :class:`~repro.runtime.backends.ExecutionBackend` instance.  Results
-        are bit-identical across backends for a fixed seed.
+        :class:`~repro.runtime.backends.ExecutionBackend` instance.  On the
+        cluster backend each site's shard, metric *and* mutable round state
+        (the precluster with its cached ``n_i x n_i`` cost matrix) stay
+        resident on the site's runner between rounds — only state digests
+        and epoch tokens cross the wire (see :mod:`repro.runtime.state`).
+        Results are bit-identical across backends for a fixed seed.
     transport:
         :class:`~repro.runtime.transport.TransportPolicy` (or name) applied
         to payloads crossing the site/coordinator boundary.
@@ -283,6 +288,12 @@ def distributed_partial_median(
                 network.coordinator.messages_from(i, "local_solution")[0].payload
                 for i in range(network.n_sites)
             ]
+            # On a cluster backend site state lives on the runners and reads
+            # fault over the wire — snapshot the scalars the result metadata
+            # needs while the backend is still open.
+            site_meta = snapshot_site_state(
+                network.sites, ("t_i", "local_k", "cost_storage")
+            )
 
         with network.coordinator.timer.measure("final_solve"):
             combine = combine_preclusters(
@@ -322,15 +333,15 @@ def distributed_partial_median(
                 "rho": float(rho),
                 "relax": relax,
                 "t_allocated": allocation.t_allocated.tolist(),
-                "t_used": [int(s.state["t_i"]) for s in network.sites],
+                "t_used": [int(s["t_i"]) for s in site_meta],
                 "threshold": float(allocation.threshold),
                 "exceptional_site": allocation.exceptional_site,
                 "n_coordinator_demands": int(combine.demand_points.size),
                 "realized_assignment": combine.realized_assignment,
                 "explicit_outliers": combine.explicit_outliers,
-                "local_k": [int(s.state["local_k"]) for s in network.sites],
+                "local_k": [int(s["local_k"]) for s in site_meta],
                 "memory_budget": mem_budget,
-                "cost_matrix_storage": [s.state.get("cost_storage") for s in network.sites],
+                "cost_matrix_storage": [s["cost_storage"] for s in site_meta],
                 "async_rounds": bool(async_rounds),
             },
         )

@@ -37,6 +37,7 @@ from repro.distributed.result import DistributedResult
 from repro.metrics.blocked import MemoryBudgetLike, resolve_memory_budget, shard_scratch
 from repro.metrics.cost_matrix import validate_objective
 from repro.runtime.backends import BackendLike, backend_scope
+from repro.runtime.state import snapshot_site_state
 from repro.runtime.tasks import SiteTask, run_site_tasks
 from repro.runtime.transport import TransportLike, resolve_transport
 from repro.sequential.assignment import assign_with_outliers
@@ -127,7 +128,11 @@ def distributed_partial_median_no_shipping(
         excess outlier budget.
     backend, transport:
         Execution backend and transport policy for the per-site phases (see
-        :mod:`repro.runtime`); the result is backend-invariant.
+        :mod:`repro.runtime`); the result is backend-invariant.  On the
+        cluster backend the precluster state stays runner-resident between
+        rounds (digest/epoch-token wire protocol, see
+        :mod:`repro.runtime.state`) — this variant's whole point is small
+        communication, and the wire ledger now reflects it.
     memory_budget:
         Byte cap on any single distance/cost block (site cost matrices spill
         to disk shards beyond it); ``None`` keeps the dense behaviour and the
@@ -230,6 +235,11 @@ def distributed_partial_median_no_shipping(
                 network.coordinator.messages_from(i, "local_solution")[0].payload
                 for i in range(network.n_sites)
             ]
+            # Snapshot the metadata scalars while the backend is open: on a
+            # cluster backend these reads fault runner-resident state.
+            site_meta = snapshot_site_state(
+                network.sites, ("t_i", "combined_4k", "cost_storage")
+            )
 
         with network.coordinator.timer.measure("final_solve"):
             combine = combine_preclusters(
@@ -248,7 +258,7 @@ def distributed_partial_median_no_shipping(
                 workdir=workdir,
             )
 
-        total_preclustering_ignored = int(sum(s.state["t_i"] for s in network.sites))
+        total_preclustering_ignored = int(sum(s["t_i"] for s in site_meta))
         outlier_budget = math.floor((2.0 + epsilon + delta) * t + 1e-9)
         return DistributedResult(
             centers=combine.centers_global,
@@ -270,10 +280,10 @@ def distributed_partial_median_no_shipping(
                 "preclustering_ignored": total_preclustering_ignored,
                 "coordinator_dropped_weight": combine.metadata["coordinator_dropped_weight"],
                 "exceptional_site": allocation.exceptional_site,
-                "exceptional_combined_4k": [bool(s.state.get("combined_4k")) for s in network.sites],
+                "exceptional_combined_4k": [bool(s["combined_4k"]) for s in site_meta],
                 "n_coordinator_demands": int(combine.demand_points.size),
                 "memory_budget": mem_budget,
-                "cost_matrix_storage": [s.state.get("cost_storage") for s in network.sites],
+                "cost_matrix_storage": [s["cost_storage"] for s in site_meta],
                 "async_rounds": bool(async_rounds),
             },
         )

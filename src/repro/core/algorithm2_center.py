@@ -143,7 +143,10 @@ def distributed_partial_center(
         Also produce a full per-point assignment (output step, uncharged).
     backend, transport:
         Execution backend and transport policy for the per-site phases (see
-        :mod:`repro.runtime`); the result is backend-invariant.
+        :mod:`repro.runtime`); the result is backend-invariant.  On the
+        cluster backend the Gonzalez traversal stays runner-resident
+        between rounds as mutable site state (digest/epoch-token wire
+        protocol, see :mod:`repro.runtime.state`).
     memory_budget:
         Byte cap on any single distance block a party materialises (the
         traversal sweeps, the nearest-candidate attachment and the

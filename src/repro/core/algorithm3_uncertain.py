@@ -195,7 +195,12 @@ def distributed_uncertain_clustering(
         As in :func:`repro.core.algorithm1.distributed_partial_median`.
     backend:
         Execution backend for the per-site phases (see
-        :mod:`repro.runtime`); the result is backend-invariant.
+        :mod:`repro.runtime`); the result is backend-invariant.  This
+        protocol manages its own coordinator-held per-site dicts through
+        structure-free :func:`~repro.runtime.run_tasks` payloads, so the
+        cluster backend's runner-resident *site* state
+        (:mod:`repro.runtime.state`) does not apply — its round payloads
+        are re-shipped per task, which the wire ledger reports honestly.
     memory_budget:
         Byte cap on any single compressed-cost block; site matrices larger
         than the budget stream from disk shards (bit-identical results for

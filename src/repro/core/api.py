@@ -108,8 +108,12 @@ def partial_kmedian(
         sockets, the ledger reporting wire bytes next to the semantic words
         — any of those with a worker count (``"thread:4"``,
         ``"cluster:3"``), or an
-        :class:`~repro.runtime.backends.ExecutionBackend` instance.  The
-        result is bit-identical across backends for a fixed seed.
+        :class:`~repro.runtime.backends.ExecutionBackend` instance.  On
+        the cluster backend everything that lives at a site stays on its
+        runner between rounds — the shard, the metric, *and* the mutable
+        round state (only digests and epoch tokens cross the wire; see
+        :mod:`repro.runtime.state`).  The result is bit-identical across
+        backends for a fixed seed.
     memory_budget:
         Byte cap (int or ``"64MB"``-style string) on any single distance or
         cost block a party materialises.  Site-local ``n_i x n_i`` cost

@@ -224,7 +224,13 @@ def distributed_uncertain_center_g(
         (``12`` in Lemma 5.10).
     backend:
         Execution backend for the per-site phases (see
-        :mod:`repro.runtime`); the result is backend-invariant.
+        :mod:`repro.runtime`); the result is backend-invariant.  The
+        per-``tau`` sweeps go through structure-free
+        :func:`~repro.runtime.run_tasks` payloads (collapse matrices ride
+        in every dispatch), so the cluster backend's runner-resident site
+        state (:mod:`repro.runtime.state`) does not help here yet — the
+        wire ledger shows this protocol as dispatch-payload dominated,
+        which is the honest remaining gap.
     memory_budget:
         Byte cap on any single distance/cost block (distance extremes, the
         per-``tau`` sweep matrices and the coordinator solve all run

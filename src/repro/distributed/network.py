@@ -41,6 +41,11 @@ class Site:
         self._local_metric = SubsetMetric(metric, self.shard)
         self.inbox: List[Message] = []
         self.timer = Timer()
+        #: Mutable per-round state.  Starts as a plain dict; after a round
+        #: on a wire backend it may be a lazy mapping proxy whose entries
+        #: live on the site's runner (see :mod:`repro.runtime.state`) —
+        #: treat it as a MutableMapping, and read it while the backend is
+        #: still open (or ``pull_state()`` first).
         self.state: Dict[str, Any] = {}
         # Identity of this site's immutable half (shard + local metric) for
         # runner-resident caching: unique per Site instance, so a new

@@ -52,6 +52,7 @@ completes; direct callers should pass ``workdir=`` and clean up themselves.
 
 from __future__ import annotations
 
+import atexit
 import os
 import shutil
 import tempfile
@@ -460,6 +461,27 @@ class MemmapCostShard:
         return f"MemmapCostShard(path={self.path!r}, shape={self.shape})"
 
 
+_TRANSPORT_SPILL_DIR: Optional[str] = None
+
+
+def transport_spill_dir() -> str:
+    """Process-lifetime scratch directory for transport-time shard spills.
+
+    Objects that convert a dense matrix into a :class:`MemmapCostShard`
+    handle while being *pickled* (e.g. ``SitePreclustering.__getstate__``)
+    have no protocol-run scratch directory in scope — pickling can happen
+    anywhere.  They spill here instead: one lazily created directory per
+    process, removed at interpreter exit.  Both sides of every runtime
+    backend share the local filesystem, and memmaps opened before the
+    removal stay readable on POSIX (the inode lives until unmapped).
+    """
+    global _TRANSPORT_SPILL_DIR
+    if _TRANSPORT_SPILL_DIR is None:
+        _TRANSPORT_SPILL_DIR = tempfile.mkdtemp(prefix="repro-transport-spill-")
+        atexit.register(shutil.rmtree, _TRANSPORT_SPILL_DIR, ignore_errors=True)
+    return _TRANSPORT_SPILL_DIR
+
+
 @contextmanager
 def shard_scratch(memory_budget: Optional[int]) -> Iterator[Optional[str]]:
     """Per-run scratch directory for spilled cost shards.
@@ -609,4 +631,5 @@ __all__ = [
     "reduce_min_positive",
     "resolve_memory_budget",
     "shard_scratch",
+    "transport_spill_dir",
 ]

@@ -21,6 +21,14 @@ steps synchronise.  This subsystem separates *what* a site computes from
   to a backend, joins deterministically in site order, and merges state,
   timers, RNG streams and ledger charges back into the
   :class:`~repro.distributed.network.StarNetwork`.
+* :mod:`repro.runtime.state` — the *state-ownership contract*: after a
+  round joins, ``Site.state`` is a mutable mapping, not necessarily the
+  dict itself.  In-process backends hand the dict back; the cluster
+  backend keeps mutable state resident on the runner that produced it and
+  hands back a :class:`~repro.runtime.state.RemoteStateProxy` that faults
+  entries over the wire only on explicit access (``pull_state()`` /
+  ``evict()`` for bulk control).  Protocol results are bit-identical
+  either way.
 
 Every distributed protocol accepts ``backend=`` — ``"serial"`` (the
 default), ``"thread"``, ``"process"``, ``"cluster"`` (one spawned runner
@@ -59,6 +67,11 @@ from repro.runtime.backends import (
     register_backend,
     resolve_backend,
 )
+from repro.runtime.state import (
+    RemoteStateProxy,
+    materialize_state,
+    snapshot_site_state,
+)
 from repro.runtime.tasks import (
     Outgoing,
     SiteContext,
@@ -93,6 +106,9 @@ __all__ = [
     "ReferenceTransport",
     "PickleTransport",
     "resolve_transport",
+    "RemoteStateProxy",
+    "materialize_state",
+    "snapshot_site_state",
     "Outgoing",
     "SiteContext",
     "SiteTask",

@@ -31,6 +31,17 @@ instead: payloads cross real sockets, the network ledger's wire ledger
 records every frame's bytes, and uplink messages come back stamped with the
 serialized size of their payload (``Message.n_bytes``).
 
+State ownership follows the :mod:`repro.runtime.state` contract: the merged
+``site.state`` is a *mutable mapping*, not necessarily the dict the task
+mutated.  In-process backends hand the dict back directly; the cluster
+backend keeps each site's mutable state resident on its runner and merges a
+:class:`~repro.runtime.state.RemoteStateProxy` built from a compact digest,
+so heavy state (a precluster's cached ``n_i x n_i`` cost matrix) never
+round-trips the wire between rounds.  Coordinator code that reads site
+state must therefore do so while the backend is still open (reads may fault
+over the wire) — or call ``pull_state()`` to materialise everything first.
+Either way, reads observe identical values on every backend.
+
 Task functions must be module-level callables (the process backend ships
 them to workers by pickling their qualified name).
 """
