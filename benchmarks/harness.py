@@ -39,6 +39,18 @@ def write_bench_json(name: str, payload: dict) -> str:
     return path
 
 
+def write_trace_json(name: str, tracer) -> str:
+    """Export a run's :class:`~repro.obs.trace.Tracer` as a Chrome/Perfetto
+    ``trace_event`` artifact next to the benchmark modules.
+
+    Load the file in ``chrome://tracing`` or https://ui.perfetto.dev to see
+    coordinator and runner spans on one timeline; returns the written path.
+    """
+    from repro.obs.export import write_chrome_trace
+
+    return write_chrome_trace(tracer, os.path.join(BENCH_ARTIFACT_DIR, name))
+
+
 def record_rows(benchmark, experiment_id: str, rows, columns: Optional[Sequence[str]] = None, title: Optional[str] = None) -> str:
     """Print a result table and attach the rows to the benchmark record.
 
@@ -59,4 +71,4 @@ def record_rows(benchmark, experiment_id: str, rows, columns: Optional[Sequence[
     return table
 
 
-__all__ = ["BENCH_ARTIFACT_DIR", "record_rows", "write_bench_json"]
+__all__ = ["BENCH_ARTIFACT_DIR", "record_rows", "write_bench_json", "write_trace_json"]

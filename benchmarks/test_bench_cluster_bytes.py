@@ -30,7 +30,12 @@ import os
 import numpy as np
 import pytest
 
-from benchmarks.harness import BENCH_ARTIFACT_DIR, record_rows, write_bench_json
+from benchmarks.harness import (
+    BENCH_ARTIFACT_DIR,
+    record_rows,
+    write_bench_json,
+    write_trace_json,
+)
 from repro import (
     partial_kcenter,
     partial_kmedian,
@@ -88,23 +93,25 @@ def _no_shipping_runner(workload):
     shards = partition_balanced(workload.n_points, N_SITES, rng=7)
     instance = DistributedInstance.from_partition(metric, shards, K, T, "median")
 
-    def run(backend):
-        return distributed_partial_median_no_shipping(instance, rng=42, backend=backend)
+    def run(backend, **kwargs):
+        return distributed_partial_median_no_shipping(
+            instance, rng=42, backend=backend, **kwargs
+        )
 
     return run
 
 
 def _protocol_runners(workload, uncertain_workload):
     return [
-        ("kmedian", lambda backend: partial_kmedian(
-            workload.points, K, T, n_sites=N_SITES, seed=42, backend=backend)),
-        ("kcenter", lambda backend: partial_kcenter(
-            workload.points, K, T, n_sites=N_SITES, seed=42, backend=backend)),
+        ("kmedian", lambda backend, **kw: partial_kmedian(
+            workload.points, K, T, n_sites=N_SITES, seed=42, backend=backend, **kw)),
+        ("kcenter", lambda backend, **kw: partial_kcenter(
+            workload.points, K, T, n_sites=N_SITES, seed=42, backend=backend, **kw)),
         ("no_shipping", _no_shipping_runner(workload)),
-        ("uncertain_kmedian", lambda backend: uncertain_partial_kmedian(
-            uncertain_workload.instance, K, 6, n_sites=N_SITES, seed=42, backend=backend)),
-        ("center_g", lambda backend: uncertain_partial_kcenter_g(
-            uncertain_workload.instance, K, 6, n_sites=N_SITES, seed=42, backend=backend)),
+        ("uncertain_kmedian", lambda backend, **kw: uncertain_partial_kmedian(
+            uncertain_workload.instance, K, 6, n_sites=N_SITES, seed=42, backend=backend, **kw)),
+        ("center_g", lambda backend, **kw: uncertain_partial_kcenter_g(
+            uncertain_workload.instance, K, 6, n_sites=N_SITES, seed=42, backend=backend, **kw)),
     ]
 
 
@@ -113,13 +120,28 @@ def _protocol_runners(workload, uncertain_workload):
 def test_cluster_bytes_per_word(
     benchmark, cluster_pool, cluster_workload, cluster_uncertain_workload
 ):
+    from repro.obs import SUMMARY_COUNTERS
+
     runners = _protocol_runners(cluster_workload, cluster_uncertain_workload)
 
     rows = []
     detail = {}
+    trace_counters = {}
+    traced_tracer = None
     for name, run in runners:
         base = run("serial")
         clustered = run(cluster_pool)
+        # One extra traced run per protocol: the byte measurements above stay
+        # untraced (the committed baseline's frames), while the trace supplies
+        # the cache/prefetch/state counters the report layer surfaces — and a
+        # bit-for-bit cross-check of the wire ledger on its own run.
+        traced = run(cluster_pool, trace=True)
+        assert int(traced.trace.counter("wire.bytes")) == traced.ledger.wire.total_bytes(), name
+        trace_counters[name] = {
+            counter: traced.trace.counter(counter) for counter in SUMMARY_COUNTERS
+        }
+        if name == "kmedian":
+            traced_tracer = traced.trace
         # The wire never changes the semantics: identical word ledgers.
         assert base.ledger.total_words() == clustered.ledger.total_words(), name
         assert base.ledger.words_by_kind() == clustered.ledger.words_by_kind(), name
@@ -141,6 +163,7 @@ def test_cluster_bytes_per_word(
             "uplink_payload_bytes": float(
                 sum(m.n_bytes or 0 for m in clustered.ledger.messages if m.to_coordinator)
             ),
+            "trace_counters": trace_counters[name],
         }
 
     # The committed artifact is the regression baseline (read *before* any
@@ -184,6 +207,8 @@ def test_cluster_bytes_per_word(
         },
     )
     benchmark.extra_info["artifact"] = path
+    trace_path = write_trace_json("BENCH_cluster_trace.json", traced_tracer)
+    benchmark.extra_info["trace_artifact"] = trace_path
 
 
 def _witness_round_task(ctx):

@@ -51,6 +51,25 @@ def _run(instance, backend):
     return distributed_partial_median(instance, epsilon=0.5, rng=11, backend=backend)
 
 
+def speedup_guard_verdict(n_cores: int, walls: dict, relaxed: bool = False) -> str:
+    """Decide what the speedup assertion should do on this box.
+
+    Pure function of (effective cores, wall-clocks, relaxed flag) so the
+    guard itself stays testable on a 1-core container, where the live
+    benchmark can only ever exercise the skip path: ``"skip-cores"`` when
+    the affinity mask leaves nothing to parallelise onto, ``"pass"`` when a
+    parallel backend beat serial, ``"skip-relaxed"`` when
+    ``REPRO_RELAXED_SPEEDUP`` excuses a shared runner that showed no
+    speedup, and ``"fail"`` otherwise.
+    """
+    if n_cores < 2:
+        return "skip-cores"
+    best_parallel = min(walls["thread"], walls["process"])
+    if best_parallel < walls["serial"]:
+        return "pass"
+    return "skip-relaxed" if relaxed else "fail"
+
+
 @pytest.mark.paper_experiment("runtime-backends")
 def test_runtime_backend_speedup(benchmark, runtime_instance):
     """Parallel site execution beats serial wall-clock at large n, s (given cores)."""
@@ -96,13 +115,51 @@ def test_runtime_backend_speedup(benchmark, runtime_instance):
         title="Execution backends: identical results, wall-clock scaling",
     )
 
-    if n_cores < 2:
+    verdict = speedup_guard_verdict(
+        n_cores, walls, relaxed=bool(os.environ.get("REPRO_RELAXED_SPEEDUP"))
+    )
+    if verdict == "skip-cores":
         pytest.skip(f"only {n_cores} core available; speedup needs real parallelism")
-    best_parallel = min(walls["thread"], walls["process"])
-    if os.environ.get("REPRO_RELAXED_SPEEDUP") and best_parallel >= walls["serial"]:
+    if verdict == "skip-relaxed":
         # Shared CI runners have noisy neighbours and few real cores; there
         # the speedup is reported but not enforced.
         pytest.skip(f"relaxed mode: no speedup observed on {n_cores} cores: {walls}")
-    assert best_parallel < walls["serial"], (
+    assert verdict == "pass", (
         f"expected a parallel backend to beat serial on {n_cores} cores: {walls}"
     )
+
+
+class TestSpeedupGuard:
+    """The guard's decision table, exercised even where the benchmark skips."""
+
+    FAST_PARALLEL = {"serial": 2.0, "thread": 1.1, "process": 1.5}
+    NO_SPEEDUP = {"serial": 1.0, "thread": 1.2, "process": 1.3}
+
+    def test_single_core_skips_regardless_of_timings(self):
+        assert speedup_guard_verdict(1, self.FAST_PARALLEL) == "skip-cores"
+
+    def test_parallel_win_passes(self):
+        assert speedup_guard_verdict(4, self.FAST_PARALLEL) == "pass"
+
+    def test_no_speedup_fails_unless_relaxed(self):
+        assert speedup_guard_verdict(4, self.NO_SPEEDUP) == "fail"
+        assert speedup_guard_verdict(4, self.NO_SPEEDUP, relaxed=True) == "skip-relaxed"
+
+    def test_mocked_affinity_feeds_the_guard(self, monkeypatch):
+        # The guard must see the affinity mask, not the host's core count:
+        # a 64-core host pinned to one CPU takes the skip path, and widening
+        # the mask (no hardware change) flips it to enforcement.
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {5}, raising=False)
+        assert effective_cpu_count() == 1
+        assert (
+            speedup_guard_verdict(effective_cpu_count(), self.FAST_PARALLEL)
+            == "skip-cores"
+        )
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda pid: set(range(8)), raising=False
+        )
+        assert effective_cpu_count() == 8
+        assert (
+            speedup_guard_verdict(effective_cpu_count(), self.NO_SPEEDUP) == "fail"
+        )

@@ -50,13 +50,19 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 from repro.cluster.framing import FRAME_OVERHEAD, FrameChannel, decode_payload, encode_payload
 from repro.cluster.wire import WireLedger
 from repro.runtime.backends import ExecutionBackend, default_worker_count
-from repro.runtime.state import RemoteStateProxy, is_state_digest, materialize_state
+from repro.runtime.state import (
+    RemoteStateProxy,
+    is_state_digest,
+    is_state_token,
+    materialize_state,
+)
+from repro.utils.timing import Timer
 
 
 class _Pending:
     """Book-keeping for one in-flight frame awaiting its response."""
 
-    __slots__ = ("future", "wire", "round_index", "kind", "convert")
+    __slots__ = ("future", "wire", "round_index", "kind", "convert", "tracer", "t_send")
 
     def __init__(self, future, wire, round_index, kind, convert):
         self.future = future
@@ -64,6 +70,10 @@ class _Pending:
         self.round_index = round_index
         self.kind = kind
         self.convert = convert
+        #: Set only on traced runs: the run tracer plus the dispatch instant
+        #: (tracer clock), bracketing the frame's wire span on receipt.
+        self.tracer = None
+        self.t_send = 0.0
 
 
 class _Host:
@@ -79,6 +89,9 @@ class _Host:
         self.pending: Dict[int, _Pending] = {}
         self.lock = threading.Lock()
         self.dead: Optional[str] = None
+        #: Accumulated runner-side frame overhead (``cluster:*`` labels from
+        #: result-frame extras).  Touched only by this host's reader thread.
+        self.runner_timer = Timer()
         self.resident_keys: Set[Any] = set()
         #: site_id -> resident key currently cached on the runner for that
         #: slot; a new key for the same slot evicts the old one remotely, so
@@ -287,10 +300,23 @@ class ClusterBackend(ExecutionBackend):
                 entry = host.pending.pop(seq, None)
             if entry is None:  # pragma: no cover - defensive
                 continue
+            t_recv = entry.tracer.clock() if entry.tracer is not None else 0.0
             if entry.wire is not None:
                 entry.wire.record(
                     round_index=entry.round_index, host=host.host_id,
                     direction="recv", kind=entry.kind + "_result", n_bytes=n_bytes,
+                )
+                if entry.tracer is not None:
+                    # Mirror of the wire record: the trace's byte counters
+                    # are bumped at exactly the ledger's recording points,
+                    # so their totals match the WireLedger bit for bit.
+                    entry.tracer.inc("wire.bytes", n_bytes)
+                    entry.tracer.inc("wire.bytes.recv", n_bytes)
+                    entry.tracer.inc(f"wire.bytes.{entry.kind}_result", n_bytes)
+            if entry.tracer is not None:
+                entry.tracer.add_span(
+                    "rpc", entry.t_send, t_recv, kind=entry.kind,
+                    host=host.host_id, round=entry.round_index, n_bytes=n_bytes,
                 )
             if tag == "exc":
                 _, _, exc, tb = frame
@@ -302,6 +328,19 @@ class ClusterBackend(ExecutionBackend):
                 entry.future.set_exception(exc)
                 continue
             value = frame[2]
+            extras = frame[3] if len(frame) > 3 else None
+            if extras:
+                timer = extras.get("timer")
+                if timer is not None:
+                    host.runner_timer.merge(timer)
+                if entry.tracer is not None:
+                    buffer = extras.get("trace")
+                    if buffer is not None:
+                        entry.tracer.absorb(
+                            buffer,
+                            window=(entry.t_send, t_recv),
+                            tags={"round": entry.round_index, "host": host.host_id},
+                        )
             try:
                 if entry.convert is not None:
                     value = entry.convert(value)
@@ -345,6 +384,7 @@ class ClusterBackend(ExecutionBackend):
         round_index: int,
         kind: str,
         convert: Optional[Callable[[Any], Any]],
+        tracer=None,
     ) -> Future:
         future: Future = Future()
         with self._submit_lock:
@@ -368,17 +408,27 @@ class ClusterBackend(ExecutionBackend):
         # ``dead`` before draining ``pending``, so either this entry lands in
         # the drain or the death is observed here — never an unresolved
         # future.
+        entry = _Pending(future, wire, round_index, kind, convert)
+        if tracer is not None and tracer.enabled:
+            entry.tracer = tracer
+            entry.t_send = tracer.clock()
         with host.lock:
             if host.dead is not None:
                 future.set_exception(RuntimeError(host.dead))
                 return future
-            host.pending[seq] = _Pending(future, wire, round_index, kind, convert)
+            host.pending[seq] = entry
         if wire is not None:
+            n_frame = FRAME_OVERHEAD + len(data)
             wire.record(
                 round_index=round_index, host=host.host_id,
-                direction="send", kind=kind + "_dispatch",
-                n_bytes=FRAME_OVERHEAD + len(data),
+                direction="send", kind=kind + "_dispatch", n_bytes=n_frame,
             )
+            if entry.tracer is not None:
+                # Mirror of the wire record (see _read_loop): counters bump
+                # at the ledger's exact recording points.
+                entry.tracer.inc("wire.bytes", n_frame)
+                entry.tracer.inc("wire.bytes.send", n_frame)
+                entry.tracer.inc(f"wire.bytes.{kind}_dispatch", n_frame)
         host.send_queue.put((data, seq))
         return future
 
@@ -389,24 +439,33 @@ class ClusterBackend(ExecutionBackend):
         *,
         wire: Optional[WireLedger] = None,
         round_index: int = 0,
+        tracer=None,
     ) -> List[Future]:
         """Ship structure-free tasks to the runners, one future per payload.
 
         Payload ``i`` runs on host ``i % n_hosts`` — deterministic placement,
-        so repeated runs exchange identical frame sequences.
+        so repeated runs exchange identical frame sequences.  A ``tracer``
+        (traced runs only) records wire spans and byte counters, and asks
+        the runner — via a fifth frame slot the untraced dispatch never
+        carries — to trace the task body.
         """
         payloads = list(payloads)
         if not payloads:
             return []
+        traced = tracer is not None and tracer.enabled
         hosts = self._ensure_started()
         futures = []
         for index, payload in enumerate(payloads):
             host = hosts[index % len(hosts)]
+            if traced:
+                build = lambda seq, payload=payload: ("task", seq, fn, payload, True)  # noqa: E731
+            else:
+                build = lambda seq, payload=payload: ("task", seq, fn, payload)  # noqa: E731
             futures.append(
                 self._submit_frame(
-                    host,
-                    lambda seq, payload=payload: ("task", seq, fn, payload),
+                    host, build,
                     wire=wire, round_index=round_index, kind="task", convert=None,
+                    tracer=tracer,
                 )
             )
         return futures
@@ -417,6 +476,7 @@ class ClusterBackend(ExecutionBackend):
         *,
         wire: Optional[WireLedger] = None,
         round_index: int = 0,
+        tracer=None,
     ) -> List[Future]:
         """Ship ``(SiteTask, SiteContext)`` pairs, returning SiteTaskResult futures.
 
@@ -433,6 +493,7 @@ class ClusterBackend(ExecutionBackend):
         pairs = list(pairs)
         if not pairs:
             return []
+        traced = tracer is not None and tracer.enabled
         hosts = self._ensure_started()
         futures = []
         for task, ctx in pairs:
@@ -440,8 +501,12 @@ class ClusterBackend(ExecutionBackend):
             key = getattr(ctx, "resident_key", None)
             evict: List[Any] = []
             if key is not None and key in host.resident_keys:
+                if traced:
+                    tracer.inc("cluster.resident_hit")
                 sticky = None
             else:
+                if traced and key is not None:
+                    tracer.inc("cluster.resident_miss")
                 sticky = (ctx.shard, ctx.local_metric)
                 if key is not None:
                     # A fresh key for an already-seen site slot means a new
@@ -457,17 +522,26 @@ class ClusterBackend(ExecutionBackend):
                         host.resident_keys.discard(stale)
                     host.resident_keys.add(key)
                     host.resident_by_site[ctx.site_id] = key
+            state = self._encode_dispatch_state(ctx.state, key)
+            if traced:
+                tracer.inc(
+                    "cluster.state_token" if is_state_token(state) else "cluster.state_ship"
+                )
             dyn = {
                 "site_id": ctx.site_id,
                 "fn": task.fn,
                 "args": task.args,
                 "kwargs": task.kwargs,
-                "state": self._encode_dispatch_state(ctx.state, key),
+                "state": state,
                 "rng": ctx.rng,
                 "inbox": ctx.inbox,
             }
+            if traced:
+                # Only traced dispatches carry the extra key, so untraced
+                # frames stay byte-identical to an untraced build.
+                dyn["trace"] = True
             convert = self._site_result_converter(
-                host, key, ctx.site_id, wire, round_index
+                host, key, ctx.site_id, wire, round_index, tracer
             )
             futures.append(
                 self._submit_frame(
@@ -476,7 +550,7 @@ class ClusterBackend(ExecutionBackend):
                         "site", seq, key, sticky, dyn, evict
                     ),
                     wire=wire, round_index=round_index, kind="site",
-                    convert=convert,
+                    convert=convert, tracer=tracer,
                 )
             )
         return futures
@@ -512,6 +586,7 @@ class ClusterBackend(ExecutionBackend):
         site_id: int,
         wire: Optional[WireLedger],
         round_index: int,
+        tracer=None,
     ) -> Callable[[dict], Any]:
         """Build the wire->SiteTaskResult decoder for one dispatched site task.
 
@@ -535,7 +610,7 @@ class ClusterBackend(ExecutionBackend):
                     epoch=epoch,
                     sizes=sizes,
                     fetch=lambda keys: self._pull_state_entries(
-                        host, key, epoch, keys, wire, round_index
+                        host, key, epoch, keys, wire, round_index, tracer
                     ),
                     owner=self,
                 )
@@ -561,6 +636,7 @@ class ClusterBackend(ExecutionBackend):
         keys: Sequence[str],
         wire: Optional[WireLedger],
         round_index: int,
+        tracer=None,
     ) -> Dict[str, Any]:
         """Fault resident-state entries from a runner (a proxy read missed).
 
@@ -575,10 +651,17 @@ class ClusterBackend(ExecutionBackend):
                 "cluster backend holding them was closed (pull_state() first)"
             )
         keys = list(keys)
+        if tracer is not None and tracer.enabled:
+            tracer.inc("cluster.state_pulls")
+            tracer.event(
+                "state_pull", host=host.host_id, round=round_index,
+                epoch=epoch, keys=len(keys),
+            )
         future = self._submit_frame(
             host,
             lambda seq: ("pull_state", seq, key, epoch, keys),
             wire=wire, round_index=round_index, kind="state_pull", convert=None,
+            tracer=tracer,
         )
         return future.result()
 
@@ -595,6 +678,24 @@ class ClusterBackend(ExecutionBackend):
         proxy = ref() if ref is not None else None
         if proxy is not None and not proxy.detached:
             proxy.pull_state()
+
+    def runner_timers(self) -> Dict[int, Timer]:
+        """Per-host runner overhead totals merged from result-frame extras.
+
+        Every result frame carries the runner's own ``cluster:*`` timer for
+        that frame (task execution, outbox/digest encoding); the reader
+        threads fold them into one accumulating :class:`Timer` per host.
+        The returned timers are snapshots — safe to read after
+        :meth:`close`, empty when the pool never started.
+        """
+        if self._hosts is None:
+            return {}
+        out: Dict[int, Timer] = {}
+        for host in self._hosts:
+            snapshot = Timer()
+            snapshot.merge(host.runner_timer)
+            out[host.host_id] = snapshot
+        return out
 
     def submit_ordered(
         self, fn: Callable[[Any], Any], items: Sequence[Any]

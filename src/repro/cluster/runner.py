@@ -5,9 +5,14 @@ coordinator over a unix-domain socket, announces itself, then serves
 dispatch frames until it is told to shut down (or its socket dies with the
 coordinator).  The task shapes are:
 
-``("task", seq, fn, payload)``
+``("task", seq, fn, payload[, trace])``
     A structure-free task (:func:`repro.runtime.run_tasks`): evaluate
-    ``fn(payload)`` and reply ``("res", seq, value)``.
+    ``fn(payload)`` and reply ``("res", seq, value, extras)``.  The
+    ``extras`` dict always carries a per-frame ``Timer`` with the runner's
+    own overhead labels (``cluster:task``) and — when the optional ``trace``
+    flag is truthy — a picklable
+    :class:`~repro.obs.trace.TraceBuffer` of spans/counters the task
+    recorded, which the coordinator absorbs onto its trace timeline.
 
 ``("site", seq, resident_key, sticky, dyn, evict)``
     One site's share of a protocol round.  ``sticky`` is the site's heavy
@@ -26,10 +31,16 @@ coordinator).  The task shapes are:
     ``resident_key`` at ``epoch + 1`` and the reply carries only a
     :data:`~repro.runtime.state.STATE_DIGEST_TAG` digest (keys, per-entry
     pickled sizes, the new epoch) — never the dict itself.  The reply
-    ``("site_res", seq, result)`` also encodes every buffered
+    ``("site_res", seq, result, extras)`` also encodes every buffered
     site-to-coordinator payload *individually*, so the coordinator learns
     the exact serialized size of each semantic message (the ``n_bytes`` it
-    stamps on the communication ledger).
+    stamps on the communication ledger).  ``extras`` mirrors the generic
+    task reply: the frame's runner-overhead ``Timer`` plus, when
+    ``dyn["trace"]`` is set, the task's
+    :class:`~repro.obs.trace.TraceBuffer`.  The site's own timer
+    additionally gains a ``cluster:encode`` label (outbox/digest encoding is
+    genuine site-side work), so cluster site timers carry the serial labels
+    plus ``cluster:*`` extras.
 
 ``("pull_state", seq, resident_key, epoch, keys)``
     Fault individual resident-state entries back to the coordinator (lazy
@@ -58,14 +69,28 @@ import traceback
 from typing import Any, Dict, Tuple
 
 from repro.cluster.framing import FrameChannel, encode_payload
+from repro.obs.trace import TraceBuffer, collector_scope
 from repro.runtime.state import STATE_DIGEST_TAG, is_state_token
+from repro.utils.timing import Timer
 
 
-def _execute_generic(frame: Tuple) -> Tuple:
+def _execute_generic(frame: Tuple, host_id: int) -> Tuple:
     """Evaluate a ``("task", ...)`` frame; returns the response frame."""
-    _, seq, fn, payload = frame
-    value = fn(payload)
-    return ("res", seq, value)
+    _, seq, fn, payload = frame[:4]
+    trace_on = len(frame) > 4 and bool(frame[4])
+    frame_timer = Timer()
+    if trace_on:
+        buffer = TraceBuffer(origin=f"host-{host_id}")
+        with collector_scope(buffer):
+            with buffer.span("task", fn=getattr(fn, "__name__", str(fn))):
+                with frame_timer.measure("cluster:task"):
+                    value = fn(payload)
+        extras: Dict[str, Any] = {"timer": frame_timer, "trace": buffer}
+    else:
+        with frame_timer.measure("cluster:task"):
+            value = fn(payload)
+        extras = {"timer": frame_timer}
+    return ("res", seq, value, extras)
 
 
 def _resolve_state(resident_key, dyn_state, resident_state: Dict[Any, Tuple[int, dict]]):
@@ -95,6 +120,7 @@ def _execute_site(
     frame: Tuple,
     resident: Dict[Any, Tuple],
     resident_state: Dict[Any, Tuple[int, dict]],
+    host_id: int,
 ) -> Tuple:
     """Evaluate a ``("site", ...)`` frame against the resident caches."""
     from repro.runtime.tasks import SiteContext
@@ -118,6 +144,9 @@ def _execute_site(
         sticky = resident[resident_key]
     shard, local_metric = sticky
 
+    trace_on = bool(dyn.get("trace"))
+    buffer = TraceBuffer(origin=f"host-{host_id}") if trace_on else None
+    frame_timer = Timer()
     ctx = SiteContext(
         site_id=dyn["site_id"],
         shard=shard,
@@ -125,30 +154,45 @@ def _execute_site(
         state=_resolve_state(resident_key, dyn["state"], resident_state),
         rng=dyn["rng"],
         inbox=dyn["inbox"],
+        trace=buffer,
     )
-    value = dyn["fn"](ctx, *dyn["args"], **dyn["kwargs"])
-
-    # Encode each buffered transmission separately: the byte length of one
-    # payload here is exactly the n_bytes the coordinator stamps on the
-    # corresponding ledger message.
-    outbox = []
-    for out in ctx.outbox:
-        blob = encode_payload(out.payload)
-        outbox.append((out.kind, blob, out.words, len(blob)))
-
-    if resident_key is not None:
-        # The mutable state stays where it was produced; the coordinator
-        # gets a digest (keys, per-entry pickled sizes, the new epoch) and
-        # faults entries individually through "pull_state" on demand.  The
-        # sizes are measured with the same encoder a fault would use, so
-        # the digest prices each entry at its true wire cost.
-        previous = resident_state.get(resident_key)
-        epoch = (previous[0] if previous is not None else 0) + 1
-        resident_state[resident_key] = (epoch, ctx.state)
-        sizes = {key: len(encode_payload(value_)) for key, value_ in ctx.state.items()}
-        state_field: Any = (STATE_DIGEST_TAG, epoch, sizes)
+    if buffer is not None:
+        with collector_scope(buffer):
+            with buffer.span("site_task", site=ctx.site_id):
+                with frame_timer.measure("cluster:task"):
+                    value = dyn["fn"](ctx, *dyn["args"], **dyn["kwargs"])
     else:
-        state_field = ctx.state
+        with frame_timer.measure("cluster:task"):
+            value = dyn["fn"](ctx, *dyn["args"], **dyn["kwargs"])
+
+    # Encoding the outbox and state digest is genuine site-side work the
+    # serial path never pays; it lands in the site's own timer under a
+    # ``cluster:`` label (so cluster site timers are the serial label set
+    # plus ``cluster:*``) and in the frame timer the coordinator folds into
+    # its per-host runner totals.
+    with ctx.timer.measure("cluster:encode"), frame_timer.measure("cluster:encode"):
+        # Encode each buffered transmission separately: the byte length of
+        # one payload here is exactly the n_bytes the coordinator stamps on
+        # the corresponding ledger message.
+        outbox = []
+        for out in ctx.outbox:
+            blob = encode_payload(out.payload)
+            outbox.append((out.kind, blob, out.words, len(blob)))
+
+        if resident_key is not None:
+            # The mutable state stays where it was produced; the coordinator
+            # gets a digest (keys, per-entry pickled sizes, the new epoch)
+            # and faults entries individually through "pull_state" on
+            # demand.  The sizes are measured with the same encoder a fault
+            # would use, so the digest prices each entry at its true wire
+            # cost.
+            previous = resident_state.get(resident_key)
+            epoch = (previous[0] if previous is not None else 0) + 1
+            resident_state[resident_key] = (epoch, ctx.state)
+            sizes = {key: len(encode_payload(value_)) for key, value_ in ctx.state.items()}
+            state_field: Any = (STATE_DIGEST_TAG, epoch, sizes)
+        else:
+            state_field = ctx.state
 
     result = {
         "site_id": ctx.site_id,
@@ -158,7 +202,10 @@ def _execute_site(
         "rng": ctx.rng,
         "outbox": outbox,
     }
-    return ("site_res", seq, result)
+    extras: Dict[str, Any] = {"timer": frame_timer}
+    if buffer is not None:
+        extras["trace"] = buffer
+    return ("site_res", seq, result, extras)
 
 
 def _execute_pull_state(frame: Tuple, resident_state: Dict[Any, Tuple[int, dict]]) -> Tuple:
@@ -227,9 +274,9 @@ def serve(channel: FrameChannel, host_id: int) -> None:
         seq = frame[1]
         try:
             if tag == "task":
-                response = _execute_generic(frame)
+                response = _execute_generic(frame, host_id)
             elif tag == "site":
-                response = _execute_site(frame, resident, resident_state)
+                response = _execute_site(frame, resident, resident_state, host_id)
             elif tag == "pull_state":
                 response = _execute_pull_state(frame, resident_state)
             else:

@@ -119,6 +119,26 @@ class WireLedger:
             out[r.kind] = out.get(r.kind, 0) + r.n_bytes
         return out
 
+    def bytes_by_host_kind(self) -> Dict[int, Dict[str, int]]:
+        """Per-host wire bytes broken down by frame kind.
+
+        The report layer's shape: one inner dict per runner host mapping
+        each frame kind that host exchanged to its byte total.
+        """
+        out: Dict[int, Dict[str, int]] = {}
+        for r in self.records:
+            per_host = out.setdefault(r.host, {})
+            per_host[r.kind] = per_host.get(r.kind, 0) + r.n_bytes
+        return out
+
+    def bytes_by_round_host(self) -> Dict[int, Dict[int, int]]:
+        """Wire bytes per round, broken down by runner host."""
+        out: Dict[int, Dict[int, int]] = {}
+        for r in self.records:
+            per_round = out.setdefault(r.round_index, {})
+            per_round[r.host] = per_round.get(r.host, 0) + r.n_bytes
+        return out
+
     def bytes_by_direction(self) -> Dict[str, int]:
         """Total wire bytes split into dispatch (send) and result (recv) traffic."""
         sent = sum(r.n_bytes for r in self.records if r.direction == "send")
@@ -140,6 +160,8 @@ class WireLedger:
             "frames": self.n_frames(),
             "by_round": self.bytes_by_round(),
             "by_host": self.bytes_by_host(),
+            "by_kind": self.bytes_by_kind(),
+            "by_host_kind": self.bytes_by_host_kind(),
             "by_direction": self.bytes_by_direction(),
         }
 

@@ -45,6 +45,7 @@ from repro.metrics.blocked import (
     shard_scratch,
 )
 from repro.metrics.cost_matrix import build_cost_matrix, validate_objective
+from repro.obs.trace import TraceLike, resolve_tracer, trace_run
 from repro.runtime.backends import BackendLike, backend_scope
 from repro.runtime.state import snapshot_site_state
 from repro.runtime.tasks import SiteTask, run_site_tasks
@@ -125,6 +126,7 @@ def distributed_partial_median(
     memory_budget: MemoryBudgetLike = None,
     prefetch: Optional[bool] = None,
     async_rounds: bool = False,
+    trace: TraceLike = False,
 ) -> DistributedResult:
     """Run Algorithm 1 on a distributed instance.
 
@@ -184,6 +186,13 @@ def distributed_partial_median(
         site's profile (and computes its allocation marginals) while the
         remaining sites are still computing, instead of waiting at a
         barrier.  Pure latency hiding — never changes any result.
+    trace:
+        ``True`` records spans, events and counters for the whole run on a
+        :class:`~repro.obs.trace.Tracer` attached to the result as
+        ``result.trace`` (coordinator and runner activity on one rebased
+        timeline; see :mod:`repro.obs`).  An existing tracer may be passed
+        to share one timeline across runs.  ``False`` (default) adds no
+        per-task work and leaves every result bit-identical.
     """
     objective = validate_objective(instance.objective)
     if objective == "center":
@@ -210,8 +219,12 @@ def distributed_partial_median(
         local_kwargs.setdefault("memory_budget", mem_budget)
     if prefetch is not None:
         local_kwargs.setdefault("prefetch", prefetch)
+    tracer = resolve_tracer(trace)
+    network.tracer = tracer if tracer.enabled else None
 
-    with shard_scratch(mem_budget) as workdir:
+    with shard_scratch(mem_budget) as workdir, trace_run(
+        tracer, "run", algorithm="algorithm1", objective=objective
+    ):
         with backend_scope(backend) as exec_backend:
             # --------------------------------------------------------------
             # Round 1: local cost profiles.
@@ -222,7 +235,9 @@ def distributed_partial_median(
             def _absorb_profile(result):
                 # Per-site allocation prep; under async_rounds this runs
                 # while later sites are still computing their profiles.
-                with network.coordinator.timer.measure("allocation"):
+                with network.coordinator.timer.measure("allocation"), tracer.span(
+                    "allocation", site=result.site_id
+                ):
                     profile = network.coordinator.messages_from(
                         result.site_id, "cost_profile"
                     )[0].payload
@@ -250,7 +265,7 @@ def distributed_partial_median(
             site_rngs = [r.rng for r in round1]
 
             # Coordinator: allocate the outlier budget.
-            with network.coordinator.timer.measure("allocation"):
+            with network.coordinator.timer.measure("allocation"), tracer.span("allocation"):
                 budget = int(math.floor(rho * t))
                 allocation = allocate_outlier_budget(marginals, budget)
 
@@ -295,7 +310,7 @@ def distributed_partial_median(
                 network.sites, ("t_i", "local_k", "cost_storage")
             )
 
-        with network.coordinator.timer.measure("final_solve"):
+        with network.coordinator.timer.measure("final_solve"), tracer.span("final_solve"):
             combine = combine_preclusters(
                 metric,
                 summaries,
@@ -327,6 +342,7 @@ def distributed_partial_median(
             site_time=network.site_times(),
             coordinator_time=network.coordinator_time(),
             coordinator_solution=combine.coordinator_solution,
+            trace=tracer if tracer.enabled else None,
             metadata={
                 "algorithm": "algorithm1",
                 "epsilon": float(epsilon),

@@ -36,6 +36,7 @@ from repro.distributed.network import StarNetwork
 from repro.distributed.result import DistributedResult
 from repro.metrics.blocked import MemoryBudgetLike, resolve_memory_budget, shard_scratch
 from repro.metrics.cost_matrix import validate_objective
+from repro.obs.trace import TraceLike, resolve_tracer, trace_run
 from repro.runtime.backends import BackendLike, backend_scope
 from repro.runtime.state import snapshot_site_state
 from repro.runtime.tasks import SiteTask, run_site_tasks
@@ -113,6 +114,7 @@ def distributed_partial_median_no_shipping(
     memory_budget: MemoryBudgetLike = None,
     prefetch: Optional[bool] = None,
     async_rounds: bool = False,
+    trace: TraceLike = False,
 ) -> DistributedResult:
     """Run the Theorem 3.8 variant (no outlier points are ever transmitted).
 
@@ -145,6 +147,10 @@ def distributed_partial_median_no_shipping(
         Stream the round joins (the coordinator absorbs each completed
         site's profile while others still compute); never changes the
         result.
+    trace:
+        ``True`` attaches a :class:`~repro.obs.trace.Tracer` to the result
+        (``result.trace``) recording the run's spans, events and counters;
+        ``False`` (default) is the zero-overhead no-op (see :mod:`repro.obs`).
     """
     objective = validate_objective(instance.objective)
     if objective == "center":
@@ -166,15 +172,21 @@ def distributed_partial_median_no_shipping(
         local_kwargs.setdefault("memory_budget", mem_budget)
     if prefetch is not None:
         local_kwargs.setdefault("prefetch", prefetch)
+    tracer = resolve_tracer(trace)
+    network.tracer = tracer if tracer.enabled else None
 
-    with shard_scratch(mem_budget) as workdir:
+    with shard_scratch(mem_budget) as workdir, trace_run(
+        tracer, "run", algorithm="algorithm1_no_shipping", objective=objective
+    ):
         with backend_scope(backend) as exec_backend:
             # Round 1: profiles on the finer grid.
             network.next_round()
             marginals: list = [None] * network.n_sites
 
             def _absorb_profile(result):
-                with network.coordinator.timer.measure("allocation"):
+                with network.coordinator.timer.measure("allocation"), tracer.span(
+                    "allocation", site=result.site_id
+                ):
                     profile = network.coordinator.messages_from(
                         result.site_id, "cost_profile"
                     )[0].payload
@@ -201,7 +213,7 @@ def distributed_partial_median_no_shipping(
             )
             site_rngs = [r.rng for r in round1]
 
-            with network.coordinator.timer.measure("allocation"):
+            with network.coordinator.timer.measure("allocation"), tracer.span("allocation"):
                 budget = int(math.floor(rho * t))
                 allocation = allocate_outlier_budget(marginals, budget)
 
@@ -241,7 +253,7 @@ def distributed_partial_median_no_shipping(
                 network.sites, ("t_i", "combined_4k", "cost_storage")
             )
 
-        with network.coordinator.timer.measure("final_solve"):
+        with network.coordinator.timer.measure("final_solve"), tracer.span("final_solve"):
             combine = combine_preclusters(
                 metric,
                 summaries,
@@ -271,6 +283,7 @@ def distributed_partial_median_no_shipping(
             site_time=network.site_times(),
             coordinator_time=network.coordinator_time(),
             coordinator_solution=combine.coordinator_solution,
+            trace=tracer if tracer.enabled else None,
             metadata={
                 "algorithm": "algorithm1_no_shipping",
                 "epsilon": float(epsilon),

@@ -41,6 +41,7 @@ from repro.metrics.blocked import (
     resolve_memory_budget,
     shard_scratch,
 )
+from repro.obs.trace import TraceLike, resolve_tracer, trace_run
 from repro.runtime.backends import BackendLike, backend_scope
 from repro.runtime.tasks import SiteTask, run_site_tasks
 from repro.runtime.transport import TransportLike, resolve_transport
@@ -124,6 +125,7 @@ def distributed_partial_center(
     memory_budget: MemoryBudgetLike = None,
     prefetch: Optional[bool] = None,
     async_rounds: bool = False,
+    trace: TraceLike = False,
 ) -> DistributedResult:
     """Run Algorithm 2 on a distributed instance with the center objective.
 
@@ -160,6 +162,10 @@ def distributed_partial_center(
         Stream the round joins (the coordinator absorbs each completed
         site's witness curve while others still compute); never changes
         the result.
+    trace:
+        ``True`` attaches a :class:`~repro.obs.trace.Tracer` to the result
+        (``result.trace``) recording the run's spans, events and counters;
+        ``False`` (default) is the zero-overhead no-op (see :mod:`repro.obs`).
     """
     if instance.objective != "center":
         raise ValueError("distributed_partial_center requires a center-objective instance")
@@ -174,8 +180,12 @@ def distributed_partial_center(
     site_rngs = spawn_rngs(generator, network.n_sites)
     policy = resolve_transport(transport)
     mem_budget = resolve_memory_budget(memory_budget)
+    tracer = resolve_tracer(trace)
+    network.tracer = tracer if tracer.enabled else None
 
-    with shard_scratch(mem_budget) as workdir:
+    with shard_scratch(mem_budget) as workdir, trace_run(
+        tracer, "run", algorithm="algorithm2_center", objective="center"
+    ):
         with backend_scope(backend) as exec_backend:
             # --------------------------------------------------------------
             # Round 1: Gonzalez traversals and witness curves.
@@ -184,7 +194,9 @@ def distributed_partial_center(
             marginals: list = [None] * network.n_sites
 
             def _absorb_curve(result):
-                with network.coordinator.timer.measure("allocation"):
+                with network.coordinator.timer.measure("allocation"), tracer.span(
+                    "allocation", site=result.site_id
+                ):
                     curve = network.coordinator.messages_from(
                         result.site_id, "witness_curve"
                     )[0].payload
@@ -203,7 +215,7 @@ def distributed_partial_center(
             )
             site_rngs = [r.rng for r in round1]
 
-            with network.coordinator.timer.measure("allocation"):
+            with network.coordinator.timer.measure("allocation"), tracer.span("allocation"):
                 budget = int(math.floor(rho * t))
                 allocation = allocate_outlier_budget(marginals, budget)
 
@@ -238,7 +250,7 @@ def distributed_partial_center(
                 for i in range(network.n_sites)
             ]
 
-        with network.coordinator.timer.measure("final_solve"):
+        with network.coordinator.timer.measure("final_solve"), tracer.span("final_solve"):
             combine = combine_preclusters(
                 metric,
                 summaries,
@@ -264,6 +276,7 @@ def distributed_partial_center(
             site_time=network.site_times(),
             coordinator_time=network.coordinator_time(),
             coordinator_solution=combine.coordinator_solution,
+            trace=tracer if tracer.enabled else None,
             metadata={
                 "algorithm": "algorithm2_center",
                 "rho": float(rho),

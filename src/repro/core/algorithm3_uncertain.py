@@ -37,6 +37,7 @@ from repro.metrics.blocked import (
     resolve_memory_budget,
     shard_scratch,
 )
+from repro.obs.trace import TraceLike, resolve_tracer, trace_run
 from repro.runtime.backends import BackendLike, backend_scope
 from repro.runtime.tasks import run_tasks
 from repro.sequential.bicriteria import bicriteria_solve
@@ -182,6 +183,7 @@ def distributed_uncertain_clustering(
     memory_budget: MemoryBudgetLike = None,
     prefetch: Optional[bool] = None,
     async_rounds: bool = False,
+    trace: TraceLike = False,
 ) -> DistributedResult:
     """Distributed uncertain ``(k, (1+eps)t)``-median/means/center-pp (Theorem 5.6).
 
@@ -212,6 +214,10 @@ def distributed_uncertain_clustering(
         Stream the round joins — the coordinator absorbs each completed
         site's profile/summary (and its allocation marginals) while later
         sites still compute; never changes the result.
+    trace:
+        ``True`` attaches a :class:`~repro.obs.trace.Tracer` to the result
+        (``result.trace``) recording the run's spans, events and counters;
+        ``False`` (default) is the zero-overhead no-op (see :mod:`repro.obs`).
 
     Returns
     -------
@@ -243,8 +249,11 @@ def distributed_uncertain_clustering(
     ledger = CommunicationLedger()
     site_timers = [Timer() for _ in range(s)]
     coord_timer = Timer()
+    tracer = resolve_tracer(trace)
 
-    with shard_scratch(mem_budget) as workdir:
+    with shard_scratch(mem_budget) as workdir, trace_run(
+        tracer, "run", algorithm="algorithm3_uncertain", objective=objective
+    ):
         with backend_scope(backend) as exec_backend:
             # --------------------------------------------------------------
             # Round 1: collapse + compressed-graph preclustering profiles.
@@ -260,7 +269,7 @@ def distributed_uncertain_clustering(
                 site_rngs[i] = out["rng"]
                 profile = out["state"]["precluster"].profile
                 ledger.record(Message(i, COORDINATOR, 1, "cost_profile", profile.words, profile))
-                with coord_timer.measure("allocation"):
+                with coord_timer.measure("allocation"), tracer.span("allocation", site=i):
                     marginals[i] = profile.marginals()
 
             run_tasks(
@@ -286,9 +295,10 @@ def distributed_uncertain_clustering(
                 round_index=1,
                 async_rounds=async_rounds,
                 consume=_absorb_round1,
+                tracer=tracer,
             )
 
-            with coord_timer.measure("allocation"):
+            with coord_timer.measure("allocation"), tracer.span("allocation"):
                 budget = int(math.floor(rho * t))
                 allocation = allocate_outlier_budget(marginals, budget)
 
@@ -333,12 +343,13 @@ def distributed_uncertain_clustering(
                 round_index=2,
                 async_rounds=async_rounds,
                 consume=_absorb_round2,
+                tracer=tracer,
             )
 
         # ------------------------------------------------------------------
         # Coordinator: weighted clustering on the received compressed summary.
         # ------------------------------------------------------------------
-        with coord_timer.measure("final_solve"):
+        with coord_timer.measure("final_solve"), tracer.span("final_solve"):
             demand_anchor_arr = np.asarray(demand_anchor, dtype=int)
             demand_offset_arr = np.asarray(demand_offset, dtype=float)
             demand_weight_arr = np.asarray(demand_weight, dtype=float)
@@ -426,6 +437,7 @@ def distributed_uncertain_clustering(
             site_time={i: float(sum(site_timers[i].totals.values())) for i in range(s)},
             coordinator_time=float(sum(coord_timer.totals.values())),
             coordinator_solution=coordinator_solution,
+            trace=tracer if tracer.enabled else None,
             metadata={
                 "algorithm": "algorithm3_uncertain",
                 "epsilon": float(epsilon),

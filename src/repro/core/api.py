@@ -27,6 +27,7 @@ from repro.distributed.partition import (
 from repro.distributed.result import DistributedResult
 from repro.metrics.blocked import MemoryBudgetLike
 from repro.metrics.euclidean import EuclideanMetric
+from repro.obs.trace import TraceLike
 from repro.runtime.backends import BackendLike
 from repro.uncertain.instance import UncertainInstance
 from repro.utils.rng import RngLike, ensure_rng
@@ -82,6 +83,7 @@ def partial_kmedian(
     memory_budget: MemoryBudgetLike = None,
     prefetch: Union[None, bool] = None,
     async_rounds: bool = False,
+    trace: TraceLike = False,
     **kwargs,
 ) -> DistributedResult:
     """Distributed ``(k, (1+eps)t)``-median over a Euclidean point cloud.
@@ -131,6 +133,14 @@ def partial_kmedian(
         site (allocation marginals, ledger charges) while the remaining
         sites still compute, overlapping site compute with coordinator
         allocation.  Purely a wall-clock knob; never changes any result.
+    trace:
+        ``True`` records the run end to end — spans for rounds, site tasks
+        and wire round-trips, plus cache/prefetch/byte counters — on a
+        :class:`~repro.obs.trace.Tracer` attached to the result as
+        ``result.trace`` (render it with
+        :func:`repro.obs.render_round_report` or export with
+        :func:`repro.obs.write_chrome_trace`).  ``False`` (default) adds
+        no per-task work and leaves every result bit-identical.
     kwargs:
         Forwarded to :func:`repro.core.algorithm1.distributed_partial_median`
         (e.g. ``transport=`` for a runtime transport policy).
@@ -140,7 +150,7 @@ def partial_kmedian(
     return distributed_partial_median(
         instance, epsilon=epsilon, rho=rho, rng=generator, backend=backend,
         memory_budget=memory_budget, prefetch=prefetch, async_rounds=async_rounds,
-        **kwargs
+        trace=trace, **kwargs
     )
 
 
@@ -158,6 +168,7 @@ def partial_kmeans(
     memory_budget: MemoryBudgetLike = None,
     prefetch: Union[None, bool] = None,
     async_rounds: bool = False,
+    trace: TraceLike = False,
     **kwargs,
 ) -> DistributedResult:
     """Distributed ``(k, (1+eps)t)``-means over a Euclidean point cloud.
@@ -170,7 +181,7 @@ def partial_kmeans(
     return distributed_partial_median(
         instance, epsilon=epsilon, rho=rho, rng=generator, backend=backend,
         memory_budget=memory_budget, prefetch=prefetch, async_rounds=async_rounds,
-        **kwargs
+        trace=trace, **kwargs
     )
 
 
@@ -187,6 +198,7 @@ def partial_kcenter(
     memory_budget: MemoryBudgetLike = None,
     prefetch: Union[None, bool] = None,
     async_rounds: bool = False,
+    trace: TraceLike = False,
     **kwargs,
 ) -> DistributedResult:
     """Distributed ``(k, t)``-center over a Euclidean point cloud (Algorithm 2).
@@ -200,7 +212,7 @@ def partial_kcenter(
     return distributed_partial_center(
         instance, rho=rho, rng=generator, backend=backend,
         memory_budget=memory_budget, prefetch=prefetch, async_rounds=async_rounds,
-        **kwargs
+        trace=trace, **kwargs
     )
 
 
@@ -223,6 +235,7 @@ def uncertain_partial_kmedian(
     memory_budget: MemoryBudgetLike = None,
     prefetch: Union[None, bool] = None,
     async_rounds: bool = False,
+    trace: TraceLike = False,
     **kwargs,
 ) -> DistributedResult:
     """Distributed uncertain ``(k, (1+eps)t)``-median/means/center-pp (Algorithm 3).
@@ -248,7 +261,7 @@ def uncertain_partial_kmedian(
     return distributed_uncertain_clustering(
         dist_instance, epsilon=epsilon, rho=rho, rng=generator, backend=backend,
         memory_budget=memory_budget, prefetch=prefetch, async_rounds=async_rounds,
-        **kwargs
+        trace=trace, **kwargs
     )
 
 
@@ -266,6 +279,7 @@ def uncertain_partial_kcenter_g(
     memory_budget: MemoryBudgetLike = None,
     prefetch: Union[None, bool] = None,
     async_rounds: bool = False,
+    trace: TraceLike = False,
     **kwargs,
 ) -> DistributedResult:
     """Distributed uncertain ``(k, (1+eps)t)``-center-g (Algorithm 4).
@@ -280,7 +294,7 @@ def uncertain_partial_kcenter_g(
     return distributed_uncertain_center_g(
         dist_instance, epsilon=epsilon, rho=rho, rng=generator, backend=backend,
         memory_budget=memory_budget, prefetch=prefetch, async_rounds=async_rounds,
-        **kwargs
+        trace=trace, **kwargs
     )
 
 

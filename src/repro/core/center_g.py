@@ -45,6 +45,7 @@ from repro.metrics.blocked import (
     shard_scratch,
 )
 from repro.metrics.plan import ReductionPlan
+from repro.obs.trace import TraceLike, resolve_tracer, trace_run
 from repro.runtime.backends import BackendLike, backend_scope
 from repro.runtime.tasks import run_tasks
 from repro.sequential.kcenter_outliers import kcenter_with_outliers
@@ -205,6 +206,7 @@ def distributed_uncertain_center_g(
     memory_budget: MemoryBudgetLike = None,
     prefetch: Optional[bool] = None,
     async_rounds: bool = False,
+    trace: TraceLike = False,
 ) -> DistributedResult:
     """Distributed uncertain ``(k, (1+eps)t)``-center-g (Theorem 5.14).
 
@@ -243,6 +245,10 @@ def distributed_uncertain_center_g(
         Stream the round joins — the coordinator absorbs each completed
         site's extremes / per-``tau`` profiles / summaries while later
         sites still compute; never changes the result.
+    trace:
+        ``True`` attaches a :class:`~repro.obs.trace.Tracer` to the result
+        (``result.trace``) recording the run's spans, events and counters;
+        ``False`` (default) is the zero-overhead no-op (see :mod:`repro.obs`).
     """
     if epsilon <= 0 or rho <= 1:
         raise ValueError("epsilon must be positive and rho > 1")
@@ -263,8 +269,11 @@ def distributed_uncertain_center_g(
     ledger = CommunicationLedger()
     site_timers = [Timer() for _ in range(s)]
     coord_timer = Timer()
+    tracer = resolve_tracer(trace)
 
-    with shard_scratch(mem_budget) as workdir:
+    with shard_scratch(mem_budget) as workdir, trace_run(
+        tracer, "run", algorithm="algorithm4_center_g", objective="center-g"
+    ):
         with backend_scope(backend) as exec_backend:
             # --------------------------------------------------------------
             # Round 1a: every party reports its local distance extremes (O(s) words).
@@ -292,6 +301,7 @@ def distributed_uncertain_center_g(
                 round_index=1,
                 async_rounds=async_rounds,
                 consume=_absorb_extremes,
+                tracer=tracer,
             )
             d_min = min(e[0] for e in local_extremes if e[0] > 0)
             d_max = max(e[1] for e in local_extremes)
@@ -331,10 +341,11 @@ def distributed_uncertain_center_g(
                 round_index=1,
                 async_rounds=async_rounds,
                 consume=_absorb_sweep,
+                tracer=tracer,
             )
 
             # Coordinator: parametric search for tau_hat (Algorithm 4, line 6).
-            with coord_timer.measure("tau_search"):
+            with coord_timer.measure("tau_search"), tracer.span("tau_search"):
                 budget = int(math.floor(rho * t))
                 tau_hat = float(taus[-1])
                 allocation_hat = None
@@ -399,12 +410,13 @@ def distributed_uncertain_center_g(
                 round_index=2,
                 async_rounds=async_rounds,
                 consume=_absorb_round2,
+                tracer=tracer,
             )
 
         # ------------------------------------------------------------------
         # Coordinator: weighted (k, (1+eps)t)-center over what it received.
         # ------------------------------------------------------------------
-        with coord_timer.measure("final_solve"):
+        with coord_timer.measure("final_solve"), tracer.span("final_solve"):
             facility_points = np.unique(np.concatenate(facility_candidates))
             n_demands = len(demand_anchor)
 
@@ -476,6 +488,7 @@ def distributed_uncertain_center_g(
             site_time={i: float(sum(site_timers[i].totals.values())) for i in range(s)},
             coordinator_time=float(sum(coord_timer.totals.values())),
             coordinator_solution=coordinator_solution,
+            trace=tracer if tracer.enabled else None,
             metadata={
                 "algorithm": "algorithm4_center_g",
                 "epsilon": float(epsilon),

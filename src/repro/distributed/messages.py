@@ -226,7 +226,18 @@ class CommunicationLedger:
             self.ensure_wire().merge(other.wire)
 
     def summary(self) -> Dict[str, Any]:
-        """Compact dictionary used by reports and benchmark output."""
+        """Compact dictionary used by reports and benchmark output.
+
+        The byte entries follow the same precedence as :meth:`total_bytes`:
+        when a frame-level :attr:`wire` ledger is attached (a cluster run,
+        or ledgers merged from one via :meth:`merge`), ``total_bytes`` and
+        ``bytes_by_round`` come from it and cover dispatch *and* result
+        frames, headers included — so after merging a cluster ledger into
+        an in-process one the summary reports the union of both runs'
+        words alongside the cluster run's physical bytes.  ``wire`` holds
+        the attached ledger's own summary (with its per-kind and per-host
+        breakdowns) or ``None`` when no wire transport ran.
+        """
         return {
             "total_words": self.total_words(),
             "total_bytes": self.total_bytes(),
@@ -235,6 +246,7 @@ class CommunicationLedger:
             "by_round": self.words_by_round(),
             "by_direction": self.words_by_direction(),
             "bytes_by_round": self.bytes_by_round(),
+            "wire": self.wire.summary() if self.wire is not None else None,
         }
 
 

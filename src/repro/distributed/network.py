@@ -119,6 +119,11 @@ class StarNetwork:
         self.coordinator = Coordinator()
         self.ledger = CommunicationLedger()
         self._round = 0
+        #: Optional :class:`~repro.obs.trace.Tracer` a traced protocol run
+        #: installs; :func:`~repro.runtime.tasks.run_site_tasks` reads it to
+        #: record round spans and absorb task buffers.  ``None`` (the
+        #: default) keeps the network entirely untraced.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Round management

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 
@@ -47,6 +47,11 @@ class DistributedResult:
     metadata:
         Protocol-specific extras (outlier allocations ``t_i``, thresholds,
         epsilon, ...).
+    trace:
+        The :class:`~repro.obs.trace.Tracer` a ``trace=True`` run recorded
+        into (spans, events, counters — feed it to
+        :func:`repro.obs.round_report` or :func:`repro.obs.to_chrome_trace`).
+        ``None`` for untraced runs.
     """
 
     centers: np.ndarray
@@ -60,6 +65,7 @@ class DistributedResult:
     coordinator_time: float = 0.0
     coordinator_solution: Optional[ClusterSolution] = None
     metadata: dict = field(default_factory=dict)
+    trace: Optional[Any] = None
 
     def __post_init__(self) -> None:
         self.centers = np.asarray(self.centers, dtype=int)

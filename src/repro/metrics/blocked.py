@@ -62,6 +62,8 @@ from typing import Any, Callable, Iterator, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.obs.trace import active_collector
+
 #: Budget used by always-blocked pure reductions (e.g. ``MetricSpace.diameter``)
 #: when the caller does not specify one.  64 MiB keeps tiles comfortably in
 #: cache-friendly territory while staying far below any dense ``n x n``.
@@ -563,6 +565,10 @@ def materialize_rows(
     shard = None
     if total_bytes > budget:
         shard = MemmapCostShard.create((n_rows, n_cols), workdir=workdir, dtype=dtype)
+        collector = active_collector()
+        if collector is not None:
+            collector.inc("blocked.spills")
+            collector.inc("blocked.spill_bytes", total_bytes)
     else:
         out = np.empty((n_rows, n_cols), dtype=dtype)
     for r0 in range(0, n_rows, row_chunk):

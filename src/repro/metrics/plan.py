@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence, Tuple, Union
 
@@ -60,6 +61,7 @@ from repro.metrics.blocked import (
     _tile_shape,
     resolve_memory_budget,
 )
+from repro.obs.trace import active_collector
 
 #: Cache target for tile sizing: tiles larger than this thrash caches long
 #: before they hit the memory budget, so the planner clamps tile bytes to
@@ -324,11 +326,21 @@ class _TilePrefetcher:
     event and exits instead of blocking forever on a full queue.
     """
 
-    def __init__(self, loader, tiles: List[Tuple[slice, slice]], depth: int = PREFETCH_DEPTH):
+    def __init__(
+        self,
+        loader,
+        tiles: List[Tuple[slice, slice]],
+        depth: int = PREFETCH_DEPTH,
+        collector=None,
+    ):
         self._loader = loader
         self._tiles = tiles
         self._queue: "queue.Queue" = queue.Queue(maxsize=max(1, depth))
         self._cancelled = threading.Event()
+        #: Optional metrics sink (a tracer or trace buffer): the consumer
+        #: loop counts hits (tile already queued), misses (consumer had to
+        #: block on the producer) and the blocked wait time.
+        self._collector = collector
         self._thread = threading.Thread(
             target=self._produce, name="repro-tile-prefetch", daemon=True
         )
@@ -354,9 +366,20 @@ class _TilePrefetcher:
 
     def __iter__(self):
         self._thread.start()
+        collector = self._collector
         try:
             while True:
-                item = self._queue.get()
+                if collector is None:
+                    item = self._queue.get()
+                else:
+                    try:
+                        item = self._queue.get_nowait()
+                        collector.inc("prefetch.hit")
+                    except queue.Empty:
+                        waited = time.perf_counter()
+                        item = self._queue.get()
+                        collector.inc("prefetch.miss")
+                        collector.inc("prefetch.wait_s", time.perf_counter() - waited)
                 if item is _DONE:
                     return
                 if isinstance(item, tuple) and len(item) == 2 and item[0] is _ERROR:
@@ -548,11 +571,15 @@ class ReductionPlan:
         if self._executed:
             raise RuntimeError("ReductionPlan.execute() may only be called once")
         self._executed = True
+        collector = active_collector()
         tiles, (tile_rows, tile_cols) = self._tile_plan()
         use_prefetch = self._use_prefetch(len(tiles))
         if use_prefetch:
             iterator = iter(
-                _TilePrefetcher(lambda rs, cs: self._load(rs, cs, True), tiles)
+                _TilePrefetcher(
+                    lambda rs, cs: self._load(rs, cs, True), tiles,
+                    collector=collector,
+                )
             )
         else:
             iterator = ((rs, cs, self._load(rs, cs, False)) for rs, cs in tiles)
@@ -575,6 +602,16 @@ class ReductionPlan:
             n_ops=len(self._ops),
             prefetch=use_prefetch,
         )
+        if collector is not None:
+            # First-class counters replacing the test suite's ad hoc
+            # counting-source probes: any traced run can report pass counts
+            # and streamed volume without wrapping its sources.
+            collector.inc("plan.executions")
+            collector.inc("plan.tiles", len(tiles))
+            collector.inc("plan.cells", cells)
+            collector.inc("plan.bytes_streamed", cells * self._itemsize)
+            if use_prefetch:
+                collector.inc("plan.prefetched_executions")
         for handle in self._handles:
             handle._finalize()
         return self

@@ -1,0 +1,185 @@
+"""Round-by-round run reports from a trace and its ledgers.
+
+The report layer answers the paper's accounting questions from one run:
+where do a protocol's bytes go per round and host, what did each runner
+spend its wall-clock on, and how often did the caches hit.  It reads three
+sources that a traced run ties together — the :class:`~repro.obs.trace.Tracer`
+attached to the result, the word-count
+:class:`~repro.distributed.messages.CommunicationLedger` and (on the cluster
+backend) its physical :class:`~repro.cluster.wire.WireLedger` — and renders
+plain-text tables via :func:`repro.analysis.format_table`.
+
+The per-protocol summary doubles as a *cross-check*: the tracer counts wire
+bytes independently at the same instrumentation points the wire ledger
+records, so ``wire_bytes_trace == wire_bytes_ledger`` holds bit-for-bit on a
+healthy run and a mismatch means an unaccounted frame path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+#: Counters the summary always lists (0.0 when the layer never ran), so
+#: reports across protocols and backends line up column-for-column.
+SUMMARY_COUNTERS = (
+    "cluster.resident_hit",
+    "cluster.resident_miss",
+    "cluster.state_token",
+    "cluster.state_ship",
+    "cluster.state_pulls",
+    "plan.executions",
+    "plan.tiles",
+    "prefetch.hit",
+    "prefetch.miss",
+)
+
+
+def _wire_of(result: Any):
+    ledger = getattr(result, "ledger", None)
+    return getattr(ledger, "wire", None)
+
+
+def round_report(result: Any) -> List[Dict[str, Any]]:
+    """Per ``(round, host)`` activity rows for a traced run.
+
+    Each row combines the wire ledger's frame accounting (bytes split by
+    kind, state pulls) with the trace's timing (tasks executed, runner
+    busy-seconds from absorbed runner spans, wire round-trip seconds from
+    the coordinator's rpc spans).  In-process traced runs have no wire or
+    hosts; their rows carry ``host=None`` with task counts and busy time
+    from the absorbed site-task spans.
+    """
+    tracer = getattr(result, "trace", None)
+    if tracer is None or not getattr(tracer, "enabled", False):
+        raise ValueError("result has no trace: run the protocol with trace=True")
+
+    rows: Dict[tuple, Dict[str, Any]] = {}
+
+    def row(round_index: int, host: Optional[int]) -> Dict[str, Any]:
+        key = (round_index, host)
+        if key not in rows:
+            rows[key] = {
+                "round": round_index,
+                "host": host if host is not None else "-",
+                "tasks": 0,
+                "task_s": 0.0,
+                "rpc_s": 0.0,
+                "sent_bytes": 0,
+                "recv_bytes": 0,
+                "state_pulls": 0,
+                "bytes_by_kind": {},
+            }
+        return rows[key]
+
+    wire = _wire_of(result)
+    if wire is not None:
+        for rec in wire.records:
+            r = row(rec.round_index, rec.host)
+            r["sent_bytes" if rec.direction == "send" else "recv_bytes"] += rec.n_bytes
+            r["bytes_by_kind"][rec.kind] = r["bytes_by_kind"].get(rec.kind, 0) + rec.n_bytes
+            if rec.kind == "state_pull_dispatch":
+                r["state_pulls"] += 1
+
+    for span in tracer.spans:
+        if span.name == "rpc":
+            r = row(span.tags.get("round", 0), span.tags.get("host"))
+            r["rpc_s"] += span.duration
+            if span.tags.get("kind") in ("site", "task"):
+                r["tasks"] += 1
+        elif span.name in ("site_task", "task") and "round" in span.tags:
+            host = span.tags.get("host")
+            r = row(span.tags["round"], host)
+            r["task_s"] += span.duration
+            if host is None:
+                # In-process run: the absorbed task span is the only record
+                # of the task having run (no rpc span counts it).
+                r["tasks"] += 1
+
+    return [rows[key] for key in sorted(rows, key=lambda k: (k[0], str(k[1])))]
+
+
+def render_round_report(result: Any, *, title: Optional[str] = None) -> str:
+    """The round-by-round report as a fixed-width text table."""
+    # Imported lazily: repro.analysis sits above the metrics layer, which
+    # itself reaches into repro.obs.trace for the ambient collector.
+    from repro.analysis import format_table
+
+    rows = round_report(result)
+    printable = []
+    for r in rows:
+        flat = dict(r)
+        kinds = flat.pop("bytes_by_kind")
+        flat["kinds"] = ",".join(f"{k}:{v}" for k, v in sorted(kinds.items())) or "-"
+        printable.append(flat)
+    return format_table(
+        printable,
+        columns=["round", "host", "tasks", "task_s", "rpc_s",
+                 "sent_bytes", "recv_bytes", "state_pulls", "kinds"],
+        title=title or "Round-by-round run report",
+    )
+
+
+def protocol_summary(result: Any) -> Dict[str, Any]:
+    """One-run summary reproducing the bytes/word numbers from the trace.
+
+    ``wire_bytes_trace`` comes from the tracer's ``wire.bytes`` counter,
+    ``wire_bytes_ledger`` from the wire ledger; ``bytes_match`` flags their
+    bit-for-bit equality (vacuously true on in-process runs, where both are
+    zero).  The fixed :data:`SUMMARY_COUNTERS` are always present.
+    """
+    tracer = getattr(result, "trace", None)
+    if tracer is None or not getattr(tracer, "enabled", False):
+        raise ValueError("result has no trace: run the protocol with trace=True")
+    ledger = result.ledger
+    wire = _wire_of(result)
+    ledger_bytes = int(wire.total_bytes()) if wire is not None else 0
+    trace_bytes = int(tracer.counter("wire.bytes"))
+    total_words = float(ledger.total_words())
+    summary: Dict[str, Any] = {
+        "total_words": total_words,
+        "wire_bytes_ledger": ledger_bytes,
+        "wire_bytes_trace": trace_bytes,
+        "bytes_match": trace_bytes == ledger_bytes,
+        "bytes_per_word": (ledger_bytes / total_words) if total_words else 0.0,
+        "rounds": result.rounds,
+        "n_spans": len(tracer.spans),
+        "origins": tracer.origins(),
+    }
+    for name in SUMMARY_COUNTERS:
+        summary[name] = tracer.counter(name)
+    return summary
+
+
+def render_protocol_summary(results: Dict[str, Any], *, title: Optional[str] = None) -> str:
+    """Summary table across protocols: ``{label: traced DistributedResult}``."""
+    from repro.analysis import format_table
+
+    rows = []
+    for label, result in results.items():
+        summary = protocol_summary(result)
+        rows.append(
+            {
+                "protocol": label,
+                "words": summary["total_words"],
+                "wire_bytes": summary["wire_bytes_ledger"],
+                "trace_bytes": summary["wire_bytes_trace"],
+                "match": summary["bytes_match"],
+                "bytes_per_word": summary["bytes_per_word"],
+                "resident_hit": summary["cluster.resident_hit"],
+                "resident_miss": summary["cluster.resident_miss"],
+                "prefetch_hit": summary["prefetch.hit"],
+                "prefetch_miss": summary["prefetch.miss"],
+            }
+        )
+    return format_table(
+        rows, title=title or "Per-protocol summary (trace vs. ledger cross-check)"
+    )
+
+
+__all__ = [
+    "SUMMARY_COUNTERS",
+    "protocol_summary",
+    "render_protocol_summary",
+    "render_round_report",
+    "round_report",
+]

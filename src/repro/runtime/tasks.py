@@ -55,6 +55,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.distributed.messages import Message
+from repro.obs.trace import NULL_TRACER, TraceBuffer, collector_scope
 from repro.runtime.backends import BackendLike, backend_scope
 from repro.runtime.transport import TransportLike, resolve_transport
 from repro.utils.timing import Timer
@@ -94,6 +95,7 @@ class SiteContext:
         rng: Optional[np.random.Generator],
         inbox: List[Message],
         resident_key: Optional[str] = None,
+        trace: Optional[TraceBuffer] = None,
     ):
         self.site_id = int(site_id)
         self.shard = shard
@@ -106,6 +108,9 @@ class SiteContext:
         #: Cache identity of (shard, local_metric) for runner-resident state
         #: on the cluster backend; ``None`` disables caching for this context.
         self.resident_key = resident_key
+        #: Span/counter recorder for this task's execution (``None`` when the
+        #: run is untraced, so the hot path allocates nothing).
+        self.trace = trace
 
     @property
     def n_points(self) -> int:
@@ -152,12 +157,21 @@ class SiteTaskResult:
     timer: Timer
     rng: Optional[np.random.Generator]
     outbox: List[Outgoing]
+    trace: Optional[TraceBuffer] = None
 
 
 def _execute_site_task(task_and_ctx: Tuple[SiteTask, SiteContext]) -> SiteTaskResult:
     """Run one task against its context (in the caller or in a worker)."""
     task, ctx = task_and_ctx
-    value = task.fn(ctx, *task.args, **task.kwargs)
+    if ctx.trace is not None:
+        # Traced run: the buffer collects the task span plus any counters the
+        # metrics layer bumps through the ambient collector, and rides back
+        # on the result for the coordinator to absorb.
+        with collector_scope(ctx.trace):
+            with ctx.trace.span("site_task", site=ctx.site_id):
+                value = task.fn(ctx, *task.args, **task.kwargs)
+    else:
+        value = task.fn(ctx, *task.args, **task.kwargs)
     return SiteTaskResult(
         site_id=ctx.site_id,
         value=value,
@@ -165,6 +179,7 @@ def _execute_site_task(task_and_ctx: Tuple[SiteTask, SiteContext]) -> SiteTaskRe
         timer=ctx.timer,
         rng=ctx.rng,
         outbox=ctx.outbox,
+        trace=ctx.trace,
     )
 
 
@@ -237,6 +252,8 @@ def run_site_tasks(
         seen.add(task.site_id)
 
     policy = resolve_transport(transport)
+    tracer = getattr(network, "tracer", None) or NULL_TRACER
+    round_index = network.current_round
 
     pairs: List[Tuple[SiteTask, SiteContext]] = []
     for task in tasks:
@@ -250,43 +267,82 @@ def run_site_tasks(
             rng=task.rng,
             inbox=inbox,
             resident_key=getattr(site, "resident_key", None),
+            trace=TraceBuffer(origin=f"site-{site.site_id}") if tracer.enabled else None,
         )
         pairs.append((task, ctx))
 
     with backend_scope(backend) as exec_backend:
-        submit_site_pairs = getattr(exec_backend, "submit_site_pairs", None)
-        if submit_site_pairs is not None:
-            # Wire-capable backend (cluster): payloads cross real sockets and
-            # every frame's bytes land in the run ledger's wire ledger.
-            futures = submit_site_pairs(
-                pairs,
-                round_index=network.current_round,
-                wire=network.ledger.ensure_wire(),
-            )
-        else:
-            futures = exec_backend.submit_ordered(_execute_site_task, pairs)
-
-        if not async_rounds:
-            _barrier_check(futures)
-
-        results: List[SiteTaskResult] = []
-        for future in futures:
-            result = future.result()
-            site = network.sites[result.site_id]
-            site.state = result.state
-            site.timer.merge(result.timer)
-            for out in result.outbox:
-                network.send_to_coordinator(
-                    result.site_id,
-                    out.kind,
-                    policy.roundtrip(out.payload),
-                    out.words,
-                    n_bytes=out.n_bytes,
+        with tracer.span("round", round=round_index, tasks=len(tasks),
+                         backend=type(exec_backend).__name__):
+            t_dispatch = tracer.clock()
+            submit_site_pairs = getattr(exec_backend, "submit_site_pairs", None)
+            if submit_site_pairs is not None:
+                # Wire-capable backend (cluster): payloads cross real sockets
+                # and every frame's bytes land in the run ledger's wire
+                # ledger.  The tracer rides along only when enabled so the
+                # untraced dispatch path (and its frames) stay byte-identical.
+                extra = {"tracer": tracer} if tracer.enabled else {}
+                futures = submit_site_pairs(
+                    pairs,
+                    round_index=round_index,
+                    wire=network.ledger.ensure_wire(),
+                    **extra,
                 )
-            if consume is not None:
-                consume(result)
-            results.append(result)
+            else:
+                futures = exec_backend.submit_ordered(_execute_site_task, pairs)
+
+            if not async_rounds:
+                _barrier_check(futures)
+
+            results: List[SiteTaskResult] = []
+            for future in futures:
+                result = future.result()
+                site = network.sites[result.site_id]
+                site.state = result.state
+                site.timer.merge(result.timer)
+                if tracer.enabled:
+                    # Cluster results come back with their buffers already
+                    # absorbed by the backend (result.trace is None there).
+                    if result.trace is not None:
+                        tracer.absorb(
+                            result.trace,
+                            window=(t_dispatch, tracer.clock()),
+                            tags={"round": round_index},
+                        )
+                    tracer.event("absorb", site=result.site_id, round=round_index)
+                for out in result.outbox:
+                    network.send_to_coordinator(
+                        result.site_id,
+                        out.kind,
+                        policy.roundtrip(out.payload),
+                        out.words,
+                        n_bytes=out.n_bytes,
+                    )
+                if consume is not None:
+                    consume(result)
+                results.append(result)
     return results
+
+
+class _TracedCall:
+    """Picklable wrapper running a payload task under a fresh trace buffer.
+
+    Returns ``(value, buffer)`` so the coordinator can absorb the buffer;
+    ``fn`` and its result are untouched, keeping traced and untraced runs
+    bit-identical.
+    """
+
+    def __init__(self, fn: Callable[[Any], Any]):
+        self.fn = fn
+
+    def __call__(self, indexed_payload: Tuple[int, Any]) -> Tuple[Any, TraceBuffer]:
+        index, payload = indexed_payload
+        buffer = TraceBuffer(origin=f"task-{index}")
+        with collector_scope(buffer):
+            with buffer.span("task", index=index,
+                             fn=getattr(self.fn, "__name__", str(self.fn))):
+                value = self.fn(payload)
+        return value, buffer
 
 
 def run_tasks(
@@ -298,6 +354,7 @@ def run_tasks(
     round_index: int = 0,
     async_rounds: bool = False,
     consume: Optional[Callable[[int, Any], None]] = None,
+    tracer=None,
 ) -> List[Any]:
     """Evaluate ``fn`` over independent payloads on a backend, in order.
 
@@ -311,24 +368,45 @@ def run_tasks(
     frames it exchanges; in-process backends ignore both.  ``async_rounds``
     streams the join exactly as in :func:`run_site_tasks`, calling
     ``consume(index, result)`` per completed payload in submission order.
+    ``tracer`` (a :class:`~repro.obs.trace.Tracer`) records a round span,
+    per-task spans and absorb events; ``None`` (the default) traces nothing.
     """
     payloads = list(payloads)
+    tracer = tracer or NULL_TRACER
     with backend_scope(backend) as exec_backend:
-        submit_tasks = getattr(exec_backend, "submit_tasks", None)
-        if submit_tasks is not None:
-            wire = ledger.ensure_wire() if ledger is not None else None
-            futures = submit_tasks(fn, payloads, round_index=round_index, wire=wire)
-        else:
-            futures = exec_backend.submit_ordered(fn, payloads)
-        if not async_rounds:
-            _barrier_check(futures)
-        results: List[Any] = []
-        for index, future in enumerate(futures):
-            result = future.result()
-            if consume is not None:
-                consume(index, result)
-            results.append(result)
-        return results
+        with tracer.span("round", round=round_index, tasks=len(payloads),
+                         fn=getattr(fn, "__name__", str(fn)),
+                         backend=type(exec_backend).__name__):
+            t_dispatch = tracer.clock()
+            traced_inline = False
+            submit_tasks = getattr(exec_backend, "submit_tasks", None)
+            if submit_tasks is not None:
+                wire = ledger.ensure_wire() if ledger is not None else None
+                extra = {"tracer": tracer} if tracer.enabled else {}
+                futures = submit_tasks(fn, payloads, round_index=round_index,
+                                       wire=wire, **extra)
+            elif tracer.enabled:
+                traced_inline = True
+                futures = exec_backend.submit_ordered(
+                    _TracedCall(fn), list(enumerate(payloads))
+                )
+            else:
+                futures = exec_backend.submit_ordered(fn, payloads)
+            if not async_rounds:
+                _barrier_check(futures)
+            results: List[Any] = []
+            for index, future in enumerate(futures):
+                result = future.result()
+                if traced_inline:
+                    result, buffer = result
+                    tracer.absorb(buffer, window=(t_dispatch, tracer.clock()),
+                                  tags={"round": round_index})
+                if tracer.enabled:
+                    tracer.event("absorb", index=index, round=round_index)
+                if consume is not None:
+                    consume(index, result)
+                results.append(result)
+            return results
 
 
 __all__ = [

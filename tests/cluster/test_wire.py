@@ -36,7 +36,22 @@ class TestWireLedger:
 
     def test_summary_keys(self):
         summary = self._filled().summary()
-        assert {"total_bytes", "frames", "by_round", "by_host", "by_direction"} <= set(summary)
+        assert {
+            "total_bytes", "frames", "by_round", "by_host",
+            "by_kind", "by_host_kind", "by_direction",
+        } <= set(summary)
+
+    def test_summary_kind_breakdowns(self):
+        summary = self._filled().summary()
+        assert summary["by_kind"] == {"site_dispatch": 160, "site_result": 40}
+        assert summary["by_host_kind"] == {
+            0: {"site_dispatch": 100, "site_result": 40},
+            1: {"site_dispatch": 60},
+        }
+
+    def test_bytes_by_round_host(self):
+        wire = self._filled()
+        assert wire.bytes_by_round_host() == {1: {0: 140}, 2: {1: 60}}
 
     def test_invalid_records_rejected(self):
         with pytest.raises(ValueError, match="non-negative"):

@@ -92,3 +92,48 @@ class TestCommunicationLedger:
         ledger.record(_msg())
         summary = ledger.summary()
         assert {"total_words", "rounds", "messages", "by_round", "by_direction"} <= set(summary)
+
+    def test_summary_without_wire_reports_none(self):
+        ledger = CommunicationLedger()
+        ledger.record(_msg())
+        summary = ledger.summary()
+        assert summary["wire"] is None
+        assert summary["total_bytes"] == 0
+
+    def test_merge_with_wire_ledger(self):
+        """Merging a cluster-run ledger attaches its wire ledger wholesale."""
+        from repro.cluster.wire import WireLedger
+
+        plain = CommunicationLedger()
+        plain.record(_msg(words=1))
+
+        clustered = CommunicationLedger()
+        clustered.record(_msg(words=2, round_index=2))
+        clustered.ensure_wire().record(
+            round_index=2, host=0, direction="send", kind="site_dispatch", n_bytes=300
+        )
+        clustered.ensure_wire().record(
+            round_index=2, host=0, direction="recv", kind="site_result", n_bytes=200
+        )
+
+        plain.merge(clustered)
+        # Words are the union of both runs; bytes come from the merged wire.
+        assert plain.total_words() == 3.0
+        assert plain.total_bytes() == 500
+        summary = plain.summary()
+        assert summary["total_bytes"] == 500
+        assert summary["bytes_by_round"] == {2: 500}
+        assert summary["wire"]["by_kind"] == {"site_dispatch": 300, "site_result": 200}
+        assert summary["wire"]["by_host_kind"] == {0: {"site_dispatch": 300, "site_result": 200}}
+
+    def test_merge_two_wire_ledgers_accumulates(self):
+        a, b = CommunicationLedger(), CommunicationLedger()
+        a.ensure_wire().record(
+            round_index=1, host=0, direction="send", kind="site_dispatch", n_bytes=100
+        )
+        b.ensure_wire().record(
+            round_index=1, host=1, direction="send", kind="site_dispatch", n_bytes=50
+        )
+        a.merge(b)
+        assert a.total_bytes() == 150
+        assert a.wire.bytes_by_host() == {0: 100, 1: 50}

@@ -1,5 +1,7 @@
 """Tests for the execution backends."""
 
+import os
+
 import pytest
 
 from repro.runtime import (
@@ -9,10 +11,29 @@ from repro.runtime import (
     ThreadPoolBackend,
     backend_scope,
     default_worker_count,
+    effective_cpu_count,
     resolve_backend,
 )
 
 ALL_BACKENDS = ["serial", "thread", "process"]
+
+
+class TestEffectiveCpuCount:
+    def test_affinity_mask_wins_over_cpu_count(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda pid: {0, 1, 2, 3}, raising=False
+        )
+        assert effective_cpu_count() == 4
+
+    def test_falls_back_to_cpu_count_without_affinity(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        assert effective_cpu_count() == 8
+
+    def test_clamps_to_at_least_one(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: set(), raising=False)
+        assert effective_cpu_count() == 1
 
 
 def _square(x):
