@@ -9,14 +9,23 @@ bytes-per-word ratio — the honest conversion factor between the paper's
 accounting and what a wire would actually carry (pickle framing, dtype
 width, dispatch overhead and all).
 
+Since the wire path grew codec frames and content-addressed payloads, every
+row carries the raw/encoded split: ``total_bytes``/``bytes_per_word`` are
+what physically crossed the sockets (compressed frames, digest-collapsed
+payloads), ``total_raw_bytes``/``raw_bytes_per_word`` what the same frames
+would have cost uncompressed, and ``compression`` their ratio — the
+benchmark's compression column.
+
 Wall-clock is recorded through pytest-benchmark but never asserted (the CI
 box is 1-core and the runners are subprocesses).  Byte counts, by contrast,
-*are* deterministic — frame sizes don't depend on timing — so the committed
-``BENCH_cluster_bytes.json`` doubles as a regression baseline: the benchmark
-fails if any protocol's measured bytes-per-word exceeds 2x the committed
-value (the headroom covers pickle/version drift, not a reintroduced state
-round-trip, which costs 10-20x).  The guard runs under ``--benchmark-disable``
-too, which is how CI executes it.
+are reproducible — raw frame sizes don't depend on timing, and encoded
+sizes wobble only by the per-run uuid resident keys riding inside
+compressed frames — so the committed ``BENCH_cluster_bytes.json`` doubles
+as a regression baseline: the benchmark fails if any protocol's measured
+bytes-per-word (encoded, and raw when the artifact records it) exceeds 2x
+the committed value (the headroom covers pickle/version drift, not a
+reintroduced state round-trip, which costs 10-20x).  The guard runs under
+``--benchmark-disable`` too, which is how CI executes it.
 
 The JSON artifact is only (re)written when ``REPRO_BENCH_ARTIFACTS=1`` is
 set::
@@ -59,11 +68,11 @@ BASELINE_HEADROOM = 2.0
 
 
 def _committed_baseline() -> dict:
-    """protocol -> bytes_per_word from the committed benchmark artifact."""
+    """protocol -> committed benchmark row (the regression baseline)."""
     path = os.path.join(BENCH_ARTIFACT_DIR, "BENCH_cluster_bytes.json")
     with open(path) as fh:
         payload = json.load(fh)
-    return {row["protocol"]: float(row["bytes_per_word"]) for row in payload["rows"]}
+    return {row["protocol"]: row for row in payload["rows"]}
 
 
 @pytest.fixture(scope="module")
@@ -136,7 +145,12 @@ def test_cluster_bytes_per_word(
         # the cache/prefetch/state counters the report layer surfaces — and a
         # bit-for-bit cross-check of the wire ledger on its own run.
         traced = run(cluster_pool, trace=True)
-        assert int(traced.trace.counter("wire.bytes")) == traced.ledger.wire.total_bytes(), name
+        # Both columns of the raw/encoded split cross-check bit for bit:
+        # wire.bytes* counters carry pre-codec sizes, wire.bytes_encoded*
+        # what physically crossed the sockets.
+        wire = traced.ledger.wire
+        assert int(traced.trace.counter("wire.bytes")) == wire.total_raw_bytes(), name
+        assert int(traced.trace.counter("wire.bytes_encoded")) == wire.total_bytes(), name
         trace_counters[name] = {
             counter: traced.trace.counter(counter) for counter in SUMMARY_COUNTERS
         }
@@ -148,13 +162,17 @@ def test_cluster_bytes_per_word(
         assert base.ledger.total_bytes() == 0, name
         words = clustered.ledger.total_words()
         n_bytes = clustered.ledger.total_bytes()
-        assert n_bytes > 0, name
+        raw_bytes = clustered.ledger.wire.total_raw_bytes()
+        assert 0 < n_bytes <= raw_bytes, name
         rows.append(
             {
                 "protocol": name,
                 "total_words": words,
                 "total_bytes": n_bytes,
+                "total_raw_bytes": raw_bytes,
                 "bytes_per_word": n_bytes / max(words, 1e-12),
+                "raw_bytes_per_word": raw_bytes / max(words, 1e-12),
+                "compression": raw_bytes / n_bytes,
             }
         )
         detail[name] = {
@@ -175,9 +193,34 @@ def test_cluster_bytes_per_word(
         committed = baseline.get(row["protocol"])
         if committed is None:
             continue
-        assert row["bytes_per_word"] <= BASELINE_HEADROOM * committed, (
-            f"{row['protocol']}: {row['bytes_per_word']:.0f} bytes/word exceeds "
-            f"{BASELINE_HEADROOM}x the committed baseline ({committed:.0f})"
+        for column in ("bytes_per_word", "raw_bytes_per_word"):
+            ceiling = committed.get(column)
+            if ceiling is None:
+                continue  # pre-codec artifacts carry only the encoded column
+            assert row[column] <= BASELINE_HEADROOM * float(ceiling), (
+                f"{row['protocol']}: {row[column]:.0f} {column} exceeds "
+                f"{BASELINE_HEADROOM}x the committed baseline ({float(ceiling):.0f})"
+            )
+
+    measured = {row["protocol"]: row for row in rows}
+    # Content-addressed payloads collapse center_g's repeated collapse-matrix
+    # shipping: the protocol that used to cost ~2,800 bytes/word must now
+    # price within the same band as kcenter's plain site rounds.
+    assert (
+        measured["center_g"]["bytes_per_word"]
+        <= 2.0 * measured["kcenter"]["bytes_per_word"]
+    ), "center_g's payload residency regressed: its bytes/word left kcenter's band"
+    # And the codec layer must actually earn its column: result frames of
+    # the site protocols and center_g's task replies compress >= 2x.
+    for name, kind in (
+        ("kmedian", "site_result"),
+        ("kcenter", "site_result"),
+        ("no_shipping", "site_result"),
+        ("center_g", "task_result"),
+    ):
+        ratio = detail[name]["wire"]["compression_by_kind"][kind]
+        assert ratio >= 2.0, (
+            f"{name}: {kind} frames compress only {ratio:.2f}x (expected >= 2x)"
         )
 
     # Time one representative cluster run (pool already warm).
@@ -187,7 +230,8 @@ def test_cluster_bytes_per_word(
         benchmark,
         "cluster_bytes_per_word",
         rows,
-        columns=["protocol", "total_words", "total_bytes", "bytes_per_word"],
+        columns=["protocol", "total_words", "total_bytes", "total_raw_bytes",
+                 "compression", "bytes_per_word", "raw_bytes_per_word"],
         title="wire bytes vs semantic words (cluster backend, 2 hosts)",
     )
 

@@ -8,8 +8,12 @@ process per simulated host, ships site tasks and payloads over real
 length-prefixed socket connections (:mod:`repro.cluster.framing`), keeps
 each site's shard, local metric *and mutable round state* resident on its
 runner across rounds (state returns as a digest and is faulted lazily — see
-:mod:`repro.runtime.state`), and
-records the exact bytes every frame occupied in a
+:mod:`repro.runtime.state`), ships repeated task payload components as
+content-addressed digests (:mod:`repro.cluster.payloads`), compresses the
+bulky frame kinds under a per-kind codec policy
+(:class:`~repro.cluster.framing.WirePolicy` — pickle protocol 5 with
+out-of-band numpy buffers, zlib or zstd frame compression), and
+records the exact bytes every frame occupied — raw *and* encoded — in a
 :class:`~repro.cluster.wire.WireLedger` that the semantic
 :class:`~repro.distributed.messages.CommunicationLedger` folds into its
 ``summary()`` — words *and* bytes, side by side.
@@ -27,14 +31,26 @@ wire is an execution detail; the word ledger never changes.
 """
 
 from repro.cluster.backend import ClusterBackend
-from repro.cluster.framing import FrameChannel, decode_payload, encode_payload
+from repro.cluster.framing import (
+    FrameChannel,
+    WirePolicy,
+    available_codecs,
+    decode_payload,
+    encode_payload,
+    resolve_codec,
+)
+from repro.cluster.payloads import PayloadCache
 from repro.cluster.wire import WireLedger, WireRecord
 
 __all__ = [
     "ClusterBackend",
     "FrameChannel",
+    "PayloadCache",
     "WireLedger",
+    "WirePolicy",
     "WireRecord",
+    "available_codecs",
     "decode_payload",
     "encode_payload",
+    "resolve_codec",
 ]

@@ -11,9 +11,21 @@ claims honest:
   site computes on arrived through its socket.
 * **Wire-level byte accounting.**  Each dispatch and result frame's exact
   size is recorded in the :class:`~repro.cluster.wire.WireLedger` the caller
-  supplies, and site results encode each buffered site-to-coordinator
-  payload individually so the communication ledger can stamp per-message
-  ``n_bytes`` next to the semantic word counts.
+  supplies — the physically transmitted (codec-encoded) bytes *and* the
+  bytes the frame would have cost uncompressed — and site results encode
+  each buffered site-to-coordinator payload individually so the
+  communication ledger can stamp per-message ``n_bytes`` (plus its
+  codec-priced ``n_bytes_encoded``) next to the semantic word counts.
+* **Codec frames + content-addressed payloads.**  Frames are encoded under
+  a :class:`~repro.cluster.framing.WirePolicy` (site/task traffic
+  compressed, latency-sensitive state pulls and control frames not; the
+  ``REPRO_WIRE_CODEC`` environment override reaches the runners through
+  their inherited environment), and every structure-free task payload and
+  result is content-addressed against a per-host
+  :class:`~repro.cluster.payloads.PayloadCache` mirrored on the runner —
+  repeated payload content (center_g's collapse matrices and
+  round-tripped state dicts) crosses the wire once per pool lifetime and
+  costs a 16-byte digest afterwards.
 * **Resident site state.**  A site's heavy immutable half — its shard and
   local metric — is shipped once per protocol run and kept resident on its
   runner (sites are pinned to hosts by ``site_id % n_hosts``).  The
@@ -47,7 +59,8 @@ import weakref
 from concurrent.futures import Future
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.cluster.framing import FRAME_OVERHEAD, FrameChannel, decode_payload, encode_payload
+from repro.cluster.framing import FrameChannel, WirePolicy, decode_payload, encode_frame
+from repro.cluster.payloads import PayloadCache
 from repro.cluster.wire import WireLedger
 from repro.runtime.backends import ExecutionBackend, default_worker_count
 from repro.runtime.state import (
@@ -97,6 +110,14 @@ class _Host:
         #: slot; a new key for the same slot evicts the old one remotely, so
         #: runner memory is bounded by live site slots, not runs served.
         self.resident_by_site: Dict[int, Any] = {}
+        #: Coordinator-side mirror of the runner's content-addressed payload
+        #: cache.  Membership stays symmetric because both ends apply the
+        #: same store-on-VAL rule at each frame, in FIFO frame order.
+        self.payloads = PayloadCache()
+        #: Serialises frame encode + enqueue: a frame encoded *after* another
+        #: must also be enqueued after it, or a payload REF could cross the
+        #: socket before the VAL that defined it.
+        self.encode_lock = threading.Lock()
 
 
 class ClusterBackend(ExecutionBackend):
@@ -109,6 +130,9 @@ class ClusterBackend(ExecutionBackend):
             raise ValueError(f"n_hosts must be >= 1, got {n_hosts}")
         self.n_hosts = n_hosts or default_worker_count()
         self.start_timeout = float(start_timeout)
+        #: Per-frame-kind codec choices; runners resolve the same policy from
+        #: the environment they inherit, so both directions agree.
+        self.wire_policy = WirePolicy.from_env()
         self._hosts: Optional[List[_Host]] = None
         self._socket_dir: Optional[str] = None
         self._seq = 0
@@ -178,7 +202,7 @@ class ClusterBackend(ExecutionBackend):
                 finally:
                     listener.close()
                 host.channel = FrameChannel(conn)
-                hello, _ = host.channel.recv()
+                hello, _, _, _ = host.channel.recv()
                 if hello != ("hello", host_id):
                     raise RuntimeError(
                         f"cluster host {host_id} sent a bad handshake: {hello!r}"
@@ -276,7 +300,7 @@ class ClusterBackend(ExecutionBackend):
     def _read_loop(self, host: _Host) -> None:
         while True:
             try:
-                frame, n_bytes = host.channel.recv()
+                frame, n_bytes, raw_bytes, codec = host.channel.recv()
             except ConnectionError as exc:
                 if host.dead is None and self._hosts is not None:
                     self._mark_dead(host, str(exc))
@@ -304,19 +328,26 @@ class ClusterBackend(ExecutionBackend):
             if entry.wire is not None:
                 entry.wire.record(
                     round_index=entry.round_index, host=host.host_id,
-                    direction="recv", kind=entry.kind + "_result", n_bytes=n_bytes,
+                    direction="recv", kind=entry.kind + "_result",
+                    n_bytes=n_bytes, raw_bytes=raw_bytes, codec=codec,
                 )
                 if entry.tracer is not None:
                     # Mirror of the wire record: the trace's byte counters
                     # are bumped at exactly the ledger's recording points,
-                    # so their totals match the WireLedger bit for bit.
-                    entry.tracer.inc("wire.bytes", n_bytes)
-                    entry.tracer.inc("wire.bytes.recv", n_bytes)
-                    entry.tracer.inc(f"wire.bytes.{entry.kind}_result", n_bytes)
+                    # so their totals match the WireLedger bit for bit —
+                    # ``wire.bytes*`` against the raw column,
+                    # ``wire.bytes_encoded*`` against the physical one.
+                    entry.tracer.inc("wire.bytes", raw_bytes)
+                    entry.tracer.inc("wire.bytes.recv", raw_bytes)
+                    entry.tracer.inc(f"wire.bytes.{entry.kind}_result", raw_bytes)
+                    entry.tracer.inc("wire.bytes_encoded", n_bytes)
+                    entry.tracer.inc("wire.bytes_encoded.recv", n_bytes)
+                    entry.tracer.inc(f"wire.bytes_encoded.{entry.kind}_result", n_bytes)
             if entry.tracer is not None:
                 entry.tracer.add_span(
                     "rpc", entry.t_send, t_recv, kind=entry.kind,
-                    host=host.host_id, round=entry.round_index, n_bytes=n_bytes,
+                    host=host.host_id, round=entry.round_index,
+                    n_bytes=n_bytes, raw_bytes=raw_bytes,
                 )
             if tag == "exc":
                 _, _, exc, tb = frame
@@ -328,6 +359,21 @@ class ClusterBackend(ExecutionBackend):
                 entry.future.set_exception(exc)
                 continue
             value = frame[2]
+            if tag == "res" and entry.kind == "task":
+                # Task results are content-addressed by the runner exactly
+                # like dispatch payloads; resolve refs against this host's
+                # mirror (storing fresh VALs) before the converter runs.
+                try:
+                    counts: Dict[str, int] = {}
+                    value = host.payloads.decode(value, counts=counts)
+                    if entry.tracer is not None:
+                        if counts.get("hit"):
+                            entry.tracer.inc("cluster.payload_hit", counts["hit"])
+                        if counts.get("miss"):
+                            entry.tracer.inc("cluster.payload_miss", counts["miss"])
+                except BaseException as decode_exc:  # noqa: BLE001 - relayed
+                    entry.future.set_exception(decode_exc)
+                    continue
             extras = frame[3] if len(frame) > 3 else None
             if extras:
                 timer = extras.get("timer")
@@ -366,11 +412,11 @@ class ClusterBackend(ExecutionBackend):
             item = host.send_queue.get()
             if item is None:
                 return
-            data, seq = item
+            frame, seq = item
             if host.dead is not None:
                 continue  # its pending entry was already failed
             try:
-                host.channel.send_encoded(data)
+                host.channel.send_frame(frame)
             except OSError as exc:
                 if host.dead is None:
                     self._mark_dead(host, f"dispatch failed: {exc}")
@@ -393,43 +439,53 @@ class ClusterBackend(ExecutionBackend):
         # Serialize on the submitting thread: an unpicklable dispatch fails
         # just this task (the stream never sees a byte of it), and the wire
         # ledger is complete the moment the future resolves — the sender
-        # thread only ever pushes already-accounted bytes.
-        try:
-            data = encode_payload(build_frame(seq))
-        except Exception as exc:  # noqa: BLE001 - relayed via the future
-            future.set_exception(
-                RuntimeError(
-                    f"task dispatch to cluster host {host.host_id} could not "
-                    f"be serialized: {exc!r}"
+        # thread only ever pushes already-accounted bytes.  The host's
+        # encode lock serialises encode+enqueue as one step: frame builders
+        # may register payload digests in the host's cache, and a REF must
+        # never be enqueued ahead of the VAL that defined it.
+        codec = self.wire_policy.codec_for(kind)
+        with host.encode_lock:
+            try:
+                frame = encode_frame(build_frame(seq), codec)
+            except Exception as exc:  # noqa: BLE001 - relayed via the future
+                future.set_exception(
+                    RuntimeError(
+                        f"task dispatch to cluster host {host.host_id} could not "
+                        f"be serialized: {exc!r}"
+                    )
                 )
-            )
-            return future
-        # Register under the host lock with a dead-recheck: _mark_dead sets
-        # ``dead`` before draining ``pending``, so either this entry lands in
-        # the drain or the death is observed here — never an unresolved
-        # future.
-        entry = _Pending(future, wire, round_index, kind, convert)
-        if tracer is not None and tracer.enabled:
-            entry.tracer = tracer
-            entry.t_send = tracer.clock()
-        with host.lock:
-            if host.dead is not None:
-                future.set_exception(RuntimeError(host.dead))
                 return future
-            host.pending[seq] = entry
-        if wire is not None:
-            n_frame = FRAME_OVERHEAD + len(data)
-            wire.record(
-                round_index=round_index, host=host.host_id,
-                direction="send", kind=kind + "_dispatch", n_bytes=n_frame,
-            )
-            if entry.tracer is not None:
-                # Mirror of the wire record (see _read_loop): counters bump
-                # at the ledger's exact recording points.
-                entry.tracer.inc("wire.bytes", n_frame)
-                entry.tracer.inc("wire.bytes.send", n_frame)
-                entry.tracer.inc(f"wire.bytes.{kind}_dispatch", n_frame)
-        host.send_queue.put((data, seq))
+            # Register under the host lock with a dead-recheck: _mark_dead
+            # sets ``dead`` before draining ``pending``, so either this entry
+            # lands in the drain or the death is observed here — never an
+            # unresolved future.
+            entry = _Pending(future, wire, round_index, kind, convert)
+            if tracer is not None and tracer.enabled:
+                entry.tracer = tracer
+                entry.t_send = tracer.clock()
+            with host.lock:
+                if host.dead is not None:
+                    future.set_exception(RuntimeError(host.dead))
+                    return future
+                host.pending[seq] = entry
+            if wire is not None:
+                wire.record(
+                    round_index=round_index, host=host.host_id,
+                    direction="send", kind=kind + "_dispatch",
+                    n_bytes=frame.n_bytes, raw_bytes=frame.raw_bytes,
+                    codec=frame.codec,
+                )
+                if entry.tracer is not None:
+                    # Mirror of the wire record (see _read_loop): counters
+                    # bump at the ledger's exact recording points — raw into
+                    # ``wire.bytes*``, physical into ``wire.bytes_encoded*``.
+                    entry.tracer.inc("wire.bytes", frame.raw_bytes)
+                    entry.tracer.inc("wire.bytes.send", frame.raw_bytes)
+                    entry.tracer.inc(f"wire.bytes.{kind}_dispatch", frame.raw_bytes)
+                    entry.tracer.inc("wire.bytes_encoded", frame.n_bytes)
+                    entry.tracer.inc("wire.bytes_encoded.send", frame.n_bytes)
+                    entry.tracer.inc(f"wire.bytes_encoded.{kind}_dispatch", frame.n_bytes)
+            host.send_queue.put((frame, seq))
         return future
 
     def submit_tasks(
@@ -444,26 +500,41 @@ class ClusterBackend(ExecutionBackend):
         """Ship structure-free tasks to the runners, one future per payload.
 
         Payload ``i`` runs on host ``i % n_hosts`` — deterministic placement,
-        so repeated runs exchange identical frame sequences.  A ``tracer``
-        (traced runs only) records wire spans and byte counters, and asks
-        the runner — via a fifth frame slot the untraced dispatch never
-        carries — to trace the task body.
+        so repeated runs exchange identical frame sequences.  Each payload is
+        content-addressed against its host's
+        :class:`~repro.cluster.payloads.PayloadCache` mirror at dispatch
+        time: components the runner already holds collapse to their digests
+        (``cluster.payload_hit``), fresh ones ship once and register on both
+        ends.  A ``tracer`` (traced runs only) records wire spans and byte
+        counters, and asks the runner — via a fifth frame slot the untraced
+        dispatch never carries — to trace the task body.
         """
         payloads = list(payloads)
         if not payloads:
             return []
         traced = tracer is not None and tracer.enabled
         hosts = self._ensure_started()
+
+        def build_task(seq: int, host: _Host, payload: Any) -> Tuple:
+            # Runs under the host's encode lock (see _submit_frame), so the
+            # digests this encode registers are enqueued in cache order.
+            counts: Dict[str, int] = {}
+            encoded = host.payloads.encode(payload, counts=counts)
+            if traced:
+                if counts.get("hit"):
+                    tracer.inc("cluster.payload_hit", counts["hit"])
+                if counts.get("miss"):
+                    tracer.inc("cluster.payload_miss", counts["miss"])
+                return ("task", seq, fn, encoded, True)
+            return ("task", seq, fn, encoded)
+
         futures = []
         for index, payload in enumerate(payloads):
             host = hosts[index % len(hosts)]
-            if traced:
-                build = lambda seq, payload=payload: ("task", seq, fn, payload, True)  # noqa: E731
-            else:
-                build = lambda seq, payload=payload: ("task", seq, fn, payload)  # noqa: E731
             futures.append(
                 self._submit_frame(
-                    host, build,
+                    host,
+                    lambda seq, host=host, payload=payload: build_task(seq, host, payload),
                     wire=wire, round_index=round_index, kind="task", convert=None,
                     tracer=tracer,
                 )
@@ -543,12 +614,19 @@ class ClusterBackend(ExecutionBackend):
             convert = self._site_result_converter(
                 host, key, ctx.site_id, wire, round_index, tracer
             )
+
+            def build_site(seq, host=host, key=key, sticky=sticky, dyn=dyn, evict=evict):
+                if evict:
+                    # Slot eviction ends payload residency with it: clearing
+                    # the mirror here — under the encode lock, at the same
+                    # frame that tells the runner to evict — keeps both
+                    # ends' caches symmetric in frame order.
+                    host.payloads.clear()
+                return ("site", seq, key, sticky, dyn, evict)
+
             futures.append(
                 self._submit_frame(
-                    host,
-                    lambda seq, key=key, sticky=sticky, dyn=dyn, evict=evict: (
-                        "site", seq, key, sticky, dyn, evict
-                    ),
+                    host, build_site,
                     wire=wire, round_index=round_index, kind="site",
                     convert=convert, tracer=tracer,
                 )
@@ -598,8 +676,11 @@ class ClusterBackend(ExecutionBackend):
 
         def convert(result: dict):
             outbox = [
-                Outgoing(kind=kind, payload=decode_payload(blob), words=words, n_bytes=n_bytes)
-                for kind, blob, words, n_bytes in result["outbox"]
+                Outgoing(
+                    kind=kind, payload=decode_payload(blob), words=words,
+                    n_bytes=n_bytes, n_bytes_encoded=n_encoded,
+                )
+                for kind, blob, words, n_bytes, n_encoded in result["outbox"]
             ]
             state = result["state"]
             if is_state_digest(state) and key is not None:
@@ -708,12 +789,13 @@ class ClusterBackend(ExecutionBackend):
     def clear_resident(self) -> None:
         """Drop all runner-resident site state (frees memory on shared pools).
 
-        Both halves go: the sticky ``(shard, local_metric)`` copies *and*
-        the mutable per-site state.  Live state proxies are materialised
+        Everything resident goes: the sticky ``(shard, local_metric)``
+        copies, the mutable per-site state *and* the content-addressed
+        payload caches on both ends.  Live state proxies are materialised
         first — their remaining entries are pulled to the coordinator — so a
         mid-run clear loses nothing: the next dispatch simply re-ships the
-        full context (sticky half and state dict) and results stay
-        bit-identical.
+        full context (sticky half, state dict, payload bytes) and results
+        stay bit-identical.
         """
         if self._hosts is None:
             return
@@ -721,6 +803,14 @@ class ClusterBackend(ExecutionBackend):
             keys = list(self._live_state)
         for key in keys:
             self._detach_resident_key(key)
+
+        def build_clear(seq: int, host: _Host) -> Tuple:
+            # Clearing the mirror under the encode lock, at the exact frame
+            # that clears the runner, keeps cache membership symmetric:
+            # frames encoded after this one re-ship their payload bytes.
+            host.payloads.clear()
+            return ("clear_resident", seq)
+
         futures = []
         for host in self._hosts:
             if host.dead is not None:
@@ -729,7 +819,7 @@ class ClusterBackend(ExecutionBackend):
             host.resident_by_site.clear()
             futures.append(
                 self._submit_frame(
-                    host, lambda seq: ("clear_resident", seq),
+                    host, lambda seq, host=host: build_clear(seq, host),
                     wire=None, round_index=0, kind="task", convert=None,
                 )
             )

@@ -1,11 +1,42 @@
-"""Length-prefixed pickle framing over stream sockets.
+"""Codec-framed pickle transport over stream sockets.
 
 The cluster backend ships every task and payload over a real byte stream
 (a unix-domain socket per host), so the framing layer is where wire-level
-byte accounting becomes exact: a frame is an 8-byte big-endian length
-prefix followed by a pickled object, and both :meth:`FrameChannel.send`
-and :meth:`FrameChannel.recv` report the number of bytes that actually
-crossed the socket (prefix included).
+byte accounting becomes exact.  A frame is::
+
+    [8-byte big-endian encoded-body length][1-byte codec id][encoded body]
+
+and the *body* — before the frame codec runs — is a pickle protocol-5
+envelope with out-of-band buffers::
+
+    [4-byte n_buffers][8-byte pickle length][n x 8-byte buffer lengths]
+    [pickle bytes][buffer bytes ...]
+
+Numpy arrays (and anything else that emits :class:`pickle.PickleBuffer`)
+travel as raw out-of-band buffers after the pickle stream; on receive the
+decoder hands ``pickle.loads`` memoryview slices of the frame buffer, so an
+uncompressed frame is decoded **zero-copy** — the arrays alias the receive
+buffer instead of being re-materialised through the pickle machinery.  The
+receive buffer is a ``bytearray`` (and compressed bodies are decompressed
+into one), so decoded arrays stay *writable* exactly like in-band pickled
+copies would be.
+
+On top of the body sits a per-frame codec: ``none`` (identity), ``zlib``
+(stdlib) and ``zstd`` (optional — install the ``zstd`` extra; the registry
+silently falls back to zlib when the module is absent, so both ends of a
+channel agree without negotiation).  Compression is an explicit
+size-vs-decode-time tradeoff chosen per frame *kind* by a
+:class:`WirePolicy`: latency-sensitive state pulls and control frames stay
+uncompressed while shard/payload shipping is compressed.  A codec that
+fails to shrink a body (or a body under :data:`MIN_COMPRESS_BYTES`) is
+dropped for that frame — the wire never carries a frame larger than its
+raw form, and the choice is deterministic so repeated runs exchange
+byte-identical streams.
+
+Both :meth:`FrameChannel.send` and :meth:`FrameChannel.recv` report the
+bytes that actually crossed the socket *and* the bytes the frame would have
+occupied uncompressed (header included) — the raw/encoded pair the
+:class:`~repro.cluster.wire.WireLedger` records per frame.
 
 Framing errors are surfaced as :class:`ConnectionError` — a short read
 means the peer went away mid-frame, which the backend turns into a
@@ -14,24 +45,51 @@ host-death diagnostic.
 
 from __future__ import annotations
 
+import os
 import pickle
 import socket
 import struct
-from typing import Any, Tuple
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
 
-#: Frame header: unsigned 64-bit big-endian payload length.
-_HEADER = struct.Struct(">Q")
+try:  # pragma: no cover - exercised only where the optional extra is installed
+    import zstandard as _zstandard
+except ImportError:  # pragma: no cover - the fallback path is the tested one here
+    _zstandard = None
 
-#: Wire bytes a frame occupies beyond its pickled body.
+#: Whether the optional zstd codec is actually usable in this interpreter.
+HAVE_ZSTD = _zstandard is not None
+
+#: Frame header: unsigned 64-bit big-endian *encoded* body length plus the
+#: one-byte wire id of the codec that encoded the body.
+_HEADER = struct.Struct(">QB")
+
+#: Wire bytes a frame occupies beyond its encoded body.
 FRAME_OVERHEAD = _HEADER.size
 
-#: Pickle protocol used for every frame (protocol 5: numpy arrays ride
-#: through as raw out-of-band-capable buffers).
+#: Body envelope header: number of out-of-band buffers, pickle byte length.
+_BODY_HEADER = struct.Struct(">IQ")
+
+#: Per-buffer length slot in the body envelope.
+_BUF_LEN = struct.Struct(">Q")
+
+#: Pickle protocol used for every frame (protocol 5: out-of-band buffers).
 PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+#: Bodies smaller than this skip the compression attempt entirely: the codec
+#: overhead cannot win on control frames and tiny results, and skipping keeps
+#: the encoded stream deterministic and cheap.
+MIN_COMPRESS_BYTES = 256
 
 
 def encode_payload(obj: Any) -> bytes:
-    """Serialise one object exactly as the wire would carry it."""
+    """Serialise one object as a standalone pickle (no out-of-band buffers).
+
+    This is the *component* encoder: outbox payloads, resident-state entry
+    sizes and content-addressed payload digests all price an object by these
+    bytes, independent of whatever frame later carries it.
+    """
     return pickle.dumps(obj, protocol=PICKLE_PROTOCOL)
 
 
@@ -40,29 +98,270 @@ def decode_payload(data: bytes) -> Any:
     return pickle.loads(data)
 
 
-def recv_exact(sock: socket.socket, n_bytes: int) -> bytes:
-    """Read exactly ``n_bytes`` from ``sock`` or raise :class:`ConnectionError`."""
-    chunks = []
-    remaining = n_bytes
-    while remaining > 0:
-        chunk = sock.recv(min(remaining, 1 << 20))
-        if not chunk:
+# ---------------------------------------------------------------------------
+# Codec registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Codec:
+    """One frame codec: a name, a one-byte wire id and the byte transforms."""
+
+    name: str
+    wire_id: int
+    compress: Callable[[bytes], bytes]
+    decompress: Callable[[bytes], bytes]
+
+
+def _zstd_codec() -> Optional[Codec]:
+    if _zstandard is None:
+        return None
+    compressor = _zstandard.ZstdCompressor()
+    decompressor = _zstandard.ZstdDecompressor()
+
+    def compress(data: bytes) -> bytes:
+        return compressor.compress(data)
+
+    def decompress(data: bytes) -> bytes:
+        return decompressor.decompress(data)
+
+    return Codec(name="zstd", wire_id=2, compress=compress, decompress=decompress)
+
+
+NONE_CODEC = Codec(name="none", wire_id=0, compress=lambda d: d, decompress=lambda d: d)
+ZLIB_CODEC = Codec(name="zlib", wire_id=1, compress=zlib.compress, decompress=zlib.decompress)
+ZSTD_CODEC = _zstd_codec()
+
+_CODECS_BY_NAME: Dict[str, Codec] = {"none": NONE_CODEC, "zlib": ZLIB_CODEC}
+if ZSTD_CODEC is not None:  # pragma: no cover - requires the optional extra
+    _CODECS_BY_NAME["zstd"] = ZSTD_CODEC
+
+_CODECS_BY_ID: Dict[int, Codec] = {c.wire_id: c for c in _CODECS_BY_NAME.values()}
+
+
+def available_codecs() -> Tuple[str, ...]:
+    """Names the registry can actually resolve in this interpreter."""
+    return tuple(sorted(_CODECS_BY_NAME))
+
+
+def resolve_codec(name: Union[str, Codec, None]) -> Codec:
+    """Resolve a codec name to a usable :class:`Codec`.
+
+    ``None`` means ``"none"``; ``"auto"`` picks the best available
+    compressor (zstd when the optional extra is installed, zlib otherwise);
+    ``"zstd"`` falls back to zlib when the module is absent — both ends of a
+    channel resolve independently from the same environment, so the fallback
+    needs no negotiation.  Unknown names raise :class:`ValueError`.
+    """
+    if isinstance(name, Codec):
+        return name
+    if name is None:
+        return NONE_CODEC
+    label = str(name).strip().lower()
+    if label == "auto":
+        return ZSTD_CODEC if ZSTD_CODEC is not None else ZLIB_CODEC
+    if label == "zstd" and ZSTD_CODEC is None:
+        return ZLIB_CODEC
+    codec = _CODECS_BY_NAME.get(label)
+    if codec is None:
+        raise ValueError(
+            f"unknown wire codec {name!r}; available: {', '.join(available_codecs())} "
+            "(plus 'auto')"
+        )
+    return codec
+
+
+def codec_by_id(wire_id: int) -> Codec:
+    """The codec a received frame header names; raises on undecodable ids."""
+    codec = _CODECS_BY_ID.get(wire_id)
+    if codec is None:
+        if wire_id == 2:
             raise ConnectionError(
-                f"peer closed the connection mid-frame ({n_bytes - remaining}"
+                "received a zstd-encoded frame but the zstandard module is not "
+                "installed (install the 'zstd' extra)"
+            )
+        raise ConnectionError(f"received a frame with unknown codec id {wire_id}")
+    return codec
+
+
+# ---------------------------------------------------------------------------
+# Body envelope (pickle-5 with out-of-band buffers)
+# ---------------------------------------------------------------------------
+
+
+def encode_body(obj: Any) -> bytes:
+    """Serialise one object into the raw (pre-codec) frame body."""
+    buffers = []
+    pik = pickle.dumps(obj, protocol=PICKLE_PROTOCOL, buffer_callback=buffers.append)
+    raws = [b.raw() for b in buffers]
+    parts = [_BODY_HEADER.pack(len(raws), len(pik))]
+    for raw in raws:
+        parts.append(_BUF_LEN.pack(raw.nbytes))
+    parts.append(pik)
+    parts.extend(raws)
+    return b"".join(parts)
+
+
+def decode_body(body) -> Any:
+    """Inverse of :func:`encode_body`.
+
+    ``body`` may be any buffer; out-of-band buffers are handed to pickle as
+    memoryview *slices* of it (zero-copy).  Pass a ``bytearray`` to make the
+    decoded arrays writable — they alias the body for their whole lifetime.
+    """
+    view = memoryview(body)
+    n_buffers, pik_len = _BODY_HEADER.unpack_from(view, 0)
+    offset = _BODY_HEADER.size
+    lengths = []
+    for _ in range(n_buffers):
+        (length,) = _BUF_LEN.unpack_from(view, offset)
+        offset += _BUF_LEN.size
+        lengths.append(length)
+    pik = view[offset : offset + pik_len]
+    offset += pik_len
+    buffers = []
+    for length in lengths:
+        buffers.append(view[offset : offset + length])
+        offset += length
+    return pickle.loads(pik, buffers=buffers)
+
+
+# ---------------------------------------------------------------------------
+# Frames
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EncodedFrame:
+    """One frame ready for the socket, with its raw/encoded byte accounting.
+
+    ``data`` is the codec-encoded body, ``codec`` the name the header will
+    carry (``"none"`` whenever compression was skipped or did not shrink the
+    body), ``raw_len`` the body's pre-codec length.
+    """
+
+    data: bytes
+    codec: str
+    raw_len: int
+
+    @property
+    def n_bytes(self) -> int:
+        """Wire bytes the frame occupies, header included."""
+        return FRAME_OVERHEAD + len(self.data)
+
+    @property
+    def raw_bytes(self) -> int:
+        """Wire bytes the frame would occupy uncompressed, header included."""
+        return FRAME_OVERHEAD + self.raw_len
+
+
+def encode_frame(obj: Any, codec: Union[str, Codec, None] = None) -> EncodedFrame:
+    """Serialise one object into an :class:`EncodedFrame` under ``codec``.
+
+    Compression is attempted only when the body reaches
+    :data:`MIN_COMPRESS_BYTES` and kept only when it shrinks the body, so an
+    encoded frame is never larger than its raw form and the outcome is a
+    pure function of the payload — repeat runs stay byte-identical.
+    """
+    resolved = resolve_codec(codec)
+    body = encode_body(obj)
+    if resolved.wire_id != NONE_CODEC.wire_id and len(body) >= MIN_COMPRESS_BYTES:
+        compressed = resolved.compress(body)
+        if len(compressed) < len(body):
+            return EncodedFrame(data=compressed, codec=resolved.name, raw_len=len(body))
+    return EncodedFrame(data=body, codec=NONE_CODEC.name, raw_len=len(body))
+
+
+# ---------------------------------------------------------------------------
+# Per-frame-kind codec policy
+# ---------------------------------------------------------------------------
+
+#: Frame kinds whose payloads are worth compressing: site dispatch/result
+#: (shard + metric shipping) and structure-free task traffic.  State pulls
+#: are latency-sensitive faults and control frames are tiny — both stay
+#: uncompressed.
+COMPRESSIBLE_KINDS = ("site", "task")
+
+_DEFAULT_POLICY: Dict[str, str] = {
+    "site": "auto",
+    "task": "auto",
+    "state_pull": "none",
+    "control": "none",
+}
+
+#: Environment variable overriding the codec of every compressible kind
+#: (``none`` / ``zlib`` / ``zstd`` / ``auto``).  The coordinator's
+#: environment is inherited by its runners, so one setting governs both
+#: directions of every channel.
+WIRE_CODEC_ENV = "REPRO_WIRE_CODEC"
+
+
+@dataclass(frozen=True)
+class WirePolicy:
+    """Maps base frame kinds (``site``/``task``/``state_pull``/``control``)
+    to the codec their frames are encoded with, in both directions."""
+
+    codecs: Mapping[str, Codec]
+
+    @classmethod
+    def from_env(cls, env: Optional[Mapping[str, str]] = None) -> "WirePolicy":
+        """The default policy, with :data:`WIRE_CODEC_ENV` applied on top."""
+        source = os.environ if env is None else env
+        mapping = dict(_DEFAULT_POLICY)
+        override = source.get(WIRE_CODEC_ENV)
+        if override:
+            for kind in COMPRESSIBLE_KINDS:
+                mapping[kind] = override
+        return cls(codecs={kind: resolve_codec(name) for kind, name in mapping.items()})
+
+    def codec_for(self, kind: str) -> Codec:
+        """Codec for one base frame kind; unknown kinds are uncompressed."""
+        return self.codecs.get(kind, NONE_CODEC)
+
+
+# ---------------------------------------------------------------------------
+# Socket I/O
+# ---------------------------------------------------------------------------
+
+#: Upper bound on a single ``recv_into`` request.  Large compressed frames
+#: arrive in many short reads; capping the request keeps each one inside the
+#: kernel's buffer sizing while the loop below tolerates arbitrarily short
+#: returns.
+_RECV_CHUNK = 1 << 20
+
+
+def recv_exact(sock: socket.socket, n_bytes: int) -> bytearray:
+    """Read exactly ``n_bytes`` from ``sock`` or raise :class:`ConnectionError`.
+
+    Reads straight into one pre-sized ``bytearray`` via ``recv_into`` — no
+    per-chunk allocations or joins, and short reads (the normal case for
+    multi-MB frames crossing a socket buffer) simply continue the loop.
+    The returned buffer is writable, so zero-copy decoded arrays are too.
+    """
+    buf = bytearray(n_bytes)
+    view = memoryview(buf)
+    received = 0
+    while received < n_bytes:
+        n = sock.recv_into(view[received:], min(n_bytes - received, _RECV_CHUNK))
+        if n == 0:
+            raise ConnectionError(
+                f"peer closed the connection mid-frame ({received}"
                 f"/{n_bytes} bytes received)"
             )
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
+        received += n
+    return buf
 
 
 class FrameChannel:
-    """A framed, byte-counted pickle channel over one connected socket.
+    """A framed, byte-counted, codec-aware pickle channel over one socket.
 
     Counters accumulate over the channel's lifetime:
 
     ``bytes_sent`` / ``bytes_received``
-        Total wire bytes in each direction, length prefixes included.
+        Total wire bytes in each direction, frame headers included (the
+        *encoded* sizes — what actually crossed the socket).
+    ``raw_bytes_sent`` / ``raw_bytes_received``
+        What the same frames would have occupied uncompressed.
     ``frames_sent`` / ``frames_received``
         Number of frames in each direction.
     """
@@ -71,27 +370,38 @@ class FrameChannel:
         self._sock = sock
         self.bytes_sent = 0
         self.bytes_received = 0
+        self.raw_bytes_sent = 0
+        self.raw_bytes_received = 0
         self.frames_sent = 0
         self.frames_received = 0
 
-    def send(self, obj: Any) -> int:
-        """Send one frame; returns the wire bytes it occupied."""
-        return self.send_encoded(encode_payload(obj))
+    def send(self, obj: Any, codec: Union[str, Codec, None] = None) -> EncodedFrame:
+        """Encode and send one frame; returns the :class:`EncodedFrame`."""
+        frame = encode_frame(obj, codec)
+        self.send_frame(frame)
+        return frame
 
-    def send_encoded(self, data: bytes) -> int:
-        """Send one pre-encoded frame body; returns the wire bytes it occupied.
+    def send_frame(self, frame: EncodedFrame) -> int:
+        """Send one pre-encoded frame; returns the wire bytes it occupied.
 
         Lets a caller separate serialization (and its byte accounting) from
         the potentially blocking socket write.
         """
-        self._sock.sendall(_HEADER.pack(len(data)) + data)
-        n_bytes = _HEADER.size + len(data)
-        self.bytes_sent += n_bytes
+        codec = resolve_codec(frame.codec)
+        self._sock.sendall(_HEADER.pack(len(frame.data), codec.wire_id) + frame.data)
+        self.bytes_sent += frame.n_bytes
+        self.raw_bytes_sent += frame.raw_bytes
         self.frames_sent += 1
-        return n_bytes
+        return frame.n_bytes
 
-    def recv(self) -> Tuple[Any, int]:
-        """Receive one frame; returns ``(object, wire_bytes)``.
+    def recv(self) -> Tuple[Any, int, int, str]:
+        """Receive one frame; returns ``(object, wire_bytes, raw_bytes, codec)``.
+
+        ``wire_bytes`` is what physically crossed the socket (header
+        included); ``raw_bytes`` what the frame would have occupied
+        uncompressed; ``codec`` the name of the codec that actually encoded
+        the body.  For an uncompressed frame the byte pair is equal and the
+        object is decoded zero-copy from the receive buffer.
 
         Raises :class:`ConnectionError` when the peer disconnects — at a
         frame boundary (clean EOF) or mid-frame (short read).
@@ -102,12 +412,21 @@ class FrameChannel:
             raise
         except OSError as exc:  # pragma: no cover - platform-dependent errno
             raise ConnectionError(f"socket receive failed: {exc}") from exc
-        (length,) = _HEADER.unpack(header)
+        length, codec_id = _HEADER.unpack(bytes(header))
         data = recv_exact(self._sock, length)
-        n_bytes = _HEADER.size + length
+        codec = codec_by_id(codec_id)
+        if codec.wire_id == NONE_CODEC.wire_id:
+            body = data
+        else:
+            # Decompress into a writable scratch buffer so decoded arrays
+            # are mutable either way (bytes from a decompressor are not).
+            body = bytearray(codec.decompress(bytes(data)))
+        n_bytes = FRAME_OVERHEAD + length
+        raw_bytes = FRAME_OVERHEAD + len(body)
         self.bytes_received += n_bytes
+        self.raw_bytes_received += raw_bytes
         self.frames_received += 1
-        return decode_payload(data), n_bytes
+        return decode_body(body), n_bytes, raw_bytes, codec.name
 
     def close(self) -> None:
         """Close the underlying socket (idempotent)."""
@@ -119,10 +438,26 @@ class FrameChannel:
 
 
 __all__ = [
+    "COMPRESSIBLE_KINDS",
+    "Codec",
+    "EncodedFrame",
     "FRAME_OVERHEAD",
     "FrameChannel",
+    "HAVE_ZSTD",
+    "MIN_COMPRESS_BYTES",
+    "NONE_CODEC",
     "PICKLE_PROTOCOL",
+    "WIRE_CODEC_ENV",
+    "WirePolicy",
+    "ZLIB_CODEC",
+    "ZSTD_CODEC",
+    "available_codecs",
+    "codec_by_id",
+    "decode_body",
     "decode_payload",
+    "encode_body",
+    "encode_frame",
     "encode_payload",
     "recv_exact",
+    "resolve_codec",
 ]

@@ -7,12 +7,19 @@ coordinator).  The task shapes are:
 
 ``("task", seq, fn, payload[, trace])``
     A structure-free task (:func:`repro.runtime.run_tasks`): evaluate
-    ``fn(payload)`` and reply ``("res", seq, value, extras)``.  The
-    ``extras`` dict always carries a per-frame ``Timer`` with the runner's
-    own overhead labels (``cluster:task``) and — when the optional ``trace``
-    flag is truthy — a picklable
-    :class:`~repro.obs.trace.TraceBuffer` of spans/counters the task
-    recorded, which the coordinator absorbs onto its trace timeline.
+    ``fn(payload)`` and reply ``("res", seq, value, extras)``.  Both the
+    dispatched payload and the reply value are *content-addressed*
+    (:class:`~repro.cluster.payloads.PayloadCache`): large components
+    arrive either as ``(VAL, digest, blob)`` — stored in the runner's
+    payload cache, mirrored coordinator-side — or as ``(REF, digest)``
+    tuples resolved against it, so repeated payload content (center_g's
+    collapse matrices, the state dicts its rounds bounce back and forth)
+    crosses the socket once per pool lifetime.  The ``extras`` dict always
+    carries a per-frame ``Timer`` with the runner's own overhead labels
+    (``cluster:task``, plus ``cluster:encode`` for the payload
+    decode/encode work) and — when the optional ``trace`` flag is truthy —
+    a picklable :class:`~repro.obs.trace.TraceBuffer` of spans/counters the
+    task recorded, which the coordinator absorbs onto its trace timeline.
 
 ``("site", seq, resident_key, sticky, dyn, evict)``
     One site's share of a protocol round.  ``sticky`` is the site's heavy
@@ -49,7 +56,16 @@ coordinator).  The task shapes are:
     not silently newer data.  Reply ``("res", seq, {key: value})``.
 
 ``("clear_resident", seq)``
-    Drop every resident entry — the sticky halves *and* the mutable state.
+    Drop every resident entry — the sticky halves, the mutable state *and*
+    the content-addressed payload cache.  Warm-pool slot eviction (a site
+    frame naming superseded keys in ``evict``) drops the payload cache
+    too: residency of any stripe ends together, so a re-dispatch after
+    eviction honestly re-ships its bytes.
+
+Every reply frame is encoded under the :class:`~repro.cluster.framing.WirePolicy`
+resolved from the runner's (inherited) environment — site/task replies get
+the compressing codec, state pulls and control frames stay uncompressed —
+so both directions of a channel agree on codecs without negotiation.
 
 Failures inside a task are caught and relayed as ``("exc", seq, exc, tb)``
 frames with the original exception object whenever it pickles; the runner
@@ -68,17 +84,20 @@ import socket
 import traceback
 from typing import Any, Dict, Tuple
 
-from repro.cluster.framing import FrameChannel, encode_payload
+from repro.cluster.framing import Codec, FrameChannel, NONE_CODEC, WirePolicy, encode_payload
+from repro.cluster.payloads import PayloadCache
 from repro.obs.trace import TraceBuffer, collector_scope
 from repro.runtime.state import STATE_DIGEST_TAG, is_state_token
 from repro.utils.timing import Timer
 
 
-def _execute_generic(frame: Tuple, host_id: int) -> Tuple:
+def _execute_generic(frame: Tuple, host_id: int, payloads: PayloadCache) -> Tuple:
     """Evaluate a ``("task", ...)`` frame; returns the response frame."""
     _, seq, fn, payload = frame[:4]
     trace_on = len(frame) > 4 and bool(frame[4])
     frame_timer = Timer()
+    with frame_timer.measure("cluster:encode"):
+        payload = payloads.decode(payload)
     if trace_on:
         buffer = TraceBuffer(origin=f"host-{host_id}")
         with collector_scope(buffer):
@@ -90,6 +109,19 @@ def _execute_generic(frame: Tuple, host_id: int) -> Tuple:
         with frame_timer.measure("cluster:task"):
             value = fn(payload)
         extras = {"timer": frame_timer}
+    # Content-address the reply the same way the dispatch arrived: state
+    # dicts a later round ships back (center_g's round 2) then cost only
+    # their digests in both directions.
+    with frame_timer.measure("cluster:encode"):
+        try:
+            value = payloads.encode(value)
+        except Exception as exc:
+            # Content addressing pickles each component up front, so an
+            # unpicklable result fails here rather than at the socket —
+            # relay it under the same label the send path uses.
+            raise RuntimeError(
+                f"task result could not be serialized: {exc!r}"
+            ) from exc
     return ("res", seq, value, extras)
 
 
@@ -121,6 +153,8 @@ def _execute_site(
     resident: Dict[Any, Tuple],
     resident_state: Dict[Any, Tuple[int, dict]],
     host_id: int,
+    payloads: PayloadCache,
+    result_codec: Codec,
 ) -> Tuple:
     """Evaluate a ``("site", ...)`` frame against the resident caches."""
     from repro.runtime.tasks import SiteContext
@@ -132,6 +166,11 @@ def _execute_site(
         # number of live site slots, not the number of runs served.
         resident.pop(stale_key, None)
         resident_state.pop(stale_key, None)
+    if evict:
+        # Slot eviction ends payload residency too (the coordinator clears
+        # its mirror at the same frame, so membership stays symmetric); a
+        # re-dispatch after eviction re-ships its bytes.
+        payloads.clear()
     if sticky is not None:
         if resident_key is not None:
             resident[resident_key] = sticky
@@ -173,11 +212,17 @@ def _execute_site(
     with ctx.timer.measure("cluster:encode"), frame_timer.measure("cluster:encode"):
         # Encode each buffered transmission separately: the byte length of
         # one payload here is exactly the n_bytes the coordinator stamps on
-        # the corresponding ledger message.
+        # the corresponding ledger message, and running the frame's codec
+        # over the same blob prices its *encoded* size (n_bytes_encoded) —
+        # per-message honesty for both columns of the raw/encoded split.
         outbox = []
         for out in ctx.outbox:
             blob = encode_payload(out.payload)
-            outbox.append((out.kind, blob, out.words, len(blob)))
+            if result_codec.wire_id != NONE_CODEC.wire_id:
+                n_encoded = min(len(blob), len(result_codec.compress(blob)))
+            else:
+                n_encoded = len(blob)
+            outbox.append((out.kind, blob, out.words, len(blob), n_encoded))
 
         if resident_key is not None:
             # The mutable state stays where it was produced; the coordinator
@@ -239,14 +284,22 @@ def _exception_frame(seq: int, exc: BaseException) -> Tuple:
     return ("exc", seq, exc, tb)
 
 
+#: Reply codec per dispatch tag: answers travel under the same base kind's
+#: codec as their request, so the coordinator's ledger prices both
+#: directions of a kind consistently.
+_REPLY_KIND = {"task": "task", "site": "site", "pull_state": "state_pull"}
+
+
 def serve(channel: FrameChannel, host_id: int) -> None:
     """Serve dispatch frames until shutdown or coordinator disconnect."""
     resident: Dict[Any, Tuple] = {}
     resident_state: Dict[Any, Tuple[int, dict]] = {}
+    payloads = PayloadCache()
+    policy = WirePolicy.from_env()
     channel.send(("hello", host_id))
     while True:
         try:
-            frame, _ = channel.recv()
+            frame, _, _, _ = channel.recv()
         except ConnectionError:
             return  # coordinator went away; nothing left to serve
         except Exception as exc:  # noqa: BLE001 - e.g. an unimportable task fn
@@ -269,22 +322,27 @@ def serve(channel: FrameChannel, host_id: int) -> None:
         if tag == "clear_resident":
             resident.clear()
             resident_state.clear()
+            payloads.clear()
             channel.send(("res", frame[1], None))
             continue
         seq = frame[1]
+        codec = policy.codec_for(_REPLY_KIND.get(tag, "control"))
         try:
             if tag == "task":
-                response = _execute_generic(frame, host_id)
+                response = _execute_generic(frame, host_id, payloads)
             elif tag == "site":
-                response = _execute_site(frame, resident, resident_state, host_id)
+                response = _execute_site(
+                    frame, resident, resident_state, host_id, payloads, codec
+                )
             elif tag == "pull_state":
                 response = _execute_pull_state(frame, resident_state)
             else:
                 raise RuntimeError(f"unknown frame tag {tag!r}")
         except BaseException as exc:  # noqa: BLE001 - relayed to the coordinator
             response = _exception_frame(seq, exc)
+            codec = NONE_CODEC
         try:
-            channel.send(response)
+            channel.send(response, codec)
         except OSError:
             return  # coordinator gone mid-reply; nothing left to serve
         except Exception as exc:  # noqa: BLE001 - e.g. an unpicklable result

@@ -9,6 +9,14 @@ the cluster backend can report words *and* bytes side by side (the
 bytes-per-word ratio is what makes transmission claims comparable to
 byte-level schemes in the literature).
 
+Since the framing layer grew per-frame codecs, every record carries a
+raw/encoded *pair*: ``n_bytes`` is what physically crossed the socket
+(compressed frames included) and ``raw_bytes`` what the same frame would
+have occupied uncompressed.  ``total_bytes()`` and every ``bytes_by_*``
+aggregation stay the physical truth; the ``raw_*`` twins quantify what the
+codec layer saved, and :meth:`WireLedger.compression_by_kind` renders the
+benchmark's compression column.
+
 This module is dependency-free on purpose: the communication ledger attaches
 a ``WireLedger`` lazily without importing the rest of the cluster machinery.
 """
@@ -16,7 +24,7 @@ a ``WireLedger`` lazily without importing the rest of the cluster machinery.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 #: Frame kinds a cluster run can record, per direction: every dispatch kind
 #: pairs with its ``*_result`` response.  ``state_pull`` frames exist only
@@ -54,7 +62,14 @@ class WireRecord:
         :class:`~repro.runtime.state.RemoteStateProxy` (an entry of a site's
         runner-resident mutable state crossing back on explicit access).
     n_bytes:
-        Wire bytes the frame occupied, length prefix included.
+        Wire bytes the frame physically occupied, header included — the
+        codec-*encoded* size.
+    raw_bytes:
+        Bytes the same frame would have occupied uncompressed (equal to
+        ``n_bytes`` for uncompressed frames; defaults to ``n_bytes``).
+    codec:
+        Name of the codec that encoded the frame body (``"none"`` when
+        compression was off, skipped, or did not shrink the body).
     """
 
     round_index: int
@@ -62,10 +77,19 @@ class WireRecord:
     direction: str
     kind: str
     n_bytes: int
+    raw_bytes: Optional[int] = None
+    codec: str = "none"
 
     def __post_init__(self) -> None:
         if self.n_bytes < 0:
             raise ValueError(f"frame byte count must be non-negative, got {self.n_bytes}")
+        if self.raw_bytes is None:
+            object.__setattr__(self, "raw_bytes", self.n_bytes)
+        elif self.raw_bytes < self.n_bytes:
+            raise ValueError(
+                f"raw byte count ({self.raw_bytes}) cannot be smaller than the "
+                f"encoded frame ({self.n_bytes}): codecs never grow a frame"
+            )
         if self.direction not in ("send", "recv"):
             raise ValueError(f"direction must be 'send' or 'recv', got {self.direction!r}")
 
@@ -77,7 +101,15 @@ class WireLedger:
     records: List[WireRecord] = field(default_factory=list)
 
     def record(
-        self, *, round_index: int, host: int, direction: str, kind: str, n_bytes: int
+        self,
+        *,
+        round_index: int,
+        host: int,
+        direction: str,
+        kind: str,
+        n_bytes: int,
+        raw_bytes: Optional[int] = None,
+        codec: str = "none",
     ) -> WireRecord:
         """Append one frame record and return it."""
         rec = WireRecord(
@@ -86,16 +118,18 @@ class WireLedger:
             direction=str(direction),
             kind=str(kind),
             n_bytes=int(n_bytes),
+            raw_bytes=None if raw_bytes is None else int(raw_bytes),
+            codec=str(codec),
         )
         self.records.append(rec)
         return rec
 
     # ------------------------------------------------------------------
-    # Aggregations
+    # Aggregations (physical / encoded bytes)
     # ------------------------------------------------------------------
 
     def total_bytes(self) -> int:
-        """Total wire bytes across all frames and rounds."""
+        """Total wire bytes across all frames and rounds (encoded sizes)."""
         return int(sum(r.n_bytes for r in self.records))
 
     def bytes_by_round(self) -> Dict[int, int]:
@@ -145,6 +179,41 @@ class WireLedger:
         received = sum(r.n_bytes for r in self.records if r.direction == "recv")
         return {"send": int(sent), "recv": int(received)}
 
+    # ------------------------------------------------------------------
+    # Aggregations (raw / pre-codec bytes)
+    # ------------------------------------------------------------------
+
+    def total_raw_bytes(self) -> int:
+        """Total bytes the recorded frames would occupy uncompressed."""
+        return int(sum(r.raw_bytes for r in self.records))
+
+    def raw_bytes_by_kind(self) -> Dict[str, int]:
+        """Pre-codec bytes per frame kind."""
+        out: Dict[str, int] = {}
+        for r in self.records:
+            out[r.kind] = out.get(r.kind, 0) + r.raw_bytes
+        return out
+
+    def raw_bytes_by_direction(self) -> Dict[str, int]:
+        """Pre-codec bytes split into dispatch and result traffic."""
+        sent = sum(r.raw_bytes for r in self.records if r.direction == "send")
+        received = sum(r.raw_bytes for r in self.records if r.direction == "recv")
+        return {"send": int(sent), "recv": int(received)}
+
+    def compression_by_kind(self) -> Dict[str, float]:
+        """Raw-over-encoded ratio per frame kind (1.0 = nothing saved)."""
+        raw = self.raw_bytes_by_kind()
+        enc = self.bytes_by_kind()
+        return {
+            kind: (raw[kind] / enc[kind]) if enc[kind] else 1.0
+            for kind in raw
+        }
+
+    def compression_ratio(self) -> float:
+        """Overall raw-over-encoded ratio of the run (1.0 = nothing saved)."""
+        encoded = self.total_bytes()
+        return (self.total_raw_bytes() / encoded) if encoded else 1.0
+
     def n_frames(self) -> int:
         """Number of frames recorded."""
         return len(self.records)
@@ -154,15 +223,25 @@ class WireLedger:
         self.records.extend(other.records)
 
     def summary(self) -> Dict[str, object]:
-        """Compact dictionary used by reports and benchmark output."""
+        """Compact dictionary used by reports and benchmark output.
+
+        ``total_bytes`` and every ``by_*`` entry are the physical (encoded)
+        sizes; ``raw_bytes``/``raw_by_kind`` are their pre-codec twins and
+        ``compression``/``compression_by_kind`` the resulting ratios.
+        """
         return {
             "total_bytes": self.total_bytes(),
+            "raw_bytes": self.total_raw_bytes(),
+            "compression": self.compression_ratio(),
             "frames": self.n_frames(),
             "by_round": self.bytes_by_round(),
             "by_host": self.bytes_by_host(),
             "by_kind": self.bytes_by_kind(),
+            "raw_by_kind": self.raw_bytes_by_kind(),
+            "compression_by_kind": self.compression_by_kind(),
             "by_host_kind": self.bytes_by_host_kind(),
             "by_direction": self.bytes_by_direction(),
+            "raw_by_direction": self.raw_bytes_by_direction(),
         }
 
 

@@ -123,6 +123,12 @@ def _tau_sweep_task(payload: dict) -> dict:
                 costs, local_k, payload["t"], objective="median", rho=payload["rho"],
                 rng=rng, **payload["local_kwargs"],
             )
+    # The per-tau collapse matrices re-derive bit-identically from
+    # (uncertain, shard, tau): round 2 rebuilds the one it actually uses,
+    # so none of them crosses a transport (SitePreclustering.__getstate__).
+    # In-process backends never pickle the state and keep the matrices.
+    for pre in preclusters.values():
+        pre.rebuild_matrix = True
     words = float(sum(p.profile.words for p in preclusters.values()))
     return {
         "state": {"shard": shard, "support": support, "preclusters": preclusters, "local_k": local_k},
@@ -151,6 +157,24 @@ def _center_g_round2(payload: dict) -> dict:
     facility_candidates: List[np.ndarray] = []
     with timer.measure("round2"):
         precluster = state["preclusters"][tau_hat]
+        if precluster.cost_matrix is None:
+            # The sweep dropped the matrix in transit (rebuild_matrix):
+            # re-derive the tau_hat collapse matrix from the resident
+            # inputs, bit-identically to the round-1b build.
+            shard = state["shard"]
+            support = state["support"]
+            costs = materialize_rows(
+                lambda rs: uncertain.expected_cost_matrix(
+                    shard[rs], support, tau=6.0 * float(tau_hat)
+                ),
+                shard.size,
+                support.size,
+                memory_budget=payload.get("memory_budget"),
+                workdir=payload.get("workdir"),
+            )
+            if not isinstance(costs, np.memmap):
+                costs = np.asarray(costs, dtype=float)
+            precluster.cost_matrix = costs
         t_used = int(round(precluster.profile.snap_up_to_vertex(t_i)))
         t_used = min(t_used, state["shard"].size)
         solution = precluster.solution_for(
@@ -228,11 +252,12 @@ def distributed_uncertain_center_g(
         Execution backend for the per-site phases (see
         :mod:`repro.runtime`); the result is backend-invariant.  The
         per-``tau`` sweeps go through structure-free
-        :func:`~repro.runtime.run_tasks` payloads (collapse matrices ride
-        in every dispatch), so the cluster backend's runner-resident site
-        state (:mod:`repro.runtime.state`) does not help here yet — the
-        wire ledger shows this protocol as dispatch-payload dominated,
-        which is the honest remaining gap.
+        :func:`~repro.runtime.run_tasks` payloads; on the cluster backend
+        the repeated components (shards, collapse matrices, round-1 state)
+        ship once as content-addressed digests
+        (:mod:`repro.cluster.payloads`) and the frames travel compressed
+        under the wire codec policy, so the wire ledger now prices this
+        protocol within the same bytes-per-word band as the others.
     memory_budget:
         Byte cap on any single distance/cost block (distance extremes, the
         per-``tau`` sweep matrices and the coordinator solve all run
@@ -402,6 +427,8 @@ def distributed_uncertain_center_g(
                         "node_words": instance.node_words(),
                         "local_kwargs": local_kwargs,
                         "rng": site_rngs[i],
+                        "memory_budget": mem_budget,
+                        "workdir": workdir,
                     }
                     for i in range(s)
                 ],

@@ -185,6 +185,14 @@ class SitePreclustering:
     cost_matrix: np.ndarray
     weights: Optional[np.ndarray] = None
     metadata: dict = field(default_factory=dict)
+    #: When True the cost matrix does not cross a transport *at all*: the
+    #: protocol that built this precluster has promised the matrix
+    #: re-derives bit-identically on the far side (center_g rebuilds its
+    #: per-tau collapse matrix from the resident ``(uncertain, shard,
+    #: tau)``).  Unpickled copies then carry ``cost_matrix=None`` until the
+    #: protocol reattaches one; :meth:`solution_for` refuses to solve
+    #: without it.
+    rebuild_matrix: bool = False
     _spill_shard: Optional[MemmapCostShard] = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -207,6 +215,11 @@ class SitePreclustering:
         state["solutions"] = {
             q: _strip_solution(solution) for q, solution in self.solutions.items()
         }
+        if self.rebuild_matrix or self.cost_matrix is None:
+            # The owner re-derives the matrix bit-identically on the far
+            # side; not even a shard handle needs to cross.
+            state["cost_matrix"] = None
+            return state
         handle = memmap_handle(self.cost_matrix)
         if handle is None and self.cost_matrix.nbytes > TRANSPORT_SPILL_THRESHOLD:
             shard = self._spill_shard
@@ -230,6 +243,7 @@ class SitePreclustering:
             state = dict(state)
             state["cost_matrix"] = open_memmap(path, shape, dtype)
         state.setdefault("_spill_shard", None)
+        state.setdefault("rebuild_matrix", False)
         self.__dict__.update(state)
 
     def solution_for(
@@ -249,6 +263,11 @@ class SitePreclustering:
         """
         q = int(q)
         cached = self.solutions.get(q)
+        if self.cost_matrix is None and not isinstance(cached, ClusterSolution):
+            raise RuntimeError(
+                "this precluster's cost matrix was dropped in transit "
+                "(rebuild_matrix=True); reattach the re-derived matrix before solving"
+            )
         if isinstance(cached, _StrippedSolution):
             cached = cached.rebuild(
                 self.cost_matrix,

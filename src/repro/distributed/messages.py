@@ -47,8 +47,15 @@ class Message:
         The actual Python object delivered to the receiver.  Not serialised —
         the simulator only accounts for size via ``words``.
     n_bytes:
-        Serialized size of the payload when it physically crossed a wire
-        (cluster backend), ``None`` when it was delivered in-process.
+        Serialized (raw pickle) size of the payload when it physically
+        crossed a wire (cluster backend), ``None`` when it was delivered
+        in-process.
+    n_bytes_encoded:
+        What the same serialized payload costs under the wire codec its
+        result frame was encoded with — the per-message twin of the wire
+        ledger's raw/encoded split.  ``None`` in-process; equal to
+        ``n_bytes`` when the frame kind is uncompressed or the codec did
+        not shrink the blob.
     """
 
     sender: int
@@ -58,6 +65,7 @@ class Message:
     words: float
     payload: Any = None
     n_bytes: Optional[int] = None
+    n_bytes_encoded: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.words < 0:
@@ -66,6 +74,16 @@ class Message:
             raise ValueError(f"round_index must be >= 1, got {self.round_index}")
         if self.n_bytes is not None and self.n_bytes < 0:
             raise ValueError(f"message byte count must be non-negative, got {self.n_bytes}")
+        if self.n_bytes_encoded is not None:
+            if self.n_bytes_encoded < 0:
+                raise ValueError(
+                    f"encoded byte count must be non-negative, got {self.n_bytes_encoded}"
+                )
+            if self.n_bytes is not None and self.n_bytes_encoded > self.n_bytes:
+                raise ValueError(
+                    f"encoded byte count ({self.n_bytes_encoded}) cannot exceed the "
+                    f"raw serialized size ({self.n_bytes}): codecs never grow a payload"
+                )
 
     @property
     def to_coordinator(self) -> bool:
@@ -192,6 +210,27 @@ class CommunicationLedger:
                 out[m.round_index] = out.get(m.round_index, 0) + m.n_bytes
         return out
 
+    def total_raw_bytes(self) -> int:
+        """Pre-codec twin of :meth:`total_bytes` (what the run would cost
+        uncompressed); 0 when no wire transport ran."""
+        if self.wire is not None:
+            return self.wire.total_raw_bytes()
+        return int(sum(m.n_bytes or 0 for m in self.messages))
+
+    def uplink_bytes(self) -> Dict[str, int]:
+        """Raw vs codec-encoded bytes of the stamped uplink payloads.
+
+        Sums the per-message ``n_bytes``/``n_bytes_encoded`` stamps — the
+        message-level view of the compression column (the wire ledger's
+        frame totals additionally include dispatch traffic and headers).
+        """
+        raw = sum(m.n_bytes or 0 for m in self.messages)
+        encoded = sum(
+            (m.n_bytes_encoded if m.n_bytes_encoded is not None else m.n_bytes) or 0
+            for m in self.messages
+        )
+        return {"raw": int(raw), "encoded": int(encoded)}
+
     def n_rounds(self) -> int:
         """Largest round index observed (0 if no messages were sent)."""
         return max((m.round_index for m in self.messages), default=0)
@@ -241,11 +280,13 @@ class CommunicationLedger:
         return {
             "total_words": self.total_words(),
             "total_bytes": self.total_bytes(),
+            "total_raw_bytes": self.total_raw_bytes(),
             "rounds": self.n_rounds(),
             "messages": self.n_messages(),
             "by_round": self.words_by_round(),
             "by_direction": self.words_by_direction(),
             "bytes_by_round": self.bytes_by_round(),
+            "uplink_bytes": self.uplink_bytes(),
             "wire": self.wire.summary() if self.wire is not None else None,
         }
 

@@ -160,11 +160,13 @@ class StarNetwork:
         words: float,
         *,
         n_bytes: Optional[int] = None,
+        n_bytes_encoded: Optional[int] = None,
     ) -> Message:
         """Send ``payload`` from a site to the coordinator, charging ``words``.
 
         ``n_bytes`` is the payload's serialized size when it physically
-        crossed a wire (cluster backend); in-process deliveries leave it
+        crossed a wire (cluster backend) and ``n_bytes_encoded`` its size
+        under the result frame's codec; in-process deliveries leave both
         ``None``.
         """
         self._require_started()
@@ -178,6 +180,7 @@ class StarNetwork:
             words=float(words),
             payload=payload,
             n_bytes=n_bytes,
+            n_bytes_encoded=n_bytes_encoded,
         )
         self.ledger.record(message)
         self.coordinator.receive(message)

@@ -27,6 +27,8 @@ SUMMARY_COUNTERS = (
     "cluster.state_token",
     "cluster.state_ship",
     "cluster.state_pulls",
+    "cluster.payload_hit",
+    "cluster.payload_miss",
     "plan.executions",
     "plan.tiles",
     "prefetch.hit",
@@ -66,6 +68,8 @@ def round_report(result: Any) -> List[Dict[str, Any]]:
                 "rpc_s": 0.0,
                 "sent_bytes": 0,
                 "recv_bytes": 0,
+                "raw_bytes": 0,
+                "compression": 1.0,
                 "state_pulls": 0,
                 "bytes_by_kind": {},
             }
@@ -76,9 +80,13 @@ def round_report(result: Any) -> List[Dict[str, Any]]:
         for rec in wire.records:
             r = row(rec.round_index, rec.host)
             r["sent_bytes" if rec.direction == "send" else "recv_bytes"] += rec.n_bytes
+            r["raw_bytes"] += rec.raw_bytes
             r["bytes_by_kind"][rec.kind] = r["bytes_by_kind"].get(rec.kind, 0) + rec.n_bytes
             if rec.kind == "state_pull_dispatch":
                 r["state_pulls"] += 1
+        for r in rows.values():
+            encoded = r["sent_bytes"] + r["recv_bytes"]
+            r["compression"] = (r["raw_bytes"] / encoded) if encoded else 1.0
 
     for span in tracer.spans:
         if span.name == "rpc":
@@ -114,7 +122,8 @@ def render_round_report(result: Any, *, title: Optional[str] = None) -> str:
     return format_table(
         printable,
         columns=["round", "host", "tasks", "task_s", "rpc_s",
-                 "sent_bytes", "recv_bytes", "state_pulls", "kinds"],
+                 "sent_bytes", "recv_bytes", "raw_bytes", "compression",
+                 "state_pulls", "kinds"],
         title=title or "Round-by-round run report",
     )
 
@@ -122,10 +131,15 @@ def render_round_report(result: Any, *, title: Optional[str] = None) -> str:
 def protocol_summary(result: Any) -> Dict[str, Any]:
     """One-run summary reproducing the bytes/word numbers from the trace.
 
-    ``wire_bytes_trace`` comes from the tracer's ``wire.bytes`` counter,
-    ``wire_bytes_ledger`` from the wire ledger; ``bytes_match`` flags their
-    bit-for-bit equality (vacuously true on in-process runs, where both are
-    zero).  The fixed :data:`SUMMARY_COUNTERS` are always present.
+    The cross-check runs over *both* columns of the raw/encoded split:
+    ``wire_raw_trace`` (the tracer's ``wire.bytes`` counter) against
+    ``wire_raw_ledger`` (the wire ledger's pre-codec totals), and
+    ``wire_bytes_trace`` (``wire.bytes_encoded``) against
+    ``wire_bytes_ledger`` (the physically transmitted totals).
+    ``bytes_match`` flags bit-for-bit equality of both pairs (vacuously
+    true on in-process runs, where all four are zero); ``compression`` is
+    the run's raw-over-encoded ratio.  The fixed :data:`SUMMARY_COUNTERS`
+    are always present.
     """
     tracer = getattr(result, "trace", None)
     if tracer is None or not getattr(tracer, "enabled", False):
@@ -133,14 +147,20 @@ def protocol_summary(result: Any) -> Dict[str, Any]:
     ledger = result.ledger
     wire = _wire_of(result)
     ledger_bytes = int(wire.total_bytes()) if wire is not None else 0
-    trace_bytes = int(tracer.counter("wire.bytes"))
+    ledger_raw = int(wire.total_raw_bytes()) if wire is not None else 0
+    trace_bytes = int(tracer.counter("wire.bytes_encoded"))
+    trace_raw = int(tracer.counter("wire.bytes"))
     total_words = float(ledger.total_words())
     summary: Dict[str, Any] = {
         "total_words": total_words,
         "wire_bytes_ledger": ledger_bytes,
         "wire_bytes_trace": trace_bytes,
-        "bytes_match": trace_bytes == ledger_bytes,
+        "wire_raw_ledger": ledger_raw,
+        "wire_raw_trace": trace_raw,
+        "bytes_match": trace_bytes == ledger_bytes and trace_raw == ledger_raw,
         "bytes_per_word": (ledger_bytes / total_words) if total_words else 0.0,
+        "raw_bytes_per_word": (ledger_raw / total_words) if total_words else 0.0,
+        "compression": (ledger_raw / ledger_bytes) if ledger_bytes else 1.0,
         "rounds": result.rounds,
         "n_spans": len(tracer.spans),
         "origins": tracer.origins(),
@@ -162,11 +182,14 @@ def render_protocol_summary(results: Dict[str, Any], *, title: Optional[str] = N
                 "protocol": label,
                 "words": summary["total_words"],
                 "wire_bytes": summary["wire_bytes_ledger"],
-                "trace_bytes": summary["wire_bytes_trace"],
+                "raw_bytes": summary["wire_raw_ledger"],
+                "compression": summary["compression"],
                 "match": summary["bytes_match"],
                 "bytes_per_word": summary["bytes_per_word"],
                 "resident_hit": summary["cluster.resident_hit"],
                 "resident_miss": summary["cluster.resident_miss"],
+                "payload_hit": summary["cluster.payload_hit"],
+                "payload_miss": summary["cluster.payload_miss"],
                 "prefetch_hit": summary["prefetch.hit"],
                 "prefetch_miss": summary["prefetch.miss"],
             }

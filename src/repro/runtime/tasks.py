@@ -66,13 +66,16 @@ class Outgoing:
     """One buffered site-to-coordinator transmission.
 
     ``n_bytes`` is stamped by the cluster runner with the payload's
-    serialized wire size; in-process backends leave it ``None``.
+    serialized (raw pickle) size and ``n_bytes_encoded`` with what the same
+    blob costs under the result frame's wire codec; in-process backends
+    leave both ``None``.
     """
 
     kind: str
     payload: Any
     words: float
     n_bytes: Optional[int] = None
+    n_bytes_encoded: Optional[int] = None
 
 
 class SiteContext:
@@ -317,6 +320,7 @@ def run_site_tasks(
                         policy.roundtrip(out.payload),
                         out.words,
                         n_bytes=out.n_bytes,
+                        n_bytes_encoded=out.n_bytes_encoded,
                     )
                 if consume is not None:
                     consume(result)

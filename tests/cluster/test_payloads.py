@@ -1,0 +1,172 @@
+"""Tests for content-addressed payload residency (:mod:`repro.cluster.payloads`)."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.cluster.framing import encode_payload
+from repro.cluster.payloads import (
+    ENCODE_DEPTH,
+    MIN_COMPONENT_BYTES,
+    PAYLOAD_REF_TAG,
+    PAYLOAD_VAL_TAG,
+    PayloadCache,
+    is_payload_ref,
+    is_payload_val,
+    payload_digest,
+)
+
+
+def _big_array(seed=0, n=1024):
+    return np.random.default_rng(seed).normal(size=n)
+
+
+def _pair():
+    """The two ends of one simulated channel."""
+    return PayloadCache(), PayloadCache()
+
+
+class TestTags:
+    def test_val_and_ref_predicates(self):
+        blob = encode_payload("x")
+        digest = payload_digest(blob)
+        assert is_payload_val((PAYLOAD_VAL_TAG, digest, blob))
+        assert is_payload_ref((PAYLOAD_REF_TAG, digest))
+        assert not is_payload_val((PAYLOAD_REF_TAG, digest))
+        assert not is_payload_ref(("other", digest))
+        assert not is_payload_val("plain string")
+
+    def test_digest_is_16_bytes_and_content_addressed(self):
+        b1, b2 = encode_payload("a"), encode_payload("b")
+        assert len(payload_digest(b1)) == 16
+        assert payload_digest(b1) != payload_digest(b2)
+        assert payload_digest(b1) == payload_digest(encode_payload("a"))
+
+
+class TestEncodeDecode:
+    def test_small_components_stay_inline(self):
+        sender, receiver = _pair()
+        payload = {"k": 3, "tag": "tiny"}
+        encoded = sender.encode(payload)
+        assert encoded == payload
+        assert len(sender) == 0
+        assert receiver.decode(encoded) == payload
+
+    def test_first_crossing_is_val_second_is_ref(self):
+        sender, receiver = _pair()
+        arr = _big_array()
+        e1 = sender.encode({"arr": arr})
+        assert is_payload_val(e1["arr"])
+        d1 = receiver.decode(e1)
+        np.testing.assert_array_equal(d1["arr"], arr)
+        e2 = sender.encode({"arr": arr})
+        assert is_payload_ref(e2["arr"])
+        d2 = receiver.decode(e2)
+        np.testing.assert_array_equal(d2["arr"], arr)
+
+    def test_counts_track_hits_and_misses(self):
+        sender, receiver = _pair()
+        arr = _big_array()
+        counts = {}
+        receiver.decode(sender.encode({"arr": arr}, counts=counts), counts=counts)
+        receiver.decode(sender.encode({"arr": arr}, counts=counts), counts=counts)
+        # miss at encode + miss at decode, then hit at encode + hit at decode.
+        assert counts == {"hit": 2, "miss": 2}
+
+    def test_decodes_never_alias(self):
+        sender, receiver = _pair()
+        arr = _big_array()
+        d1 = receiver.decode(sender.encode({"arr": arr}))["arr"]
+        d2 = receiver.decode(sender.encode({"arr": arr}))["arr"]
+        d2[0] = 123.0
+        assert d1[0] != 123.0
+
+    def test_nested_dicts_componentized_to_depth(self):
+        sender, receiver = _pair()
+        arr = _big_array()
+        nested = {"level1": {"level2": {"arr": arr}}}
+        encoded = sender.encode(nested)
+        # Depth 3 reaches the array itself (payload -> level1 -> level2 -> leaf).
+        assert ENCODE_DEPTH >= 3
+        assert is_payload_val(encoded["level1"]["level2"]["arr"])
+        back = receiver.decode(encoded)
+        np.testing.assert_array_equal(back["level1"]["level2"]["arr"], arr)
+
+    def test_sibling_reuse_within_one_payload(self):
+        sender, receiver = _pair()
+        arr = _big_array()
+        encoded = sender.encode({"a": arr, "b": arr})
+        kinds = sorted(v[0] for v in encoded.values())
+        assert kinds == [PAYLOAD_REF_TAG, PAYLOAD_VAL_TAG]
+        back = receiver.decode(encoded)
+        np.testing.assert_array_equal(back["a"], back["b"])
+
+    def test_missing_ref_raises(self):
+        receiver = PayloadCache()
+        digest = payload_digest(encode_payload("ghost"))
+        with pytest.raises(RuntimeError, match="not resident"):
+            receiver.decode({"x": (PAYLOAD_REF_TAG, digest)})
+
+
+class TestAliasDigests:
+    def test_reencode_of_decoded_component_hits(self):
+        """The round-trip digest keeps re-shipped state on the REF path.
+
+        Re-pickling a decoded object graph is not byte-identical to the
+        original pickle, so without the alias a result component re-sent in
+        the next dispatch would miss the cache every time.
+        """
+        sender, receiver = _pair()
+        payload = {"state": {"solutions": {"q": list(range(400)), "tag": "x" * 600}}}
+        decoded = receiver.decode(sender.encode(payload))
+        # The receiver now re-sends what it decoded (the coordinator's
+        # round-2 dispatch of a round-1 result).
+        counts = {}
+        reencoded = receiver.encode(decoded, counts=counts)
+        assert counts.get("miss", 0) == 0, "alias digest did not match"
+        back = sender.decode(reencoded, counts=counts)
+        assert back == payload
+
+    def test_alias_is_a_pickle_fixpoint(self):
+        blob = encode_payload({"nested": {"objective": "median"}, "objective": "x"})
+        rt = encode_payload(pickle.loads(blob))
+        rt2 = encode_payload(pickle.loads(rt))
+        assert rt == rt2
+
+    def test_mutated_component_misses_honestly(self):
+        sender, receiver = _pair()
+        decoded = receiver.decode(sender.encode({"arr": _big_array()}))
+        decoded["arr"][0] += 1.0
+        counts = {}
+        reencoded = receiver.encode(decoded, counts=counts)
+        # Changed content must re-ship its bytes, never a stale digest.
+        assert counts == {"miss": 1}
+        back = sender.decode(reencoded)
+        assert back["arr"][0] == decoded["arr"][0]
+
+
+class TestLifecycle:
+    def test_clear_drops_everything(self):
+        sender, receiver = _pair()
+        arr = _big_array()
+        receiver.decode(sender.encode({"arr": arr}))
+        assert len(sender) > 0 and len(receiver) > 0
+        sender.clear()
+        receiver.clear()
+        assert len(sender) == len(receiver) == 0
+        # The next crossing is a VAL again.
+        assert is_payload_val(sender.encode({"arr": arr})["arr"])
+
+    def test_stored_bytes_accounts_for_blobs(self):
+        cache = PayloadCache()
+        arr = _big_array()
+        cache.encode({"arr": arr})
+        assert cache.stored_bytes() >= len(encode_payload(arr))
+
+    def test_min_component_bytes_threshold(self):
+        cache = PayloadCache()
+        small = np.arange(8)
+        assert len(encode_payload(small)) < MIN_COMPONENT_BYTES
+        assert cache.encode({"small": small}) == {"small": small}
+        assert len(cache) == 0

@@ -49,18 +49,32 @@ def _assert_same_result(base, other):
 
 
 def _assert_trace_bytes_match(result):
-    """The tracer's wire counters mirror the WireLedger bit for bit."""
+    """The tracer's wire counters mirror the WireLedger bit for bit.
+
+    Both columns of the raw/encoded split are cross-checked: ``wire.bytes*``
+    counters carry pre-codec sizes and must equal the ledger's ``raw_*``
+    totals, while ``wire.bytes_encoded*`` carry what physically crossed the
+    sockets and must equal ``total_bytes()``/``bytes_by_*``.
+    """
     tracer = result.trace
     wire = result.ledger.wire
-    assert int(tracer.counter("wire.bytes")) == wire.total_bytes()
-    by_direction = wire.bytes_by_direction()
-    assert int(tracer.counter("wire.bytes.send")) == by_direction["send"]
-    assert int(tracer.counter("wire.bytes.recv")) == by_direction["recv"]
+    assert int(tracer.counter("wire.bytes")) == wire.total_raw_bytes()
+    assert int(tracer.counter("wire.bytes_encoded")) == wire.total_bytes()
+    raw_by_direction = wire.raw_bytes_by_direction()
+    enc_by_direction = wire.bytes_by_direction()
+    assert int(tracer.counter("wire.bytes.send")) == raw_by_direction["send"]
+    assert int(tracer.counter("wire.bytes.recv")) == raw_by_direction["recv"]
+    assert int(tracer.counter("wire.bytes_encoded.send")) == enc_by_direction["send"]
+    assert int(tracer.counter("wire.bytes_encoded.recv")) == enc_by_direction["recv"]
+    for kind, raw_bytes in wire.raw_bytes_by_kind().items():
+        assert int(tracer.counter(f"wire.bytes.{kind}")) == raw_bytes
     for kind, n_bytes in wire.bytes_by_kind().items():
-        assert int(tracer.counter(f"wire.bytes.{kind}")) == n_bytes
+        assert int(tracer.counter(f"wire.bytes_encoded.{kind}")) == n_bytes
     summary = protocol_summary(result)
     assert summary["bytes_match"] is True
     assert summary["wire_bytes_ledger"] == wire.total_bytes()
+    assert summary["wire_raw_ledger"] == wire.total_raw_bytes()
+    assert summary["compression"] >= 1.0
 
 
 class TestTracedClusterParity:
@@ -159,6 +173,9 @@ class TestClusterTimeline:
             expected = per_round_host[row["round"]][row["host"]]
             assert row["sent_bytes"] + row["recv_bytes"] == expected
             assert sum(row["bytes_by_kind"].values()) == expected
+            # The compression column is raw-over-encoded for this cell.
+            assert row["raw_bytes"] >= expected
+            assert row["compression"] == pytest.approx(row["raw_bytes"] / expected)
         # Every (round, host) cell of the wire ledger appears in the report.
         assert {(r["round"], r["host"]) for r in rows} >= {
             (rnd, host)

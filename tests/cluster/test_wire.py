@@ -60,13 +60,83 @@ class TestWireLedger:
             WireRecord(1, 0, "sideways", "x", 1)
 
 
+class TestRawEncodedSplit:
+    def _filled(self):
+        wire = WireLedger()
+        wire.record(
+            round_index=1, host=0, direction="send", kind="site_dispatch",
+            n_bytes=100, raw_bytes=250, codec="zlib",
+        )
+        wire.record(round_index=1, host=0, direction="recv", kind="site_result", n_bytes=40)
+        wire.record(
+            round_index=2, host=1, direction="send", kind="task_dispatch",
+            n_bytes=50, raw_bytes=100, codec="zlib",
+        )
+        return wire
+
+    def test_raw_defaults_to_encoded(self):
+        rec = WireRecord(1, 0, "send", "x", 70)
+        assert rec.raw_bytes == 70
+        assert rec.codec == "none"
+
+    def test_codecs_never_grow_a_frame(self):
+        with pytest.raises(ValueError, match="never grow"):
+            WireRecord(1, 0, "send", "x", n_bytes=100, raw_bytes=50)
+
+    def test_raw_aggregations(self):
+        wire = self._filled()
+        assert wire.total_bytes() == 190
+        assert wire.total_raw_bytes() == 390
+        assert wire.raw_bytes_by_kind() == {
+            "site_dispatch": 250, "site_result": 40, "task_dispatch": 100,
+        }
+        assert wire.raw_bytes_by_direction() == {"send": 350, "recv": 40}
+
+    def test_compression_by_kind(self):
+        wire = self._filled()
+        ratios = wire.compression_by_kind()
+        assert ratios["site_dispatch"] == 2.5
+        assert ratios["site_result"] == 1.0
+        assert ratios["task_dispatch"] == 2.0
+        assert wire.compression_ratio() == pytest.approx(390 / 190)
+
+    def test_summary_has_raw_and_compression(self):
+        summary = self._filled().summary()
+        assert summary["raw_bytes"] == 390
+        assert summary["compression"] == pytest.approx(390 / 190)
+        assert summary["raw_by_kind"]["site_dispatch"] == 250
+        assert summary["compression_by_kind"]["task_dispatch"] == 2.0
+        assert summary["raw_by_direction"] == {"send": 350, "recv": 40}
+
+    def test_merge_carries_raw_bytes(self):
+        a, b = self._filled(), self._filled()
+        a.merge(b)
+        assert a.total_raw_bytes() == 780
+
+
 class TestMessageBytes:
     def test_n_bytes_defaults_to_none(self):
         assert _msg().n_bytes is None
+        assert _msg().n_bytes_encoded is None
 
     def test_negative_n_bytes_rejected(self):
         with pytest.raises(ValueError, match="byte count"):
             _msg(n_bytes=-5)
+
+    def test_encoded_cannot_exceed_raw(self):
+        with pytest.raises(ValueError, match="cannot exceed"):
+            Message(0, COORDINATOR, 1, "x", 1.0, n_bytes=10, n_bytes_encoded=20)
+
+    def test_encoded_stamp_accepted(self):
+        m = Message(0, COORDINATOR, 1, "x", 1.0, n_bytes=100, n_bytes_encoded=40)
+        assert m.n_bytes_encoded == 40
+
+    def test_uplink_bytes_from_stamps(self):
+        ledger = CommunicationLedger()
+        ledger.record(Message(0, COORDINATOR, 1, "x", 1.0, n_bytes=100, n_bytes_encoded=40))
+        ledger.record(Message(0, COORDINATOR, 1, "y", 1.0, n_bytes=60))
+        assert ledger.uplink_bytes() == {"raw": 160, "encoded": 100}
+        assert ledger.summary()["uplink_bytes"] == {"raw": 160, "encoded": 100}
 
 
 class TestLedgerBytes:
