@@ -51,7 +51,7 @@ from repro import (
     uncertain_partial_kcenter_g,
     uncertain_partial_kmedian,
 )
-from repro.cluster import ClusterBackend
+from repro.cluster import ClusterBackend, FaultPlan, RetryPolicy
 from repro.core.algorithm1_modified import distributed_partial_median_no_shipping
 from repro.data import gaussian_mixture_with_outliers, uncertain_nodes_from_mixture
 from repro.distributed import DistributedInstance, partition_balanced
@@ -136,7 +136,6 @@ def test_cluster_bytes_per_word(
     rows = []
     detail = {}
     trace_counters = {}
-    traced_tracer = None
     for name, run in runners:
         base = run("serial")
         clustered = run(cluster_pool)
@@ -155,7 +154,7 @@ def test_cluster_bytes_per_word(
             counter: traced.trace.counter(counter) for counter in SUMMARY_COUNTERS
         }
         if name == "kmedian":
-            traced_tracer = traced.trace
+            kmedian_base = base
         # The wire never changes the semantics: identical word ledgers.
         assert base.ledger.total_words() == clustered.ledger.total_words(), name
         assert base.ledger.words_by_kind() == clustered.ledger.words_by_kind(), name
@@ -223,6 +222,30 @@ def test_cluster_bytes_per_word(
             f"{name}: {kind} frames compress only {ratio:.2f}x (expected >= 2x)"
         )
 
+    # One fault-injected traced kmedian run on its own pool: a host dies
+    # mid-round and recovery replays it, so the trace artifact records
+    # recovery cost (replay bytes, repinned sites, digest checks) next to
+    # the regular wire story — and proves the recovered run still matches
+    # the failure-free one bit for bit.
+    fault_plan = "kill host=1 round=1 task=1 when=after"
+    fault_pool = ClusterBackend(
+        n_hosts=N_HOSTS,
+        retry=RetryPolicy(max_retries=1),
+        fault_plan=FaultPlan.parse(fault_plan),
+    )
+    try:
+        recovered = runners[0][1](fault_pool, trace=True)
+    finally:
+        fault_pool.close()
+    assert recovered.cost == kmedian_base.cost
+    assert recovered.ledger.total_words() == kmedian_base.ledger.total_words()
+    assert recovered.trace.counter("recovery.host_failures") == 1.0
+    assert recovered.trace.counter("recovery.replay_bytes") > 0
+    recovery_counters = {
+        counter: recovered.trace.counter(counter) for counter in SUMMARY_COUNTERS
+    }
+    traced_tracer = recovered.trace
+
     # Time one representative cluster run (pool already warm).
     benchmark.pedantic(lambda: runners[0][1](cluster_pool), rounds=1, iterations=1)
 
@@ -248,6 +271,10 @@ def test_cluster_bytes_per_word(
             },
             "rows": rows,
             "detail": detail,
+            "recovery": {
+                "fault_plan": fault_plan,
+                "trace_counters": recovery_counters,
+            },
         },
     )
     benchmark.extra_info["artifact"] = path

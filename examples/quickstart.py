@@ -49,6 +49,7 @@ def main() -> None:
 
     choosing_a_backend(workload.points, k, t)
     running_on_a_cluster_backend(workload.points, k, t)
+    fault_tolerance_and_recovery(workload.points, k, t)
     wire_codecs_and_content_addressed_payloads(workload.points, k, t)
     memory_budgets_and_out_of_core_shards(workload.points, k, t)
     fused_plans_and_prefetch(workload.points, k, t)
@@ -174,6 +175,75 @@ def running_on_a_cluster_backend(points, k, t) -> None:
         f"  dispatch bytes by round: round1={dispatch.get(1, 0)} (shard+metric), "
         f"round2={dispatch.get(2, 0)} (state epoch token)"
     )
+
+
+def fault_tolerance_and_recovery(points, k, t) -> None:
+    """Fault tolerance and recovery.
+
+    Real runners die.  By default the cluster backend is *fail fast* — the
+    first runner death raises a ``DeadHostError`` naming the host, its
+    in-flight tasks and the last committed state epoch per site.  Passing a
+    ``RetryPolicy`` makes rounds fault tolerant instead::
+
+        from repro.cluster import RetryPolicy
+
+        result = partial_kmedian(
+            points, k=3, t=30, backend="cluster:3",
+            retry=RetryPolicy(max_retries=1, heartbeat_timeout=5.0),
+        )
+
+    A death is detected promptly (socket EOF / send error) or, for a runner
+    that is wedged rather than dead, by heartbeat silence: with
+    ``heartbeat_timeout`` set, runners send unsolicited liveness frames and
+    the coordinator declares a host dead when frames stop while work is in
+    flight.  Recovery then:
+
+    1. **re-pins** the dead host's sites to survivors — a pure function of
+       the site id and the set of dead hosts, so every run makes the same
+       choice;
+    2. **replays** each moved site's dispatch log from record 0 on its new
+       host (record 0 ships the full state + sticky shard/metric; later
+       records re-apply each round's task with its recorded RNG stream and
+       write overlay), verifying the rebuilt state against the original
+       state digests;
+    3. **re-dispatches** the in-flight tasks and re-issues in-flight state
+       faults against the replayed copies.
+
+    The run then continues — **bit-identically**: same centers, cost and
+    word ledger as a failure-free run.  Only the wire ledger shows the
+    recovery, honestly accounted: replay traffic under ``replay_*`` frame
+    kinds, plus one ``RecoveryEvent`` (host, round, reason, re-pin map) in
+    ``result.ledger.wire.summary()["recovery"]``, and ``recovery.*``
+    counters on a traced run.  When the budget is exhausted
+    (``max_retries`` host deaths already recovered), the next death is a
+    clean ``DeadHostError`` with full context.
+
+    Deterministic fault injection — the harness the recovery tests use —
+    is available to drills too: a ``FaultPlan`` (or the ``REPRO_FAULT_PLAN``
+    environment variable) kills, stalls, disconnects or delays a chosen
+    host before/after a chosen dispatch of a chosen round.
+    """
+    from repro.cluster import ClusterBackend, FaultPlan, RetryPolicy
+
+    print("\nfault tolerance (kill host 1 mid-round, recover, same result)")
+    baseline = partial_kmedian(points, k=k, t=t, n_sites=4, seed=7)
+    backend = ClusterBackend(
+        n_hosts=3,
+        retry=RetryPolicy(max_retries=1),
+        fault_plan=FaultPlan.parse("kill host=1 round=1 task=1 when=after"),
+    )
+    try:
+        result = partial_kmedian(points, k=k, t=t, n_sites=4, seed=7, backend=backend)
+    finally:
+        backend.close()
+    event = result.ledger.wire.summary()["recovery"][0]
+    replay_bytes = sum(
+        n for kind, n in result.ledger.wire.bytes_by_kind().items()
+        if kind.startswith("replay")
+    )
+    print(f"  identical to no-failure run : {result.cost == baseline.cost}")
+    print(f"  host {event['host']} re-pinned             : {event['repin']}")
+    print(f"  replayed frames / bytes     : {event['replayed_frames']} / {replay_bytes}")
 
 
 def wire_codecs_and_content_addressed_payloads(points, k, t) -> None:

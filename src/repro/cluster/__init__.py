@@ -28,6 +28,15 @@ Select it like any other backend::
 
 Results are bit-identical to ``backend="serial"`` for a fixed seed — the
 wire is an execution detail; the word ledger never changes.
+
+With a :class:`~repro.cluster.recovery.RetryPolicy` installed the backend is
+also fault tolerant: a runner death mid-round (socket error or heartbeat
+timeout) is recovered by re-pinning the dead host's sites deterministically
+to survivors and replaying their dispatch logs — still bit-identical, with
+the replay bytes accounted under ``replay_*`` frame kinds and a
+:class:`~repro.cluster.wire.RecoveryEvent` in the ledger.  A deterministic
+:class:`~repro.cluster.recovery.FaultPlan` (or the ``REPRO_FAULT_PLAN``
+environment variable) injects failures for tests and drills.
 """
 
 from repro.cluster.backend import ClusterBackend
@@ -40,12 +49,18 @@ from repro.cluster.framing import (
     resolve_codec,
 )
 from repro.cluster.payloads import PayloadCache
-from repro.cluster.wire import WireLedger, WireRecord
+from repro.cluster.recovery import DeadHostError, FaultAction, FaultPlan, RetryPolicy
+from repro.cluster.wire import RecoveryEvent, WireLedger, WireRecord
 
 __all__ = [
     "ClusterBackend",
+    "DeadHostError",
+    "FaultAction",
+    "FaultPlan",
     "FrameChannel",
     "PayloadCache",
+    "RecoveryEvent",
+    "RetryPolicy",
     "WireLedger",
     "WirePolicy",
     "WireRecord",

@@ -39,10 +39,25 @@ claims honest:
 
 Tasks return futures (:meth:`submit_tasks` / :meth:`submit_site_pairs`), the
 substrate of async round scheduling: the coordinator consumes completed
-results in submission order while other hosts are still computing.  A runner
-that dies mid-round fails all of its in-flight futures with a
-:class:`RuntimeError` naming the host; sockets and the scratch directory are
-cleaned up by :meth:`close` even then.
+results in submission order while other hosts are still computing.
+
+**Fault tolerance** is opt-in via ``retry=RetryPolicy(...)``.  By default a
+runner that dies mid-round fails all of its in-flight futures with a
+:class:`~repro.cluster.recovery.DeadHostError` naming the host, its
+in-flight tasks and its last committed state epochs; sockets and the
+scratch directory are cleaned up by :meth:`close` even then.  With recovery
+enabled, death is *classified* instead: the backend keeps a per-site
+dispatch log (:class:`~repro.cluster.recovery.SiteLog`), re-pins the dead
+host's sites to survivors deterministically, replays each log from record 0
+(re-shipping the sticky half, rewriting state-token epochs positionally and
+carrying the same RNG streams over), verifies the replayed state against the
+recorded digests, and resumes the round — results are bit-identical to the
+no-failure run, and every replay frame is accounted in the wire ledger under
+``replay_*`` kinds next to a :class:`~repro.cluster.wire.RecoveryEvent`
+recording the re-pin map.  An optional heartbeat timeout catches runners
+that are wedged but still connected, and a
+:class:`~repro.cluster.recovery.FaultPlan` (or the ``REPRO_FAULT_PLAN``
+environment knob) injects deterministic faults for tests and CI.
 """
 
 from __future__ import annotations
@@ -50,21 +65,39 @@ from __future__ import annotations
 import os
 import queue
 import shutil
+import signal
 import socket
 import subprocess
 import sys
 import tempfile
 import threading
+import time
 import weakref
 from concurrent.futures import Future
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.cluster.framing import FrameChannel, WirePolicy, decode_payload, encode_frame
+from repro.cluster.framing import (
+    FrameChannel,
+    WirePolicy,
+    decode_payload,
+    encode_frame,
+    encode_payload,
+)
 from repro.cluster.payloads import PayloadCache
+from repro.cluster.recovery import (
+    DeadHostError,
+    FaultPlan,
+    HEARTBEAT_INTERVAL_ENV,
+    RetryPolicy,
+    SiteDispatchRecord,
+    SiteLog,
+    resolve_retry_policy,
+)
 from repro.cluster.wire import WireLedger
 from repro.runtime.backends import ExecutionBackend, default_worker_count
 from repro.runtime.state import (
     RemoteStateProxy,
+    STATE_TOKEN_TAG,
     is_state_digest,
     is_state_token,
     materialize_state,
@@ -72,10 +105,22 @@ from repro.runtime.state import (
 from repro.utils.timing import Timer
 
 
+class _HostDied(Exception):
+    """Internal: a registration raced the target's death; the caller re-targets."""
+
+
 class _Pending:
     """Book-keeping for one in-flight frame awaiting its response."""
 
-    __slots__ = ("future", "wire", "round_index", "kind", "convert", "tracer", "t_send")
+    __slots__ = (
+        "future", "wire", "round_index", "kind", "convert", "tracer", "t_send",
+        # Recovery book-keeping (None on fail-fast backends): the site log +
+        # record a "site" frame belongs to, the (fn, payload, index) of a
+        # re-dispatchable "task" frame, the (key, keys) of a re-issuable
+        # state pull, and the fault-plan dispatch ordinal for after-triggers.
+        "site_log", "record_index", "task_fn", "task_payload", "task_index",
+        "pull_info", "fault_ordinal",
+    )
 
     def __init__(self, future, wire, round_index, kind, convert):
         self.future = future
@@ -87,6 +132,13 @@ class _Pending:
         #: (tracer clock), bracketing the frame's wire span on receipt.
         self.tracer = None
         self.t_send = 0.0
+        self.site_log = None
+        self.record_index = None
+        self.task_fn = None
+        self.task_payload = None
+        self.task_index = None
+        self.pull_info = None
+        self.fault_ordinal = None
 
 
 class _Host:
@@ -102,6 +154,17 @@ class _Host:
         self.pending: Dict[int, _Pending] = {}
         self.lock = threading.Lock()
         self.dead: Optional[str] = None
+        #: Shared bookkeeping for this host's death, created by ``_mark_dead``
+        #: when recovery is on: whichever thread replays one of the host's
+        #: site logs (the recovery thread, or a racing dispatch/pull that got
+        #: the log lock first) records its re-pin and frame count here, and
+        #: the recovery thread emits the merged event.  Guarded by the
+        #: backend's ``_retry_lock``.
+        self.recovery_stats: Optional[Dict[str, Any]] = None
+        #: Monotonic instant of the last frame (result or heartbeat) this
+        #: host's socket produced; the heartbeat monitor compares it against
+        #: the policy's timeout while work is in flight.
+        self.last_seen = 0.0
         #: Accumulated runner-side frame overhead (``cluster:*`` labels from
         #: result-frame extras).  Touched only by this host's reader thread.
         self.runner_timer = Timer()
@@ -125,7 +188,14 @@ class ClusterBackend(ExecutionBackend):
 
     name = "cluster"
 
-    def __init__(self, n_hosts: Optional[int] = None, *, start_timeout: float = 60.0):
+    def __init__(
+        self,
+        n_hosts: Optional[int] = None,
+        *,
+        start_timeout: float = 60.0,
+        retry: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ):
         if n_hosts is not None and n_hosts < 1:
             raise ValueError(f"n_hosts must be >= 1, got {n_hosts}")
         self.n_hosts = n_hosts or default_worker_count()
@@ -133,6 +203,12 @@ class ClusterBackend(ExecutionBackend):
         #: Per-frame-kind codec choices; runners resolve the same policy from
         #: the environment they inherit, so both directions agree.
         self.wire_policy = WirePolicy.from_env()
+        #: How runner death is treated: ``None`` resolves to the historical
+        #: fail-fast contract; a :class:`RetryPolicy` opts into recovery.
+        self.retry = resolve_retry_policy(retry)
+        #: Deterministic fault injection; defaults to the ``REPRO_FAULT_PLAN``
+        #: environment knob (``None`` when unset — no faults).
+        self.fault_plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
         self._hosts: Optional[List[_Host]] = None
         self._socket_dir: Optional[str] = None
         self._seq = 0
@@ -142,6 +218,31 @@ class ClusterBackend(ExecutionBackend):
         #: runner-side copy is evicted or cleared.
         self._live_state: Dict[Any, "weakref.ref[RemoteStateProxy]"] = {}
         self._state_lock = threading.Lock()
+        #: resident_key -> replayable dispatch log (recovery-enabled backends
+        #: only; fail-fast backends never pay the logging cost).
+        self._site_logs: Dict[Any, SiteLog] = {}
+        self._logs_lock = threading.Lock()
+        self._failures = 0
+        self._retry_lock = threading.Lock()
+        #: Terminal reason once the retry budget is exhausted: every later
+        #: replay attempt raises it instead of recovering.
+        self._exhausted: Optional[str] = None
+        self._monitor: Optional[threading.Thread] = None
+        self._monitor_stop = threading.Event()
+        self._recovery_threads: List[threading.Thread] = []
+
+    def set_retry_policy(self, retry: Optional[RetryPolicy]) -> None:
+        """Install a retry policy (the ``retry=`` driver argument lands here).
+
+        Takes effect immediately for death handling and replay.  The
+        heartbeat *send* interval is inherited by runner processes at spawn
+        time, so a ``heartbeat_timeout`` set after the pool started detects
+        silent hosts only between frames of already-running work — construct
+        the backend with ``retry=`` when long single tasks must be guarded.
+        """
+        self.retry = resolve_retry_policy(retry)
+        if self._hosts is not None:
+            self._ensure_monitor()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -152,8 +253,7 @@ class ClusterBackend(ExecutionBackend):
         """Scratch directory holding the per-host sockets (None when stopped)."""
         return self._socket_dir
 
-    @staticmethod
-    def _runner_environment() -> Dict[str, str]:
+    def _runner_environment(self) -> Dict[str, str]:
         """Child environment: mirror the coordinator's import path.
 
         Task functions cross the wire as qualified names, so the runner must
@@ -161,12 +261,18 @@ class ClusterBackend(ExecutionBackend):
         but also e.g. a caller's own task modules).  The coordinator's full
         ``sys.path`` becomes the runner's ``PYTHONPATH``; the empty entry
         (script-directory convention) is pinned to the current directory.
+        When the retry policy configures a heartbeat timeout, the runner is
+        asked to send unsolicited heartbeats at a quarter of it, so a host
+        busy with one long task never looks silent.
         """
         entries = []
         for entry in sys.path:
             entries.append(entry if entry else os.getcwd())
         env = dict(os.environ)
         env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(entries))
+        timeout = self.retry.heartbeat_timeout
+        if timeout is not None:
+            env[HEARTBEAT_INTERVAL_ENV] = f"{max(0.05, timeout / 4.0):.3f}"
         return env
 
     def _ensure_started(self) -> List[_Host]:
@@ -207,6 +313,7 @@ class ClusterBackend(ExecutionBackend):
                     raise RuntimeError(
                         f"cluster host {host_id} sent a bad handshake: {hello!r}"
                     )
+                host.last_seen = time.monotonic()
                 host.reader = threading.Thread(
                     target=self._read_loop, args=(host,),
                     name=f"repro-cluster-reader-{host_id}", daemon=True,
@@ -225,12 +332,65 @@ class ClusterBackend(ExecutionBackend):
             raise
         self._hosts = hosts
         self._socket_dir = socket_dir
+        self._ensure_monitor()
         return hosts
+
+    def _ensure_monitor(self) -> None:
+        """Start the heartbeat monitor thread when the policy asks for one."""
+        if self.retry.heartbeat_timeout is None or self._hosts is None:
+            return
+        if self._monitor is not None and self._monitor.is_alive():
+            return
+        self._monitor_stop = threading.Event()
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="repro-cluster-monitor", daemon=True
+        )
+        self._monitor.start()
+
+    def _monitor_loop(self) -> None:
+        """Kill hosts that go silent past the heartbeat timeout with work in flight.
+
+        A healthy busy runner is never silent: result frames refresh
+        ``last_seen``, and runners send unsolicited heartbeats between them.
+        An *idle* host is exempt — silence without in-flight work is normal —
+        and registration of new work refreshes ``last_seen``, so the timer
+        always measures silence while something was owed.
+        """
+        stop = self._monitor_stop
+        while True:
+            timeout = self.retry.heartbeat_timeout
+            interval = 0.25 if timeout is None else max(0.05, min(timeout / 4.0, 0.25))
+            if stop.wait(interval):
+                return
+            hosts = self._hosts
+            if hosts is None:
+                return
+            if timeout is None:
+                continue
+            now = time.monotonic()
+            for host in hosts:
+                if host.dead is not None:
+                    continue
+                with host.lock:
+                    busy = bool(host.pending)
+                    last = host.last_seen
+                if busy and last and now - last > timeout:
+                    if host.process is not None:
+                        try:
+                            host.process.kill()
+                        except OSError:  # pragma: no cover - already gone
+                            pass
+                    self._mark_dead(
+                        host,
+                        f"no frames or heartbeats for {now - last:.1f}s with tasks "
+                        f"in flight (heartbeat timeout {timeout}s)",
+                    )
 
     def close(self) -> None:
         """Shut runners down and remove sockets/scratch dir.  Idempotent."""
         hosts, self._hosts = self._hosts, None
         socket_dir, self._socket_dir = self._socket_dir, None
+        self._monitor_stop.set()
         with self._state_lock:
             # Runner-resident state dies with the runners; attached proxies
             # raise a "backend is closed" error on their next fault instead
@@ -256,20 +416,42 @@ class ClusterBackend(ExecutionBackend):
                 if host.reader is not None:
                     host.reader.join(timeout=5.0)
                 if host.process is not None:
-                    try:
-                        host.process.wait(timeout=5.0)
-                    except subprocess.TimeoutExpired:  # pragma: no cover - stuck runner
-                        host.process.terminate()
-                        try:
-                            host.process.wait(timeout=5.0)
-                        except subprocess.TimeoutExpired:
-                            host.process.kill()
-                            host.process.wait()
+                    self._reap(host.process)
                 self._fail_pending(
                     host, f"cluster host {host.host_id} was shut down with tasks in flight"
                 )
+        for thread in self._recovery_threads:
+            thread.join(timeout=5.0)
+        self._recovery_threads = []
         if socket_dir is not None:
             shutil.rmtree(socket_dir, ignore_errors=True)
+
+    @staticmethod
+    def _reap(process: subprocess.Popen) -> None:
+        """Bounded terminate→kill escalation for one runner process.
+
+        A wedged runner — blocked on a dead socket, swapping, or SIGSTOPped —
+        must never hang shutdown: the graceful window is short, SIGTERM gets
+        one more short window (a *stopped* process cannot even handle it),
+        and SIGKILL ends the argument.  The final wait is bounded too; a
+        process that survives SIGKILL is the kernel's problem, not ours.
+        """
+        try:
+            process.wait(timeout=2.0)
+            return
+        except subprocess.TimeoutExpired:  # pragma: no cover - stuck runner
+            pass
+        process.terminate()
+        try:
+            process.wait(timeout=2.0)
+            return
+        except subprocess.TimeoutExpired:  # pragma: no cover - still stuck
+            pass
+        process.kill()
+        try:
+            process.wait(timeout=5.0)
+        except subprocess.TimeoutExpired:  # pragma: no cover - unkillable
+            pass
 
     # ------------------------------------------------------------------
     # Reader side
@@ -284,18 +466,611 @@ class ClusterBackend(ExecutionBackend):
                 entry.future.set_exception(RuntimeError(reason))
 
     def _mark_dead(self, host: _Host, detail: str) -> None:
+        """Classify one runner death: fail fast, or hand off to recovery.
+
+        Idempotent — the first caller (reader EOF, sender EPIPE, heartbeat
+        monitor, fatal frame) claims the death under the host lock and drains
+        the pending map; later callers return immediately.  The death reason
+        names the in-flight task ids, their rounds and the host's last
+        committed state epoch per site, so a terminal failure is diagnosable
+        from its message alone.
+        """
+        with host.lock:
+            if host.dead is not None:
+                return
+            # Placeholder until the full reason is assembled below: anything
+            # racing a submission in this window still sees a host-naming
+            # message.
+            host.dead = f"cluster host {host.host_id} died mid-round ({detail})"
+            if self.retry.enabled and host.recovery_stats is None:
+                # Created together with the death claim so a dispatch that
+                # races the recovery thread to a site-log replay always has
+                # somewhere to record its contribution.
+                host.recovery_stats = {
+                    "repin": {}, "frames": 0, "wire": None, "tracer": None,
+                    "round": 0, "closed": False, "emitted": False,
+                }
+            pending = sorted(host.pending.items())
+            host.pending.clear()
         exitcode = None
         if host.process is not None:
             try:
                 exitcode = host.process.wait(timeout=1.0)
             except subprocess.TimeoutExpired:  # pragma: no cover - still dying
                 exitcode = host.process.poll()
+        inflight = ", ".join(
+            f"{entry.kind} seq {seq} (round {entry.round_index})"
+            for seq, entry in pending
+        ) or "none"
         reason = (
-            f"cluster host {host.host_id} died mid-round ({detail}; "
-            f"runner exit code {exitcode}); its in-flight site tasks are lost"
+            f"cluster host {host.host_id} died mid-round ({detail}; runner exit "
+            f"code {exitcode}); in-flight tasks: [{inflight}]; last committed "
+            f"state epoch by site: {{{self._committed_epoch_note(host)}}}"
         )
         host.dead = reason
-        self._fail_pending(host, reason)
+        policy = self.retry
+        recover = policy.enabled and self._hosts is not None
+        if recover:
+            with self._retry_lock:
+                self._failures += 1
+                if self._failures > policy.max_retries:
+                    self._exhausted = (
+                        f"{reason}; retry budget exhausted "
+                        f"({policy.max_retries} host failure(s) already recovered)"
+                    )
+                    recover = False
+        if not recover:
+            terminal = self._exhausted or reason
+            task_ids = tuple(f"{entry.kind}#{seq}" for seq, entry in pending)
+            for seq, entry in pending:
+                self._clear_log_pending(entry)
+                if not entry.future.done():
+                    entry.future.set_exception(
+                        DeadHostError(
+                            terminal,
+                            host_id=host.host_id,
+                            round_index=entry.round_index,
+                            epoch=self._log_epoch_for(entry),
+                            task_ids=task_ids,
+                        )
+                    )
+            return
+        # Recovery runs off-thread: _mark_dead is called from reader/sender/
+        # monitor threads whose loops must keep serving the surviving hosts.
+        thread = threading.Thread(
+            target=self._recover_host, args=(host, pending, reason),
+            name=f"repro-cluster-recovery-{host.host_id}", daemon=True,
+        )
+        self._recovery_threads.append(thread)
+        thread.start()
+
+    # ------------------------------------------------------------------
+    # Recovery: re-pinning and state-epoch replay
+    # ------------------------------------------------------------------
+
+    def _committed_epoch_note(self, host: _Host) -> str:
+        """``site N: epoch E`` fragments for the host's resident site state."""
+        notes = []
+        for site_id, key in sorted(host.resident_by_site.items()):
+            with self._logs_lock:
+                log = self._site_logs.get(key)
+            epoch: Optional[int] = log.epoch if log is not None else None
+            if epoch is None:
+                with self._state_lock:
+                    ref = self._live_state.get(key)
+                proxy = ref() if ref is not None else None
+                if proxy is not None:
+                    epoch = proxy.epoch
+            if epoch is not None:
+                notes.append(f"site {site_id}: epoch {epoch}")
+        return "; ".join(notes) or "none"
+
+    @staticmethod
+    def _clear_log_pending(entry: _Pending) -> None:
+        if entry.site_log is not None:
+            pending = entry.site_log.pending
+            if pending is not None and pending[1] is entry:
+                entry.site_log.pending = None
+
+    def _log_epoch_for(self, entry: _Pending) -> Optional[int]:
+        return entry.site_log.epoch if entry.site_log is not None else None
+
+    def _has_live_proxy(self, key: Any) -> bool:
+        with self._state_lock:
+            ref = self._live_state.get(key)
+        proxy = ref() if ref is not None else None
+        return proxy is not None and not proxy.detached
+
+    def _host_by_id(self, host_id: Optional[int]) -> Optional[_Host]:
+        hosts = self._hosts
+        if hosts is None or host_id is None or not (0 <= host_id < len(hosts)):
+            return None
+        return hosts[host_id]
+
+    def _repin_target(self, site_id: int) -> _Host:
+        """Deterministic placement for a site: default pin, else survivors.
+
+        The default ``site_id % n_hosts`` pin wins while its host lives;
+        once dead, the site re-pins to ``alive[site_id % len(alive)]`` —
+        a pure function of the site id and the set of dead hosts, so two
+        coordinators observing the same deaths re-pin identically.
+        """
+        hosts = self._hosts
+        if hosts is None:
+            raise RuntimeError("the cluster backend is closed")
+        default = hosts[site_id % len(hosts)]
+        if default.dead is None:
+            return default
+        alive = [h for h in hosts if h.dead is None]
+        if not alive:
+            raise DeadHostError(
+                f"no surviving cluster hosts to re-pin site {site_id} to "
+                f"(last death: {default.dead})",
+                host_id=default.host_id,
+            )
+        return alive[site_id % len(alive)]
+
+    def _repin_target_index(self, index: int) -> _Host:
+        """Deterministic placement for structure-free task ``index``."""
+        hosts = self._hosts
+        if hosts is None:
+            raise RuntimeError("the cluster backend is closed")
+        default = hosts[index % len(hosts)]
+        if default.dead is None:
+            return default
+        alive = [h for h in hosts if h.dead is None]
+        if not alive:
+            raise DeadHostError(
+                f"no surviving cluster hosts to re-dispatch task {index} to "
+                f"(last death: {default.dead})",
+                host_id=default.host_id,
+            )
+        return alive[index % len(alive)]
+
+    def _ensure_located_locked(self, log: SiteLog) -> Optional[_Host]:
+        """A live host holding ``log``'s resident state (caller holds log.lock).
+
+        Returns the current location if it lives, replays the log onto the
+        deterministic re-pin target if it died, or ``None`` when the key has
+        never been dispatched (nothing resident anywhere yet).
+        """
+        if log.location is None:
+            return None
+        host = self._host_by_id(log.location)
+        if host is not None and host.dead is None:
+            return host
+        target = self._repin_target(log.site_id)
+        self._replay_log_locked(log, target)
+        return target
+
+    def _verify_replay_digest(
+        self, log: SiteLog, index: int, epoch: Any, sizes: Dict[str, int]
+    ) -> None:
+        """Assert a replayed record reproduced the recorded state digest.
+
+        Epochs are *not* compared — the replay target assigns its own
+        monotonic sequence — but the digest's per-entry pickled sizes are the
+        content fingerprint the original run committed, and determinism says
+        they must match exactly.
+        """
+        expected = log.digests[index]
+        if expected is None:
+            return
+        tracer = log.records[index].tracer
+        if tracer is not None:
+            tracer.inc("recovery.digest_checks")
+        if dict(expected[1]) != dict(sizes):
+            raise DeadHostError(
+                f"replay of site {log.site_id} (resident key {log.key!r}) "
+                f"diverged at record {index}: replayed state digest {sizes!r} "
+                f"!= recorded digest {expected[1]!r}",
+                host_id=log.location,
+                round_index=log.records[index].round_index,
+                epoch=expected[0],
+            )
+
+    def _replay_log_locked(
+        self, log: SiteLog, target: _Host, adopt_final: Optional[Future] = None
+    ) -> int:
+        """Re-execute a site's dispatch log on ``target`` (caller holds log.lock).
+
+        Replays every record from 0 — the first record necessarily shipped
+        the full state dict, so a fresh host rebuilds from nothing — with
+        state-token epochs rewritten positionally to the target's own epoch
+        sequence and each replayed digest verified against the recorded one.
+        Historical results are discarded; the final record resolves the
+        original in-flight future (``log.pending`` or ``adopt_final``) via
+        the regular site-result converter, and any still-live state proxy is
+        rebound to the new location.  Returns the number of replayed frames.
+        """
+        if self._exhausted is not None:
+            raise DeadHostError(
+                self._exhausted, host_id=log.location, epoch=log.epoch
+            )
+        if not self.retry.enabled:
+            dead = self._host_by_id(log.location)
+            raise DeadHostError(
+                dead.dead if dead is not None and dead.dead is not None
+                else f"cluster host {log.location} is gone",
+                host_id=log.location,
+                epoch=log.epoch,
+            )
+        origin = self._host_by_id(log.location)
+        pending = log.pending
+        log.pending = None
+        resolve = pending[1].future if pending is not None else adopt_final
+        final_index = len(log.records) - 1
+        epoch = 0
+        replayed = 0
+        for index, rec in enumerate(log.records):
+            state = rec.state
+            if is_state_token(state):
+                # Record i's token referenced the epoch record i-1 produced;
+                # on the target that is whatever epoch the previous replay
+                # just returned.
+                state = (STATE_TOKEN_TAG, epoch, state[2], state[3])
+            evict: List[Any] = []
+            sticky = None
+            if log.key not in target.resident_keys:
+                sticky = log.sticky
+                stale = target.resident_by_site.get(log.site_id)
+                if stale is not None and stale != log.key:
+                    self._detach_resident_key(stale)
+                    evict.append(stale)
+                    target.resident_keys.discard(stale)
+                    with self._logs_lock:
+                        self._site_logs.pop(stale, None)
+                target.resident_keys.add(log.key)
+                target.resident_by_site[log.site_id] = log.key
+            dyn = {
+                "site_id": rec.site_id,
+                "fn": rec.fn,
+                "args": rec.args,
+                "kwargs": rec.kwargs,
+                "state": state,
+                "rng": decode_payload(rec.rng_bytes),
+                "inbox": rec.inbox,
+            }
+            is_final = index == final_index and resolve is not None
+            if is_final and rec.traced:
+                dyn["trace"] = True
+            convert = None
+            if is_final:
+                convert = self._site_result_converter(
+                    target, log.key, log.site_id, rec.wire, rec.round_index, rec.tracer
+                )
+
+            def build_replay(seq, target=target, key=log.key, sticky=sticky,
+                             dyn=dyn, evict=evict):
+                if evict:
+                    target.payloads.clear()
+                return ("site", seq, key, sticky, dyn, evict)
+
+            if rec.tracer is not None:
+                rec.tracer.inc("recovery.replayed_frames")
+            future = self._submit_frame(
+                target, build_replay,
+                wire=rec.wire, round_index=rec.round_index, kind="replay",
+                convert=convert, tracer=rec.tracer,
+            )
+            replayed += 1
+            result = future.result()  # raises if the target died too
+            if is_final:
+                proxy = result.state
+                new_epoch = getattr(proxy, "epoch", None)
+                new_sizes = dict(getattr(proxy, "sizes", None) or {})
+                if new_epoch is not None:
+                    self._verify_replay_digest(log, index, new_epoch, new_sizes)
+                    log.digests[index] = (int(new_epoch), new_sizes)
+                    epoch = int(new_epoch)
+                if not resolve.done():
+                    resolve.set_result(result)
+            else:
+                state_out = result["state"]
+                if is_state_digest(state_out):
+                    _, new_epoch, new_sizes = state_out
+                    self._verify_replay_digest(log, index, new_epoch, dict(new_sizes))
+                    epoch = int(new_epoch)
+        log.epoch = epoch
+        log.location = target.host_id
+        if origin is not None and origin.recovery_stats is not None:
+            # Whoever replayed this log — the recovery thread, or a dispatch/
+            # pull that beat it to the log lock — contributes to the death's
+            # shared bookkeeping; the recovery thread emits the merged event.
+            with self._retry_lock:
+                stats = origin.recovery_stats
+                stats["repin"][log.site_id] = target.host_id
+                stats["frames"] += replayed
+                if log.records:
+                    stats["round"] = max(stats["round"], log.records[-1].round_index)
+                    if stats["wire"] is None:
+                        stats["wire"] = log.records[-1].wire
+                    if stats["tracer"] is None:
+                        stats["tracer"] = log.records[-1].tracer
+        if pending is None and adopt_final is None:
+            # Every record was already complete: the run may still hold a
+            # live proxy over the old location — point it at the replayed
+            # copy (same content, new host, new epoch).
+            with self._state_lock:
+                ref = self._live_state.get(log.key)
+            proxy = ref() if ref is not None else None
+            if proxy is not None and not proxy.detached and proxy.owner() is self:
+                rec = log.records[final_index]
+                proxy.rebind(
+                    lambda keys, host=target, key=log.key, epoch=epoch, rec=rec:
+                        self._pull_state_entries(
+                            host, key, epoch, keys, rec.wire, rec.round_index,
+                            rec.tracer,
+                        ),
+                    epoch=epoch,
+                )
+        return replayed
+
+    def _recover_host(self, host: _Host, pending: List[Tuple[int, _Pending]],
+                      reason: str) -> None:
+        """Recover one dead host: re-pin, replay, re-dispatch, account.
+
+        Runs on its own thread.  Order matters: frames that need no site-log
+        lock resolve first (failing another recovery's in-flight replay
+        frames promptly — that thread owns the log lock we would otherwise
+        wait on), then every site log located on the dead host replays onto
+        its re-pin target, then in-flight state pulls re-issue against the
+        replayed copies.  Any failure here fails the affected futures with a
+        :class:`DeadHostError` — never silently.
+        """
+        policy = self.retry
+        repin: Dict[int, int] = {}
+        replayed = 0
+        tracer = next((e.tracer for _, e in pending if e.tracer is not None), None)
+        wire = next((e.wire for _, e in pending if e.wire is not None), None)
+        round_hint = max((e.round_index for _, e in pending), default=0)
+        t0 = tracer.clock() if tracer is not None else 0.0
+        try:
+            if policy.backoff_s > 0:
+                time.sleep(policy.backoff_s)
+            site_entries: List[_Pending] = []
+            pull_entries: List[_Pending] = []
+            for seq, entry in pending:
+                if entry.future.done():
+                    continue
+                if entry.kind == "site" and entry.site_log is not None:
+                    site_entries.append(entry)
+                elif entry.kind in ("task", "replay_task") and entry.task_fn is not None:
+                    self._redispatch_task(entry)
+                elif entry.kind in ("state_pull", "replay_pull") and entry.pull_info is not None:
+                    pull_entries.append(entry)
+                else:
+                    entry.future.set_exception(
+                        DeadHostError(
+                            f"{reason}; this in-flight frame ({entry.kind}) is "
+                            "not replayable",
+                            host_id=host.host_id,
+                            round_index=entry.round_index,
+                        )
+                    )
+            for site_id, key in sorted(host.resident_by_site.items()):
+                with self._logs_lock:
+                    log = self._site_logs.get(key)
+                if log is None:
+                    continue
+                with log.lock:
+                    if log.location != host.host_id:
+                        continue  # already re-pinned (racing dispatch replayed it)
+                    if log.pending is None and not self._has_live_proxy(key):
+                        # Nothing waits on this state and nobody can read it:
+                        # skip the replay, let the next dispatch re-ship the
+                        # full context through the ordinary miss path.
+                        log.location = None
+                        continue
+                    # Replay contributions (re-pin, frame count, round/wire/
+                    # tracer evidence) land in ``host.recovery_stats``.
+                    self._replay_log_locked(log, self._repin_target(site_id))
+            for entry in site_entries:
+                if not entry.future.done():  # pragma: no cover - defensive
+                    entry.future.set_exception(
+                        DeadHostError(
+                            f"{reason}; its site log could not be replayed",
+                            host_id=host.host_id,
+                            round_index=entry.round_index,
+                        )
+                    )
+            for entry in pull_entries:
+                self._reissue_pull(entry, reason)
+        except BaseException as exc:  # noqa: BLE001 - relayed to every waiter
+            error = exc if isinstance(exc, DeadHostError) else DeadHostError(
+                f"recovery of cluster host {host.host_id} failed: {exc!r} "
+                f"(original death: {reason})",
+                host_id=host.host_id,
+            )
+            for _, entry in pending:
+                self._clear_log_pending(entry)
+                if not entry.future.done():
+                    entry.future.set_exception(error)
+            return
+        with self._retry_lock:
+            # Merge replay contributions — including those from dispatches or
+            # pulls that beat this thread to a site-log replay, which would
+            # otherwise leave the event empty.  Pass 2 above blocked on every
+            # log's lock, so all replays of this host's logs are recorded.
+            stats = host.recovery_stats
+            if stats is not None:
+                repin.update(stats["repin"])
+                replayed += stats["frames"]
+                round_hint = max(round_hint, stats["round"])
+                if wire is None:
+                    wire = stats["wire"]
+                if tracer is None:
+                    tracer = stats["tracer"]
+                # Later contributors (a task registration that raced the
+                # death after this merge) emit the event themselves iff we
+                # are not about to.
+                stats["closed"] = True
+                stats["emitted"] = wire is not None
+        if wire is not None:
+            wire.record_recovery(
+                host=host.host_id, round_index=round_hint, reason=reason,
+                repin=repin, replayed_frames=replayed,
+            )
+        if tracer is not None:
+            tracer.inc("recovery.host_failures")
+            tracer.inc("recovery.repinned_sites", len(repin))
+            tracer.add_span(
+                "recovery", t0, tracer.clock(), origin="coordinator",
+                host=host.host_id, round=round_hint,
+                sites=len(repin), frames=replayed,
+            )
+            tracer.event(
+                "host_death", host=host.host_id, round=round_hint,
+                repinned=len(repin), replayed=replayed,
+            )
+
+    def _redispatch_task(self, entry: _Pending) -> None:
+        """Re-dispatch one in-flight structure-free task to a survivor."""
+        target = self._repin_target_index(entry.task_index)
+        fn, payload = entry.task_fn, entry.task_payload
+        traced = entry.tracer is not None
+
+        def build(seq, target=target):
+            counts: Dict[str, int] = {}
+            encoded = target.payloads.encode(payload, counts=counts)
+            if traced:
+                return ("task", seq, fn, encoded, True)
+            return ("task", seq, fn, encoded)
+
+        if entry.tracer is not None:
+            entry.tracer.inc("recovery.replayed_frames")
+        future = self._submit_frame(
+            target, build,
+            wire=entry.wire, round_index=entry.round_index, kind="replay_task",
+            convert=entry.convert, tracer=entry.tracer,
+            entry_extra={
+                "task_fn": fn, "task_payload": payload,
+                "task_index": entry.task_index,
+            },
+        )
+        self._bridge_future(future, entry.future)
+
+    def _adopt_raced_task(self, host: _Host, entry: _Pending) -> None:
+        """Adopt a task whose registration raced ``host``'s death.
+
+        The reader thread can observe a death before the dispatching thread
+        registers its entry, so ``_recover_host`` saw nothing in flight and
+        may already have finished — with no pending frames and no resident
+        site state it had no round/ledger evidence and emitted nothing.
+        The frame never touched the wire.  Route it to a survivor through
+        the regular re-dispatch path, and make sure the death still shows
+        in the ledger: contribute this entry's round/wire/tracer to the
+        death's shared bookkeeping if the recovery thread has not merged
+        yet, or emit the recovery event here if it closed without one.
+        """
+        emit = False
+        with self._retry_lock:
+            stats = host.recovery_stats
+            if stats is not None:
+                if not stats["closed"]:
+                    stats["round"] = max(stats["round"], entry.round_index)
+                    if stats["wire"] is None:
+                        stats["wire"] = entry.wire
+                    if stats["tracer"] is None:
+                        stats["tracer"] = entry.tracer
+                elif not stats["emitted"]:
+                    stats["emitted"] = True
+                    emit = True
+        if emit:
+            if entry.wire is not None:
+                entry.wire.record_recovery(
+                    host=host.host_id, round_index=entry.round_index,
+                    reason=host.dead, repin={}, replayed_frames=0,
+                )
+            if entry.tracer is not None:
+                entry.tracer.inc("recovery.host_failures")
+                entry.tracer.event(
+                    "host_death", host=host.host_id,
+                    round=entry.round_index, repinned=0, replayed=0,
+                )
+        try:
+            self._redispatch_task(entry)
+        except DeadHostError as exc:
+            if not entry.future.done():
+                entry.future.set_exception(exc)
+
+    def _reissue_pull(self, entry: _Pending, reason: str) -> None:
+        """Re-issue one in-flight state pull against the replayed resident copy."""
+        key, keys = entry.pull_info
+        with self._logs_lock:
+            log = self._site_logs.get(key)
+        if log is None:
+            entry.future.set_exception(
+                DeadHostError(
+                    f"{reason}; resident state {key!r} has no dispatch log to "
+                    "replay its entries from",
+                    host_id=None,
+                    round_index=entry.round_index,
+                )
+            )
+            return
+        with log.lock:
+            target = self._ensure_located_locked(log)
+            epoch = log.epoch
+        if target is None:  # pragma: no cover - a pull implies a dispatch
+            entry.future.set_exception(
+                DeadHostError(
+                    f"{reason}; resident state {key!r} was never dispatched",
+                    round_index=entry.round_index,
+                )
+            )
+            return
+        if entry.tracer is not None:
+            entry.tracer.inc("recovery.replayed_frames")
+        future = self._submit_frame(
+            target,
+            lambda seq, key=key, epoch=epoch, keys=keys: (
+                "pull_state", seq, key, epoch, list(keys)
+            ),
+            wire=entry.wire, round_index=entry.round_index, kind="replay_pull",
+            convert=None, tracer=entry.tracer,
+            entry_extra={"pull_info": (key, list(keys))},
+        )
+        self._bridge_future(future, entry.future)
+
+    @staticmethod
+    def _bridge_future(source: Future, destination: Future) -> None:
+        """Resolve ``destination`` with whatever ``source`` produces."""
+
+        def _copy(done: Future) -> None:
+            if destination.done():
+                return
+            exc = done.exception()
+            if exc is not None:
+                destination.set_exception(exc)
+            else:
+                destination.set_result(done.result())
+
+        source.add_done_callback(_copy)
+
+    def _apply_faults(self, host: _Host, actions) -> None:
+        """Execute matched fault-plan actions against one host."""
+        for action in actions:
+            if action.op == "kill":
+                if host.process is not None:
+                    try:
+                        host.process.kill()
+                    except OSError:  # pragma: no cover - already gone
+                        pass
+            elif action.op == "stall":
+                if host.process is not None:
+                    try:
+                        host.process.send_signal(signal.SIGSTOP)
+                    except OSError:  # pragma: no cover - already gone
+                        pass
+            elif action.op == "disconnect":
+                if host.channel is not None:
+                    try:
+                        host.channel.close()
+                    except OSError:  # pragma: no cover - already closed
+                        pass
+            elif action.op == "delay":
+                time.sleep(action.seconds)
 
     def _read_loop(self, host: _Host) -> None:
         while True:
@@ -313,7 +1088,13 @@ class ClusterBackend(ExecutionBackend):
                 if host.dead is None and self._hosts is not None:
                     self._mark_dead(host, f"result frame could not be decoded: {exc!r}")
                 return
+            host.last_seen = time.monotonic()
             tag = frame[0]
+            if tag == "hb":
+                # Unsolicited runner heartbeat: liveness only.  Never recorded
+                # in the wire ledger — byte accounting stays identical to a
+                # heartbeat-free run.
+                continue
             if tag == "bye":
                 return
             if tag == "fatal":
@@ -343,11 +1124,22 @@ class ClusterBackend(ExecutionBackend):
                     entry.tracer.inc("wire.bytes_encoded", n_bytes)
                     entry.tracer.inc("wire.bytes_encoded.recv", n_bytes)
                     entry.tracer.inc(f"wire.bytes_encoded.{entry.kind}_result", n_bytes)
+                    if entry.kind.startswith("replay"):
+                        entry.tracer.inc("recovery.replay_bytes", n_bytes)
             if entry.tracer is not None:
                 entry.tracer.add_span(
                     "rpc", entry.t_send, t_recv, kind=entry.kind,
                     host=host.host_id, round=entry.round_index,
                     n_bytes=n_bytes, raw_bytes=raw_bytes,
+                )
+            plan = self.fault_plan
+            if plan is not None and entry.fault_ordinal is not None:
+                # After-trigger point: the frame's result has arrived.
+                match_kind = "site" if entry.kind == "site" else "task"
+                self._apply_faults(
+                    host,
+                    plan.take(host.host_id, entry.round_index, match_kind,
+                              entry.fault_ordinal, "after"),
                 )
             if tag == "exc":
                 _, _, exc, tb = frame
@@ -356,10 +1148,11 @@ class ClusterBackend(ExecutionBackend):
                         f"cluster host {host.host_id} task failed with an "
                         f"unpicklable exception:\n{tb}"
                     )
+                self._clear_log_pending(entry)
                 entry.future.set_exception(exc)
                 continue
             value = frame[2]
-            if tag == "res" and entry.kind == "task":
+            if tag == "res" and entry.kind in ("task", "replay_task"):
                 # Task results are content-addressed by the runner exactly
                 # like dispatch payloads; resolve refs against this host's
                 # mirror (storing fresh VALs) before the converter runs.
@@ -374,6 +1167,14 @@ class ClusterBackend(ExecutionBackend):
                 except BaseException as decode_exc:  # noqa: BLE001 - relayed
                     entry.future.set_exception(decode_exc)
                     continue
+            digest = None
+            if entry.site_log is not None and isinstance(value, dict):
+                # Commit the record's state digest to its site log before the
+                # future resolves: replay verification reads it, and a waiter
+                # observing the result must observe the checkpoint too.
+                state = value.get("state")
+                if is_state_digest(state):
+                    digest = (state[1], state[2])
             extras = frame[3] if len(frame) > 3 else None
             if extras:
                 timer = extras.get("timer")
@@ -391,8 +1192,14 @@ class ClusterBackend(ExecutionBackend):
                 if entry.convert is not None:
                     value = entry.convert(value)
             except BaseException as convert_exc:  # noqa: BLE001 - relayed
+                self._clear_log_pending(entry)
                 entry.future.set_exception(convert_exc)
                 continue
+            if entry.site_log is not None:
+                if digest is not None:
+                    entry.site_log.note_result(entry.record_index, digest[0], digest[1])
+                else:  # pragma: no cover - keyed dispatches always digest
+                    self._clear_log_pending(entry)
             entry.future.set_result(value)
 
     # ------------------------------------------------------------------
@@ -431,8 +1238,28 @@ class ClusterBackend(ExecutionBackend):
         kind: str,
         convert: Optional[Callable[[Any], Any]],
         tracer=None,
+        entry_extra: Optional[Dict[str, Any]] = None,
+        on_dead: str = "fail",
     ) -> Future:
+        """Encode, register and enqueue one frame; returns its future.
+
+        ``entry_extra`` lands on the pending entry's recovery slots (site
+        log + record, re-dispatchable task, re-issuable pull).  ``on_dead``
+        chooses what a registration racing the host's death does: ``"fail"``
+        (default) resolves the future with the death, ``"raise"`` throws
+        :class:`_HostDied` so the caller can re-target and replay.
+        """
         future: Future = Future()
+        fault_ordinal: Optional[int] = None
+        plan = self.fault_plan
+        if plan is not None and kind in ("site", "task"):
+            # Before-trigger point: counted and applied before any byte of
+            # the frame exists, so a "kill ... when=before" death is observed
+            # by dispatch or by the reader — genuinely mid-round.
+            fault_ordinal = plan.next_ordinal(host.host_id, round_index)
+            self._apply_faults(
+                host, plan.take(host.host_id, round_index, kind, fault_ordinal, "before")
+            )
         with self._submit_lock:
             self._seq += 1
             seq = self._seq
@@ -460,15 +1287,50 @@ class ClusterBackend(ExecutionBackend):
             # lands in the drain or the death is observed here — never an
             # unresolved future.
             entry = _Pending(future, wire, round_index, kind, convert)
+            entry.fault_ordinal = fault_ordinal
+            if entry_extra:
+                for slot, value in entry_extra.items():
+                    setattr(entry, slot, value)
             if tracer is not None and tracer.enabled:
                 entry.tracer = tracer
                 entry.t_send = tracer.clock()
+            died = False
             with host.lock:
                 if host.dead is not None:
-                    future.set_exception(RuntimeError(host.dead))
-                    return future
-                host.pending[seq] = entry
-            if wire is not None:
+                    if on_dead == "raise":
+                        raise _HostDied(host.dead)
+                    if (entry.task_fn is not None and self.retry.enabled
+                            and self._exhausted is None):
+                        # The reader observed the death before this entry was
+                        # registered, so _recover_host never saw it.  The
+                        # frame never touched the wire; adopt it into the
+                        # death's recovery outside the locks.
+                        died = True
+                    else:
+                        future.set_exception(
+                            DeadHostError(
+                                self._exhausted or host.dead,
+                                host_id=host.host_id,
+                                round_index=round_index,
+                                epoch=self._log_epoch_for(entry),
+                            )
+                        )
+                        return future
+                else:
+                    if not host.pending:
+                        # Idle -> busy: the silence window the heartbeat
+                        # monitor measures starts now, not at the last old
+                        # frame.
+                        host.last_seen = time.monotonic()
+                    host.pending[seq] = entry
+                    if entry.site_log is not None:
+                        # Atomic with registration: either _mark_dead's drain
+                        # sees this entry (and replay resolves it via the
+                        # log), or the death was observed above — never an
+                        # orphaned record.
+                        entry.site_log.pending = (entry.record_index, entry)
+                        entry.site_log.location = host.host_id
+            if not died and wire is not None:
                 wire.record(
                     round_index=round_index, host=host.host_id,
                     direction="send", kind=kind + "_dispatch",
@@ -485,7 +1347,14 @@ class ClusterBackend(ExecutionBackend):
                     entry.tracer.inc("wire.bytes_encoded", frame.n_bytes)
                     entry.tracer.inc("wire.bytes_encoded.send", frame.n_bytes)
                     entry.tracer.inc(f"wire.bytes_encoded.{kind}_dispatch", frame.n_bytes)
-            host.send_queue.put((frame, seq))
+                    if kind.startswith("replay"):
+                        entry.tracer.inc("recovery.replay_bytes", frame.n_bytes)
+            if not died:
+                host.send_queue.put((frame, seq))
+        if died:
+            # Outside the dead host's encode lock: the re-dispatch encodes
+            # against the survivor's cache under that host's own lock.
+            self._adopt_raced_task(host, entry)
         return future
 
     def submit_tasks(
@@ -528,15 +1397,23 @@ class ClusterBackend(ExecutionBackend):
                 return ("task", seq, fn, encoded, True)
             return ("task", seq, fn, encoded)
 
+        recovery = self.retry.enabled
         futures = []
         for index, payload in enumerate(payloads):
-            host = hosts[index % len(hosts)]
+            # Recovery keeps the same deterministic default placement but
+            # routes around hosts that already died; it also remembers the
+            # (fn, payload, index) so an in-flight loss re-dispatches.
+            host = self._repin_target_index(index) if recovery else hosts[index % len(hosts)]
+            extra = (
+                {"task_fn": fn, "task_payload": payload, "task_index": index}
+                if recovery else None
+            )
             futures.append(
                 self._submit_frame(
                     host,
                     lambda seq, host=host, payload=payload: build_task(seq, host, payload),
                     wire=wire, round_index=round_index, kind="task", convert=None,
-                    tracer=tracer,
+                    tracer=tracer, entry_extra=extra,
                 )
             )
         return futures
@@ -566,10 +1443,18 @@ class ClusterBackend(ExecutionBackend):
             return []
         traced = tracer is not None and tracer.enabled
         hosts = self._ensure_started()
+        recovery = self.retry.enabled
         futures = []
         for task, ctx in pairs:
-            host = hosts[ctx.site_id % len(hosts)]
             key = getattr(ctx, "resident_key", None)
+            if recovery and key is not None:
+                futures.append(
+                    self._submit_site_recoverable(
+                        task, ctx, key, wire, round_index, tracer, traced
+                    )
+                )
+                continue
+            host = hosts[ctx.site_id % len(hosts)]
             evict: List[Any] = []
             if key is not None and key in host.resident_keys:
                 if traced:
@@ -632,6 +1517,92 @@ class ClusterBackend(ExecutionBackend):
                 )
             )
         return futures
+
+    def _submit_site_recoverable(
+        self, task, ctx, key, wire, round_index, tracer, traced
+    ) -> Future:
+        """The recovery-enabled twin of the ``submit_site_pairs`` loop body.
+
+        Identical placement, residency and state handling, plus the
+        checkpoint: every dispatch appends a
+        :class:`~repro.cluster.recovery.SiteDispatchRecord` to the key's
+        :class:`~repro.cluster.recovery.SiteLog` *before* the frame is built,
+        and a dead location is replayed onto the deterministic re-pin target
+        under the log lock before anything new is dispatched there.
+        """
+        with self._logs_lock:
+            log = self._site_logs.get(key)
+            if log is None:
+                log = SiteLog(key, ctx.site_id, (ctx.shard, ctx.local_metric))
+                self._site_logs[key] = log
+        with log.lock:
+            target = self._ensure_located_locked(log)
+            if target is None:
+                target = self._repin_target(ctx.site_id)
+            evict: List[Any] = []
+            if key in target.resident_keys:
+                if traced:
+                    tracer.inc("cluster.resident_hit")
+                sticky = None
+            else:
+                if traced:
+                    tracer.inc("cluster.resident_miss")
+                sticky = (ctx.shard, ctx.local_metric)
+                stale = target.resident_by_site.get(ctx.site_id)
+                if stale is not None and stale != key:
+                    self._detach_resident_key(stale)
+                    evict.append(stale)
+                    target.resident_keys.discard(stale)
+                    with self._logs_lock:
+                        self._site_logs.pop(stale, None)
+                target.resident_keys.add(key)
+                target.resident_by_site[ctx.site_id] = key
+            state = self._encode_dispatch_state(ctx.state, key)
+            if traced:
+                tracer.inc(
+                    "cluster.state_token" if is_state_token(state) else "cluster.state_ship"
+                )
+            record = SiteDispatchRecord(
+                round_index, ctx.site_id, task.fn, task.args, task.kwargs,
+                encode_payload(ctx.rng), ctx.inbox, state, traced, wire, tracer,
+            )
+            index = log.append(record)
+            dyn = {
+                "site_id": ctx.site_id,
+                "fn": task.fn,
+                "args": task.args,
+                "kwargs": task.kwargs,
+                "state": state,
+                "rng": ctx.rng,
+                "inbox": ctx.inbox,
+            }
+            if traced:
+                dyn["trace"] = True
+
+            def build_site(seq, target=target, key=key, sticky=sticky,
+                           dyn=dyn, evict=evict):
+                if evict:
+                    target.payloads.clear()
+                return ("site", seq, key, sticky, dyn, evict)
+
+            convert = self._site_result_converter(
+                target, key, ctx.site_id, wire, round_index, tracer
+            )
+            try:
+                return self._submit_frame(
+                    target, build_site,
+                    wire=wire, round_index=round_index, kind="site",
+                    convert=convert, tracer=tracer, on_dead="raise",
+                    entry_extra={"site_log": log, "record_index": index},
+                )
+            except _HostDied:
+                # The target died between placement and registration.  The
+                # record is already in the log; replaying it (from record 0,
+                # on a fresh re-pin target) both rebuilds the resident state
+                # and produces this dispatch's result.
+                adopted: Future = Future()
+                self._replay_log_locked(log, self._repin_target(ctx.site_id), adopted)
+                return adopted
 
     # ------------------------------------------------------------------
     # Resident mutable state
@@ -724,6 +1695,12 @@ class ClusterBackend(ExecutionBackend):
         The pull frames land in the same wire ledger as the round that
         produced the digest, so the ledger stays an honest account of every
         byte the protocol's state handling moved.
+
+        When the owning host has died, a recovery-enabled backend redirects
+        the fault to the replayed copy of the state (replaying the site's
+        dispatch log first if recovery has not reached it yet); a fail-fast
+        backend raises :class:`DeadHostError` naming the host, the epoch and
+        the entries that just became unreachable.
         """
         hosts = self._hosts
         if hosts is None or host not in hosts:
@@ -732,17 +1709,80 @@ class ClusterBackend(ExecutionBackend):
                 "cluster backend holding them was closed (pull_state() first)"
             )
         keys = list(keys)
+        recovery = self.retry.enabled
+        if host.dead is not None:
+            if recovery:
+                return self._pull_redirected(host, key, keys, wire, round_index, tracer)
+            raise DeadHostError(
+                f"state entries {keys!r} of {key!r} at epoch {epoch} are "
+                f"unreachable: {host.dead}",
+                host_id=host.host_id, round_index=round_index, epoch=epoch,
+            )
         if tracer is not None and tracer.enabled:
             tracer.inc("cluster.state_pulls")
             tracer.event(
                 "state_pull", host=host.host_id, round=round_index,
                 epoch=epoch, keys=len(keys),
             )
+        try:
+            future = self._submit_frame(
+                host,
+                lambda seq: ("pull_state", seq, key, epoch, keys),
+                wire=wire, round_index=round_index, kind="state_pull", convert=None,
+                tracer=tracer,
+                on_dead="raise" if recovery else "fail",
+                entry_extra={"pull_info": (key, keys)} if recovery else None,
+            )
+        except _HostDied:
+            # The host died between the liveness check and registration.
+            return self._pull_redirected(host, key, keys, wire, round_index, tracer)
+        return future.result()
+
+    def _pull_redirected(
+        self,
+        dead_host: _Host,
+        key: Any,
+        keys: List[str],
+        wire: Optional[WireLedger],
+        round_index: int,
+        tracer=None,
+    ) -> Dict[str, Any]:
+        """Fault state entries from the replayed copy after the owner died.
+
+        The site's dispatch log tells recovery where the state lives now (or
+        gets replayed onto the deterministic re-pin target right here, under
+        the log lock, if recovery has not reached this site yet).  The pull
+        is charged to the wire as a ``replay_pull`` frame — recovery bytes,
+        accounted like every other byte.
+        """
+        with self._logs_lock:
+            log = self._site_logs.get(key)
+        if log is None:
+            raise DeadHostError(
+                f"state entries {keys!r} of {key!r} are unreachable and there "
+                f"is no dispatch log to replay: {dead_host.dead}",
+                host_id=dead_host.host_id, round_index=round_index,
+            )
+        with log.lock:
+            target = self._ensure_located_locked(log)
+            epoch = log.epoch
+        if target is None:
+            raise DeadHostError(
+                f"state entries {keys!r} of {key!r} are unreachable and its "
+                f"dispatch log is empty: {dead_host.dead}",
+                host_id=dead_host.host_id, round_index=round_index,
+            )
+        if tracer is not None and tracer.enabled:
+            tracer.inc("cluster.state_pulls")
+            tracer.event(
+                "state_pull", host=target.host_id, round=round_index,
+                epoch=epoch, keys=len(keys),
+            )
         future = self._submit_frame(
-            host,
+            target,
             lambda seq: ("pull_state", seq, key, epoch, keys),
-            wire=wire, round_index=round_index, kind="state_pull", convert=None,
-            tracer=tracer,
+            wire=wire, round_index=round_index, kind="replay_pull", convert=None,
+            tracer=tracer, entry_extra={"pull_info": (key, keys)},
         )
         return future.result()
 
@@ -803,6 +1843,10 @@ class ClusterBackend(ExecutionBackend):
             keys = list(self._live_state)
         for key in keys:
             self._detach_resident_key(key)
+        with self._logs_lock:
+            # Dispatch logs checkpoint *resident* state; once nothing is
+            # resident there is nothing left to replay.
+            self._site_logs.clear()
 
         def build_clear(seq: int, host: _Host) -> Tuple:
             # Clearing the mirror under the encode lock, at the exact frame

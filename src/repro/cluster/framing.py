@@ -280,13 +280,19 @@ def encode_frame(obj: Any, codec: Union[str, Codec, None] = None) -> EncodedFram
 #: (shard + metric shipping) and structure-free task traffic.  State pulls
 #: are latency-sensitive faults and control frames are tiny — both stay
 #: uncompressed.
-COMPRESSIBLE_KINDS = ("site", "task")
+COMPRESSIBLE_KINDS = ("site", "task", "replay", "replay_task")
 
 _DEFAULT_POLICY: Dict[str, str] = {
     "site": "auto",
     "task": "auto",
     "state_pull": "none",
     "control": "none",
+    # Recovery traffic mirrors the kinds it replays: re-executed site
+    # dispatches and re-dispatched tasks compress like the originals,
+    # re-issued state pulls stay latency-sensitive and uncompressed.
+    "replay": "auto",
+    "replay_task": "auto",
+    "replay_pull": "none",
 }
 
 #: Environment variable overriding the codec of every compressible kind

@@ -67,6 +67,15 @@ resolved from the runner's (inherited) environment — site/task replies get
 the compressing codec, state pulls and control frames stay uncompressed —
 so both directions of a channel agree on codecs without negotiation.
 
+When the coordinator's retry policy sets a heartbeat timeout, the runner is
+spawned with :data:`~repro.cluster.recovery.HEARTBEAT_INTERVAL_ENV` in its
+environment and a daemon thread sends unsolicited ``("hb", host_id, n)``
+frames at that interval.  Heartbeats exist purely for liveness — the
+coordinator consumes them before any ledger or counter sees them — so a
+runner stalled inside a long task (or wedged by a SIGSTOP) is distinguishable
+from one that is merely busy.  A send lock serialises heartbeat frames with
+reply frames on the socket.
+
 Failures inside a task are caught and relayed as ``("exc", seq, exc, tb)``
 frames with the original exception object whenever it pickles; the runner
 itself stays alive for the next frame.  The runner is started as a fresh
@@ -79,13 +88,16 @@ closes, so an abruptly killed coordinator never leaks runner processes.
 
 from __future__ import annotations
 
+import os
 import pickle
 import socket
+import threading
 import traceback
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.cluster.framing import Codec, FrameChannel, NONE_CODEC, WirePolicy, encode_payload
 from repro.cluster.payloads import PayloadCache
+from repro.cluster.recovery import HEARTBEAT_INTERVAL_ENV
 from repro.obs.trace import TraceBuffer, collector_scope
 from repro.runtime.state import STATE_DIGEST_TAG, is_state_token
 from repro.utils.timing import Timer
@@ -290,71 +302,121 @@ def _exception_frame(seq: int, exc: BaseException) -> Tuple:
 _REPLY_KIND = {"task": "task", "site": "site", "pull_state": "state_pull"}
 
 
+def _heartbeat_interval() -> float:
+    """Seconds between heartbeat frames (0 disables; from the environment)."""
+    raw = os.environ.get(HEARTBEAT_INTERVAL_ENV, "")
+    try:
+        return float(raw) if raw else 0.0
+    except ValueError:
+        return 0.0
+
+
+def _heartbeat_loop(
+    channel: FrameChannel,
+    host_id: int,
+    send_lock: threading.Lock,
+    stop: threading.Event,
+    interval: float,
+) -> None:
+    """Send unsolicited liveness frames until told to stop (or the socket dies)."""
+    n = 0
+    while not stop.wait(interval):
+        n += 1
+        try:
+            with send_lock:
+                channel.send(("hb", host_id, n))
+        except OSError:
+            return  # coordinator gone; the serve loop is exiting too
+
+
 def serve(channel: FrameChannel, host_id: int) -> None:
     """Serve dispatch frames until shutdown or coordinator disconnect."""
     resident: Dict[Any, Tuple] = {}
     resident_state: Dict[Any, Tuple[int, dict]] = {}
     payloads = PayloadCache()
     policy = WirePolicy.from_env()
-    channel.send(("hello", host_id))
-    while True:
-        try:
-            frame, _, _, _ = channel.recv()
-        except ConnectionError:
-            return  # coordinator went away; nothing left to serve
-        except Exception as exc:  # noqa: BLE001 - e.g. an unimportable task fn
-            # The frame failed to decode before a sequence number was known,
-            # so it cannot be answered; report why and die loudly instead of
-            # leaving the coordinator a bare connection reset.
-            tb = traceback.format_exc()
-            try:
-                channel.send(("fatal", f"frame decode failed: {exc!r}\n{tb}"))
-            except OSError:
-                pass
-            raise
-        tag = frame[0]
-        if tag == "shutdown":
-            try:
-                channel.send(("bye", host_id))
-            except OSError:
-                pass
-            return
-        if tag == "clear_resident":
-            resident.clear()
-            resident_state.clear()
-            payloads.clear()
-            channel.send(("res", frame[1], None))
-            continue
-        seq = frame[1]
-        codec = policy.codec_for(_REPLY_KIND.get(tag, "control"))
-        try:
-            if tag == "task":
-                response = _execute_generic(frame, host_id, payloads)
-            elif tag == "site":
-                response = _execute_site(
-                    frame, resident, resident_state, host_id, payloads, codec
-                )
-            elif tag == "pull_state":
-                response = _execute_pull_state(frame, resident_state)
+    send_lock = threading.Lock()
+    stop = threading.Event()
+
+    def send(frame: Tuple, codec: Optional[Codec] = None) -> None:
+        # All socket writes go through the send lock so heartbeat frames
+        # never interleave with a reply frame's bytes.
+        with send_lock:
+            if codec is None:
+                channel.send(frame)
             else:
-                raise RuntimeError(f"unknown frame tag {tag!r}")
-        except BaseException as exc:  # noqa: BLE001 - relayed to the coordinator
-            response = _exception_frame(seq, exc)
-            codec = NONE_CODEC
-        try:
-            channel.send(response, codec)
-        except OSError:
-            return  # coordinator gone mid-reply; nothing left to serve
-        except Exception as exc:  # noqa: BLE001 - e.g. an unpicklable result
-            # Frames are encoded before any byte hits the socket, so a
-            # serialization failure leaves the stream clean: relay it as
-            # this task's failure instead of dying and losing the host.
-            channel.send(
-                _exception_frame(
-                    seq,
-                    RuntimeError(f"task result could not be serialized: {exc!r}"),
+                channel.send(frame, codec)
+
+    interval = _heartbeat_interval()
+    if interval > 0:
+        threading.Thread(
+            target=_heartbeat_loop,
+            args=(channel, host_id, send_lock, stop, interval),
+            daemon=True,
+            name=f"runner-{host_id}-heartbeat",
+        ).start()
+    try:
+        send(("hello", host_id))
+        while True:
+            try:
+                frame, _, _, _ = channel.recv()
+            except ConnectionError:
+                return  # coordinator went away; nothing left to serve
+            except Exception as exc:  # noqa: BLE001 - e.g. an unimportable task fn
+                # The frame failed to decode before a sequence number was known,
+                # so it cannot be answered; report why and die loudly instead of
+                # leaving the coordinator a bare connection reset.
+                tb = traceback.format_exc()
+                try:
+                    send(("fatal", f"frame decode failed: {exc!r}\n{tb}"))
+                except OSError:
+                    pass
+                raise
+            tag = frame[0]
+            if tag == "shutdown":
+                try:
+                    send(("bye", host_id))
+                except OSError:
+                    pass
+                return
+            if tag == "clear_resident":
+                resident.clear()
+                resident_state.clear()
+                payloads.clear()
+                send(("res", frame[1], None))
+                continue
+            seq = frame[1]
+            codec = policy.codec_for(_REPLY_KIND.get(tag, "control"))
+            try:
+                if tag == "task":
+                    response = _execute_generic(frame, host_id, payloads)
+                elif tag == "site":
+                    response = _execute_site(
+                        frame, resident, resident_state, host_id, payloads, codec
+                    )
+                elif tag == "pull_state":
+                    response = _execute_pull_state(frame, resident_state)
+                else:
+                    raise RuntimeError(f"unknown frame tag {tag!r}")
+            except BaseException as exc:  # noqa: BLE001 - relayed to the coordinator
+                response = _exception_frame(seq, exc)
+                codec = NONE_CODEC
+            try:
+                send(response, codec)
+            except OSError:
+                return  # coordinator gone mid-reply; nothing left to serve
+            except Exception as exc:  # noqa: BLE001 - e.g. an unpicklable result
+                # Frames are encoded before any byte hits the socket, so a
+                # serialization failure leaves the stream clean: relay it as
+                # this task's failure instead of dying and losing the host.
+                send(
+                    _exception_frame(
+                        seq,
+                        RuntimeError(f"task result could not be serialized: {exc!r}"),
+                    )
                 )
-            )
+    finally:
+        stop.set()
 
 
 def runner_main(socket_path: str, host_id: int) -> None:

@@ -30,7 +30,11 @@ from typing import Dict, List, Optional
 #: pairs with its ``*_result`` response.  ``state_pull`` frames exist only
 #: when coordinator code faults runner-resident state entries (lazy site
 #: state proxies); a protocol whose rounds never read heavy state records
-#: none.
+#: none.  ``replay_*`` kinds exist only on runs that recovered from a runner
+#: death: ``replay`` frames re-execute a dead host's site dispatch log on a
+#: survivor, ``replay_task`` re-dispatches its in-flight structure-free
+#: tasks and ``replay_pull`` re-issues its in-flight state faults — the
+#: byte cost of recovery, accounted as honestly as the rest of the wire.
 FRAME_KINDS = (
     "site_dispatch",
     "site_result",
@@ -38,6 +42,12 @@ FRAME_KINDS = (
     "task_result",
     "state_pull_dispatch",
     "state_pull_result",
+    "replay_dispatch",
+    "replay_result",
+    "replay_task_dispatch",
+    "replay_task_result",
+    "replay_pull_dispatch",
+    "replay_pull_result",
 )
 
 
@@ -94,11 +104,52 @@ class WireRecord:
             raise ValueError(f"direction must be 'send' or 'recv', got {self.direction!r}")
 
 
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One recovered runner death, as the wire ledger remembers it.
+
+    ``repin`` is the deterministic re-pin map recovery chose —
+    ``{site_id: new_host_id}`` for every site whose resident state moved off
+    the dead host — and ``replayed_frames`` how many replay dispatches
+    rebuilding that state cost (their bytes appear under the ``replay_*``
+    kinds of the same ledger).
+    """
+
+    host: int
+    round_index: int
+    reason: str
+    repin: Dict[int, int]
+    replayed_frames: int
+
+
 @dataclass
 class WireLedger:
     """Append-only record of every frame sent over runner sockets."""
 
     records: List[WireRecord] = field(default_factory=list)
+    #: Recovered runner deaths, in the order they were handled.  Empty on a
+    #: failure-free run.
+    recovery: List[RecoveryEvent] = field(default_factory=list)
+
+    def record_recovery(
+        self,
+        *,
+        host: int,
+        round_index: int,
+        reason: str,
+        repin: Dict[int, int],
+        replayed_frames: int,
+    ) -> RecoveryEvent:
+        """Append one recovered-death event and return it."""
+        event = RecoveryEvent(
+            host=int(host),
+            round_index=int(round_index),
+            reason=str(reason),
+            repin={int(k): int(v) for k, v in repin.items()},
+            replayed_frames=int(replayed_frames),
+        )
+        self.recovery.append(event)
+        return event
 
     def record(
         self,
@@ -219,8 +270,9 @@ class WireLedger:
         return len(self.records)
 
     def merge(self, other: "WireLedger") -> None:
-        """Fold another wire ledger's frames into this one."""
+        """Fold another wire ledger's frames (and recovery events) into this one."""
         self.records.extend(other.records)
+        self.recovery.extend(other.recovery)
 
     def summary(self) -> Dict[str, object]:
         """Compact dictionary used by reports and benchmark output.
@@ -242,7 +294,17 @@ class WireLedger:
             "by_host_kind": self.bytes_by_host_kind(),
             "by_direction": self.bytes_by_direction(),
             "raw_by_direction": self.raw_bytes_by_direction(),
+            "recovery": [
+                {
+                    "host": e.host,
+                    "round": e.round_index,
+                    "reason": e.reason,
+                    "repin": dict(e.repin),
+                    "replayed_frames": e.replayed_frames,
+                }
+                for e in self.recovery
+            ],
         }
 
 
-__all__ = ["FRAME_KINDS", "WireLedger", "WireRecord"]
+__all__ = ["FRAME_KINDS", "RecoveryEvent", "WireLedger", "WireRecord"]

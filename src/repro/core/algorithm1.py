@@ -46,7 +46,7 @@ from repro.metrics.blocked import (
 )
 from repro.metrics.cost_matrix import build_cost_matrix, validate_objective
 from repro.obs.trace import TraceLike, resolve_tracer, trace_run
-from repro.runtime.backends import BackendLike, backend_scope
+from repro.runtime.backends import BackendLike, apply_retry_policy, backend_scope
 from repro.runtime.state import snapshot_site_state
 from repro.runtime.tasks import SiteTask, run_site_tasks
 from repro.runtime.transport import TransportLike, resolve_transport
@@ -127,6 +127,7 @@ def distributed_partial_median(
     prefetch: Optional[bool] = None,
     async_rounds: bool = False,
     trace: TraceLike = False,
+    retry: Optional["RetryPolicy"] = None,
 ) -> DistributedResult:
     """Run Algorithm 1 on a distributed instance.
 
@@ -193,6 +194,15 @@ def distributed_partial_median(
         timeline; see :mod:`repro.obs`).  An existing tracer may be passed
         to share one timeline across runs.  ``False`` (default) adds no
         per-task work and leaves every result bit-identical.
+    retry:
+        A :class:`~repro.cluster.recovery.RetryPolicy` enabling
+        fault-tolerant rounds on the cluster backend: a runner death is
+        detected (socket error or heartbeat timeout), the dead host's sites
+        are re-pinned deterministically to survivors and their dispatch
+        logs replayed, and the run continues bit-identically — replay
+        traffic is accounted under ``replay_*`` wire kinds.  ``None``
+        (default) keeps fail-fast behaviour; in-process backends ignore the
+        policy (they have no hosts to lose).
     """
     objective = validate_objective(instance.objective)
     if objective == "center":
@@ -226,6 +236,7 @@ def distributed_partial_median(
         tracer, "run", algorithm="algorithm1", objective=objective
     ):
         with backend_scope(backend) as exec_backend:
+            apply_retry_policy(exec_backend, retry)
             # --------------------------------------------------------------
             # Round 1: local cost profiles.
             # --------------------------------------------------------------

@@ -37,7 +37,7 @@ from repro.distributed.result import DistributedResult
 from repro.metrics.blocked import MemoryBudgetLike, resolve_memory_budget, shard_scratch
 from repro.metrics.cost_matrix import validate_objective
 from repro.obs.trace import TraceLike, resolve_tracer, trace_run
-from repro.runtime.backends import BackendLike, backend_scope
+from repro.runtime.backends import BackendLike, apply_retry_policy, backend_scope
 from repro.runtime.state import snapshot_site_state
 from repro.runtime.tasks import SiteTask, run_site_tasks
 from repro.runtime.transport import TransportLike, resolve_transport
@@ -115,6 +115,7 @@ def distributed_partial_median_no_shipping(
     prefetch: Optional[bool] = None,
     async_rounds: bool = False,
     trace: TraceLike = False,
+    retry: Optional["RetryPolicy"] = None,
 ) -> DistributedResult:
     """Run the Theorem 3.8 variant (no outlier points are ever transmitted).
 
@@ -151,6 +152,12 @@ def distributed_partial_median_no_shipping(
         ``True`` attaches a :class:`~repro.obs.trace.Tracer` to the result
         (``result.trace``) recording the run's spans, events and counters;
         ``False`` (default) is the zero-overhead no-op (see :mod:`repro.obs`).
+    retry:
+        A :class:`~repro.cluster.recovery.RetryPolicy` enabling
+        fault-tolerant rounds on the cluster backend (runner deaths are
+        recovered by deterministic re-pin and dispatch-log replay, results
+        stay bit-identical); ``None`` (default) keeps fail-fast behaviour
+        and in-process backends ignore the policy.
     """
     objective = validate_objective(instance.objective)
     if objective == "center":
@@ -179,6 +186,7 @@ def distributed_partial_median_no_shipping(
         tracer, "run", algorithm="algorithm1_no_shipping", objective=objective
     ):
         with backend_scope(backend) as exec_backend:
+            apply_retry_policy(exec_backend, retry)
             # Round 1: profiles on the finer grid.
             network.next_round()
             marginals: list = [None] * network.n_sites

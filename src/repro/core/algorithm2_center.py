@@ -42,7 +42,7 @@ from repro.metrics.blocked import (
     shard_scratch,
 )
 from repro.obs.trace import TraceLike, resolve_tracer, trace_run
-from repro.runtime.backends import BackendLike, backend_scope
+from repro.runtime.backends import BackendLike, apply_retry_policy, backend_scope
 from repro.runtime.tasks import SiteTask, run_site_tasks
 from repro.runtime.transport import TransportLike, resolve_transport
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
@@ -126,6 +126,7 @@ def distributed_partial_center(
     prefetch: Optional[bool] = None,
     async_rounds: bool = False,
     trace: TraceLike = False,
+    retry: Optional["RetryPolicy"] = None,
 ) -> DistributedResult:
     """Run Algorithm 2 on a distributed instance with the center objective.
 
@@ -166,6 +167,12 @@ def distributed_partial_center(
         ``True`` attaches a :class:`~repro.obs.trace.Tracer` to the result
         (``result.trace``) recording the run's spans, events and counters;
         ``False`` (default) is the zero-overhead no-op (see :mod:`repro.obs`).
+    retry:
+        A :class:`~repro.cluster.recovery.RetryPolicy` enabling
+        fault-tolerant rounds on the cluster backend (runner deaths are
+        recovered by deterministic re-pin and dispatch-log replay, results
+        stay bit-identical); ``None`` (default) keeps fail-fast behaviour
+        and in-process backends ignore the policy.
     """
     if instance.objective != "center":
         raise ValueError("distributed_partial_center requires a center-objective instance")
@@ -187,6 +194,7 @@ def distributed_partial_center(
         tracer, "run", algorithm="algorithm2_center", objective="center"
     ):
         with backend_scope(backend) as exec_backend:
+            apply_retry_policy(exec_backend, retry)
             # --------------------------------------------------------------
             # Round 1: Gonzalez traversals and witness curves.
             # --------------------------------------------------------------

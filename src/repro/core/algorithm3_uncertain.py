@@ -38,7 +38,7 @@ from repro.metrics.blocked import (
     shard_scratch,
 )
 from repro.obs.trace import TraceLike, resolve_tracer, trace_run
-from repro.runtime.backends import BackendLike, backend_scope
+from repro.runtime.backends import BackendLike, apply_retry_policy, backend_scope
 from repro.runtime.tasks import run_tasks
 from repro.sequential.bicriteria import bicriteria_solve
 from repro.sequential.kcenter_outliers import kcenter_with_outliers
@@ -184,6 +184,7 @@ def distributed_uncertain_clustering(
     prefetch: Optional[bool] = None,
     async_rounds: bool = False,
     trace: TraceLike = False,
+    retry: Optional["RetryPolicy"] = None,
 ) -> DistributedResult:
     """Distributed uncertain ``(k, (1+eps)t)``-median/means/center-pp (Theorem 5.6).
 
@@ -218,6 +219,12 @@ def distributed_uncertain_clustering(
         ``True`` attaches a :class:`~repro.obs.trace.Tracer` to the result
         (``result.trace``) recording the run's spans, events and counters;
         ``False`` (default) is the zero-overhead no-op (see :mod:`repro.obs`).
+    retry:
+        A :class:`~repro.cluster.recovery.RetryPolicy` enabling
+        fault-tolerant rounds on the cluster backend (runner deaths are
+        recovered by deterministic re-pin and dispatch-log replay, results
+        stay bit-identical); ``None`` (default) keeps fail-fast behaviour
+        and in-process backends ignore the policy.
 
     Returns
     -------
@@ -255,6 +262,7 @@ def distributed_uncertain_clustering(
         tracer, "run", algorithm="algorithm3_uncertain", objective=objective
     ):
         with backend_scope(backend) as exec_backend:
+            apply_retry_policy(exec_backend, retry)
             # --------------------------------------------------------------
             # Round 1: collapse + compressed-graph preclustering profiles.
             # --------------------------------------------------------------

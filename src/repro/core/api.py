@@ -84,6 +84,7 @@ def partial_kmedian(
     prefetch: Union[None, bool] = None,
     async_rounds: bool = False,
     trace: TraceLike = False,
+    retry: Optional["RetryPolicy"] = None,
     **kwargs,
 ) -> DistributedResult:
     """Distributed ``(k, (1+eps)t)``-median over a Euclidean point cloud.
@@ -141,6 +142,18 @@ def partial_kmedian(
         :func:`repro.obs.render_round_report` or export with
         :func:`repro.obs.write_chrome_trace`).  ``False`` (default) adds
         no per-task work and leaves every result bit-identical.
+    retry:
+        A :class:`~repro.cluster.recovery.RetryPolicy` making the cluster
+        backend fault tolerant: when a runner process dies mid-round (crash
+        or heartbeat timeout), its sites are re-pinned deterministically to
+        surviving hosts, their dispatch logs are replayed (state epochs and
+        RNG streams carried over, replay verified against the state
+        digests) and the run completes bit-identically to a failure-free
+        run — only the wire ledger shows the extra ``replay_*`` bytes and a
+        recovery event.  ``None`` (default) keeps fail-fast behaviour: the
+        first runner death raises
+        :class:`~repro.cluster.recovery.DeadHostError`.  In-process
+        backends have no hosts to lose and ignore the policy.
     kwargs:
         Forwarded to :func:`repro.core.algorithm1.distributed_partial_median`
         (e.g. ``transport=`` for a runtime transport policy).
@@ -150,7 +163,7 @@ def partial_kmedian(
     return distributed_partial_median(
         instance, epsilon=epsilon, rho=rho, rng=generator, backend=backend,
         memory_budget=memory_budget, prefetch=prefetch, async_rounds=async_rounds,
-        trace=trace, **kwargs
+        trace=trace, retry=retry, **kwargs
     )
 
 
@@ -169,6 +182,7 @@ def partial_kmeans(
     prefetch: Union[None, bool] = None,
     async_rounds: bool = False,
     trace: TraceLike = False,
+    retry: Optional["RetryPolicy"] = None,
     **kwargs,
 ) -> DistributedResult:
     """Distributed ``(k, (1+eps)t)``-means over a Euclidean point cloud.
@@ -181,7 +195,7 @@ def partial_kmeans(
     return distributed_partial_median(
         instance, epsilon=epsilon, rho=rho, rng=generator, backend=backend,
         memory_budget=memory_budget, prefetch=prefetch, async_rounds=async_rounds,
-        trace=trace, **kwargs
+        trace=trace, retry=retry, **kwargs
     )
 
 
@@ -199,6 +213,7 @@ def partial_kcenter(
     prefetch: Union[None, bool] = None,
     async_rounds: bool = False,
     trace: TraceLike = False,
+    retry: Optional["RetryPolicy"] = None,
     **kwargs,
 ) -> DistributedResult:
     """Distributed ``(k, t)``-center over a Euclidean point cloud (Algorithm 2).
@@ -212,7 +227,7 @@ def partial_kcenter(
     return distributed_partial_center(
         instance, rho=rho, rng=generator, backend=backend,
         memory_budget=memory_budget, prefetch=prefetch, async_rounds=async_rounds,
-        trace=trace, **kwargs
+        trace=trace, retry=retry, **kwargs
     )
 
 
@@ -236,6 +251,7 @@ def uncertain_partial_kmedian(
     prefetch: Union[None, bool] = None,
     async_rounds: bool = False,
     trace: TraceLike = False,
+    retry: Optional["RetryPolicy"] = None,
     **kwargs,
 ) -> DistributedResult:
     """Distributed uncertain ``(k, (1+eps)t)``-median/means/center-pp (Algorithm 3).
@@ -261,7 +277,7 @@ def uncertain_partial_kmedian(
     return distributed_uncertain_clustering(
         dist_instance, epsilon=epsilon, rho=rho, rng=generator, backend=backend,
         memory_budget=memory_budget, prefetch=prefetch, async_rounds=async_rounds,
-        trace=trace, **kwargs
+        trace=trace, retry=retry, **kwargs
     )
 
 
@@ -280,6 +296,7 @@ def uncertain_partial_kcenter_g(
     prefetch: Union[None, bool] = None,
     async_rounds: bool = False,
     trace: TraceLike = False,
+    retry: Optional["RetryPolicy"] = None,
     **kwargs,
 ) -> DistributedResult:
     """Distributed uncertain ``(k, (1+eps)t)``-center-g (Algorithm 4).
@@ -294,7 +311,7 @@ def uncertain_partial_kcenter_g(
     return distributed_uncertain_center_g(
         dist_instance, epsilon=epsilon, rho=rho, rng=generator, backend=backend,
         memory_budget=memory_budget, prefetch=prefetch, async_rounds=async_rounds,
-        trace=trace, **kwargs
+        trace=trace, retry=retry, **kwargs
     )
 
 

@@ -46,7 +46,7 @@ from repro.metrics.blocked import (
 )
 from repro.metrics.plan import ReductionPlan
 from repro.obs.trace import TraceLike, resolve_tracer, trace_run
-from repro.runtime.backends import BackendLike, backend_scope
+from repro.runtime.backends import BackendLike, apply_retry_policy, backend_scope
 from repro.runtime.tasks import run_tasks
 from repro.sequential.kcenter_outliers import kcenter_with_outliers
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
@@ -231,6 +231,7 @@ def distributed_uncertain_center_g(
     prefetch: Optional[bool] = None,
     async_rounds: bool = False,
     trace: TraceLike = False,
+    retry: Optional["RetryPolicy"] = None,
 ) -> DistributedResult:
     """Distributed uncertain ``(k, (1+eps)t)``-center-g (Theorem 5.14).
 
@@ -274,6 +275,12 @@ def distributed_uncertain_center_g(
         ``True`` attaches a :class:`~repro.obs.trace.Tracer` to the result
         (``result.trace``) recording the run's spans, events and counters;
         ``False`` (default) is the zero-overhead no-op (see :mod:`repro.obs`).
+    retry:
+        A :class:`~repro.cluster.recovery.RetryPolicy` enabling
+        fault-tolerant rounds on the cluster backend (runner deaths are
+        recovered by deterministic re-pin and dispatch-log replay, results
+        stay bit-identical); ``None`` (default) keeps fail-fast behaviour
+        and in-process backends ignore the policy.
     """
     if epsilon <= 0 or rho <= 1:
         raise ValueError("epsilon must be positive and rho > 1")
@@ -300,6 +307,7 @@ def distributed_uncertain_center_g(
         tracer, "run", algorithm="algorithm4_center_g", objective="center-g"
     ):
         with backend_scope(backend) as exec_backend:
+            apply_retry_policy(exec_backend, retry)
             # --------------------------------------------------------------
             # Round 1a: every party reports its local distance extremes (O(s) words).
             # --------------------------------------------------------------

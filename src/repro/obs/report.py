@@ -33,6 +33,11 @@ SUMMARY_COUNTERS = (
     "plan.tiles",
     "prefetch.hit",
     "prefetch.miss",
+    "recovery.host_failures",
+    "recovery.repinned_sites",
+    "recovery.replayed_frames",
+    "recovery.replay_bytes",
+    "recovery.digest_checks",
 )
 
 

@@ -262,6 +262,25 @@ def resolve_backend(backend: BackendLike) -> ExecutionBackend:
     raise TypeError(f"backend must be None, a name or an ExecutionBackend, got {backend!r}")
 
 
+def apply_retry_policy(backend: ExecutionBackend, retry: Any) -> ExecutionBackend:
+    """Install a fault-tolerance retry policy on backends that support one.
+
+    The hook protocol drivers use to thread their ``retry=`` parameter
+    through to the execution backend: a cluster backend (anything exposing
+    ``set_retry_policy``) adopts the policy.  In-process backends have no
+    hosts to lose — the fault-tolerance guarantee holds vacuously — so a
+    policy on a backend without the hook is a no-op, letting driver code
+    pass the same ``retry=`` regardless of which backend spec it resolves.
+    Returns the backend for chaining.
+    """
+    if retry is None:
+        return backend
+    setter = getattr(backend, "set_retry_policy", None)
+    if setter is not None:
+        setter(retry)
+    return backend
+
+
 @contextmanager
 def backend_scope(backend: BackendLike) -> Iterator[ExecutionBackend]:
     """Resolve a backend spec, closing the pool afterwards only if we made it.
@@ -283,6 +302,7 @@ def backend_scope(backend: BackendLike) -> Iterator[ExecutionBackend]:
 __all__ = [
     "BackendFactory",
     "BackendLike",
+    "apply_retry_policy",
     "available_backends",
     "backend_scope",
     "ExecutionBackend",

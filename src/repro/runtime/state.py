@@ -177,6 +177,23 @@ class RemoteStateProxy(MutableMapping):
             raise RuntimeError("a detached proxy has no resident epoch to reference")
         return (STATE_TOKEN_TAG, self.epoch, dict(self._writes), tuple(sorted(self._deleted)))
 
+    def rebind(self, fetch: Callable[[List[str]], Dict[str, Any]], *, epoch: int) -> None:
+        """Point an attached proxy at a new resident copy of its state.
+
+        Recovery calls this after replaying the proxy's site log onto a
+        surviving host: the replayed copy is bit-identical (digest-verified)
+        but lives at a new host under that host's own monotonic epoch, so
+        both the fault path and the epoch a future :meth:`dispatch_token`
+        references must move together.  Locally cached entries, the write
+        overlay and deletions are untouched — they describe coordinator-side
+        intent, not the resident copy.  No-op on a detached proxy (it no
+        longer reads through any wire).
+        """
+        if self._detached:
+            return
+        self._fetch = fetch
+        self.epoch = int(epoch)
+
     def pull_state(self) -> Dict[str, Any]:
         """Fault every remaining entry, detach from the wire, return the dict.
 

@@ -244,6 +244,23 @@ def run_site_tasks(
     list of :class:`SiteTaskResult` in submission order.  Callers that
     carry RNG streams across rounds must adopt ``result.rng`` (under the
     process backend the stream advanced in the worker, not in the parent).
+
+    Recovery contract
+    -----------------
+    On a cluster backend with a retry policy enabled
+    (:class:`~repro.cluster.recovery.RetryPolicy`), a runner death during the
+    join is transparent: each site's dispatches are checkpointed in a
+    coordinator-side log, the dead host's sites are re-pinned
+    deterministically to survivors, their logs are replayed from record 0
+    (full state + RNG carry-over travel with record 0, so the replay is
+    bit-identical, which recovery asserts against the state digests), and
+    the futures resolve as if nothing happened — same results, same merge
+    order, same ledger words.  Only the wire ledger differs: replay traffic
+    appears under ``replay_*`` frame kinds plus a
+    :class:`~repro.cluster.wire.RecoveryEvent` per handled death.  Once the
+    retry budget is exhausted (or on a fail-fast backend), the join raises
+    :class:`~repro.cluster.recovery.DeadHostError` naming the host, round,
+    in-flight tasks and last committed state epochs.
     """
     tasks = list(tasks)
     seen = set()

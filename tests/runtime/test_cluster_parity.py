@@ -22,7 +22,7 @@ from repro import (
     uncertain_partial_kcenter_g,
     uncertain_partial_kmedian,
 )
-from repro.cluster import ClusterBackend
+from repro.cluster import ClusterBackend, FaultPlan, RetryPolicy
 from repro.core.algorithm1_modified import distributed_partial_median_no_shipping
 
 pytestmark = pytest.mark.cluster
@@ -118,6 +118,83 @@ class TestClusterProtocolParity:
         # before.  Exact repeat-run determinism is asserted in
         # tests/cluster/test_backend.py with fresh pools on both sides.
         assert other.ledger.total_bytes() > 0
+
+
+class TestRecoveryParity:
+    """Kill a runner mid-round: recovery must keep every protocol bit-identical.
+
+    Each protocol gets a fresh three-host pool with a retry policy and a
+    deterministic fault plan that kills host 2 right after it returns its
+    first site result of round 1.  The surviving run must match serial on
+    every axis ``_assert_same_result`` checks, and the wire ledger must show
+    the recovery honestly (a recovery event plus ``replay_*`` frame bytes).
+    """
+
+    PLAN = "kill host=2 round=1 task=1 when=after"
+
+    def _run_with_kill(self, fn, *args, plan=None, **kwargs):
+        backend = ClusterBackend(
+            n_hosts=3,
+            retry=RetryPolicy(max_retries=1),
+            fault_plan=FaultPlan.parse(plan or self.PLAN),
+        )
+        try:
+            result = fn(*args, backend=backend, **kwargs)
+        finally:
+            backend.close()
+        events = result.ledger.wire.summary()["recovery"]
+        assert len(events) == 1 and events[0]["host"] == 2
+        assert any(
+            kind.startswith("replay") and n > 0
+            for kind, n in result.ledger.wire.bytes_by_kind().items()
+        )
+        return result
+
+    def test_kmedian(self, small_workload):
+        base = partial_kmedian(small_workload.points, 3, 15, n_sites=3, seed=42, backend="serial")
+        other = self._run_with_kill(
+            partial_kmedian, small_workload.points, 3, 15, n_sites=3, seed=42
+        )
+        _assert_same_result(base, other)
+
+    def test_kcenter(self, small_workload):
+        base = partial_kcenter(small_workload.points, 3, 15, n_sites=3, seed=42, backend="serial")
+        other = self._run_with_kill(
+            partial_kcenter, small_workload.points, 3, 15, n_sites=3, seed=42
+        )
+        _assert_same_result(base, other)
+
+    def test_no_shipping_variant(self, small_instance):
+        base = distributed_partial_median_no_shipping(small_instance, rng=42, backend="serial")
+        other = self._run_with_kill(
+            distributed_partial_median_no_shipping, small_instance, rng=42
+        )
+        _assert_same_result(base, other)
+
+    def test_uncertain_kmedian(self, small_uncertain_workload):
+        base = uncertain_partial_kmedian(
+            small_uncertain_workload.instance, 3, 6, n_sites=3, seed=42, backend="serial"
+        )
+        # Algorithm 3 fans out structure-free tasks (no resident site state),
+        # so the kill fires *before* the dispatch: the in-flight task is what
+        # recovery re-dispatches (the ``replay_task`` path).
+        other = self._run_with_kill(
+            uncertain_partial_kmedian, small_uncertain_workload.instance, 3, 6,
+            n_sites=3, seed=42, plan="kill host=2 round=1 task=1 when=before",
+        )
+        _assert_same_result(base, other)
+        assert base.metadata["node_assignment"] == other.metadata["node_assignment"]
+
+    def test_center_g(self, small_uncertain_workload):
+        base = uncertain_partial_kcenter_g(
+            small_uncertain_workload.instance, 3, 6, n_sites=3, seed=42, backend="serial"
+        )
+        other = self._run_with_kill(
+            uncertain_partial_kcenter_g, small_uncertain_workload.instance, 3, 6,
+            n_sites=3, seed=42,
+        )
+        _assert_same_result(base, other)
+        assert base.metadata["tau_hat"] == other.metadata["tau_hat"]
 
 
 class TestAsyncRounds:
