@@ -55,6 +55,9 @@ from repro.cluster import ClusterBackend, FaultPlan, RetryPolicy
 from repro.core.algorithm1_modified import distributed_partial_median_no_shipping
 from repro.data import gaussian_mixture_with_outliers, uncertain_nodes_from_mixture
 from repro.distributed import DistributedInstance, partition_balanced
+from repro.obs import assert_byte_parity
+from repro.obs.history import RUN_HISTORY_ENV, RunHistory, summary_record
+from repro.obs.sampler import ResourceSampler
 
 K, T = 3, 15
 N_SITES = 3
@@ -136,20 +139,23 @@ def test_cluster_bytes_per_word(
     rows = []
     detail = {}
     trace_counters = {}
+    peak_rss = {}
     for name, run in runners:
-        base = run("serial")
-        clustered = run(cluster_pool)
-        # One extra traced run per protocol: the byte measurements above stay
-        # untraced (the committed baseline's frames), while the trace supplies
-        # the cache/prefetch/state counters the report layer surfaces — and a
-        # bit-for-bit cross-check of the wire ledger on its own run.
-        traced = run(cluster_pool, trace=True)
-        # Both columns of the raw/encoded split cross-check bit for bit:
-        # wire.bytes* counters carry pre-codec sizes, wire.bytes_encoded*
-        # what physically crossed the sockets.
-        wire = traced.ledger.wire
-        assert int(traced.trace.counter("wire.bytes")) == wire.total_raw_bytes(), name
-        assert int(traced.trace.counter("wire.bytes_encoded")) == wire.total_bytes(), name
+        with ResourceSampler(0.02) as sampler:
+            base = run("serial")
+            clustered = run(cluster_pool)
+            # One extra traced run per protocol: the byte measurements above
+            # stay untraced (the committed baseline's frames), while the trace
+            # supplies the cache/prefetch/state counters the report layer
+            # surfaces — and a bit-for-bit cross-check of the wire ledger on
+            # its own run.
+            traced = run(cluster_pool, trace=True)
+        peak_rss[name] = sampler.peak_rss()
+        # Both columns of the raw/encoded split cross-check bit for bit
+        # (wire.bytes* counters carry pre-codec sizes, wire.bytes_encoded*
+        # what physically crossed the sockets); on mismatch the error names
+        # each disagreeing counter rather than a bare integer pair.
+        assert_byte_parity(traced, label=name)
         trace_counters[name] = {
             counter: traced.trace.counter(counter) for counter in SUMMARY_COUNTERS
         }
@@ -181,6 +187,9 @@ def test_cluster_bytes_per_word(
                 sum(m.n_bytes or 0 for m in clustered.ledger.messages if m.to_coordinator)
             ),
             "trace_counters": trace_counters[name],
+            # Coordinator peak RSS over this protocol's three runs, from a
+            # background ResourceSampler — the capacity-planning column.
+            "peak_rss_bytes": peak_rss[name],
         }
 
     # The committed artifact is the regression baseline (read *before* any
@@ -248,6 +257,20 @@ def test_cluster_bytes_per_word(
 
     # Time one representative cluster run (pool already warm).
     benchmark.pedantic(lambda: runners[0][1](cluster_pool), rounds=1, iterations=1)
+
+    # Every green benchmark run becomes a regression datapoint: with a store
+    # configured (CI exports REPRO_RUN_HISTORY), append one record per
+    # protocol for ``python -m repro.obs.history report``/``compare`` —
+    # appended only after every assertion above passed, so the history never
+    # learns from a broken run.
+    history_path = os.environ.get(RUN_HISTORY_ENV)
+    if history_path:
+        history = RunHistory(history_path)
+        for row in rows:
+            history.append(
+                summary_record(row["protocol"], row,
+                               peak_rss_bytes=peak_rss[row["protocol"]])
+            )
 
     record_rows(
         benchmark,

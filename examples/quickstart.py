@@ -54,6 +54,7 @@ def main() -> None:
     memory_budgets_and_out_of_core_shards(workload.points, k, t)
     fused_plans_and_prefetch(workload.points, k, t)
     observability(workload.points, k, t)
+    live_telemetry_and_run_history(workload.points, k, t)
 
 
 def choosing_a_backend(points, k, t) -> None:
@@ -214,9 +215,12 @@ def fault_tolerance_and_recovery(points, k, t) -> None:
     recovery, honestly accounted: replay traffic under ``replay_*`` frame
     kinds, plus one ``RecoveryEvent`` (host, round, reason, re-pin map) in
     ``result.ledger.wire.summary()["recovery"]``, and ``recovery.*``
-    counters on a traced run.  When the budget is exhausted
-    (``max_retries`` host deaths already recovered), the next death is a
-    clean ``DeadHostError`` with full context.
+    counters on a traced run.  With ``telemetry=`` on (see
+    ``live_telemetry_and_run_history`` below) the same ``recovery.*``
+    counters stream into every live Prometheus/JSONL snapshot, so a
+    mid-run scrape shows a host death the moment it is handled.  When the
+    budget is exhausted (``max_retries`` host deaths already recovered),
+    the next death is a clean ``DeadHostError`` with full context.
 
     Deterministic fault injection — the harness the recovery tests use —
     is available to drills too: a ``FaultPlan`` (or the ``REPRO_FAULT_PLAN``
@@ -422,6 +426,94 @@ def observability(points, k, t) -> None:
         f"bytes match ledger: {summary['bytes_match']}"
     )
     print("\n".join("  " + line for line in render_round_report(result).splitlines()))
+
+
+def live_telemetry_and_run_history(points, k, t) -> None:
+    """Live telemetry and run history.
+
+    ``trace=True`` records a run; ``telemetry=`` *watches* one.  Passing
+    ``telemetry=True`` (or a configured :class:`repro.obs.TelemetrySession`)
+    runs the live plane next to the protocol:
+
+    * **resource sampling** — a background sampler on the coordinator and,
+      on a cluster backend, on every runner.  Runner samples (RSS, CPU
+      seconds, thread/fd counts) piggyback on the heartbeat frames that
+      cross the sockets anyway — zero extra round trips, every heartbeat
+      byte accounted under the wire ledger's ``hb`` kind, still bit-for-bit
+      equal to the trace's counters;
+    * **streaming snapshots** — a snapshot thread publishes the tracer's
+      counters and gauges mid-run to pluggable sinks: Prometheus text
+      exposition (``prometheus_path=`` file target, or ``prometheus_port=``
+      for a stdlib HTTP endpoint to point a scraper at) and JSON lines
+      (``jsonl_path=``).  Mid-run rows show live ``progress.round``,
+      ``progress.tasks_in_flight``, ``wire.bytes`` and ``resource.*`` —
+      and, on a recovered run, the ``recovery.*`` counters;
+    * **structured logs** — span-correlated JSON-lines records
+      (``log_path=``), runner records forwarded over the wire and rebased
+      onto the coordinator timeline;
+    * **run history** — :class:`repro.obs.RunHistory` appends one summary
+      record per run to a persistent JSONL store, and the CLI reads it
+      back::
+
+          python -m repro.obs.history report
+          python -m repro.obs.history compare --baseline BENCH_cluster_bytes.json
+
+      ``compare`` exits 1 when any tracked metric (bytes/word raw+encoded,
+      wall seconds) exceeds 2x its baseline — CI runs it as a smoke step
+      after appending its own benchmark rows.
+
+    The default ``telemetry=False`` is the same null-object bargain as
+    ``trace=False``: one attribute read, zero per-task allocations,
+    bit-identical results.
+    """
+    import os
+    import tempfile
+    import time
+
+    from repro.obs import TelemetrySession
+    from repro.obs.history import RunHistory
+
+    print("\nlive telemetry (snapshots + resource samples) and run history")
+    with tempfile.TemporaryDirectory(prefix="repro-quickstart-") as tmp:
+        session = TelemetrySession(
+            sample_interval=0.02,
+            snapshot_interval=0.05,
+            prometheus_path=os.path.join(tmp, "metrics.prom"),
+            jsonl_path=os.path.join(tmp, "snapshots.jsonl"),
+            label="quickstart",
+        )
+        start = time.perf_counter()
+        result = partial_kmedian(
+            points, k=k, t=t, n_sites=3, seed=7,
+            backend="cluster:3", telemetry=session,
+        )
+        wall = time.perf_counter() - start
+        snapshot = session.last_snapshot
+        gauges = snapshot["gauges"]
+        runner_rss = [
+            (name.split(".")[1], value / 1e6)
+            for name, value in sorted(gauges.items())
+            if name.startswith("resource.host-") and name.endswith(".rss_bytes")
+        ]
+        hb_bytes = result.ledger.wire.bytes_by_kind().get("hb", 0)
+        with open(session.sinks[0].path) as fh:
+            n_snapshots = sum(1 for _ in fh)
+        print(f"  snapshots published     : {n_snapshots} "
+              f"(JSONL + Prometheus text, label 'quickstart')")
+        print(f"  final wire.bytes gauge  : {snapshot['counters']['wire.bytes']:.0f}")
+        print(f"  coordinator peak RSS    : {session.peak_rss / 1e6:.0f} MB")
+        print(f"  runner RSS via heartbeat: "
+              + ", ".join(f"{host} {rss:.0f} MB" for host, rss in runner_rss))
+        print(f"  heartbeat bytes (ledger): {hb_bytes} under kind 'hb'")
+
+        history = RunHistory(os.path.join(tmp, "RUN_HISTORY.jsonl"))
+        history.append_result(
+            "kmedian", result, wall_s=wall, peak_rss_bytes=session.peak_rss
+        )
+        latest = history.latest_by_protocol()["kmedian"]
+        print(f"  history record appended : kmedian "
+              f"{latest['bytes_per_word']:.0f} B/word, wall {latest['wall_s']:.2f}s")
+        session.close()
 
 
 if __name__ == "__main__":

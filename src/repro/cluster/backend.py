@@ -94,6 +94,7 @@ from repro.cluster.recovery import (
     resolve_retry_policy,
 )
 from repro.cluster.wire import WireLedger
+from repro.obs.sampler import RESOURCE_SAMPLE_ENV
 from repro.runtime.backends import ExecutionBackend, default_worker_count
 from repro.runtime.state import (
     RemoteStateProxy,
@@ -181,6 +182,13 @@ class _Host:
         #: must also be enqueued after it, or a payload REF could cross the
         #: socket before the VAL that defined it.
         self.encode_lock = threading.Lock()
+        #: ``(wire, tracer, round_index)`` captured atomically by the last
+        #: dispatch to this host, so the reader thread can account heartbeat
+        #: frames against the same ledger/tracer pair every other frame of
+        #: the run uses — the hb accounting inherits the run's byte-parity
+        #: guarantee by construction.  ``(None, None, 0)`` until the first
+        #: dispatch: heartbeats before any run are liveness-only.
+        self.hb_account: Tuple[Optional[WireLedger], Optional[Any], int] = (None, None, 0)
 
 
 class ClusterBackend(ExecutionBackend):
@@ -230,6 +238,63 @@ class ClusterBackend(ExecutionBackend):
         self._monitor: Optional[threading.Thread] = None
         self._monitor_stop = threading.Event()
         self._recovery_threads: List[threading.Thread] = []
+        #: Telemetry session (``telemetry=`` driver argument); ``None`` when
+        #: the live plane is off.  When set, runners are spawned with
+        #: resource sampling on their heartbeats and runner log buffers are
+        #: forwarded into the session's run log.
+        self.telemetry: Optional[Any] = None
+
+    def set_telemetry(self, telemetry: Optional[Any]) -> None:
+        """Install a telemetry session (the ``telemetry=`` argument lands here).
+
+        Runner-side effects — heartbeat-piggybacked resource samples and the
+        heartbeat interval itself — are inherited through the child
+        environment at spawn time, so a session installed after the pool
+        started only gains the coordinator-side features for already-running
+        hosts; construct the backend before the first dispatch (or pass
+        ``telemetry=`` to the driver, which does) to sample runners too.
+        """
+        self.telemetry = telemetry if (telemetry is not None
+                                       and getattr(telemetry, "enabled", False)) else None
+
+    def detach_run_accounting(self) -> None:
+        """Stop accounting heartbeats against the current run's ledger/tracer.
+
+        Called when a run's backend scope exits (see
+        :func:`repro.runtime.backends.backend_scope`).  Taking each host
+        lock makes this a barrier: a heartbeat being recorded concurrently
+        completes first, so after this returns the finished run's ledger and
+        trace byte totals are frozen — still bit-for-bit equal — while the
+        warm pool's later heartbeats go back to liveness-only.
+        """
+        if self._hosts is None:
+            return
+        for host in self._hosts:
+            with host.lock:
+                host.hb_account = (None, None, 0)
+
+    def _absorb_resource_sample(self, host: _Host, sample: Any) -> None:
+        """Land one heartbeat-piggybacked runner sample on the run timeline.
+
+        Only this host's reader thread touches its gauges, so the manual
+        running max on ``peak_rss_bytes`` is race-free.
+        """
+        session = self.telemetry
+        if session is None or not isinstance(sample, dict):
+            return
+        tracer = session.tracer
+        if tracer is None or not getattr(tracer, "enabled", False):
+            return
+        origin = f"host-{host.host_id}"
+        tracer.event("resource_sample", origin=origin, **sample)
+        prefix = f"resource.{origin}."
+        for field in ("rss_bytes", "cpu_s", "n_threads", "n_fds"):
+            if field in sample:
+                tracer.gauge(prefix + field, sample[field])
+        rss = sample.get("rss_bytes", -1.0)
+        peak_key = prefix + "peak_rss_bytes"
+        if rss > tracer.metrics.gauges.get(peak_key, 0.0):
+            tracer.gauge(peak_key, rss)
 
     def set_retry_policy(self, retry: Optional[RetryPolicy]) -> None:
         """Install a retry policy (the ``retry=`` driver argument lands here).
@@ -263,7 +328,10 @@ class ClusterBackend(ExecutionBackend):
         (script-directory convention) is pinned to the current directory.
         When the retry policy configures a heartbeat timeout, the runner is
         asked to send unsolicited heartbeats at a quarter of it, so a host
-        busy with one long task never looks silent.
+        busy with one long task never looks silent.  An installed telemetry
+        session *also* forces heartbeats on (at its sample interval, or the
+        retry-derived interval if that is tighter) and asks each one to
+        carry a resource sample — the runner-side feed of the live plane.
         """
         entries = []
         for entry in sys.path:
@@ -271,8 +339,13 @@ class ClusterBackend(ExecutionBackend):
         env = dict(os.environ)
         env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(entries))
         timeout = self.retry.heartbeat_timeout
-        if timeout is not None:
-            env[HEARTBEAT_INTERVAL_ENV] = f"{max(0.05, timeout / 4.0):.3f}"
+        interval = max(0.05, timeout / 4.0) if timeout is not None else None
+        if self.telemetry is not None:
+            wanted = max(0.01, float(self.telemetry.sample_interval))
+            interval = wanted if interval is None else min(interval, wanted)
+            env[RESOURCE_SAMPLE_ENV] = "1"
+        if interval is not None:
+            env[HEARTBEAT_INTERVAL_ENV] = f"{interval:.3f}"
         return env
 
     def _ensure_started(self) -> List[_Host]:
@@ -856,10 +929,22 @@ class ClusterBackend(ExecutionBackend):
                 with log.lock:
                     if log.location != host.host_id:
                         continue  # already re-pinned (racing dispatch replayed it)
-                    if log.pending is None and not self._has_live_proxy(key):
-                        # Nothing waits on this state and nobody can read it:
-                        # skip the replay, let the next dispatch re-ship the
-                        # full context through the ordinary miss path.
+                    if (
+                        host.hb_account[0] is None
+                        and log.pending is None
+                        and not self._has_live_proxy(key)
+                    ):
+                        # Nothing waits on this state, nobody can read it, and
+                        # no run is accounting against this host (the
+                        # dispatch-time (wire, tracer) pair is cleared by
+                        # ``detach_run_accounting`` when a run ends): skip the
+                        # replay, let the next dispatch re-ship the full
+                        # context through the ordinary miss path.  While a run
+                        # IS active the log replays even with nothing in
+                        # flight — the run may well dispatch to this site next
+                        # round, and the ledger must show the death (exactly
+                        # one recovery event plus replay frames) no matter how
+                        # the reader thread races that dispatch.
                         log.location = None
                         continue
                     # Replay contributions (re-pin, frame count, round/wire/
@@ -901,6 +986,19 @@ class ClusterBackend(ExecutionBackend):
                     wire = stats["wire"]
                 if tracer is None:
                     tracer = stats["tracer"]
+            if wire is None:
+                # Nothing in flight and nothing replayed, but a run may still
+                # be accounting against this host: fall back to the (wire,
+                # tracer) pair captured at its last dispatch so a mid-run
+                # death always shows in the ledger.  Cleared at run end by
+                # ``detach_run_accounting``, so idle warm-pool deaths stay
+                # off finished runs' books.
+                hb_wire, hb_tracer, hb_round = host.hb_account
+                wire = hb_wire
+                if tracer is None:
+                    tracer = hb_tracer
+                round_hint = max(round_hint, hb_round)
+            if stats is not None:
                 # Later contributors (a task registration that raced the
                 # death after this merge) emit the event themselves iff we
                 # are not about to.
@@ -950,44 +1048,56 @@ class ClusterBackend(ExecutionBackend):
         )
         self._bridge_future(future, entry.future)
 
-    def _adopt_raced_task(self, host: _Host, entry: _Pending) -> None:
-        """Adopt a task whose registration raced ``host``'s death.
+    def _note_death_observed(
+        self, host: _Host, wire, tracer, round_index: int
+    ) -> None:
+        """Make sure ``host``'s death shows in the ledger exactly once.
 
-        The reader thread can observe a death before the dispatching thread
-        registers its entry, so ``_recover_host`` saw nothing in flight and
-        may already have finished — with no pending frames and no resident
-        site state it had no round/ledger evidence and emitted nothing.
-        The frame never touched the wire.  Route it to a survivor through
-        the regular re-dispatch path, and make sure the death still shows
-        in the ledger: contribute this entry's round/wire/tracer to the
-        death's shared bookkeeping if the recovery thread has not merged
-        yet, or emit the recovery event here if it closed without one.
+        Called by any dispatch that *observes* a death — a registration that
+        raced it, or a later placement that routes around the dead host.
+        Contributes this dispatch's round/wire/tracer to the death's shared
+        bookkeeping if the recovery thread has not merged yet (it emits the
+        single merged event), or emits the recovery event here if the
+        thread closed without ledger evidence (nothing was in flight and
+        nothing was resident, so it had no wire to record on).  The
+        ``emitted`` flag under ``_retry_lock`` keeps the event unique.
         """
         emit = False
         with self._retry_lock:
             stats = host.recovery_stats
             if stats is not None:
                 if not stats["closed"]:
-                    stats["round"] = max(stats["round"], entry.round_index)
+                    stats["round"] = max(stats["round"], round_index)
                     if stats["wire"] is None:
-                        stats["wire"] = entry.wire
+                        stats["wire"] = wire
                     if stats["tracer"] is None:
-                        stats["tracer"] = entry.tracer
-                elif not stats["emitted"]:
+                        stats["tracer"] = tracer
+                elif not stats["emitted"] and wire is not None:
                     stats["emitted"] = True
                     emit = True
         if emit:
-            if entry.wire is not None:
-                entry.wire.record_recovery(
-                    host=host.host_id, round_index=entry.round_index,
-                    reason=host.dead, repin={}, replayed_frames=0,
-                )
-            if entry.tracer is not None:
-                entry.tracer.inc("recovery.host_failures")
-                entry.tracer.event(
+            wire.record_recovery(
+                host=host.host_id, round_index=round_index,
+                reason=host.dead, repin={}, replayed_frames=0,
+            )
+            if tracer is not None:
+                tracer.inc("recovery.host_failures")
+                tracer.event(
                     "host_death", host=host.host_id,
-                    round=entry.round_index, repinned=0, replayed=0,
+                    round=round_index, repinned=0, replayed=0,
                 )
+
+    def _adopt_raced_task(self, host: _Host, entry: _Pending) -> None:
+        """Adopt a task whose registration raced ``host``'s death.
+
+        The reader thread can observe a death before the dispatching thread
+        registers its entry, so ``_recover_host`` saw nothing in flight and
+        may already have finished.  The frame never touched the wire.  Route
+        it to a survivor through the regular re-dispatch path, with
+        :meth:`_note_death_observed` keeping the death visible in the
+        ledger.
+        """
+        self._note_death_observed(host, entry.wire, entry.tracer, entry.round_index)
         try:
             self._redispatch_task(entry)
         except DeadHostError as exc:
@@ -1091,9 +1201,33 @@ class ClusterBackend(ExecutionBackend):
             host.last_seen = time.monotonic()
             tag = frame[0]
             if tag == "hb":
-                # Unsolicited runner heartbeat: liveness only.  Never recorded
-                # in the wire ledger — byte accounting stays identical to a
-                # heartbeat-free run.
+                # Unsolicited runner heartbeat.  Accounted against the
+                # (ledger, tracer) pair the last dispatch to this host
+                # captured atomically — the same pair every other frame of
+                # the run uses, so ledger/trace byte parity holds bit for
+                # bit with heartbeats on.  Heartbeats arriving before any
+                # dispatch (warm pool idling between runs) are liveness-only.
+                # Under the host lock so detach_run_accounting() can provide
+                # a barrier: once it returns, no heartbeat is being (or will
+                # be) recorded against the finished run's ledger/tracer, and
+                # their totals are frozen in agreement.
+                with host.lock:
+                    hb_wire, hb_tracer, hb_round = host.hb_account
+                    if hb_wire is not None:
+                        hb_wire.record(
+                            round_index=hb_round, host=host.host_id,
+                            direction="recv", kind="hb",
+                            n_bytes=n_bytes, raw_bytes=raw_bytes, codec=codec,
+                        )
+                        if hb_tracer is not None:
+                            hb_tracer.inc("wire.bytes", raw_bytes)
+                            hb_tracer.inc("wire.bytes.recv", raw_bytes)
+                            hb_tracer.inc("wire.bytes.hb", raw_bytes)
+                            hb_tracer.inc("wire.bytes_encoded", n_bytes)
+                            hb_tracer.inc("wire.bytes_encoded.recv", n_bytes)
+                            hb_tracer.inc("wire.bytes_encoded.hb", n_bytes)
+                if len(frame) > 3 and frame[3]:
+                    self._absorb_resource_sample(host, frame[3])
                 continue
             if tag == "bye":
                 return
@@ -1187,6 +1321,17 @@ class ClusterBackend(ExecutionBackend):
                             buffer,
                             window=(entry.t_send, t_recv),
                             tags={"round": entry.round_index, "host": host.host_id},
+                        )
+                log_buffer = extras.get("log")
+                if log_buffer is not None and self.telemetry is not None:
+                    run_log = self.telemetry.run_log
+                    if run_log is not None:
+                        # Runner log records rebase into the same dispatch
+                        # window their TraceBuffer does, so a record and the
+                        # span it names land together on the timeline.
+                        run_log.absorb(
+                            log_buffer, window=(entry.t_send, t_recv),
+                            round=entry.round_index, host=host.host_id,
                         )
             try:
                 if entry.convert is not None:
@@ -1331,6 +1476,11 @@ class ClusterBackend(ExecutionBackend):
                         entry.site_log.pending = (entry.record_index, entry)
                         entry.site_log.location = host.host_id
             if not died and wire is not None:
+                # Captured as one tuple so the reader thread accounting a
+                # heartbeat sees a *consistent* (ledger, tracer) pair — the
+                # pair this run's frames use — never a ledger from one run
+                # and a tracer from another.
+                host.hb_account = (wire, entry.tracer, round_index)
                 wire.record(
                     round_index=round_index, host=host.host_id,
                     direction="send", kind=kind + "_dispatch",
@@ -1404,6 +1554,19 @@ class ClusterBackend(ExecutionBackend):
             # routes around hosts that already died; it also remembers the
             # (fn, payload, index) so an in-flight loss re-dispatches.
             host = self._repin_target_index(index) if recovery else hosts[index % len(hosts)]
+            kind = "task"
+            if recovery:
+                default = hosts[index % len(hosts)]
+                if default.dead is not None:
+                    # Routed around a dead host: account the frame as a
+                    # replay (it exists on this host *because of* the death)
+                    # and make sure the death itself is on the ledger — the
+                    # recovery thread may have closed empty-handed if the
+                    # host died with nothing in flight.
+                    kind = "replay_task"
+                    self._note_death_observed(default, wire, tracer, round_index)
+                    if traced:
+                        tracer.inc("recovery.replayed_frames")
             extra = (
                 {"task_fn": fn, "task_payload": payload, "task_index": index}
                 if recovery else None
@@ -1412,7 +1575,7 @@ class ClusterBackend(ExecutionBackend):
                 self._submit_frame(
                     host,
                     lambda seq, host=host, payload=payload: build_task(seq, host, payload),
-                    wire=wire, round_index=round_index, kind="task", convert=None,
+                    wire=wire, round_index=round_index, kind=kind, convert=None,
                     tracer=tracer, entry_extra=extra,
                 )
             )
@@ -1539,6 +1702,12 @@ class ClusterBackend(ExecutionBackend):
             target = self._ensure_located_locked(log)
             if target is None:
                 target = self._repin_target(ctx.site_id)
+            default = self._host_by_id(ctx.site_id % self.n_hosts)
+            if default is not None and default.dead is not None:
+                # Placement routed around (or replayed off) a dead host:
+                # make sure the death is on the ledger even if its recovery
+                # thread closed with nothing in flight to evidence it.
+                self._note_death_observed(default, wire, tracer, round_index)
             evict: List[Any] = []
             if key in target.resident_keys:
                 if traced:

@@ -293,6 +293,11 @@ _DEFAULT_POLICY: Dict[str, str] = {
     "replay": "auto",
     "replay_task": "auto",
     "replay_pull": "none",
+    # Heartbeats are a tiny tuple (plus, with telemetry on, one small
+    # resource-sample dict) sent on a liveness deadline — never worth a
+    # codec pass.  Listed for documentation; ``codec_for`` would default
+    # unknown kinds to ``none`` anyway.
+    "hb": "none",
 }
 
 #: Environment variable overriding the codec of every compressible kind

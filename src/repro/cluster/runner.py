@@ -67,14 +67,19 @@ resolved from the runner's (inherited) environment — site/task replies get
 the compressing codec, state pulls and control frames stay uncompressed —
 so both directions of a channel agree on codecs without negotiation.
 
-When the coordinator's retry policy sets a heartbeat timeout, the runner is
-spawned with :data:`~repro.cluster.recovery.HEARTBEAT_INTERVAL_ENV` in its
-environment and a daemon thread sends unsolicited ``("hb", host_id, n)``
-frames at that interval.  Heartbeats exist purely for liveness — the
-coordinator consumes them before any ledger or counter sees them — so a
-runner stalled inside a long task (or wedged by a SIGSTOP) is distinguishable
-from one that is merely busy.  A send lock serialises heartbeat frames with
-reply frames on the socket.
+When the coordinator's retry policy sets a heartbeat timeout (or a telemetry
+session asks for runner resource samples), the runner is spawned with
+:data:`~repro.cluster.recovery.HEARTBEAT_INTERVAL_ENV` in its environment
+and a daemon thread sends unsolicited ``("hb", host_id, n[, sample])``
+frames at that interval, so a runner stalled inside a long task (or wedged
+by a SIGSTOP) is distinguishable from one that is merely busy.  With
+:data:`~repro.obs.sampler.RESOURCE_SAMPLE_ENV` also set, each heartbeat
+piggybacks one :func:`~repro.obs.sampler.read_resource_sample` dict — the
+telemetry plane's runner-side RSS/CPU feed, costing zero extra round trips.
+Heartbeat frames are accounted on the coordinator's wire ledger under the
+``hb`` kind like every other frame (liveness-only heartbeats that arrive
+before any run has attached a ledger are consumed unrecorded).  A send lock
+serialises heartbeat frames with reply frames on the socket.
 
 Failures inside a task are caught and relayed as ``("exc", seq, exc, tb)``
 frames with the original exception object whenever it pickles; the runner
@@ -98,6 +103,8 @@ from typing import Any, Dict, Optional, Tuple
 from repro.cluster.framing import Codec, FrameChannel, NONE_CODEC, WirePolicy, encode_payload
 from repro.cluster.payloads import PayloadCache
 from repro.cluster.recovery import HEARTBEAT_INTERVAL_ENV
+from repro.obs.logs import LogBuffer, log_scope
+from repro.obs.sampler import read_resource_sample, resource_samples_enabled
 from repro.obs.trace import TraceBuffer, collector_scope
 from repro.runtime.state import STATE_DIGEST_TAG, is_state_token
 from repro.utils.timing import Timer
@@ -112,11 +119,16 @@ def _execute_generic(frame: Tuple, host_id: int, payloads: PayloadCache) -> Tupl
         payload = payloads.decode(payload)
     if trace_on:
         buffer = TraceBuffer(origin=f"host-{host_id}")
-        with collector_scope(buffer):
+        logbuf = LogBuffer(origin=f"host-{host_id}")
+        with collector_scope(buffer), log_scope(logbuf):
             with buffer.span("task", fn=getattr(fn, "__name__", str(fn))):
+                logbuf.log("debug", "task_start",
+                           fn=getattr(fn, "__name__", str(fn)))
                 with frame_timer.measure("cluster:task"):
                     value = fn(payload)
         extras: Dict[str, Any] = {"timer": frame_timer, "trace": buffer}
+        if logbuf:
+            extras["log"] = logbuf
     else:
         with frame_timer.measure("cluster:task"):
             value = fn(payload)
@@ -197,6 +209,7 @@ def _execute_site(
 
     trace_on = bool(dyn.get("trace"))
     buffer = TraceBuffer(origin=f"host-{host_id}") if trace_on else None
+    logbuf = LogBuffer(origin=f"host-{host_id}") if trace_on else None
     frame_timer = Timer()
     ctx = SiteContext(
         site_id=dyn["site_id"],
@@ -208,8 +221,9 @@ def _execute_site(
         trace=buffer,
     )
     if buffer is not None:
-        with collector_scope(buffer):
+        with collector_scope(buffer), log_scope(logbuf):
             with buffer.span("site_task", site=ctx.site_id):
+                logbuf.log("debug", "site_task_start", site=ctx.site_id)
                 with frame_timer.measure("cluster:task"):
                     value = dyn["fn"](ctx, *dyn["args"], **dyn["kwargs"])
     else:
@@ -262,6 +276,8 @@ def _execute_site(
     extras: Dict[str, Any] = {"timer": frame_timer}
     if buffer is not None:
         extras["trace"] = buffer
+    if logbuf:
+        extras["log"] = logbuf
     return ("site_res", seq, result, extras)
 
 
@@ -317,14 +333,27 @@ def _heartbeat_loop(
     send_lock: threading.Lock,
     stop: threading.Event,
     interval: float,
+    with_samples: bool = False,
 ) -> None:
-    """Send unsolicited liveness frames until told to stop (or the socket dies)."""
+    """Send unsolicited liveness frames until told to stop (or the socket dies).
+
+    With ``with_samples``, each frame carries one resource sample — the
+    telemetry plane's runner-side feed, riding the liveness traffic that
+    crosses the socket anyway.  Sampling failures degrade to a plain
+    heartbeat: liveness must never depend on ``/proc`` cooperating.
+    """
     n = 0
     while not stop.wait(interval):
         n += 1
+        frame: Tuple = ("hb", host_id, n)
+        if with_samples:
+            try:
+                frame = ("hb", host_id, n, read_resource_sample())
+            except Exception:  # pragma: no cover - sampling must not kill liveness
+                pass
         try:
             with send_lock:
-                channel.send(("hb", host_id, n))
+                channel.send(frame)
         except OSError:
             return  # coordinator gone; the serve loop is exiting too
 
@@ -351,7 +380,8 @@ def serve(channel: FrameChannel, host_id: int) -> None:
     if interval > 0:
         threading.Thread(
             target=_heartbeat_loop,
-            args=(channel, host_id, send_lock, stop, interval),
+            args=(channel, host_id, send_lock, stop, interval,
+                  resource_samples_enabled()),
             daemon=True,
             name=f"runner-{host_id}-heartbeat",
         ).start()

@@ -35,6 +35,10 @@ from typing import Dict, List, Optional
 #: survivor, ``replay_task`` re-dispatches its in-flight structure-free
 #: tasks and ``replay_pull`` re-issues its in-flight state faults — the
 #: byte cost of recovery, accounted as honestly as the rest of the wire.
+#: ``hb`` frames are runner liveness heartbeats (``recv`` only — runners
+#: send them unsolicited), which also carry one resource sample each when
+#: the telemetry plane asks for it; they cross the same sockets as
+#: everything else, so they are accounted like everything else.
 FRAME_KINDS = (
     "site_dispatch",
     "site_result",
@@ -48,6 +52,7 @@ FRAME_KINDS = (
     "replay_task_result",
     "replay_pull_dispatch",
     "replay_pull_result",
+    "hb",
 )
 
 

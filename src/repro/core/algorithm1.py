@@ -45,8 +45,14 @@ from repro.metrics.blocked import (
     shard_scratch,
 )
 from repro.metrics.cost_matrix import build_cost_matrix, validate_objective
+from repro.obs.live import TelemetryLike, resolve_telemetry, telemetry_scope
 from repro.obs.trace import TraceLike, resolve_tracer, trace_run
-from repro.runtime.backends import BackendLike, apply_retry_policy, backend_scope
+from repro.runtime.backends import (
+    BackendLike,
+    apply_retry_policy,
+    apply_telemetry,
+    backend_scope,
+)
 from repro.runtime.state import snapshot_site_state
 from repro.runtime.tasks import SiteTask, run_site_tasks
 from repro.runtime.transport import TransportLike, resolve_transport
@@ -128,6 +134,7 @@ def distributed_partial_median(
     async_rounds: bool = False,
     trace: TraceLike = False,
     retry: Optional["RetryPolicy"] = None,
+    telemetry: TelemetryLike = False,
 ) -> DistributedResult:
     """Run Algorithm 1 on a distributed instance.
 
@@ -203,6 +210,16 @@ def distributed_partial_median(
         traffic is accounted under ``replay_*`` wire kinds.  ``None``
         (default) keeps fail-fast behaviour; in-process backends ignore the
         policy (they have no hosts to lose).
+    telemetry:
+        ``True`` or a :class:`~repro.obs.live.TelemetrySession` turns on the
+        live-telemetry plane for this run: background resource sampling on
+        the coordinator and (on the cluster backend, over heartbeat frames)
+        every runner, mid-run metric snapshots to the session's
+        Prometheus/JSONL sinks, and structured span-correlated logs in the
+        session's run log.  Telemetry implies tracing — an untraced run
+        gets a session-private tracer.  ``False`` (default) resolves to the
+        shared inert :data:`~repro.obs.live.NULL_TELEMETRY` — zero per-task
+        allocation, results bit-identical either way.
     """
     objective = validate_objective(instance.objective)
     if objective == "center":
@@ -230,13 +247,20 @@ def distributed_partial_median(
     if prefetch is not None:
         local_kwargs.setdefault("prefetch", prefetch)
     tracer = resolve_tracer(trace)
+    telemetry_session = resolve_telemetry(telemetry)
+    if telemetry_session.enabled:
+        # Telemetry implies tracing: gauges and samples live on a tracer.
+        tracer = telemetry_session.adopt_tracer(tracer)
     network.tracer = tracer if tracer.enabled else None
 
-    with shard_scratch(mem_budget) as workdir, trace_run(
+    with shard_scratch(mem_budget) as workdir, telemetry_scope(
+        telemetry_session
+    ), trace_run(
         tracer, "run", algorithm="algorithm1", objective=objective
     ):
         with backend_scope(backend) as exec_backend:
             apply_retry_policy(exec_backend, retry)
+            apply_telemetry(exec_backend, telemetry_session)
             # --------------------------------------------------------------
             # Round 1: local cost profiles.
             # --------------------------------------------------------------

@@ -41,8 +41,14 @@ from repro.metrics.blocked import (
     resolve_memory_budget,
     shard_scratch,
 )
+from repro.obs.live import TelemetryLike, resolve_telemetry, telemetry_scope
 from repro.obs.trace import TraceLike, resolve_tracer, trace_run
-from repro.runtime.backends import BackendLike, apply_retry_policy, backend_scope
+from repro.runtime.backends import (
+    BackendLike,
+    apply_retry_policy,
+    apply_telemetry,
+    backend_scope,
+)
 from repro.runtime.tasks import SiteTask, run_site_tasks
 from repro.runtime.transport import TransportLike, resolve_transport
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
@@ -127,6 +133,7 @@ def distributed_partial_center(
     async_rounds: bool = False,
     trace: TraceLike = False,
     retry: Optional["RetryPolicy"] = None,
+    telemetry: TelemetryLike = False,
 ) -> DistributedResult:
     """Run Algorithm 2 on a distributed instance with the center objective.
 
@@ -173,6 +180,16 @@ def distributed_partial_center(
         recovered by deterministic re-pin and dispatch-log replay, results
         stay bit-identical); ``None`` (default) keeps fail-fast behaviour
         and in-process backends ignore the policy.
+    telemetry:
+        ``True`` or a :class:`~repro.obs.live.TelemetrySession` turns on the
+        live-telemetry plane for this run: background resource sampling on
+        the coordinator and (on the cluster backend, over heartbeat frames)
+        every runner, mid-run metric snapshots to the session's
+        Prometheus/JSONL sinks, and structured span-correlated logs in the
+        session's run log.  Telemetry implies tracing — an untraced run
+        gets a session-private tracer.  ``False`` (default) resolves to the
+        shared inert :data:`~repro.obs.live.NULL_TELEMETRY` — zero per-task
+        allocation, results bit-identical either way.
     """
     if instance.objective != "center":
         raise ValueError("distributed_partial_center requires a center-objective instance")
@@ -188,13 +205,20 @@ def distributed_partial_center(
     policy = resolve_transport(transport)
     mem_budget = resolve_memory_budget(memory_budget)
     tracer = resolve_tracer(trace)
+    telemetry_session = resolve_telemetry(telemetry)
+    if telemetry_session.enabled:
+        # Telemetry implies tracing: gauges and samples live on a tracer.
+        tracer = telemetry_session.adopt_tracer(tracer)
     network.tracer = tracer if tracer.enabled else None
 
-    with shard_scratch(mem_budget) as workdir, trace_run(
+    with shard_scratch(mem_budget) as workdir, telemetry_scope(
+        telemetry_session
+    ), trace_run(
         tracer, "run", algorithm="algorithm2_center", objective="center"
     ):
         with backend_scope(backend) as exec_backend:
             apply_retry_policy(exec_backend, retry)
+            apply_telemetry(exec_backend, telemetry_session)
             # --------------------------------------------------------------
             # Round 1: Gonzalez traversals and witness curves.
             # --------------------------------------------------------------

@@ -27,6 +27,7 @@ from repro.distributed.partition import (
 from repro.distributed.result import DistributedResult
 from repro.metrics.blocked import MemoryBudgetLike
 from repro.metrics.euclidean import EuclideanMetric
+from repro.obs.live import TelemetryLike
 from repro.obs.trace import TraceLike
 from repro.runtime.backends import BackendLike
 from repro.uncertain.instance import UncertainInstance
@@ -85,6 +86,7 @@ def partial_kmedian(
     async_rounds: bool = False,
     trace: TraceLike = False,
     retry: Optional["RetryPolicy"] = None,
+    telemetry: TelemetryLike = False,
     **kwargs,
 ) -> DistributedResult:
     """Distributed ``(k, (1+eps)t)``-median over a Euclidean point cloud.
@@ -154,6 +156,15 @@ def partial_kmedian(
         first runner death raises
         :class:`~repro.cluster.recovery.DeadHostError`.  In-process
         backends have no hosts to lose and ignore the policy.
+    telemetry:
+        ``True`` or a :class:`~repro.obs.live.TelemetrySession` runs the
+        live-telemetry plane next to the run: coordinator and runner
+        resource sampling (runner samples ride heartbeat frames, accounted
+        under the ``hb`` wire kind), mid-run Prometheus/JSONL metric
+        snapshots, structured span-correlated logs, and an optional
+        run-history store (see :mod:`repro.obs.history`).  ``False``
+        (default) is the zero-allocation null object; results are
+        bit-identical either way.
     kwargs:
         Forwarded to :func:`repro.core.algorithm1.distributed_partial_median`
         (e.g. ``transport=`` for a runtime transport policy).
@@ -163,7 +174,7 @@ def partial_kmedian(
     return distributed_partial_median(
         instance, epsilon=epsilon, rho=rho, rng=generator, backend=backend,
         memory_budget=memory_budget, prefetch=prefetch, async_rounds=async_rounds,
-        trace=trace, retry=retry, **kwargs
+        trace=trace, retry=retry, telemetry=telemetry, **kwargs
     )
 
 
@@ -183,6 +194,7 @@ def partial_kmeans(
     async_rounds: bool = False,
     trace: TraceLike = False,
     retry: Optional["RetryPolicy"] = None,
+    telemetry: TelemetryLike = False,
     **kwargs,
 ) -> DistributedResult:
     """Distributed ``(k, (1+eps)t)``-means over a Euclidean point cloud.
@@ -195,7 +207,7 @@ def partial_kmeans(
     return distributed_partial_median(
         instance, epsilon=epsilon, rho=rho, rng=generator, backend=backend,
         memory_budget=memory_budget, prefetch=prefetch, async_rounds=async_rounds,
-        trace=trace, retry=retry, **kwargs
+        trace=trace, retry=retry, telemetry=telemetry, **kwargs
     )
 
 
@@ -214,6 +226,7 @@ def partial_kcenter(
     async_rounds: bool = False,
     trace: TraceLike = False,
     retry: Optional["RetryPolicy"] = None,
+    telemetry: TelemetryLike = False,
     **kwargs,
 ) -> DistributedResult:
     """Distributed ``(k, t)``-center over a Euclidean point cloud (Algorithm 2).
@@ -227,7 +240,7 @@ def partial_kcenter(
     return distributed_partial_center(
         instance, rho=rho, rng=generator, backend=backend,
         memory_budget=memory_budget, prefetch=prefetch, async_rounds=async_rounds,
-        trace=trace, retry=retry, **kwargs
+        trace=trace, retry=retry, telemetry=telemetry, **kwargs
     )
 
 
@@ -252,6 +265,7 @@ def uncertain_partial_kmedian(
     async_rounds: bool = False,
     trace: TraceLike = False,
     retry: Optional["RetryPolicy"] = None,
+    telemetry: TelemetryLike = False,
     **kwargs,
 ) -> DistributedResult:
     """Distributed uncertain ``(k, (1+eps)t)``-median/means/center-pp (Algorithm 3).
@@ -277,7 +291,7 @@ def uncertain_partial_kmedian(
     return distributed_uncertain_clustering(
         dist_instance, epsilon=epsilon, rho=rho, rng=generator, backend=backend,
         memory_budget=memory_budget, prefetch=prefetch, async_rounds=async_rounds,
-        trace=trace, retry=retry, **kwargs
+        trace=trace, retry=retry, telemetry=telemetry, **kwargs
     )
 
 
@@ -297,6 +311,7 @@ def uncertain_partial_kcenter_g(
     async_rounds: bool = False,
     trace: TraceLike = False,
     retry: Optional["RetryPolicy"] = None,
+    telemetry: TelemetryLike = False,
     **kwargs,
 ) -> DistributedResult:
     """Distributed uncertain ``(k, (1+eps)t)``-center-g (Algorithm 4).
@@ -311,7 +326,7 @@ def uncertain_partial_kcenter_g(
     return distributed_uncertain_center_g(
         dist_instance, epsilon=epsilon, rho=rho, rng=generator, backend=backend,
         memory_budget=memory_budget, prefetch=prefetch, async_rounds=async_rounds,
-        trace=trace, retry=retry, **kwargs
+        trace=trace, retry=retry, telemetry=telemetry, **kwargs
     )
 
 

@@ -45,8 +45,14 @@ from repro.metrics.blocked import (
     shard_scratch,
 )
 from repro.metrics.plan import ReductionPlan
+from repro.obs.live import TelemetryLike, resolve_telemetry, telemetry_scope
 from repro.obs.trace import TraceLike, resolve_tracer, trace_run
-from repro.runtime.backends import BackendLike, apply_retry_policy, backend_scope
+from repro.runtime.backends import (
+    BackendLike,
+    apply_retry_policy,
+    apply_telemetry,
+    backend_scope,
+)
 from repro.runtime.tasks import run_tasks
 from repro.sequential.kcenter_outliers import kcenter_with_outliers
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
@@ -232,6 +238,7 @@ def distributed_uncertain_center_g(
     async_rounds: bool = False,
     trace: TraceLike = False,
     retry: Optional["RetryPolicy"] = None,
+    telemetry: TelemetryLike = False,
 ) -> DistributedResult:
     """Distributed uncertain ``(k, (1+eps)t)``-center-g (Theorem 5.14).
 
@@ -281,6 +288,16 @@ def distributed_uncertain_center_g(
         recovered by deterministic re-pin and dispatch-log replay, results
         stay bit-identical); ``None`` (default) keeps fail-fast behaviour
         and in-process backends ignore the policy.
+    telemetry:
+        ``True`` or a :class:`~repro.obs.live.TelemetrySession` turns on the
+        live-telemetry plane for this run: background resource sampling on
+        the coordinator and (on the cluster backend, over heartbeat frames)
+        every runner, mid-run metric snapshots to the session's
+        Prometheus/JSONL sinks, and structured span-correlated logs in the
+        session's run log.  Telemetry implies tracing — an untraced run
+        gets a session-private tracer.  ``False`` (default) resolves to the
+        shared inert :data:`~repro.obs.live.NULL_TELEMETRY` — zero per-task
+        allocation, results bit-identical either way.
     """
     if epsilon <= 0 or rho <= 1:
         raise ValueError("epsilon must be positive and rho > 1")
@@ -302,12 +319,19 @@ def distributed_uncertain_center_g(
     site_timers = [Timer() for _ in range(s)]
     coord_timer = Timer()
     tracer = resolve_tracer(trace)
+    telemetry_session = resolve_telemetry(telemetry)
+    if telemetry_session.enabled:
+        # Telemetry implies tracing: gauges and samples live on a tracer.
+        tracer = telemetry_session.adopt_tracer(tracer)
 
-    with shard_scratch(mem_budget) as workdir, trace_run(
+    with shard_scratch(mem_budget) as workdir, telemetry_scope(
+        telemetry_session
+    ), trace_run(
         tracer, "run", algorithm="algorithm4_center_g", objective="center-g"
     ):
         with backend_scope(backend) as exec_backend:
             apply_retry_policy(exec_backend, retry)
+            apply_telemetry(exec_backend, telemetry_session)
             # --------------------------------------------------------------
             # Round 1a: every party reports its local distance extremes (O(s) words).
             # --------------------------------------------------------------

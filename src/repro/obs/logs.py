@@ -1,0 +1,285 @@
+"""Structured JSON-lines logging, correlated to trace span ids.
+
+The tracing layer answers "what ran when"; this module adds the *narrative*
+channel next to it: discrete, levelled records (``debug``/``info``/
+``warning``/``error``) with arbitrary structured fields, each stamped with
+the :attr:`~repro.obs.trace.SpanRecord.sid` of the span that was open when
+it was emitted, so a log line is one click away from its interval on the
+timeline.  The design deliberately mirrors ``Tracer``/``TraceBuffer``:
+
+:class:`RunLog`
+    The coordinator-side log, recording on the run tracer's timeline
+    (``tracer.clock()`` instants, span ids from
+    :meth:`~repro.obs.trace.Tracer.current_span_id`).  Optionally streams
+    each record to a JSON-lines file as it is emitted — the live tail a
+    run can be watched through — and always keeps the records in memory
+    for :meth:`to_jsonl` / assertions.
+
+:class:`LogBuffer`
+    The picklable recorder for work that executes elsewhere (a site task in
+    a worker, a frame handler in a cluster runner).  Records carry the
+    recorder's raw ``perf_counter`` clock and its *local* span ids; the
+    buffer rides back on the existing result path (cluster result-frame
+    extras, exactly like a ``TraceBuffer``) and :meth:`RunLog.absorb`
+    rebases it into the coordinator timeline with the same
+    :func:`~repro.obs.trace.rebase_offset` rule tracer absorption uses.
+
+Ambient emission
+    Deep layers call the module-level :func:`log` function, which writes to
+    the innermost installed sink — a :class:`RunLog` on the coordinator, a
+    :class:`LogBuffer` inside a runner frame — or does nothing when no
+    telemetry session installed one, so instrumented code needs no knob
+    threading and costs one thread-local read when logging is off.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, TextIO, Tuple
+
+from repro.obs.trace import active_collector, rebase_offset
+
+#: Accepted record levels, in increasing severity.
+LEVELS = ("debug", "info", "warning", "error")
+
+
+@dataclass
+class LogRecord:
+    """One structured log record.
+
+    ``time`` is seconds on the owning timeline (tracer clock in a
+    :class:`RunLog`, raw ``perf_counter`` inside a :class:`LogBuffer` until
+    absorbed).  ``span`` is the recorder-local id of the span open at
+    emission (0 = outside any span); ``(origin, span)`` locates the record
+    on the merged trace.
+    """
+
+    time: float
+    origin: str
+    level: str
+    event: str
+    span: int = 0
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "t": self.time,
+            "origin": self.origin,
+            "level": self.level,
+            "event": self.event,
+            "span": self.span,
+            "fields": dict(self.fields),
+        }
+
+
+def _json_default(value: Any) -> Any:
+    """Last-resort JSON coercion for numpy scalars and other field values."""
+    for attr in ("item",):  # numpy scalar -> python scalar
+        if hasattr(value, attr):
+            try:
+                return getattr(value, attr)()
+            except Exception:  # pragma: no cover - exotic .item()
+                break
+    return str(value)
+
+
+def _current_span_of(collector: Any) -> int:
+    getter = getattr(collector, "current_span_id", None)
+    return int(getter()) if getter is not None else 0
+
+
+class LogBuffer:
+    """Picklable structured-log recorder for off-coordinator work.
+
+    Single-threaded by design (one buffer per task or frame), records in the
+    local raw ``perf_counter`` clock.  Span ids are resolved from the ambient
+    trace collector (the frame's ``TraceBuffer`` installed by
+    ``collector_scope``), so a record emitted inside ``buffer.span(...)``
+    correlates to that span after both ride home on the same result frame.
+    """
+
+    def __init__(self, origin: str):
+        self.origin = origin
+        self.records: List[LogRecord] = []
+
+    def log(self, level: str, event: str, *, span: Optional[int] = None, **fields: Any) -> None:
+        if span is None:
+            span = _current_span_of(active_collector())
+        self.records.append(
+            LogRecord(time.perf_counter(), self.origin, str(level), str(event),
+                      int(span), fields)
+        )
+
+    def bounds(self) -> Optional[Tuple[float, float]]:
+        """Earliest and latest recorded instant (raw clock), or ``None``."""
+        if not self.records:
+            return None
+        times = [r.time for r in self.records]
+        return min(times), max(times)
+
+    def __bool__(self) -> bool:
+        return bool(self.records)
+
+
+class RunLog:
+    """The coordinator-side structured log of one (or several) runs.
+
+    Records live on the ``tracer``'s timeline and inherit its current span
+    id.  With ``path`` set, every record is appended to the file as one JSON
+    line the moment it is emitted (flushed, so an external tail observes the
+    run live); the in-memory list is kept either way.  Appends are
+    lock-protected — cluster reader threads absorb runner buffers while the
+    coordinator thread logs.
+    """
+
+    def __init__(self, tracer: Optional[Any] = None, *, path: Optional[str] = None):
+        self.tracer = tracer if (tracer is not None and getattr(tracer, "enabled", False)) else None
+        self.path = path
+        self.records: List[LogRecord] = []
+        self._lock = threading.Lock()
+        self._fh: Optional[TextIO] = None
+
+    # -- emission -----------------------------------------------------------
+
+    def _clock(self) -> float:
+        return self.tracer.clock() if self.tracer is not None else time.perf_counter()
+
+    def log(self, level: str, event: str, *, origin: str = "coordinator", **fields: Any) -> LogRecord:
+        span = self.tracer.current_span_id() if self.tracer is not None else 0
+        record = LogRecord(self._clock(), origin, str(level), str(event), span, fields)
+        self._append(record)
+        return record
+
+    def debug(self, event: str, **fields: Any) -> LogRecord:
+        return self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: Any) -> LogRecord:
+        return self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> LogRecord:
+        return self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: Any) -> LogRecord:
+        return self.log("error", event, **fields)
+
+    def _append(self, record: LogRecord) -> None:
+        with self._lock:
+            self.records.append(record)
+            if self.path is not None:
+                if self._fh is None:
+                    self._fh = open(self.path, "a", encoding="utf-8")
+                json.dump(record.as_dict(), self._fh, default=_json_default)
+                self._fh.write("\n")
+                self._fh.flush()
+
+    # -- absorbing remote buffers -------------------------------------------
+
+    def absorb(
+        self,
+        buffer: Optional[LogBuffer],
+        *,
+        window: Optional[Tuple[float, float]] = None,
+        **extra_fields: Any,
+    ) -> None:
+        """Rebase a :class:`LogBuffer` onto this log's timeline.
+
+        Same contract as :meth:`~repro.obs.trace.Tracer.absorb`: ``window``
+        is the dispatch interval the coordinator observed for the work that
+        filled the buffer, and :func:`~repro.obs.trace.rebase_offset` first
+        tries the clocks as directly comparable before centring the buffer
+        in the window.  ``extra_fields`` (e.g. ``round=2, host=1``) are
+        added to every absorbed record without overriding its own fields.
+        """
+        if buffer is None or not buffer:
+            return
+        epoch = self.tracer.epoch if self.tracer is not None else 0.0
+        offset = rebase_offset(epoch, buffer.bounds(), window)
+        for record in buffer.records:
+            self._append(
+                LogRecord(record.time + offset, record.origin, record.level,
+                          record.event, record.span,
+                          {**extra_fields, **record.fields})
+            )
+
+    # -- output -------------------------------------------------------------
+
+    def to_jsonl(self, path: str) -> str:
+        """Write every record (time-ordered) as JSON lines; returns the path."""
+        with self._lock:
+            records = sorted(self.records, key=lambda r: r.time)
+        with open(path, "w", encoding="utf-8") as fh:
+            for record in records:
+                json.dump(record.as_dict(), fh, default=_json_default)
+                fh.write("\n")
+        return path
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def find(self, event: Optional[str] = None, *, level: Optional[str] = None) -> List[LogRecord]:
+        """Records matching an event name and/or level, in emission order."""
+        with self._lock:
+            return [
+                r for r in self.records
+                if (event is None or r.event == event)
+                and (level is None or r.level == level)
+            ]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+# ---------------------------------------------------------------------------
+# Ambient log sink: emission from layers too deep to thread a RunLog through
+# ---------------------------------------------------------------------------
+
+_AMBIENT = threading.local()
+
+
+def active_log() -> Optional[Any]:
+    """The thread's installed log sink (:class:`RunLog` or
+    :class:`LogBuffer`), or ``None`` when structured logging is off."""
+    return getattr(_AMBIENT, "sink", None)
+
+
+@contextmanager
+def log_scope(sink: Optional[Any]) -> Iterator[None]:
+    """Install ``sink`` as the thread's ambient structured-log target.
+
+    Scopes nest like ``collector_scope``: a runner frame's
+    :class:`LogBuffer` shadows nothing (runners have no outer sink), while
+    a telemetry session's :class:`RunLog` installed around a driver body is
+    restored after any nested scope exits.
+    """
+    previous = getattr(_AMBIENT, "sink", None)
+    _AMBIENT.sink = sink
+    try:
+        yield
+    finally:
+        _AMBIENT.sink = previous
+
+
+def log(level: str, event: str, **fields: Any) -> None:
+    """Emit one structured record to the ambient sink; no-op when none is
+    installed — the single line instrumented code adds, knob-free."""
+    sink = active_log()
+    if sink is not None:
+        sink.log(level, event, **fields)
+
+
+__all__ = [
+    "LEVELS",
+    "LogBuffer",
+    "LogRecord",
+    "RunLog",
+    "active_log",
+    "log",
+    "log_scope",
+]

@@ -46,6 +46,89 @@ def _wire_of(result: Any):
     return getattr(ledger, "wire", None)
 
 
+def byte_parity_diff(result: Any) -> List[str]:
+    """Per-counter diff of trace-counted vs ledger wire bytes.
+
+    Empty on a healthy run.  On a mismatch, each line names one
+    disagreeing pair — the raw/encoded totals, the per-direction splits
+    (``wire.bytes.send``/``.recv`` vs the ledger's direction sums) and the
+    per-kind splits (``wire.bytes.<kind>`` vs ``bytes_by_kind``) — so a CI
+    log shows *which* frame path went unaccounted, not just that one did.
+    """
+    tracer = getattr(result, "trace", None)
+    if tracer is None or not getattr(tracer, "enabled", False):
+        raise ValueError("result has no trace: run the protocol with trace=True")
+    wire = _wire_of(result)
+
+    def ledger_int(value: float) -> int:
+        return int(value)
+
+    pairs: List[tuple] = [
+        ("wire.bytes (raw total)", tracer.counter("wire.bytes"),
+         wire.total_raw_bytes() if wire is not None else 0),
+        ("wire.bytes_encoded (encoded total)", tracer.counter("wire.bytes_encoded"),
+         wire.total_bytes() if wire is not None else 0),
+    ]
+    by_direction = wire.bytes_by_direction() if wire is not None else {}
+    raw_by_direction: Dict[str, int] = {}
+    if wire is not None:
+        for rec in wire.records:
+            raw_by_direction[rec.direction] = (
+                raw_by_direction.get(rec.direction, 0) + rec.raw_bytes
+            )
+    for direction in ("send", "recv"):
+        pairs.append(
+            (f"wire.bytes.{direction}", tracer.counter(f"wire.bytes.{direction}"),
+             raw_by_direction.get(direction, 0))
+        )
+        pairs.append(
+            (f"wire.bytes_encoded.{direction}",
+             tracer.counter(f"wire.bytes_encoded.{direction}"),
+             by_direction.get(direction, 0))
+        )
+    if wire is not None:
+        raw_by_kind = wire.raw_bytes_by_kind()
+        by_kind = wire.bytes_by_kind()
+        tracked = sorted(set(raw_by_kind) | set(by_kind))
+        for kind in tracked:
+            trace_raw_kind = tracer.counter(f"wire.bytes.{kind}")
+            trace_enc_kind = tracer.counter(f"wire.bytes_encoded.{kind}")
+            # Per-kind tracer counters only exist for kinds recorded through
+            # instrumented paths; skip kinds the tracer never mirrored so
+            # the diff stays about *disagreement*, not coverage gaps.
+            if trace_raw_kind or trace_enc_kind:
+                pairs.append((f"wire.bytes.{kind}", trace_raw_kind,
+                              raw_by_kind.get(kind, 0)))
+                pairs.append((f"wire.bytes_encoded.{kind}", trace_enc_kind,
+                              by_kind.get(kind, 0)))
+
+    diff: List[str] = []
+    for name, traced, ledgered in pairs:
+        traced_i, ledgered_i = int(traced), ledger_int(ledgered)
+        if traced_i != ledgered_i:
+            diff.append(
+                f"{name}: trace={traced_i} ledger={ledgered_i} "
+                f"(delta {traced_i - ledgered_i:+d})"
+            )
+    return diff
+
+
+def assert_byte_parity(result: Any, *, label: str = "") -> None:
+    """Assert bit-for-bit trace/ledger byte parity with a diagnosable message.
+
+    Replaces bare ``assert trace == ledger`` checks: on mismatch the
+    ``AssertionError`` carries the full :func:`byte_parity_diff`, one line
+    per disagreeing counter, readable straight from a CI log.
+    """
+    diff = byte_parity_diff(result)
+    if diff:
+        prefix = f"[{label}] " if label else ""
+        raise AssertionError(
+            prefix + "trace/ledger wire byte mismatch "
+            f"({len(diff)} counter(s) disagree):\n  " + "\n  ".join(diff)
+        )
+
+
 def round_report(result: Any) -> List[Dict[str, Any]]:
     """Per ``(round, host)`` activity rows for a traced run.
 
@@ -142,7 +225,9 @@ def protocol_summary(result: Any) -> Dict[str, Any]:
     ``wire_bytes_trace`` (``wire.bytes_encoded``) against
     ``wire_bytes_ledger`` (the physically transmitted totals).
     ``bytes_match`` flags bit-for-bit equality of both pairs (vacuously
-    true on in-process runs, where all four are zero); ``compression`` is
+    true on in-process runs, where all four are zero) and ``bytes_diff``
+    carries the per-counter :func:`byte_parity_diff` lines (empty on a
+    healthy run) so a failing cross-check is diagnosable; ``compression`` is
     the run's raw-over-encoded ratio.  The fixed :data:`SUMMARY_COUNTERS`
     are always present.
     """
@@ -163,6 +248,7 @@ def protocol_summary(result: Any) -> Dict[str, Any]:
         "wire_raw_ledger": ledger_raw,
         "wire_raw_trace": trace_raw,
         "bytes_match": trace_bytes == ledger_bytes and trace_raw == ledger_raw,
+        "bytes_diff": byte_parity_diff(result),
         "bytes_per_word": (ledger_bytes / total_words) if total_words else 0.0,
         "raw_bytes_per_word": (ledger_raw / total_words) if total_words else 0.0,
         "compression": (ledger_raw / ledger_bytes) if ledger_bytes else 1.0,
@@ -206,6 +292,8 @@ def render_protocol_summary(results: Dict[str, Any], *, title: Optional[str] = N
 
 __all__ = [
     "SUMMARY_COUNTERS",
+    "assert_byte_parity",
+    "byte_parity_diff",
     "protocol_summary",
     "render_protocol_summary",
     "render_round_report",

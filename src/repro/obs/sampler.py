@@ -1,0 +1,208 @@
+"""Background resource sampling: RSS, CPU seconds, thread and fd counts.
+
+The live-telemetry plane needs to answer "what is this process *using* right
+now" on both ends of a cluster run.  :func:`read_resource_sample` takes one
+cheap point-in-time sample — ``/proc`` where the platform has it, the
+``resource``/``os`` stdlib fallbacks elsewhere — as a small picklable dict,
+so the same function serves two callers:
+
+* the coordinator's :class:`ResourceSampler`, a daemon thread sampling every
+  ``interval`` seconds and (when given a tracer) publishing the latest and
+  peak values as ``resource.<origin>.*`` gauges; and
+* the cluster runner's heartbeat loop, which piggybacks one sample per
+  heartbeat frame when :data:`RESOURCE_SAMPLE_ENV` is set in its (inherited)
+  environment — zero extra round trips, and the frame bytes are accounted in
+  the :class:`~repro.cluster.wire.WireLedger` under the ``hb`` kind like
+  every other frame.
+
+Sampling never raises into the caller's hot path: a platform without
+``/proc`` degrades field by field (``n_fds`` becomes ``-1.0``), and the
+sampler thread swallows per-sample errors rather than dying mid-run.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, Optional
+
+#: Environment knob asking a cluster runner to piggyback one resource sample
+#: on every heartbeat frame it sends (set by the backend when a telemetry
+#: session is installed; inherited at runner spawn).
+RESOURCE_SAMPLE_ENV = "REPRO_RESOURCE_SAMPLE"
+
+#: The fields every sample dict carries (floats throughout, so samples
+#: serialize identically everywhere; ``-1.0`` marks an unavailable field).
+SAMPLE_FIELDS = ("t", "rss_bytes", "cpu_s", "n_threads", "n_fds")
+
+try:  # pragma: no cover - trivially platform-dependent
+    _PAGE_SIZE = os.sysconf("SC_PAGE_SIZE")
+except (AttributeError, ValueError, OSError):  # pragma: no cover
+    _PAGE_SIZE = 4096
+
+
+def _read_rss_bytes() -> float:
+    """Current resident set size in bytes (``/proc/self/statm``, else peak)."""
+    try:
+        with open("/proc/self/statm", "rb") as fh:
+            return float(int(fh.read().split()[1]) * _PAGE_SIZE)
+    except (OSError, ValueError, IndexError):
+        pass
+    try:  # pragma: no cover - non-/proc platforms
+        import resource
+
+        # ru_maxrss is the *peak* (KiB on Linux, bytes on macOS); better than
+        # nothing where statm is unavailable.
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return float(peak if peak > 1 << 32 else peak * 1024)
+    except Exception:  # pragma: no cover
+        return -1.0
+
+
+def _read_n_threads() -> float:
+    """Kernel thread count of this process (``/proc``, else Python's view)."""
+    try:
+        with open("/proc/self/status", "rb") as fh:
+            for line in fh:
+                if line.startswith(b"Threads:"):
+                    return float(int(line.split()[1]))
+    except (OSError, ValueError, IndexError):
+        pass
+    return float(threading.active_count())
+
+
+def _read_n_fds() -> float:
+    """Open file descriptors of this process (``-1.0`` without ``/proc``)."""
+    try:
+        return float(len(os.listdir("/proc/self/fd")))
+    except OSError:
+        return -1.0
+
+
+def read_resource_sample() -> Dict[str, float]:
+    """One point-in-time resource sample of the calling process.
+
+    Returns a plain ``{field: float}`` dict (see :data:`SAMPLE_FIELDS`) —
+    small, picklable, and cheap enough to ride on every heartbeat frame.
+    ``cpu_s`` is user+system seconds from ``os.times()`` (portable and
+    monotone), ``t`` the wall-clock instant the sample was taken.
+    """
+    times = os.times()
+    return {
+        "t": time.time(),
+        "rss_bytes": _read_rss_bytes(),
+        "cpu_s": float(times.user + times.system),
+        "n_threads": _read_n_threads(),
+        "n_fds": _read_n_fds(),
+    }
+
+
+def resource_samples_enabled(env: Optional[Dict[str, str]] = None) -> bool:
+    """Whether :data:`RESOURCE_SAMPLE_ENV` asks for heartbeat samples."""
+    source = os.environ if env is None else env
+    return source.get(RESOURCE_SAMPLE_ENV, "") not in ("", "0")
+
+
+class ResourceSampler:
+    """Daemon thread sampling this process's resources every ``interval`` s.
+
+    Samples accumulate in a bounded deque (``max_samples``, oldest dropped)
+    with the running RSS peak tracked separately, so :meth:`peak_rss` is
+    exact over the whole run even after old samples rotate out.  When a
+    ``tracer`` is given, every sample also lands as
+    ``resource.<origin>.rss_bytes`` / ``.cpu_s`` / ``.n_threads`` /
+    ``.n_fds`` gauges plus a monotone ``resource.<origin>.peak_rss_bytes``
+    — the values a :class:`~repro.obs.live.LiveMetrics` snapshot publishes
+    mid-run.
+    """
+
+    def __init__(
+        self,
+        interval: float = 0.05,
+        *,
+        tracer: Optional[Any] = None,
+        origin: str = "coordinator",
+        max_samples: int = 10_000,
+    ):
+        if interval <= 0:
+            raise ValueError(f"sample interval must be positive, got {interval}")
+        self.interval = float(interval)
+        self.origin = str(origin)
+        self.tracer = tracer if (tracer is not None and getattr(tracer, "enabled", False)) else None
+        self.samples: Deque[Dict[str, float]] = deque(maxlen=int(max_samples))
+        self._peak_rss = 0.0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "ResourceSampler":
+        """Take one sample immediately and start the background thread."""
+        if self._thread is not None:
+            return self
+        self.sample_once()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name=f"repro-sampler-{self.origin}", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the thread (idempotent); takes one final sample."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        self.sample_once()
+
+    def __enter__(self) -> "ResourceSampler":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # -- sampling -----------------------------------------------------------
+
+    def sample_once(self) -> Dict[str, float]:
+        """Take, record, and return one sample (also publishes gauges)."""
+        sample = read_resource_sample()
+        self.samples.append(sample)
+        rss = sample.get("rss_bytes", -1.0)
+        if rss > self._peak_rss:
+            self._peak_rss = rss
+        if self.tracer is not None:
+            prefix = f"resource.{self.origin}."
+            for field in ("rss_bytes", "cpu_s", "n_threads", "n_fds"):
+                self.tracer.gauge(prefix + field, sample[field])
+            self.tracer.gauge(prefix + "peak_rss_bytes", self._peak_rss)
+        return sample
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.sample_once()
+            except Exception:  # pragma: no cover - sampling must never kill a run
+                pass
+
+    # -- introspection ------------------------------------------------------
+
+    def latest(self) -> Optional[Dict[str, float]]:
+        """The most recent sample, or ``None`` before the first one."""
+        return self.samples[-1] if self.samples else None
+
+    def peak_rss(self) -> float:
+        """Highest RSS observed across every sample taken (bytes)."""
+        return self._peak_rss
+
+
+__all__ = [
+    "RESOURCE_SAMPLE_ENV",
+    "SAMPLE_FIELDS",
+    "ResourceSampler",
+    "read_resource_sample",
+    "resource_samples_enabled",
+]

@@ -41,6 +41,7 @@ Ambient collector
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from contextlib import contextmanager
@@ -63,7 +64,11 @@ class SpanRecord:
     :class:`TraceBuffer`.  ``origin`` names the party ("coordinator",
     "host-2", "site-0"); ``tid`` is the recording thread.  ``flow`` is
     :data:`SYNC` for stack-disciplined spans and :data:`ASYNC` for
-    explicit-endpoint spans that may overlap (wire round-trips).
+    explicit-endpoint spans that may overlap (wire round-trips).  ``sid`` is
+    the recorder-local span id structured log records correlate to
+    (:mod:`repro.obs.logs`); unique per recorder, so ``(origin, sid)``
+    identifies a span on the merged timeline.  ``0`` marks records from
+    before span ids existed.
     """
 
     name: str
@@ -73,6 +78,7 @@ class SpanRecord:
     tid: int
     tags: Dict[str, Any] = field(default_factory=dict)
     flow: str = SYNC
+    sid: int = 0
 
     @property
     def duration(self) -> float:
@@ -139,19 +145,28 @@ class TraceBuffer:
         self.spans: List[SpanRecord] = []
         self.events: List[EventRecord] = []
         self.metrics = MetricsRegistry()
+        self._sids = itertools.count(1)
+        self._sid_stack: List[int] = []
 
     # -- recording ----------------------------------------------------------
 
     @contextmanager
     def span(self, name: str, **tags: Any) -> Iterator[None]:
         start = time.perf_counter()
+        sid = next(self._sids)
+        self._sid_stack.append(sid)
         try:
             yield
         finally:
+            self._sid_stack.pop()
             self.spans.append(
                 SpanRecord(name, start, time.perf_counter(), self.origin,
-                           threading.get_ident(), tags)
+                           threading.get_ident(), tags, sid=sid)
             )
+
+    def current_span_id(self) -> int:
+        """Span id of the innermost open ``span()`` (0 outside any span)."""
+        return self._sid_stack[-1] if self._sid_stack else 0
 
     def event(self, name: str, **tags: Any) -> None:
         self.events.append(
@@ -195,6 +210,14 @@ class Tracer:
         self.spans: List[SpanRecord] = []
         self.events: List[EventRecord] = []
         self.metrics = MetricsRegistry()
+        self._sids = itertools.count(1)
+        self._sid_local = threading.local()
+
+    @property
+    def epoch(self) -> float:
+        """Raw ``perf_counter`` instant of the timeline's zero (read-only;
+        :class:`~repro.obs.logs.RunLog` rebases foreign buffers against it)."""
+        return self._epoch
 
     def clock(self) -> float:
         """Seconds since the tracer's epoch (monotonic)."""
@@ -202,16 +225,31 @@ class Tracer:
 
     # -- recording ----------------------------------------------------------
 
+    def _sid_stack(self) -> List[int]:
+        stack = getattr(self._sid_local, "stack", None)
+        if stack is None:
+            stack = self._sid_local.stack = []
+        return stack
+
     @contextmanager
     def span(self, name: str, *, origin: str = "coordinator", **tags: Any) -> Iterator[None]:
         start = self.clock()
+        sid = next(self._sids)
+        stack = self._sid_stack()
+        stack.append(sid)
         try:
             yield
         finally:
+            stack.pop()
             record = SpanRecord(name, start, self.clock(), origin,
-                                threading.get_ident(), tags)
+                                threading.get_ident(), tags, sid=sid)
             with self._lock:
                 self.spans.append(record)
+
+    def current_span_id(self) -> int:
+        """Span id of this thread's innermost open ``span()`` (0 outside)."""
+        stack = getattr(self._sid_local, "stack", None)
+        return stack[-1] if stack else 0
 
     def add_span(
         self,
@@ -224,7 +262,8 @@ class Tracer:
     ) -> None:
         """Record a span with explicit on-timeline endpoints (marked async —
         wire round-trips observed by a reader thread may overlap freely)."""
-        record = SpanRecord(name, start, end, origin, threading.get_ident(), tags, ASYNC)
+        record = SpanRecord(name, start, end, origin, threading.get_ident(), tags,
+                            ASYNC, sid=next(self._sids))
         with self._lock:
             self.spans.append(record)
 
@@ -268,23 +307,14 @@ class Tracer:
         """
         if buffer is None or not buffer:
             return
-        offset = -self._epoch
-        bounds = buffer.bounds()
-        if window is not None and bounds is not None:
-            w0, w1 = window
-            b0, b1 = bounds
-            slack = 1e-6
-            if not (w0 - slack <= b0 + offset and b1 + offset <= w1 + slack):
-                # Clocks are not comparable: centre the buffer in the window.
-                width = w1 - w0
-                length = b1 - b0
-                offset = (w0 + max(0.0, (width - length) / 2.0)) - b0
+        offset = rebase_offset(self._epoch, buffer.bounds(), window)
         extra = tags or {}
         with self._lock:
             for span in buffer.spans:
                 self.spans.append(
                     SpanRecord(span.name, span.start + offset, span.end + offset,
-                               span.origin, span.tid, {**extra, **span.tags}, span.flow)
+                               span.origin, span.tid, {**extra, **span.tags}, span.flow,
+                               sid=span.sid)
                 )
             for ev in buffer.events:
                 self.events.append(
@@ -316,6 +346,33 @@ class Tracer:
             f"Tracer(spans={len(self.spans)}, events={len(self.events)}, "
             f"counters={len(self.metrics.counters)})"
         )
+
+
+def rebase_offset(
+    epoch: float,
+    bounds: Optional[Tuple[float, float]],
+    window: Optional[Tuple[float, float]],
+) -> float:
+    """Offset mapping a foreign buffer's raw clock onto a tracer timeline.
+
+    The rebase rule :meth:`Tracer.absorb` applies, shared with the log layer
+    (:class:`~repro.obs.logs.RunLog` rebases :class:`~repro.obs.logs.LogBuffer`
+    records identically): try ``-epoch`` first — exact when the recorder
+    shares this machine's ``perf_counter`` stream — and fall back to centring
+    the buffer inside the observed dispatch ``window`` when the resulting
+    instants fall outside it.
+    """
+    offset = -epoch
+    if window is not None and bounds is not None:
+        w0, w1 = window
+        b0, b1 = bounds
+        slack = 1e-6
+        if not (w0 - slack <= b0 + offset and b1 + offset <= w1 + slack):
+            # Clocks are not comparable: centre the buffer in the window.
+            width = w1 - w0
+            length = b1 - b0
+            offset = (w0 + max(0.0, (width - length) / 2.0)) - b0
+    return offset
 
 
 class _NullSpan:
@@ -353,6 +410,9 @@ class NullTracer:
 
     def span(self, name: str, **tags: Any) -> _NullSpan:
         return _NULL_SPAN
+
+    def current_span_id(self) -> int:
+        return 0
 
     def add_span(self, name: str, start: float, end: float, **tags: Any) -> None:
         return None
@@ -460,6 +520,7 @@ __all__ = [
     "Tracer",
     "active_collector",
     "collector_scope",
+    "rebase_offset",
     "resolve_tracer",
     "trace_run",
 ]

@@ -281,6 +281,26 @@ def apply_retry_policy(backend: ExecutionBackend, retry: Any) -> ExecutionBacken
     return backend
 
 
+def apply_telemetry(backend: ExecutionBackend, telemetry: Any) -> ExecutionBackend:
+    """Install a live-telemetry session on backends that support one.
+
+    Mirror of :func:`apply_retry_policy` for the ``telemetry=`` driver
+    parameter: a cluster backend (anything exposing ``set_telemetry``)
+    adopts the session — runner resource samples over heartbeats, runner
+    log forwarding.  In-process backends have nothing runner-side to
+    sample, so a session on a backend without the hook is a no-op (the
+    coordinator-side sampler and snapshot thread run regardless, inside
+    :func:`repro.obs.live.telemetry_scope`).  Disabled sessions are
+    skipped.  Returns the backend for chaining.
+    """
+    if telemetry is None or not getattr(telemetry, "enabled", False):
+        return backend
+    setter = getattr(backend, "set_telemetry", None)
+    if setter is not None:
+        setter(telemetry)
+    return backend
+
+
 @contextmanager
 def backend_scope(backend: BackendLike) -> Iterator[ExecutionBackend]:
     """Resolve a backend spec, closing the pool afterwards only if we made it.
@@ -288,13 +308,19 @@ def backend_scope(backend: BackendLike) -> Iterator[ExecutionBackend]:
     A caller-supplied :class:`ExecutionBackend` instance is yielded as-is and
     left open (the caller owns its lifetime and may be sharing the pool
     across rounds or protocol runs); a ``None``/string spec is resolved to a
-    fresh backend that is closed on exit.
+    fresh backend that is closed on exit.  Either way, backends that tie
+    out-of-band accounting to the current run (heartbeat frames against the
+    run's wire ledger — ``detach_run_accounting``) are detached on exit, so
+    a warm pool's idle traffic never lands on a finished run's books.
     """
     owned = not isinstance(backend, ExecutionBackend)
     resolved = resolve_backend(backend)
     try:
         yield resolved
     finally:
+        detach = getattr(resolved, "detach_run_accounting", None)
+        if detach is not None:
+            detach()
         if owned:
             resolved.close()
 
@@ -303,6 +329,7 @@ __all__ = [
     "BackendFactory",
     "BackendLike",
     "apply_retry_policy",
+    "apply_telemetry",
     "available_backends",
     "backend_scope",
     "ExecutionBackend",

@@ -295,6 +295,11 @@ def run_site_tasks(
         with tracer.span("round", round=round_index, tasks=len(tasks),
                          backend=type(exec_backend).__name__):
             t_dispatch = tracer.clock()
+            if tracer.enabled:
+                # Progress gauges a live snapshot reads mid-run; the null
+                # tracer path stays allocation-free.
+                tracer.gauge("progress.round", round_index)
+                tracer.gauge("progress.tasks_in_flight", len(tasks))
             submit_site_pairs = getattr(exec_backend, "submit_site_pairs", None)
             if submit_site_pairs is not None:
                 # Wire-capable backend (cluster): payloads cross real sockets
@@ -330,6 +335,9 @@ def run_site_tasks(
                             tags={"round": round_index},
                         )
                     tracer.event("absorb", site=result.site_id, round=round_index)
+                    tracer.inc("progress.tasks_done")
+                    tracer.gauge("progress.tasks_in_flight",
+                                 len(tasks) - len(results) - 1)
                 for out in result.outbox:
                     network.send_to_coordinator(
                         result.site_id,
@@ -399,6 +407,9 @@ def run_tasks(
                          fn=getattr(fn, "__name__", str(fn)),
                          backend=type(exec_backend).__name__):
             t_dispatch = tracer.clock()
+            if tracer.enabled:
+                tracer.gauge("progress.round", round_index)
+                tracer.gauge("progress.tasks_in_flight", len(payloads))
             traced_inline = False
             submit_tasks = getattr(exec_backend, "submit_tasks", None)
             if submit_tasks is not None:
@@ -424,6 +435,9 @@ def run_tasks(
                                   tags={"round": round_index})
                 if tracer.enabled:
                     tracer.event("absorb", index=index, round=round_index)
+                    tracer.inc("progress.tasks_done")
+                    tracer.gauge("progress.tasks_in_flight",
+                                 len(payloads) - len(results) - 1)
                 if consume is not None:
                     consume(index, result)
                 results.append(result)

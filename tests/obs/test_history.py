@@ -1,0 +1,210 @@
+"""Tests for repro.obs.history: the persistent run-history registry + CLI."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.api import partial_kmedian
+from repro.obs.history import (
+    DEFAULT_HEADROOM,
+    RUN_HISTORY_ENV,
+    RunHistory,
+    compare,
+    load_baseline,
+    main,
+    summary_record,
+)
+
+
+def record(protocol, **metrics):
+    base = {"protocol": protocol, "t": 1.0}
+    base.update(metrics)
+    return base
+
+
+class TestSummaryRecord:
+    def test_shapes_record(self):
+        rec = summary_record(
+            "kmedian",
+            {"bytes_per_word": 284.0, "rounds": 2},
+            wall_s=1.25,
+            peak_rss_bytes=1e8,
+            run_id="abc",
+            git_sha="deadbeef",
+        )
+        assert rec["protocol"] == "kmedian"
+        assert rec["bytes_per_word"] == 284.0
+        assert rec["wall_s"] == 1.25
+        assert rec["peak_rss_bytes"] == 1e8
+        assert rec["run_id"] == "abc"
+        assert rec["git_sha"] == "deadbeef"
+        assert rec["t"] > 0
+
+    def test_optional_fields_absent(self):
+        rec = summary_record("kcenter", {})
+        assert "wall_s" not in rec and "peak_rss_bytes" not in rec
+
+
+class TestRunHistory:
+    def test_append_and_records(self, tmp_path):
+        history = RunHistory(str(tmp_path / "hist.jsonl"))
+        assert history.records() == []
+        history.append(record("kmedian", bytes_per_word=284.0))
+        history.append(record("kcenter", bytes_per_word=199.0))
+        records = history.records()
+        assert [r["protocol"] for r in records] == ["kmedian", "kcenter"]
+        # One record per line, valid JSON throughout.
+        lines = open(history.path).read().splitlines()
+        assert len(lines) == 2 and all(json.loads(line) for line in lines)
+
+    def test_latest_by_protocol(self, tmp_path):
+        history = RunHistory(str(tmp_path / "hist.jsonl"))
+        history.append(record("kmedian", bytes_per_word=284.0))
+        history.append(record("kmedian", bytes_per_word=290.0))
+        latest = history.latest_by_protocol()
+        assert latest["kmedian"]["bytes_per_word"] == 290.0
+
+    def test_append_result_from_traced_run(self, tmp_path, small_workload):
+        result = partial_kmedian(
+            small_workload.points, 3, 15, n_sites=3, seed=42, trace=True
+        )
+        history = RunHistory(str(tmp_path / "hist.jsonl"))
+        rec = history.append_result("kmedian", result, wall_s=0.5, peak_rss_bytes=2.0)
+        assert rec["protocol"] == "kmedian"
+        assert rec["wall_s"] == 0.5
+        assert "origins" not in rec
+        assert "rounds" in rec
+        # Round-trips through the store.
+        assert history.latest_by_protocol()["kmedian"]["wall_s"] == 0.5
+
+
+class TestLoadBaseline:
+    def test_history_jsonl_format(self, tmp_path):
+        path = str(tmp_path / "hist.jsonl")
+        RunHistory(path).append(record("kmedian", bytes_per_word=284.0))
+        baseline = load_baseline(path)
+        assert baseline["kmedian"]["bytes_per_word"] == 284.0
+
+    def test_bench_artifact_format(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text(json.dumps({
+            "rows": [
+                {"protocol": "kmedian", "bytes_per_word": 284.0},
+                {"protocol": "kcenter", "bytes_per_word": 199.0},
+            ]
+        }))
+        baseline = load_baseline(str(path))
+        assert set(baseline) == {"kmedian", "kcenter"}
+        assert baseline["kcenter"]["bytes_per_word"] == 199.0
+
+    def test_committed_benchmark_artifact_loads(self):
+        baseline = load_baseline("benchmarks/BENCH_cluster_bytes.json")
+        assert "kmedian" in baseline
+        assert baseline["kmedian"]["bytes_per_word"] > 0
+
+
+class TestCompare:
+    def test_within_headroom_passes(self):
+        rows, regressions = compare(
+            {"kmedian": {"bytes_per_word": 300.0}},
+            {"kmedian": {"bytes_per_word": 284.0}},
+        )
+        assert regressions == []
+        (row,) = rows
+        assert row["ok"] and row["ratio"] == pytest.approx(300.0 / 284.0)
+
+    def test_detects_2x_regression(self):
+        """The acceptance case: an injected 2x bytes/word regression fails."""
+        rows, regressions = compare(
+            {"kmedian": {"bytes_per_word": 284.0 * 2.0 + 1.0}},
+            {"kmedian": {"bytes_per_word": 284.0}},
+            headroom=DEFAULT_HEADROOM,
+        )
+        assert len(regressions) == 1
+        assert "kmedian.bytes_per_word" in regressions[0]
+        assert not rows[0]["ok"]
+
+    def test_headroom_boundary_is_inclusive(self):
+        _, regressions = compare(
+            {"p": {"wall_s": 2.0}}, {"p": {"wall_s": 1.0}}, headroom=2.0
+        )
+        assert regressions == []  # exactly 2x is not > 2x
+
+    def test_zero_baseline_never_flags(self):
+        rows, regressions = compare(
+            {"p": {"bytes_per_word": 5.0}}, {"p": {"bytes_per_word": 0.0}}
+        )
+        assert regressions == [] and rows[0]["ok"]
+
+    def test_disjoint_protocols_and_fields_skipped(self):
+        rows, regressions = compare(
+            {"new": {"bytes_per_word": 1.0}, "both": {"other": 1.0}},
+            {"old": {"bytes_per_word": 1.0}, "both": {"bytes_per_word": 9.0}},
+        )
+        assert rows == [] and regressions == []
+
+
+class TestCli:
+    def test_report_empty_store(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "missing.jsonl")]) == 0
+        assert "no run history" in capsys.readouterr().out
+
+    def test_report_latest(self, tmp_path, capsys):
+        path = str(tmp_path / "hist.jsonl")
+        RunHistory(path).append(record("kmedian", bytes_per_word=284.0, wall_s=1.0))
+        assert main(["report", path]) == 0
+        out = capsys.readouterr().out
+        assert "kmedian" in out and "284" in out
+
+    def test_compare_pass_and_fail_exit_codes(self, tmp_path, capsys):
+        store = str(tmp_path / "hist.jsonl")
+        base = str(tmp_path / "base.jsonl")
+        RunHistory(base).append(record("kmedian", bytes_per_word=284.0))
+        RunHistory(store).append(record("kmedian", bytes_per_word=300.0))
+        assert main(["compare", store, "--baseline", base]) == 0
+        assert "within headroom" in capsys.readouterr().out
+        # Inject a 2x regression: exit code 1 and a REGRESSION line.
+        RunHistory(store).append(record("kmedian", bytes_per_word=284.0 * 2.5))
+        assert main(["compare", store, "--baseline", base]) == 1
+        assert "REGRESSION kmedian.bytes_per_word" in capsys.readouterr().err
+
+    def test_compare_empty_store_exit_2(self, tmp_path, capsys):
+        base = str(tmp_path / "base.jsonl")
+        RunHistory(base).append(record("kmedian", bytes_per_word=1.0))
+        assert main(["compare", str(tmp_path / "missing.jsonl"),
+                     "--baseline", base]) == 2
+
+    def test_compare_no_overlap_exit_2(self, tmp_path, capsys):
+        store = str(tmp_path / "hist.jsonl")
+        base = str(tmp_path / "base.jsonl")
+        RunHistory(store).append(record("new_protocol", bytes_per_word=1.0))
+        RunHistory(base).append(record("kmedian", bytes_per_word=1.0))
+        assert main(["compare", store, "--baseline", base]) == 2
+
+    def test_custom_headroom(self, tmp_path):
+        store = str(tmp_path / "hist.jsonl")
+        base = str(tmp_path / "base.jsonl")
+        RunHistory(base).append(record("p", wall_s=1.0))
+        RunHistory(store).append(record("p", wall_s=1.5))
+        assert main(["compare", store, "--baseline", base, "--headroom", "1.2"]) == 1
+        assert main(["compare", store, "--baseline", base, "--headroom", "2.0"]) == 0
+
+    def test_store_default_from_env(self, tmp_path, monkeypatch, capsys):
+        path = str(tmp_path / "env.jsonl")
+        RunHistory(path).append(record("kmedian", bytes_per_word=1.0))
+        monkeypatch.setenv(RUN_HISTORY_ENV, path)
+        assert main(["report"]) == 0
+        assert "kmedian" in capsys.readouterr().out
+
+    def test_module_entrypoint_smoke(self, tmp_path):
+        """``python -m repro.obs.history`` works end to end as a subprocess."""
+        path = str(tmp_path / "hist.jsonl")
+        RunHistory(path).append(record("kmedian", bytes_per_word=284.0))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.obs.history", "report", path],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert proc.returncode == 0
+        assert "kmedian" in proc.stdout

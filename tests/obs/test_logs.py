@@ -1,0 +1,162 @@
+"""Tests for repro.obs.logs: structured records, span correlation, absorb."""
+
+import json
+import pickle
+import time
+
+import numpy as np
+
+from repro.obs.logs import LogBuffer, LogRecord, RunLog, active_log, log, log_scope
+from repro.obs.trace import TraceBuffer, Tracer, collector_scope
+
+
+class TestLogRecord:
+    def test_as_dict_shape(self):
+        record = LogRecord(1.5, "host-0", "info", "task_start", 3, {"site": 2})
+        assert record.as_dict() == {
+            "t": 1.5,
+            "origin": "host-0",
+            "level": "info",
+            "event": "task_start",
+            "span": 3,
+            "fields": {"site": 2},
+        }
+
+
+class TestLogBuffer:
+    def test_records_and_bounds(self):
+        buffer = LogBuffer("host-1")
+        assert not buffer and buffer.bounds() is None
+        buffer.log("info", "a", x=1)
+        buffer.log("debug", "b")
+        assert buffer and len(buffer.records) == 2
+        lo, hi = buffer.bounds()
+        assert lo <= hi
+        assert buffer.records[0].origin == "host-1"
+        assert buffer.records[0].fields == {"x": 1}
+
+    def test_span_from_ambient_collector(self):
+        trace = TraceBuffer(origin="host-0")
+        buffer = LogBuffer("host-0")
+        with collector_scope(trace):
+            with trace.span("site_task", site=0):
+                buffer.log("debug", "inside")
+            buffer.log("debug", "outside")
+        inside, outside = buffer.records
+        assert inside.span == trace.spans[0].sid != 0
+        assert outside.span == 0
+        # Explicit span id wins over the ambient one.
+        buffer.log("debug", "explicit", span=42)
+        assert buffer.records[-1].span == 42
+
+    def test_picklable(self):
+        buffer = LogBuffer("host-2")
+        buffer.log("warning", "w", n=np.int64(3))
+        clone = pickle.loads(pickle.dumps(buffer))
+        assert clone.records[0].event == "w"
+        assert clone.origin == "host-2"
+
+
+class TestRunLog:
+    def test_levels_and_find(self):
+        run_log = RunLog(Tracer())
+        run_log.debug("d")
+        run_log.info("i", a=1)
+        run_log.warning("w")
+        run_log.error("e")
+        assert len(run_log) == 4
+        assert [r.level for r in run_log.records] == ["debug", "info", "warning", "error"]
+        assert run_log.find("i")[0].fields == {"a": 1}
+        assert [r.event for r in run_log.find(level="error")] == ["e"]
+
+    def test_tracer_clock_and_span(self):
+        tracer = Tracer()
+        run_log = RunLog(tracer)
+        with tracer.span("round", round=0):
+            inside = run_log.info("inside")
+        outside = run_log.info("outside")
+        assert inside.span == tracer.spans[0].sid != 0
+        assert outside.span == 0
+        assert 0 <= inside.time <= outside.time
+
+    def test_disabled_tracer_means_raw_clock(self):
+        from repro.obs.trace import NULL_TRACER
+
+        run_log = RunLog(NULL_TRACER)
+        assert run_log.tracer is None
+        record = run_log.info("still_works")
+        assert record.span == 0
+
+    def test_streaming_path(self, tmp_path):
+        path = str(tmp_path / "run.log.jsonl")
+        run_log = RunLog(Tracer(), path=path)
+        run_log.info("first", n=np.float64(1.5))
+        # Flushed per record: visible to an external tail before close().
+        rows = [json.loads(line) for line in open(path)]
+        assert rows[0]["event"] == "first" and rows[0]["fields"]["n"] == 1.5
+        run_log.info("second")
+        run_log.close()
+        assert len(open(path).readlines()) == 2
+
+    def test_to_jsonl_time_sorted(self, tmp_path):
+        run_log = RunLog(Tracer())
+        run_log.info("late")
+        run_log.records[0].time = 10.0
+        run_log.info("early")
+        path = run_log.to_jsonl(str(tmp_path / "out.jsonl"))
+        events = [json.loads(line)["event"] for line in open(path)]
+        assert events == ["early", "late"]
+
+    def test_absorb_rebases_and_tags(self):
+        tracer = Tracer()
+        run_log = RunLog(tracer)
+        buffer = LogBuffer("host-1")
+        buffer.log("info", "remote", site=1)
+        t_send = tracer.clock()
+        time.sleep(0.002)
+        t_recv = tracer.clock()
+        run_log.absorb(buffer, window=(t_send, t_recv), round=2, host=1)
+        (record,) = run_log.records
+        assert record.origin == "host-1"
+        assert record.fields == {"round": 2, "host": 1, "site": 1}
+        # Rebased onto the coordinator timeline: inside (or at least near)
+        # the dispatch window, never at the raw perf_counter instant.
+        assert t_send <= record.time <= t_recv
+
+    def test_absorb_record_fields_win(self):
+        run_log = RunLog(Tracer())
+        buffer = LogBuffer("host-0")
+        buffer.log("info", "x", host=99)
+        run_log.absorb(buffer, window=(0.0, 1.0), host=1)
+        assert run_log.records[0].fields["host"] == 99
+
+    def test_absorb_empty_is_noop(self):
+        run_log = RunLog(Tracer())
+        run_log.absorb(None)
+        run_log.absorb(LogBuffer("host-0"))
+        assert len(run_log) == 0
+
+
+class TestAmbientLog:
+    def test_module_level_log_routes_to_scope(self):
+        run_log = RunLog(Tracer())
+        assert active_log() is None
+        log("info", "dropped")  # no sink installed: silently discarded
+        with log_scope(run_log):
+            assert active_log() is run_log
+            log("info", "kept", k=1)
+            buffer = LogBuffer("host-0")
+            with log_scope(buffer):
+                assert active_log() is buffer
+                log("debug", "nested")
+            assert active_log() is run_log
+        assert active_log() is None
+        assert [r.event for r in run_log.records] == ["kept"]
+        assert [r.event for r in buffer.records] == ["nested"]
+
+    def test_log_scope_none_disables(self):
+        run_log = RunLog(Tracer())
+        with log_scope(run_log):
+            with log_scope(None):
+                log("info", "discarded")
+        assert len(run_log) == 0

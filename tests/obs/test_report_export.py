@@ -13,6 +13,8 @@ from repro import (
 )
 from repro.core.algorithm1_modified import distributed_partial_median_no_shipping
 from repro.obs import (
+    assert_byte_parity,
+    byte_parity_diff,
     protocol_summary,
     render_protocol_summary,
     render_round_report,
@@ -149,3 +151,150 @@ class TestChromeExport:
     def test_disabled_tracer_rejected(self):
         with pytest.raises(ValueError):
             to_chrome_trace(NULL_TRACER)
+
+
+VALID_PHASES = {"M", "X", "b", "e", "i"}
+
+REQUIRED_KEYS = {
+    "M": {"ph", "name", "pid", "tid", "args"},
+    "X": {"ph", "name", "pid", "tid", "cat", "ts", "dur", "args"},
+    "b": {"ph", "name", "pid", "tid", "cat", "ts", "id", "args"},
+    "e": {"ph", "name", "pid", "tid", "cat", "ts", "id"},
+    "i": {"ph", "name", "pid", "tid", "cat", "ts", "s", "args"},
+}
+
+
+def validate_trace_events(doc):
+    """Schema checks every exported (or committed) trace document must pass."""
+    events = doc["traceEvents"]
+    assert events, "empty traceEvents"
+    declared_pids = set()
+    for event in events:
+        ph = event["ph"]
+        assert ph in VALID_PHASES, f"unknown phase {ph!r}"
+        missing = REQUIRED_KEYS[ph] - set(event)
+        assert not missing, f"{ph!r} event missing keys {sorted(missing)}: {event}"
+        if ph == "M":
+            assert event["name"] == "process_name"
+            declared_pids.add(event["pid"])
+        else:
+            assert event["ts"] >= 0.0
+        if ph == "X":
+            assert event["dur"] >= 0.0
+    # Every timed event belongs to a process declared by a metadata event.
+    for event in events:
+        if event["ph"] != "M":
+            assert event["pid"] in declared_pids
+    # Async intervals pair up: one "b" and one "e" per id, begin before end.
+    begins = {e["id"]: e["ts"] for e in events if e["ph"] == "b"}
+    ends = {e["id"]: e["ts"] for e in events if e["ph"] == "e"}
+    assert set(begins) == set(ends)
+    for ident, ts_begin in begins.items():
+        assert ends[ident] >= ts_begin, f"async {ident} ends before it begins"
+    # Within one (pid, tid) thread lane, complete spans are emitted in
+    # monotone end-time order: stack discipline seals a span only at exit.
+    lanes = {}
+    for event in events:
+        if event["ph"] == "X":
+            lanes.setdefault((event["pid"], event["tid"]), []).append(
+                event["ts"] + event["dur"]
+            )
+    for lane, end_times in lanes.items():
+        assert end_times == sorted(end_times), f"non-monotone lane {lane}"
+
+
+class TestChromeTraceSchema:
+    def test_exported_trace_passes_schema(self, traced_kmedian):
+        validate_trace_events(to_chrome_trace(traced_kmedian.trace))
+
+    def test_span_ids_surface_in_args(self, traced_kmedian):
+        doc = to_chrome_trace(traced_kmedian.trace)
+        sids = [(e["pid"], e["args"]["sid"]) for e in doc["traceEvents"]
+                if e["ph"] == "X" and "sid" in e["args"]]
+        assert sids and all(isinstance(s, int) and s > 0 for _, s in sids)
+        # The coordinator runs one buffer for the whole run, so its sids are
+        # injective (site buffers restart per round and may repeat ids).
+        coordinator = [s for pid, s in sids if pid == 1]
+        assert coordinator and len(coordinator) == len(set(coordinator))
+
+    def test_committed_benchmark_trace_round_trips(self, tmp_path):
+        """The committed cluster-trace artifact still parses and validates."""
+        with open("benchmarks/BENCH_cluster_trace.json") as fh:
+            doc = json.load(fh)
+        validate_trace_events(doc)
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["counters"]
+        # Round-trip: rewriting the document preserves it bit for bit.
+        path = tmp_path / "rt.json"
+        with open(path, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        with open(path) as fh:
+            assert json.load(fh) == doc
+
+
+def _fake_cluster_result(tracer, wire):
+    class Ledger:
+        pass
+
+    class Result:
+        pass
+
+    result = Result()
+    result.trace = tracer
+    result.ledger = Ledger()
+    result.ledger.wire = wire
+    return result
+
+
+class TestByteParity:
+    def _matched_pair(self):
+        from repro.cluster.wire import WireLedger
+
+        tracer = Tracer()
+        wire = WireLedger()
+        wire.record(round_index=1, host=0, direction="send",
+                    kind="task_dispatch", n_bytes=80, raw_bytes=100)
+        tracer.inc("wire.bytes", 100)
+        tracer.inc("wire.bytes_encoded", 80)
+        tracer.inc("wire.bytes.send", 100)
+        tracer.inc("wire.bytes_encoded.send", 80)
+        tracer.inc("wire.bytes.task_dispatch", 100)
+        tracer.inc("wire.bytes_encoded.task_dispatch", 80)
+        return tracer, wire
+
+    def test_healthy_run_has_empty_diff(self, traced_kmedian):
+        assert byte_parity_diff(traced_kmedian) == []
+        assert_byte_parity(traced_kmedian)  # does not raise
+
+    def test_matched_ledger_has_empty_diff(self):
+        tracer, wire = self._matched_pair()
+        result = _fake_cluster_result(tracer, wire)
+        assert byte_parity_diff(result) == []
+        assert_byte_parity(result, label="cluster")
+
+    def test_diff_names_disagreeing_counters(self):
+        tracer, wire = self._matched_pair()
+        tracer.inc("wire.bytes", 37)  # unledgered raw bytes
+        tracer.inc("wire.bytes.recv", 37)
+        diff = byte_parity_diff(_fake_cluster_result(tracer, wire))
+        assert len(diff) == 2
+        assert any(line.startswith("wire.bytes (raw total): trace=137 ledger=100")
+                   for line in diff)
+        assert any("wire.bytes.recv" in line and "delta +37" in line for line in diff)
+
+    def test_assert_carries_per_counter_lines(self):
+        tracer, wire = self._matched_pair()
+        wire.record(round_index=2, host=1, direction="recv",
+                    kind="hb", n_bytes=64)
+        with pytest.raises(AssertionError) as err:
+            assert_byte_parity(_fake_cluster_result(tracer, wire), label="bench")
+        message = str(err.value)
+        assert message.startswith("[bench] trace/ledger wire byte mismatch")
+        assert "wire.bytes (raw total): trace=100 ledger=164" in message
+        assert "wire.bytes.recv" in message and "delta -64" in message
+
+    def test_untraced_result_rejected(self, small_workload):
+        result = partial_kmedian(small_workload.points, 3, 15, n_sites=3, seed=42)
+        with pytest.raises(ValueError, match="trace=True"):
+            byte_parity_diff(result)

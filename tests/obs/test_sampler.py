@@ -1,0 +1,132 @@
+"""Tests for repro.obs.sampler: resource samples and the sampler thread."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.sampler import (
+    RESOURCE_SAMPLE_ENV,
+    SAMPLE_FIELDS,
+    ResourceSampler,
+    read_resource_sample,
+    resource_samples_enabled,
+)
+from repro.obs.trace import Tracer
+
+
+class TestReadResourceSample:
+    def test_fields_complete_and_float(self):
+        sample = read_resource_sample()
+        assert set(sample) == set(SAMPLE_FIELDS)
+        for field, value in sample.items():
+            assert isinstance(value, float), field
+
+    def test_live_process_values(self):
+        """On this (Linux) box every field should be a real measurement."""
+        sample = read_resource_sample()
+        assert sample["rss_bytes"] > 0
+        assert sample["cpu_s"] >= 0
+        assert sample["n_threads"] >= 1
+        # n_fds is -1.0 only without /proc; stdin/stdout/stderr exist here.
+        assert sample["n_fds"] >= 3 or sample["n_fds"] == -1.0
+
+    def test_picklable(self):
+        import pickle
+
+        sample = read_resource_sample()
+        assert pickle.loads(pickle.dumps(sample)) == sample
+
+    def test_cpu_seconds_monotone(self):
+        first = read_resource_sample()
+        # Burn a little CPU so the counter visibly cannot go backwards.
+        sum(i * i for i in range(10_000))
+        second = read_resource_sample()
+        assert second["cpu_s"] >= first["cpu_s"]
+        assert second["t"] >= first["t"]
+
+
+class TestResourceSamplesEnabled:
+    def test_env_values(self):
+        assert not resource_samples_enabled({})
+        assert not resource_samples_enabled({RESOURCE_SAMPLE_ENV: ""})
+        assert not resource_samples_enabled({RESOURCE_SAMPLE_ENV: "0"})
+        assert resource_samples_enabled({RESOURCE_SAMPLE_ENV: "1"})
+
+    def test_reads_process_env(self, monkeypatch):
+        monkeypatch.delenv(RESOURCE_SAMPLE_ENV, raising=False)
+        assert not resource_samples_enabled()
+        monkeypatch.setenv(RESOURCE_SAMPLE_ENV, "1")
+        assert resource_samples_enabled()
+
+
+class TestResourceSampler:
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            ResourceSampler(0)
+        with pytest.raises(ValueError):
+            ResourceSampler(-0.1)
+
+    def test_collects_samples(self):
+        sampler = ResourceSampler(0.01)
+        with sampler:
+            time.sleep(0.08)
+        # start() and stop() each take one sample; the loop adds more.
+        assert len(sampler.samples) >= 3
+        assert sampler.latest() is not None
+        assert sampler.peak_rss() > 0
+
+    def test_latest_none_before_start(self):
+        sampler = ResourceSampler(0.01)
+        assert sampler.latest() is None
+        assert sampler.peak_rss() == 0.0
+
+    def test_stop_idempotent_and_thread_gone(self):
+        sampler = ResourceSampler(0.01)
+        before = threading.active_count()
+        sampler.start()
+        assert threading.active_count() == before + 1
+        sampler.stop()
+        sampler.stop()
+        assert threading.active_count() == before
+
+    def test_start_idempotent(self):
+        sampler = ResourceSampler(0.01)
+        try:
+            assert sampler.start() is sampler
+            thread = sampler._thread
+            assert sampler.start() is sampler
+            assert sampler._thread is thread
+        finally:
+            sampler.stop()
+
+    def test_bounded_deque(self):
+        sampler = ResourceSampler(0.01, max_samples=2)
+        sampler.sample_once()
+        sampler.sample_once()
+        sampler.sample_once()
+        assert len(sampler.samples) == 2
+
+    def test_peak_survives_rotation(self):
+        sampler = ResourceSampler(0.01, max_samples=1)
+        sampler.sample_once()
+        peak = sampler.peak_rss()
+        sampler.sample_once()
+        assert sampler.peak_rss() >= peak > 0
+
+    def test_gauges_published(self):
+        tracer = Tracer()
+        sampler = ResourceSampler(0.01, tracer=tracer, origin="coordinator")
+        sampler.sample_once()
+        gauges = tracer.metrics.gauges
+        for field in ("rss_bytes", "cpu_s", "n_threads", "n_fds", "peak_rss_bytes"):
+            assert f"resource.coordinator.{field}" in gauges
+        assert gauges["resource.coordinator.rss_bytes"] > 0
+        assert gauges["resource.coordinator.peak_rss_bytes"] == sampler.peak_rss()
+
+    def test_disabled_tracer_ignored(self):
+        from repro.obs.trace import NULL_TRACER
+
+        sampler = ResourceSampler(0.01, tracer=NULL_TRACER)
+        assert sampler.tracer is None
+        sampler.sample_once()  # must not blow up publishing to nothing
