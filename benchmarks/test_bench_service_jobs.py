@@ -1,0 +1,124 @@
+"""Job throughput and latency of the cluster service's admission queue.
+
+The service multiplexes many concurrent clustering runs onto one shared
+warm pool (one selector loop, one set of runner processes).  This
+benchmark submits batches of 1, 4 and 16 identical k-median jobs through
+:meth:`~repro.cluster.ClusterService.submit` and records, per batch size,
+the jobs/sec the shared pool sustains and the p50/p95 per-job latency
+(submit-to-result, queueing included).  The single-job row is the
+baseline: its latency is what a private pool would deliver, so the other
+rows price exactly what sharing costs (or saves — the pool is warm, so a
+queued job skips runner spawn entirely).
+
+Wall-clock numbers are recorded but never asserted — the CI box is
+1-core and the runners are subprocesses; timing is machine truth, not
+repo truth.  What *is* asserted is the semantics under load: every job's
+word ledger and cost must be bit-identical to the same run on the serial
+backend, at every batch size.
+
+The JSON artifact is only (re)written when ``REPRO_BENCH_ARTIFACTS=1``::
+
+    REPRO_BENCH_ARTIFACTS=1 pytest benchmarks/test_bench_service_jobs.py
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.harness import record_rows, write_bench_json
+from repro import partial_kmedian
+from repro.cluster import ClusterService
+
+K, T = 3, 10
+N_SITES = 3
+N_HOSTS = 2
+BATCH_SIZES = (1, 4, 16)
+
+
+@pytest.fixture(scope="module")
+def job_points():
+    return np.random.default_rng(20170727).normal(size=(150, 2))
+
+
+@pytest.fixture(scope="module")
+def serial_baseline(job_points):
+    return partial_kmedian(job_points, K, T, n_sites=N_SITES, seed=42)
+
+
+@pytest.mark.cluster
+@pytest.mark.paper_experiment("service_jobs")
+def test_service_job_throughput(benchmark, job_points, serial_baseline):
+    rows = []
+    with ClusterService(n_hosts=N_HOSTS) as service:
+        # Warm the pool outside the timed region: the first job pays runner
+        # spawn, every later batch measures steady-state service behaviour.
+        service.submit(
+            lambda b: partial_kmedian(
+                job_points, K, T, n_sites=N_SITES, seed=42, backend=b
+            ),
+            label="warmup",
+        ).result(timeout=300)
+
+        def run_batch(n_jobs):
+            t0 = time.perf_counter()
+            jobs = [
+                service.submit(
+                    lambda b: partial_kmedian(
+                        job_points, K, T, n_sites=N_SITES, seed=42, backend=b
+                    ),
+                    label=f"batch{n_jobs}-{i}",
+                )
+                for i in range(n_jobs)
+            ]
+            latencies = []
+            for job in jobs:
+                result = job.result(timeout=600)
+                latencies.append(time.perf_counter() - t0)
+                # Sharing the pool never bends a run's semantics.
+                assert result.cost == serial_baseline.cost
+                assert (result.ledger.total_words()
+                        == serial_baseline.ledger.total_words())
+                assert (result.ledger.words_by_kind()
+                        == serial_baseline.ledger.words_by_kind())
+            return time.perf_counter() - t0, latencies
+
+        for n_jobs in BATCH_SIZES:
+            elapsed, latencies = run_batch(n_jobs)
+            rows.append(
+                {
+                    "queued_jobs": n_jobs,
+                    "wall_s": elapsed,
+                    "jobs_per_s": n_jobs / elapsed,
+                    "latency_p50_s": float(np.percentile(latencies, 50)),
+                    "latency_p95_s": float(np.percentile(latencies, 95)),
+                }
+            )
+
+        # One representative batch for pytest-benchmark's timing record.
+        benchmark.pedantic(lambda: run_batch(4), rounds=1, iterations=1)
+
+    record_rows(
+        benchmark,
+        "service_job_throughput",
+        rows,
+        columns=["queued_jobs", "wall_s", "jobs_per_s",
+                 "latency_p50_s", "latency_p95_s"],
+        title="cluster service job throughput (shared 2-host pool)",
+    )
+
+    if os.environ.get("REPRO_BENCH_ARTIFACTS") != "1":
+        return
+    path = write_bench_json(
+        "BENCH_service_jobs.json",
+        {
+            "experiment": "service_job_throughput",
+            "workload": {
+                "n_points": int(job_points.shape[0]),
+                "k": K, "t": T, "n_sites": N_SITES, "n_hosts": N_HOSTS,
+            },
+            "rows": rows,
+        },
+    )
+    benchmark.extra_info["artifact"] = path

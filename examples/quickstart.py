@@ -49,6 +49,7 @@ def main() -> None:
 
     choosing_a_backend(workload.points, k, t)
     running_on_a_cluster_backend(workload.points, k, t)
+    event_loop_coordinator_and_the_cluster_service(workload.points, k, t)
     fault_tolerance_and_recovery(workload.points, k, t)
     wire_codecs_and_content_addressed_payloads(workload.points, k, t)
     memory_budgets_and_out_of_core_shards(workload.points, k, t)
@@ -176,6 +177,77 @@ def running_on_a_cluster_backend(points, k, t) -> None:
         f"  dispatch bytes by round: round1={dispatch.get(1, 0)} (shard+metric), "
         f"round2={dispatch.get(2, 0)} (state epoch token)"
     )
+
+
+def event_loop_coordinator_and_the_cluster_service(points, k, t) -> None:
+    """Event-loop coordinator and the cluster service.
+
+    Under the hood the coordinator no longer runs reader/sender threads
+    per host: one selector-based event loop (``repro.cluster.loop``)
+    multiplexes every runner channel through non-blocking
+    ``FrameChannel`` state machines, so a 3-host and a 300-host pool
+    cost the same single coordinator thread.  That is what makes the
+    pool *shareable* — and ``repro.cluster.ClusterService`` puts a job
+    queue on top of it::
+
+        from repro.cluster import ClusterService
+
+        with ClusterService(n_hosts=3, capacity="256MB") as service:
+            job = service.submit(
+                lambda backend: partial_kmedian(
+                    points, k=3, t=30, seed=7, backend=backend),
+                memory_budget="64MB", label="nightly",
+            )
+            result = job.result()
+
+    * ``submit(fn, ...)`` queues a job and returns a ``ClusterJob``
+      immediately; once admitted, ``fn`` receives the job's backend view
+      of the shared warm pool.  ``checkout()`` is the blocking variant
+      that hands the backend straight back.
+    * **Admission control** is FIFO over ``memory_budget``: a job is
+      admitted when its budget fits into the remaining ``capacity``
+      (same grammar as the blocked-evaluation budgets — bytes, or
+      ``"64MB"``-style strings).  A job bigger than the whole capacity
+      runs once the pool is otherwise idle, so oversized work degrades
+      to serial instead of deadlocking.
+    * **Isolation is total**: each job gets a lane namespace that keys
+      the content-addressed payload caches, runner-resident site state,
+      heartbeat accounting and telemetry routing on both ends of every
+      socket.  Each job's result — centers, cost, word ledger, *and*
+      its private wire ledger — is bit-identical to the same run on a
+      standalone pool, no matter what runs next to it.
+    * ``REPRO_CLUSTER_SERVICE=1`` routes every ``backend="cluster:N"``
+      spec through a process-wide shared service (a ``"service"``
+      backend spec is also registered), which is how CI runs the whole
+      cluster suite against one shared pool.
+
+    Throughput and p50/p95 job latency at 1, 4 and 16 queued jobs are
+    benchmarked in ``benchmarks/BENCH_service_jobs.json``.
+    """
+    from repro.cluster import ClusterService
+
+    print("\ncluster service (concurrent jobs, one shared pool, same results)")
+    serial = partial_kmedian(points, k=k, t=t, n_sites=3, seed=7)
+    with ClusterService(n_hosts=2, capacity="256MB") as service:
+        jobs = [
+            service.submit(
+                lambda backend: partial_kmedian(
+                    points, k=k, t=t, n_sites=3, seed=7, backend=backend
+                ),
+                memory_budget="32MB",
+                label=f"job{i}",
+            )
+            for i in range(3)
+        ]
+        results = [job.result(timeout=300) for job in jobs]
+    for job, result in zip(jobs, results):
+        assert result.cost == serial.cost
+        assert result.ledger.total_words() == serial.ledger.total_words()
+        print(
+            f"  {job.label} (lane {job.job}): cost {result.cost:9.1f}, "
+            f"words {result.ledger.total_words():6.0f}, "
+            f"bytes {result.ledger.summary()['total_bytes']:8d}  == serial"
+        )
 
 
 def fault_tolerance_and_recovery(points, k, t) -> None:

@@ -50,10 +50,13 @@ from repro.cluster.framing import (
 )
 from repro.cluster.payloads import PayloadCache
 from repro.cluster.recovery import DeadHostError, FaultAction, FaultPlan, RetryPolicy
+from repro.cluster.service import ClusterJob, ClusterService, ServiceBackend, shared_service
 from repro.cluster.wire import RecoveryEvent, WireLedger, WireRecord
 
 __all__ = [
     "ClusterBackend",
+    "ClusterJob",
+    "ClusterService",
     "DeadHostError",
     "FaultAction",
     "FaultPlan",
@@ -61,6 +64,7 @@ __all__ = [
     "PayloadCache",
     "RecoveryEvent",
     "RetryPolicy",
+    "ServiceBackend",
     "WireLedger",
     "WirePolicy",
     "WireRecord",
@@ -68,4 +72,5 @@ __all__ = [
     "decode_payload",
     "encode_payload",
     "resolve_codec",
+    "shared_service",
 ]

@@ -63,7 +63,6 @@ environment knob) injects deterministic faults for tests and CI.
 from __future__ import annotations
 
 import os
-import queue
 import shutil
 import signal
 import socket
@@ -83,6 +82,7 @@ from repro.cluster.framing import (
     encode_frame,
     encode_payload,
 )
+from repro.cluster.loop import EventLoop, TimerHandle
 from repro.cluster.payloads import PayloadCache
 from repro.cluster.recovery import (
     DeadHostError,
@@ -115,6 +115,10 @@ class _Pending:
 
     __slots__ = (
         "future", "wire", "round_index", "kind", "convert", "tracer", "t_send",
+        # Job namespace the frame belongs to ("" for direct backend use):
+        # routes the result's payload-cache decode and telemetry absorption
+        # to the owning job's isolated accounting.
+        "job",
         # Recovery book-keeping (None on fail-fast backends): the site log +
         # record a "site" frame belongs to, the (fn, payload, index) of a
         # re-dispatchable "task" frame, the (key, keys) of a re-issuable
@@ -123,12 +127,13 @@ class _Pending:
         "pull_info", "fault_ordinal",
     )
 
-    def __init__(self, future, wire, round_index, kind, convert):
+    def __init__(self, future, wire, round_index, kind, convert, job=""):
         self.future = future
         self.wire = wire
         self.round_index = round_index
         self.kind = kind
         self.convert = convert
+        self.job = job
         #: Set only on traced runs: the run tracer plus the dispatch instant
         #: (tracer clock), bracketing the frame's wire span on receipt.
         self.tracer = None
@@ -143,15 +148,18 @@ class _Pending:
 
 
 class _Host:
-    """One runner process plus its socket, reader/sender threads and pending map."""
+    """One runner process plus its loop-managed channel and pending map.
+
+    The coordinator runs **no threads for this host**: its channel is
+    registered with the backend's single :class:`EventLoop`, which reads
+    result frames, flushes queued dispatch bytes and watches heartbeats for
+    every host at once.
+    """
 
     def __init__(self, host_id: int):
         self.host_id = host_id
         self.process: Optional[subprocess.Popen] = None
         self.channel: Optional[FrameChannel] = None
-        self.reader: Optional[threading.Thread] = None
-        self.sender: Optional[threading.Thread] = None
-        self.send_queue: "queue.Queue[Optional[tuple]]" = queue.Queue()
         self.pending: Dict[int, _Pending] = {}
         self.lock = threading.Lock()
         self.dead: Optional[str] = None
@@ -167,28 +175,42 @@ class _Host:
         #: the policy's timeout while work is in flight.
         self.last_seen = 0.0
         #: Accumulated runner-side frame overhead (``cluster:*`` labels from
-        #: result-frame extras).  Touched only by this host's reader thread.
+        #: result-frame extras).  Touched only by the event-loop thread.
         self.runner_timer = Timer()
         self.resident_keys: Set[Any] = set()
-        #: site_id -> resident key currently cached on the runner for that
-        #: slot; a new key for the same slot evicts the old one remotely, so
-        #: runner memory is bounded by live site slots, not runs served.
-        self.resident_by_site: Dict[int, Any] = {}
-        #: Coordinator-side mirror of the runner's content-addressed payload
-        #: cache.  Membership stays symmetric because both ends apply the
-        #: same store-on-VAL rule at each frame, in FIFO frame order.
-        self.payloads = PayloadCache()
+        #: (job, site_id) -> resident key currently cached on the runner for
+        #: that slot; a new key for the same slot evicts the old one remotely,
+        #: so runner memory is bounded by live site slots, not runs served.
+        #: The job namespace ("" for direct backend use) keeps concurrent
+        #: jobs' identical site ids from evicting each other's state.
+        self.resident_by_site: Dict[Tuple[str, int], Any] = {}
+        #: Coordinator-side mirrors of the runner's content-addressed payload
+        #: caches, one per job namespace.  Membership stays symmetric because
+        #: both ends apply the same store-on-VAL rule at each frame, in FIFO
+        #: frame order — and per-job caches keep one job's hits independent
+        #: of what another job shipped.
+        self.payloads: Dict[str, PayloadCache] = {}
         #: Serialises frame encode + enqueue: a frame encoded *after* another
         #: must also be enqueued after it, or a payload REF could cross the
         #: socket before the VAL that defined it.
         self.encode_lock = threading.Lock()
-        #: ``(wire, tracer, round_index)`` captured atomically by the last
-        #: dispatch to this host, so the reader thread can account heartbeat
+        #: ``(wire, tracer, round_index, job)`` captured atomically by the
+        #: last dispatch to this host, so the event loop can account heartbeat
         #: frames against the same ledger/tracer pair every other frame of
         #: the run uses — the hb accounting inherits the run's byte-parity
-        #: guarantee by construction.  ``(None, None, 0)`` until the first
-        #: dispatch: heartbeats before any run are liveness-only.
-        self.hb_account: Tuple[Optional[WireLedger], Optional[Any], int] = (None, None, 0)
+        #: guarantee by construction.  ``(None, None, 0, "")`` until the
+        #: first dispatch: heartbeats before any run are liveness-only.  The
+        #: job slot lets a finishing job detach only its own accounting.
+        self.hb_account: Tuple[Optional[WireLedger], Optional[Any], int, str] = (
+            None, None, 0, "",
+        )
+
+    def payload_cache(self, job: str = "") -> PayloadCache:
+        """The content-addressed payload cache mirror for one job namespace."""
+        cache = self.payloads.get(job)
+        if cache is None:
+            cache = self.payloads[job] = PayloadCache()
+        return cache
 
 
 class ClusterBackend(ExecutionBackend):
@@ -221,6 +243,7 @@ class ClusterBackend(ExecutionBackend):
         self._socket_dir: Optional[str] = None
         self._seq = 0
         self._submit_lock = threading.Lock()
+        self._start_lock = threading.Lock()
         #: resident_key -> weakref of the *current-epoch* proxy for that
         #: key's mutable state; used to materialise proxies before their
         #: runner-side copy is evicted or cleared.
@@ -235,14 +258,21 @@ class ClusterBackend(ExecutionBackend):
         #: Terminal reason once the retry budget is exhausted: every later
         #: replay attempt raises it instead of recovering.
         self._exhausted: Optional[str] = None
-        self._monitor: Optional[threading.Thread] = None
-        self._monitor_stop = threading.Event()
+        #: The single selector loop multiplexing every runner channel; one
+        #: daemon thread regardless of ``n_hosts``.
+        self._loop: Optional[EventLoop] = None
+        #: Periodic heartbeat-silence check registered on the loop (only when
+        #: the retry policy configures a timeout).
+        self._monitor_timer: Optional[TimerHandle] = None
         self._recovery_threads: List[threading.Thread] = []
         #: Telemetry session (``telemetry=`` driver argument); ``None`` when
         #: the live plane is off.  When set, runners are spawned with
         #: resource sampling on their heartbeats and runner log buffers are
         #: forwarded into the session's run log.
         self.telemetry: Optional[Any] = None
+        #: job namespace -> telemetry session for runs admitted through the
+        #: cluster service; frames of a job report into *its* session only.
+        self._telemetry_by_job: Dict[str, Any] = {}
 
     def set_telemetry(self, telemetry: Optional[Any]) -> None:
         """Install a telemetry session (the ``telemetry=`` argument lands here).
@@ -257,7 +287,27 @@ class ClusterBackend(ExecutionBackend):
         self.telemetry = telemetry if (telemetry is not None
                                        and getattr(telemetry, "enabled", False)) else None
 
-    def detach_run_accounting(self) -> None:
+    def set_job_telemetry(self, job: str, telemetry: Optional[Any]) -> None:
+        """Install (or remove, with ``None``) one job's telemetry session.
+
+        Result-frame extras of that job — forwarded runner logs — land in
+        *its* session's run log only, never a concurrent job's.  Runner
+        resource samples ride host-level heartbeats that belong to no single
+        job, so they land in every installed session (shared-infrastructure
+        metrics, not job data).
+        """
+        if telemetry is not None and getattr(telemetry, "enabled", False):
+            self._telemetry_by_job[job] = telemetry
+        else:
+            self._telemetry_by_job.pop(job, None)
+
+    def _session_for(self, job: str) -> Optional[Any]:
+        """The telemetry session one job's frames report into."""
+        if job:
+            return self._telemetry_by_job.get(job)
+        return self.telemetry
+
+    def detach_run_accounting(self, job: Optional[str] = None) -> None:
         """Stop accounting heartbeats against the current run's ledger/tracer.
 
         Called when a run's backend scope exits (see
@@ -265,36 +315,46 @@ class ClusterBackend(ExecutionBackend):
         lock makes this a barrier: a heartbeat being recorded concurrently
         completes first, so after this returns the finished run's ledger and
         trace byte totals are frozen — still bit-for-bit equal — while the
-        warm pool's later heartbeats go back to liveness-only.
+        warm pool's later heartbeats go back to liveness-only.  With ``job``
+        given, only hosts whose captured accounting belongs to that job are
+        detached — a finishing job on a shared service pool never freezes a
+        concurrent job's heartbeat accounting.
         """
         if self._hosts is None:
             return
         for host in self._hosts:
             with host.lock:
-                host.hb_account = (None, None, 0)
+                if job is None or host.hb_account[3] == job:
+                    host.hb_account = (None, None, 0, "")
 
     def _absorb_resource_sample(self, host: _Host, sample: Any) -> None:
-        """Land one heartbeat-piggybacked runner sample on the run timeline.
+        """Land one heartbeat-piggybacked runner sample on the run timeline(s).
 
-        Only this host's reader thread touches its gauges, so the manual
-        running max on ``peak_rss_bytes`` is race-free.
+        Only the event-loop thread touches these gauges, so the manual
+        running max on ``peak_rss_bytes`` is race-free.  Samples are
+        host-level truth that belongs to no single job, so every installed
+        session — the pool's own plus any per-job ones — receives them.
         """
-        session = self.telemetry
-        if session is None or not isinstance(sample, dict):
+        if not isinstance(sample, dict):
             return
-        tracer = session.tracer
-        if tracer is None or not getattr(tracer, "enabled", False):
-            return
-        origin = f"host-{host.host_id}"
-        tracer.event("resource_sample", origin=origin, **sample)
-        prefix = f"resource.{origin}."
-        for field in ("rss_bytes", "cpu_s", "n_threads", "n_fds"):
-            if field in sample:
-                tracer.gauge(prefix + field, sample[field])
-        rss = sample.get("rss_bytes", -1.0)
-        peak_key = prefix + "peak_rss_bytes"
-        if rss > tracer.metrics.gauges.get(peak_key, 0.0):
-            tracer.gauge(peak_key, rss)
+        sessions = [self.telemetry] if self.telemetry is not None else []
+        for session in self._telemetry_by_job.values():
+            if not any(session is seen for seen in sessions):
+                sessions.append(session)
+        for session in sessions:
+            tracer = session.tracer
+            if tracer is None or not getattr(tracer, "enabled", False):
+                continue
+            origin = f"host-{host.host_id}"
+            tracer.event("resource_sample", origin=origin, **sample)
+            prefix = f"resource.{origin}."
+            for field in ("rss_bytes", "cpu_s", "n_threads", "n_fds"):
+                if field in sample:
+                    tracer.gauge(prefix + field, sample[field])
+            rss = sample.get("rss_bytes", -1.0)
+            peak_key = prefix + "peak_rss_bytes"
+            if rss > tracer.metrics.gauges.get(peak_key, 0.0):
+                tracer.gauge(peak_key, rss)
 
     def set_retry_policy(self, retry: Optional[RetryPolicy]) -> None:
         """Install a retry policy (the ``retry=`` driver argument lands here).
@@ -317,6 +377,21 @@ class ClusterBackend(ExecutionBackend):
     def socket_dir(self) -> Optional[str]:
         """Scratch directory holding the per-host sockets (None when stopped)."""
         return self._socket_dir
+
+    def dead_hosts(self) -> Dict[int, str]:
+        """``host_id -> death reason`` for every host observed dead.
+
+        Empty for a healthy (or never-started, or closed) pool.  The
+        cluster service uses this to retire a fail-fast pool whose hosts
+        died instead of handing the wreck to the next admitted job.
+        """
+        if self._hosts is None:
+            return {}
+        return {
+            host.host_id: host.dead
+            for host in self._hosts
+            if host.dead is not None
+        }
 
     def _runner_environment(self) -> Dict[str, str]:
         """Child environment: mirror the coordinator's import path.
@@ -349,8 +424,17 @@ class ClusterBackend(ExecutionBackend):
         return env
 
     def _ensure_started(self) -> List[_Host]:
-        if self._hosts is not None:
-            return self._hosts
+        hosts = self._hosts
+        if hosts is not None:
+            return hosts
+        with self._start_lock:
+            # Concurrent service jobs race the warm pool's first dispatch;
+            # exactly one spawns the runners, the rest adopt them.
+            if self._hosts is not None:
+                return self._hosts
+            return self._start_locked()
+
+    def _start_locked(self) -> List[_Host]:
         socket_dir = tempfile.mkdtemp(prefix="repro-cluster-")
         env = self._runner_environment()
         hosts: List[_Host] = []
@@ -387,16 +471,6 @@ class ClusterBackend(ExecutionBackend):
                         f"cluster host {host_id} sent a bad handshake: {hello!r}"
                     )
                 host.last_seen = time.monotonic()
-                host.reader = threading.Thread(
-                    target=self._read_loop, args=(host,),
-                    name=f"repro-cluster-reader-{host_id}", daemon=True,
-                )
-                host.reader.start()
-                host.sender = threading.Thread(
-                    target=self._send_loop, args=(host,),
-                    name=f"repro-cluster-sender-{host_id}", daemon=True,
-                )
-                host.sender.start()
                 hosts.append(host)
         except BaseException:
             self._hosts = hosts  # let close() reap whatever did start
@@ -405,89 +479,103 @@ class ClusterBackend(ExecutionBackend):
             raise
         self._hosts = hosts
         self._socket_dir = socket_dir
+        # One selector loop multiplexes every channel: switch the sockets to
+        # non-blocking only now, after the blocking handshakes completed.
+        loop = EventLoop()
+        self._loop = loop
+        for host in hosts:
+            host.channel.set_nonblocking()
+            loop.register_channel(
+                host.channel,
+                on_frames=lambda frames, host=host: self._handle_frames(host, frames),
+                on_error=lambda exc, host=host: self._on_channel_error(host, exc),
+            )
+        loop.start()
         self._ensure_monitor()
         return hosts
 
     def _ensure_monitor(self) -> None:
-        """Start the heartbeat monitor thread when the policy asks for one."""
-        if self.retry.heartbeat_timeout is None or self._hosts is None:
+        """Register the heartbeat-silence check when the policy asks for one."""
+        loop = self._loop
+        timeout = self.retry.heartbeat_timeout
+        if timeout is None or self._hosts is None or loop is None:
             return
-        if self._monitor is not None and self._monitor.is_alive():
-            return
-        self._monitor_stop = threading.Event()
-        self._monitor = threading.Thread(
-            target=self._monitor_loop, name="repro-cluster-monitor", daemon=True
-        )
-        self._monitor.start()
+        if self._monitor_timer is not None:
+            self._monitor_timer.cancel()
+        interval = max(0.05, min(timeout / 4.0, 0.25))
+        self._monitor_timer = loop.call_every(interval, self._check_heartbeats)
 
-    def _monitor_loop(self) -> None:
+    def _check_heartbeats(self) -> None:
         """Kill hosts that go silent past the heartbeat timeout with work in flight.
 
-        A healthy busy runner is never silent: result frames refresh
-        ``last_seen``, and runners send unsolicited heartbeats between them.
-        An *idle* host is exempt — silence without in-flight work is normal —
-        and registration of new work refreshes ``last_seen``, so the timer
-        always measures silence while something was owed.
+        Runs as a periodic event-loop callback.  A healthy busy runner is
+        never silent: result frames refresh ``last_seen``, and runners send
+        unsolicited heartbeats between them.  An *idle* host is exempt —
+        silence without in-flight work is normal — and registration of new
+        work refreshes ``last_seen``, so the timer always measures silence
+        while something was owed.
         """
-        stop = self._monitor_stop
-        while True:
-            timeout = self.retry.heartbeat_timeout
-            interval = 0.25 if timeout is None else max(0.05, min(timeout / 4.0, 0.25))
-            if stop.wait(interval):
-                return
-            hosts = self._hosts
-            if hosts is None:
-                return
-            if timeout is None:
+        timeout = self.retry.heartbeat_timeout
+        hosts = self._hosts
+        if timeout is None or hosts is None:
+            return
+        now = time.monotonic()
+        for host in hosts:
+            if host.dead is not None:
                 continue
-            now = time.monotonic()
-            for host in hosts:
-                if host.dead is not None:
-                    continue
-                with host.lock:
-                    busy = bool(host.pending)
-                    last = host.last_seen
-                if busy and last and now - last > timeout:
-                    if host.process is not None:
-                        try:
-                            host.process.kill()
-                        except OSError:  # pragma: no cover - already gone
-                            pass
-                    self._mark_dead(
-                        host,
-                        f"no frames or heartbeats for {now - last:.1f}s with tasks "
-                        f"in flight (heartbeat timeout {timeout}s)",
-                    )
+            with host.lock:
+                busy = bool(host.pending)
+                last = host.last_seen
+            if busy and last and now - last > timeout:
+                if host.process is not None:
+                    try:
+                        host.process.kill()
+                    except OSError:  # pragma: no cover - already gone
+                        pass
+                self._mark_dead(
+                    host,
+                    f"no frames or heartbeats for {now - last:.1f}s with tasks "
+                    f"in flight (heartbeat timeout {timeout}s)",
+                )
 
     def close(self) -> None:
-        """Shut runners down and remove sockets/scratch dir.  Idempotent."""
+        """Shut runners down and remove sockets/scratch dir.  Idempotent.
+
+        One loop-shutdown path replaces the old per-host thread joins: stop
+        the single event loop (joining its one thread), then — with no other
+        thread touching the sockets — drain each live channel's queued bytes
+        in blocking mode, send the shutdown frame, close the socket and reap
+        the process.  After this returns the backend holds no threads and no
+        file descriptors.
+        """
         hosts, self._hosts = self._hosts, None
         socket_dir, self._socket_dir = self._socket_dir, None
-        self._monitor_stop.set()
+        loop, self._loop = self._loop, None
+        if self._monitor_timer is not None:
+            self._monitor_timer.cancel()
+            self._monitor_timer = None
         with self._state_lock:
             # Runner-resident state dies with the runners; attached proxies
             # raise a "backend is closed" error on their next fault instead
             # of silently re-spawning a pool that never held their state.
             self._live_state.clear()
+        if loop is not None:
+            loop.stop()
         if hosts is not None:
             for host in hosts:
-                host.send_queue.put(None)  # stop the sender loop
-            for host in hosts:
-                if host.sender is not None:
-                    host.sender.join(timeout=5.0)
-                sender_stopped = host.sender is None or not host.sender.is_alive()
-                if host.channel is not None and host.dead is None and sender_stopped:
-                    # Safe to write directly: the sender loop has exited, so
-                    # the frame cannot interleave with an in-flight dispatch.
+                if host.channel is not None and host.dead is None:
+                    # The loop is gone, so direct blocking writes cannot
+                    # interleave with anything: flush whatever dispatch
+                    # bytes it had not drained, then say goodbye.
                     try:
+                        host.channel.set_blocking(2.0)
+                        host.channel.flush_out()
                         host.channel.send(("shutdown",))
-                    except OSError:
+                    except (OSError, ConnectionError):
                         pass
             for host in hosts:
                 if host.channel is not None:
                     host.channel.close()
-                if host.reader is not None:
-                    host.reader.join(timeout=5.0)
                 if host.process is not None:
                     self._reap(host.process)
                 self._fail_pending(
@@ -624,7 +712,7 @@ class ClusterBackend(ExecutionBackend):
     def _committed_epoch_note(self, host: _Host) -> str:
         """``site N: epoch E`` fragments for the host's resident site state."""
         notes = []
-        for site_id, key in sorted(host.resident_by_site.items()):
+        for (job, site_id), key in sorted(host.resident_by_site.items()):
             with self._logs_lock:
                 log = self._site_logs.get(key)
             epoch: Optional[int] = log.epoch if log is not None else None
@@ -635,7 +723,8 @@ class ClusterBackend(ExecutionBackend):
                 if proxy is not None:
                     epoch = proxy.epoch
             if epoch is not None:
-                notes.append(f"site {site_id}: epoch {epoch}")
+                label = f"site {site_id}" if not job else f"{job}/site {site_id}"
+                notes.append(f"{label}: epoch {epoch}")
         return "; ".join(notes) or "none"
 
     @staticmethod
@@ -786,7 +875,7 @@ class ClusterBackend(ExecutionBackend):
             sticky = None
             if log.key not in target.resident_keys:
                 sticky = log.sticky
-                stale = target.resident_by_site.get(log.site_id)
+                stale = target.resident_by_site.get((log.job, log.site_id))
                 if stale is not None and stale != log.key:
                     self._detach_resident_key(stale)
                     evict.append(stale)
@@ -794,7 +883,7 @@ class ClusterBackend(ExecutionBackend):
                     with self._logs_lock:
                         self._site_logs.pop(stale, None)
                 target.resident_keys.add(log.key)
-                target.resident_by_site[log.site_id] = log.key
+                target.resident_by_site[(log.job, log.site_id)] = log.key
             dyn = {
                 "site_id": rec.site_id,
                 "fn": rec.fn,
@@ -807,16 +896,19 @@ class ClusterBackend(ExecutionBackend):
             is_final = index == final_index and resolve is not None
             if is_final and rec.traced:
                 dyn["trace"] = True
+            if log.job:
+                dyn["ns"] = log.job
             convert = None
             if is_final:
                 convert = self._site_result_converter(
-                    target, log.key, log.site_id, rec.wire, rec.round_index, rec.tracer
+                    target, log.key, log.site_id, rec.wire, rec.round_index,
+                    rec.tracer, log.job,
                 )
 
             def build_replay(seq, target=target, key=log.key, sticky=sticky,
                              dyn=dyn, evict=evict):
                 if evict:
-                    target.payloads.clear()
+                    target.payload_cache(log.job).clear()
                 return ("site", seq, key, sticky, dyn, evict)
 
             if rec.tracer is not None:
@@ -824,7 +916,7 @@ class ClusterBackend(ExecutionBackend):
             future = self._submit_frame(
                 target, build_replay,
                 wire=rec.wire, round_index=rec.round_index, kind="replay",
-                convert=convert, tracer=rec.tracer,
+                convert=convert, tracer=rec.tracer, job=log.job,
             )
             replayed += 1
             result = future.result()  # raises if the target died too
@@ -873,7 +965,7 @@ class ClusterBackend(ExecutionBackend):
                     lambda keys, host=target, key=log.key, epoch=epoch, rec=rec:
                         self._pull_state_entries(
                             host, key, epoch, keys, rec.wire, rec.round_index,
-                            rec.tracer,
+                            rec.tracer, log.job,
                         ),
                     epoch=epoch,
                 )
@@ -921,7 +1013,7 @@ class ClusterBackend(ExecutionBackend):
                             round_index=entry.round_index,
                         )
                     )
-            for site_id, key in sorted(host.resident_by_site.items()):
+            for (_, site_id), key in sorted(host.resident_by_site.items()):
                 with self._logs_lock:
                     log = self._site_logs.get(key)
                 if log is None:
@@ -993,7 +1085,7 @@ class ClusterBackend(ExecutionBackend):
                 # death always shows in the ledger.  Cleared at run end by
                 # ``detach_run_accounting``, so idle warm-pool deaths stay
                 # off finished runs' books.
-                hb_wire, hb_tracer, hb_round = host.hb_account
+                hb_wire, hb_tracer, hb_round, _ = host.hb_account
                 wire = hb_wire
                 if tracer is None:
                     tracer = hb_tracer
@@ -1027,10 +1119,13 @@ class ClusterBackend(ExecutionBackend):
         target = self._repin_target_index(entry.task_index)
         fn, payload = entry.task_fn, entry.task_payload
         traced = entry.tracer is not None
+        job = entry.job
 
         def build(seq, target=target):
             counts: Dict[str, int] = {}
-            encoded = target.payloads.encode(payload, counts=counts)
+            encoded = target.payload_cache(job).encode(payload, counts=counts)
+            if job:
+                return ("task", seq, fn, encoded, traced, job)
             if traced:
                 return ("task", seq, fn, encoded, True)
             return ("task", seq, fn, encoded)
@@ -1040,7 +1135,7 @@ class ClusterBackend(ExecutionBackend):
         future = self._submit_frame(
             target, build,
             wire=entry.wire, round_index=entry.round_index, kind="replay_task",
-            convert=entry.convert, tracer=entry.tracer,
+            convert=entry.convert, tracer=entry.tracer, job=job,
             entry_extra={
                 "task_fn": fn, "task_payload": payload,
                 "task_index": entry.task_index,
@@ -1138,7 +1233,7 @@ class ClusterBackend(ExecutionBackend):
                 "pull_state", seq, key, epoch, list(keys)
             ),
             wire=entry.wire, round_index=entry.round_index, kind="replay_pull",
-            convert=None, tracer=entry.tracer,
+            convert=None, tracer=entry.tracer, job=entry.job,
             entry_extra={"pull_info": (key, list(keys))},
         )
         self._bridge_future(future, entry.future)
@@ -1182,196 +1277,197 @@ class ClusterBackend(ExecutionBackend):
             elif action.op == "delay":
                 time.sleep(action.seconds)
 
-    def _read_loop(self, host: _Host) -> None:
-        while True:
-            try:
-                frame, n_bytes, raw_bytes, codec = host.channel.recv()
-            except ConnectionError as exc:
-                if host.dead is None and self._hosts is not None:
-                    self._mark_dead(host, str(exc))
+    def _on_channel_error(self, host: _Host, exc: BaseException) -> None:
+        """Loop callback: a host's channel died (EOF, error, undecodable frame).
+
+        A frame that cannot be decoded (unknown class, corrupt stream,
+        MemoryError on a huge payload) must not be swallowed silently: that
+        would leave every in-flight future unresolved and the caller blocked
+        forever — it is classified as a host death like a socket error.
+        """
+        if host.dead is not None or self._hosts is None:
+            return
+        if isinstance(exc, ConnectionError):
+            self._mark_dead(host, str(exc))
+        else:
+            self._mark_dead(host, f"result frame could not be decoded: {exc!r}")
+
+    def _handle_frames(self, host: _Host, frames) -> None:
+        """Loop callback: dispatch one batch of decoded frames from a host."""
+        for frame, n_bytes, raw_bytes, codec in frames:
+            if host.dead is not None:
                 return
-            except Exception as exc:  # noqa: BLE001 - e.g. an undecodable frame
-                # A frame that cannot be decoded (unknown class, corrupt
-                # stream, MemoryError on a huge payload) must not kill the
-                # reader silently: that would leave every in-flight future
-                # unresolved and the caller blocked forever.
-                if host.dead is None and self._hosts is not None:
-                    self._mark_dead(host, f"result frame could not be decoded: {exc!r}")
-                return
-            host.last_seen = time.monotonic()
-            tag = frame[0]
-            if tag == "hb":
-                # Unsolicited runner heartbeat.  Accounted against the
-                # (ledger, tracer) pair the last dispatch to this host
-                # captured atomically — the same pair every other frame of
-                # the run uses, so ledger/trace byte parity holds bit for
-                # bit with heartbeats on.  Heartbeats arriving before any
-                # dispatch (warm pool idling between runs) are liveness-only.
-                # Under the host lock so detach_run_accounting() can provide
-                # a barrier: once it returns, no heartbeat is being (or will
-                # be) recorded against the finished run's ledger/tracer, and
-                # their totals are frozen in agreement.
-                with host.lock:
-                    hb_wire, hb_tracer, hb_round = host.hb_account
-                    if hb_wire is not None:
-                        hb_wire.record(
-                            round_index=hb_round, host=host.host_id,
-                            direction="recv", kind="hb",
-                            n_bytes=n_bytes, raw_bytes=raw_bytes, codec=codec,
-                        )
-                        if hb_tracer is not None:
-                            hb_tracer.inc("wire.bytes", raw_bytes)
-                            hb_tracer.inc("wire.bytes.recv", raw_bytes)
-                            hb_tracer.inc("wire.bytes.hb", raw_bytes)
-                            hb_tracer.inc("wire.bytes_encoded", n_bytes)
-                            hb_tracer.inc("wire.bytes_encoded.recv", n_bytes)
-                            hb_tracer.inc("wire.bytes_encoded.hb", n_bytes)
-                if len(frame) > 3 and frame[3]:
-                    self._absorb_resource_sample(host, frame[3])
-                continue
-            if tag == "bye":
-                return
-            if tag == "fatal":
-                self._mark_dead(host, frame[1])
-                return
-            seq = frame[1]
+            self._handle_frame(host, frame, n_bytes, raw_bytes, codec)
+
+    def _handle_frame(
+        self, host: _Host, frame: Tuple, n_bytes: int, raw_bytes: int, codec: str
+    ) -> None:
+        """Process one received frame — the event-loop twin of the old reader body."""
+        host.last_seen = time.monotonic()
+        tag = frame[0]
+        if tag == "hb":
+            # Unsolicited runner heartbeat.  Accounted against the
+            # (ledger, tracer) pair the last dispatch to this host
+            # captured atomically — the same pair every other frame of
+            # the run uses, so ledger/trace byte parity holds bit for
+            # bit with heartbeats on.  Heartbeats arriving before any
+            # dispatch (warm pool idling between runs) are liveness-only.
+            # Under the host lock so detach_run_accounting() can provide
+            # a barrier: once it returns, no heartbeat is being (or will
+            # be) recorded against the finished run's ledger/tracer, and
+            # their totals are frozen in agreement.
             with host.lock:
-                entry = host.pending.pop(seq, None)
-            if entry is None:  # pragma: no cover - defensive
-                continue
-            t_recv = entry.tracer.clock() if entry.tracer is not None else 0.0
-            if entry.wire is not None:
-                entry.wire.record(
-                    round_index=entry.round_index, host=host.host_id,
-                    direction="recv", kind=entry.kind + "_result",
-                    n_bytes=n_bytes, raw_bytes=raw_bytes, codec=codec,
-                )
-                if entry.tracer is not None:
-                    # Mirror of the wire record: the trace's byte counters
-                    # are bumped at exactly the ledger's recording points,
-                    # so their totals match the WireLedger bit for bit —
-                    # ``wire.bytes*`` against the raw column,
-                    # ``wire.bytes_encoded*`` against the physical one.
-                    entry.tracer.inc("wire.bytes", raw_bytes)
-                    entry.tracer.inc("wire.bytes.recv", raw_bytes)
-                    entry.tracer.inc(f"wire.bytes.{entry.kind}_result", raw_bytes)
-                    entry.tracer.inc("wire.bytes_encoded", n_bytes)
-                    entry.tracer.inc("wire.bytes_encoded.recv", n_bytes)
-                    entry.tracer.inc(f"wire.bytes_encoded.{entry.kind}_result", n_bytes)
-                    if entry.kind.startswith("replay"):
-                        entry.tracer.inc("recovery.replay_bytes", n_bytes)
-            if entry.tracer is not None:
-                entry.tracer.add_span(
-                    "rpc", entry.t_send, t_recv, kind=entry.kind,
-                    host=host.host_id, round=entry.round_index,
-                    n_bytes=n_bytes, raw_bytes=raw_bytes,
-                )
-            plan = self.fault_plan
-            if plan is not None and entry.fault_ordinal is not None:
-                # After-trigger point: the frame's result has arrived.
-                match_kind = "site" if entry.kind == "site" else "task"
-                self._apply_faults(
-                    host,
-                    plan.take(host.host_id, entry.round_index, match_kind,
-                              entry.fault_ordinal, "after"),
-                )
-            if tag == "exc":
-                _, _, exc, tb = frame
-                if exc is None:
-                    exc = RuntimeError(
-                        f"cluster host {host.host_id} task failed with an "
-                        f"unpicklable exception:\n{tb}"
+                hb_wire, hb_tracer, hb_round, _ = host.hb_account
+                if hb_wire is not None:
+                    hb_wire.record(
+                        round_index=hb_round, host=host.host_id,
+                        direction="recv", kind="hb",
+                        n_bytes=n_bytes, raw_bytes=raw_bytes, codec=codec,
                     )
-                self._clear_log_pending(entry)
-                entry.future.set_exception(exc)
-                continue
-            value = frame[2]
-            if tag == "res" and entry.kind in ("task", "replay_task"):
-                # Task results are content-addressed by the runner exactly
-                # like dispatch payloads; resolve refs against this host's
-                # mirror (storing fresh VALs) before the converter runs.
-                try:
-                    counts: Dict[str, int] = {}
-                    value = host.payloads.decode(value, counts=counts)
-                    if entry.tracer is not None:
-                        if counts.get("hit"):
-                            entry.tracer.inc("cluster.payload_hit", counts["hit"])
-                        if counts.get("miss"):
-                            entry.tracer.inc("cluster.payload_miss", counts["miss"])
-                except BaseException as decode_exc:  # noqa: BLE001 - relayed
-                    entry.future.set_exception(decode_exc)
-                    continue
-            digest = None
-            if entry.site_log is not None and isinstance(value, dict):
-                # Commit the record's state digest to its site log before the
-                # future resolves: replay verification reads it, and a waiter
-                # observing the result must observe the checkpoint too.
-                state = value.get("state")
-                if is_state_digest(state):
-                    digest = (state[1], state[2])
-            extras = frame[3] if len(frame) > 3 else None
-            if extras:
-                timer = extras.get("timer")
-                if timer is not None:
-                    host.runner_timer.merge(timer)
-                if entry.tracer is not None:
-                    buffer = extras.get("trace")
-                    if buffer is not None:
-                        entry.tracer.absorb(
-                            buffer,
-                            window=(entry.t_send, t_recv),
-                            tags={"round": entry.round_index, "host": host.host_id},
-                        )
-                log_buffer = extras.get("log")
-                if log_buffer is not None and self.telemetry is not None:
-                    run_log = self.telemetry.run_log
-                    if run_log is not None:
-                        # Runner log records rebase into the same dispatch
-                        # window their TraceBuffer does, so a record and the
-                        # span it names land together on the timeline.
-                        run_log.absorb(
-                            log_buffer, window=(entry.t_send, t_recv),
-                            round=entry.round_index, host=host.host_id,
-                        )
+                    if hb_tracer is not None:
+                        hb_tracer.inc("wire.bytes", raw_bytes)
+                        hb_tracer.inc("wire.bytes.recv", raw_bytes)
+                        hb_tracer.inc("wire.bytes.hb", raw_bytes)
+                        hb_tracer.inc("wire.bytes_encoded", n_bytes)
+                        hb_tracer.inc("wire.bytes_encoded.recv", n_bytes)
+                        hb_tracer.inc("wire.bytes_encoded.hb", n_bytes)
+            if len(frame) > 3 and frame[3]:
+                self._absorb_resource_sample(host, frame[3])
+            return
+        if tag == "bye":
+            return
+        if tag == "fatal":
+            self._mark_dead(host, frame[1])
+            return
+        seq = frame[1]
+        with host.lock:
+            entry = host.pending.pop(seq, None)
+        if entry is None:  # pragma: no cover - defensive
+            return
+        plan = self.fault_plan
+        if plan is not None and plan.has_io_actions:
+            # Loop-dispatch trigger point: the Nth reply frame the event
+            # loop handles for this host, in arrival order — which the
+            # single loop serialises, so an io-triggered kill/stall/
+            # disconnect lands at a reproducible point of the I/O schedule
+            # regardless of how dispatch threads interleaved.
+            io_kind = "site" if entry.kind == "site" else "task"
+            self._apply_faults(
+                host,
+                plan.take(host.host_id, entry.round_index, io_kind,
+                          plan.next_io_ordinal(host.host_id), "io"),
+            )
+        t_recv = entry.tracer.clock() if entry.tracer is not None else 0.0
+        if entry.wire is not None:
+            entry.wire.record(
+                round_index=entry.round_index, host=host.host_id,
+                direction="recv", kind=entry.kind + "_result",
+                n_bytes=n_bytes, raw_bytes=raw_bytes, codec=codec,
+            )
+            if entry.tracer is not None:
+                # Mirror of the wire record: the trace's byte counters
+                # are bumped at exactly the ledger's recording points,
+                # so their totals match the WireLedger bit for bit —
+                # ``wire.bytes*`` against the raw column,
+                # ``wire.bytes_encoded*`` against the physical one.
+                entry.tracer.inc("wire.bytes", raw_bytes)
+                entry.tracer.inc("wire.bytes.recv", raw_bytes)
+                entry.tracer.inc(f"wire.bytes.{entry.kind}_result", raw_bytes)
+                entry.tracer.inc("wire.bytes_encoded", n_bytes)
+                entry.tracer.inc("wire.bytes_encoded.recv", n_bytes)
+                entry.tracer.inc(f"wire.bytes_encoded.{entry.kind}_result", n_bytes)
+                if entry.kind.startswith("replay"):
+                    entry.tracer.inc("recovery.replay_bytes", n_bytes)
+        if entry.tracer is not None:
+            entry.tracer.add_span(
+                "rpc", entry.t_send, t_recv, kind=entry.kind,
+                host=host.host_id, round=entry.round_index,
+                n_bytes=n_bytes, raw_bytes=raw_bytes,
+            )
+        if plan is not None and entry.fault_ordinal is not None:
+            # After-trigger point: the frame's result has arrived.
+            match_kind = "site" if entry.kind == "site" else "task"
+            self._apply_faults(
+                host,
+                plan.take(host.host_id, entry.round_index, match_kind,
+                          entry.fault_ordinal, "after"),
+            )
+        if tag == "exc":
+            _, _, exc, tb = frame
+            if exc is None:
+                exc = RuntimeError(
+                    f"cluster host {host.host_id} task failed with an "
+                    f"unpicklable exception:\n{tb}"
+                )
+            self._clear_log_pending(entry)
+            entry.future.set_exception(exc)
+            return
+        value = frame[2]
+        if tag == "res" and entry.kind in ("task", "replay_task"):
+            # Task results are content-addressed by the runner exactly
+            # like dispatch payloads; resolve refs against this host's
+            # mirror (storing fresh VALs) before the converter runs.
             try:
-                if entry.convert is not None:
-                    value = entry.convert(value)
-            except BaseException as convert_exc:  # noqa: BLE001 - relayed
+                counts: Dict[str, int] = {}
+                value = host.payload_cache(entry.job).decode(value, counts=counts)
+                if entry.tracer is not None:
+                    if counts.get("hit"):
+                        entry.tracer.inc("cluster.payload_hit", counts["hit"])
+                    if counts.get("miss"):
+                        entry.tracer.inc("cluster.payload_miss", counts["miss"])
+            except BaseException as decode_exc:  # noqa: BLE001 - relayed
+                entry.future.set_exception(decode_exc)
+                return
+        digest = None
+        if entry.site_log is not None and isinstance(value, dict):
+            # Commit the record's state digest to its site log before the
+            # future resolves: replay verification reads it, and a waiter
+            # observing the result must observe the checkpoint too.
+            state = value.get("state")
+            if is_state_digest(state):
+                digest = (state[1], state[2])
+        extras = frame[3] if len(frame) > 3 else None
+        if extras:
+            timer = extras.get("timer")
+            if timer is not None:
+                host.runner_timer.merge(timer)
+            if entry.tracer is not None:
+                buffer = extras.get("trace")
+                if buffer is not None:
+                    entry.tracer.absorb(
+                        buffer,
+                        window=(entry.t_send, t_recv),
+                        tags={"round": entry.round_index, "host": host.host_id},
+                    )
+            log_buffer = extras.get("log")
+            session = self._session_for(entry.job)
+            if log_buffer is not None and session is not None:
+                run_log = session.run_log
+                if run_log is not None:
+                    # Runner log records rebase into the same dispatch
+                    # window their TraceBuffer does, so a record and the
+                    # span it names land together on the timeline.
+                    run_log.absorb(
+                        log_buffer, window=(entry.t_send, t_recv),
+                        round=entry.round_index, host=host.host_id,
+                    )
+        try:
+            if entry.convert is not None:
+                value = entry.convert(value)
+        except BaseException as convert_exc:  # noqa: BLE001 - relayed
+            self._clear_log_pending(entry)
+            entry.future.set_exception(convert_exc)
+            return
+        if entry.site_log is not None:
+            if digest is not None:
+                entry.site_log.note_result(entry.record_index, digest[0], digest[1])
+            else:  # pragma: no cover - keyed dispatches always digest
                 self._clear_log_pending(entry)
-                entry.future.set_exception(convert_exc)
-                continue
-            if entry.site_log is not None:
-                if digest is not None:
-                    entry.site_log.note_result(entry.record_index, digest[0], digest[1])
-                else:  # pragma: no cover - keyed dispatches always digest
-                    self._clear_log_pending(entry)
-            entry.future.set_result(value)
+        entry.future.set_result(value)
 
     # ------------------------------------------------------------------
     # Submission side
     # ------------------------------------------------------------------
-
-    def _send_loop(self, host: _Host) -> None:
-        """Per-host dispatcher: writes queued pre-encoded frames to the socket.
-
-        Dispatch runs off the caller's thread so a large frame whose
-        ``sendall`` blocks (runner busy, socket buffer full) stalls only this
-        host's queue — the caller keeps submitting to the other hosts.
-        Frames arrive here already serialized (and already accounted in the
-        wire ledger), so the only failure mode left is the socket itself.
-        """
-        while True:
-            item = host.send_queue.get()
-            if item is None:
-                return
-            frame, seq = item
-            if host.dead is not None:
-                continue  # its pending entry was already failed
-            try:
-                host.channel.send_frame(frame)
-            except OSError as exc:
-                if host.dead is None:
-                    self._mark_dead(host, f"dispatch failed: {exc}")
 
     def _submit_frame(
         self,
@@ -1383,6 +1479,7 @@ class ClusterBackend(ExecutionBackend):
         kind: str,
         convert: Optional[Callable[[Any], Any]],
         tracer=None,
+        job: str = "",
         entry_extra: Optional[Dict[str, Any]] = None,
         on_dead: str = "fail",
     ) -> Future:
@@ -1410,8 +1507,8 @@ class ClusterBackend(ExecutionBackend):
             seq = self._seq
         # Serialize on the submitting thread: an unpicklable dispatch fails
         # just this task (the stream never sees a byte of it), and the wire
-        # ledger is complete the moment the future resolves — the sender
-        # thread only ever pushes already-accounted bytes.  The host's
+        # ledger is complete the moment the future resolves — the event
+        # loop only ever flushes already-accounted bytes.  The host's
         # encode lock serialises encode+enqueue as one step: frame builders
         # may register payload digests in the host's cache, and a REF must
         # never be enqueued ahead of the VAL that defined it.
@@ -1431,7 +1528,7 @@ class ClusterBackend(ExecutionBackend):
             # sets ``dead`` before draining ``pending``, so either this entry
             # lands in the drain or the death is observed here — never an
             # unresolved future.
-            entry = _Pending(future, wire, round_index, kind, convert)
+            entry = _Pending(future, wire, round_index, kind, convert, job)
             entry.fault_ordinal = fault_ordinal
             if entry_extra:
                 for slot, value in entry_extra.items():
@@ -1476,11 +1573,11 @@ class ClusterBackend(ExecutionBackend):
                         entry.site_log.pending = (entry.record_index, entry)
                         entry.site_log.location = host.host_id
             if not died and wire is not None:
-                # Captured as one tuple so the reader thread accounting a
+                # Captured as one tuple so the event loop accounting a
                 # heartbeat sees a *consistent* (ledger, tracer) pair — the
                 # pair this run's frames use — never a ledger from one run
                 # and a tracer from another.
-                host.hb_account = (wire, entry.tracer, round_index)
+                host.hb_account = (wire, entry.tracer, round_index, job)
                 wire.record(
                     round_index=round_index, host=host.host_id,
                     direction="send", kind=kind + "_dispatch",
@@ -1488,7 +1585,7 @@ class ClusterBackend(ExecutionBackend):
                     codec=frame.codec,
                 )
                 if entry.tracer is not None:
-                    # Mirror of the wire record (see _read_loop): counters
+                    # Mirror of the wire record (see _handle_frame): counters
                     # bump at the ledger's exact recording points — raw into
                     # ``wire.bytes*``, physical into ``wire.bytes_encoded*``.
                     entry.tracer.inc("wire.bytes", frame.raw_bytes)
@@ -1500,7 +1597,14 @@ class ClusterBackend(ExecutionBackend):
                     if kind.startswith("replay"):
                         entry.tracer.inc("recovery.replay_bytes", frame.n_bytes)
             if not died:
-                host.send_queue.put((frame, seq))
+                # Queue the encoded bytes on the channel (still under the
+                # encode lock, so byte order matches cache order) and ask
+                # the event loop to flush them; backpressure lives in the
+                # channel's own send buffer, not a thread-fed queue.
+                host.channel.queue_frame(frame)
+                loop = self._loop
+                if loop is not None:
+                    loop.notify_write(host.channel)
         if died:
             # Outside the dead host's encode lock: the re-dispatch encodes
             # against the survivor's cache under that host's own lock.
@@ -1515,6 +1619,7 @@ class ClusterBackend(ExecutionBackend):
         wire: Optional[WireLedger] = None,
         round_index: int = 0,
         tracer=None,
+        job: str = "",
     ) -> List[Future]:
         """Ship structure-free tasks to the runners, one future per payload.
 
@@ -1538,12 +1643,19 @@ class ClusterBackend(ExecutionBackend):
             # Runs under the host's encode lock (see _submit_frame), so the
             # digests this encode registers are enqueued in cache order.
             counts: Dict[str, int] = {}
-            encoded = host.payloads.encode(payload, counts=counts)
+            encoded = host.payload_cache(job).encode(payload, counts=counts)
             if traced:
                 if counts.get("hit"):
                     tracer.inc("cluster.payload_hit", counts["hit"])
                 if counts.get("miss"):
                     tracer.inc("cluster.payload_miss", counts["miss"])
+            # A job namespace rides as a sixth slot (with the trace flag
+            # pinned into the fifth) so the runner serves the matching
+            # per-job cache; default-namespace frames keep their historical
+            # shapes byte for byte.
+            if job:
+                return ("task", seq, fn, encoded, traced, job)
+            if traced:
                 return ("task", seq, fn, encoded, True)
             return ("task", seq, fn, encoded)
 
@@ -1576,7 +1688,7 @@ class ClusterBackend(ExecutionBackend):
                     host,
                     lambda seq, host=host, payload=payload: build_task(seq, host, payload),
                     wire=wire, round_index=round_index, kind=kind, convert=None,
-                    tracer=tracer, entry_extra=extra,
+                    tracer=tracer, job=job, entry_extra=extra,
                 )
             )
         return futures
@@ -1588,6 +1700,7 @@ class ClusterBackend(ExecutionBackend):
         wire: Optional[WireLedger] = None,
         round_index: int = 0,
         tracer=None,
+        job: str = "",
     ) -> List[Future]:
         """Ship ``(SiteTask, SiteContext)`` pairs, returning SiteTaskResult futures.
 
@@ -1613,7 +1726,7 @@ class ClusterBackend(ExecutionBackend):
             if recovery and key is not None:
                 futures.append(
                     self._submit_site_recoverable(
-                        task, ctx, key, wire, round_index, tracer, traced
+                        task, ctx, key, wire, round_index, tracer, traced, job
                     )
                 )
                 continue
@@ -1631,8 +1744,10 @@ class ClusterBackend(ExecutionBackend):
                     # A fresh key for an already-seen site slot means a new
                     # protocol run took it over: the superseded entry is
                     # evicted remotely, so a shared warm pool never grows
-                    # its runner memory with dead runs' metrics.
-                    stale = host.resident_by_site.get(ctx.site_id)
+                    # its runner memory with dead runs' metrics.  Slots are
+                    # per job namespace, so concurrent jobs with identical
+                    # site ids never evict each other.
+                    stale = host.resident_by_site.get((job, ctx.site_id))
                     if stale is not None and stale != key:
                         # Materialise the old run's proxy (if it is still
                         # alive) before its runner-side copy disappears.
@@ -1640,7 +1755,7 @@ class ClusterBackend(ExecutionBackend):
                         evict.append(stale)
                         host.resident_keys.discard(stale)
                     host.resident_keys.add(key)
-                    host.resident_by_site[ctx.site_id] = key
+                    host.resident_by_site[(job, ctx.site_id)] = key
             state = self._encode_dispatch_state(ctx.state, key)
             if traced:
                 tracer.inc(
@@ -1659,8 +1774,14 @@ class ClusterBackend(ExecutionBackend):
                 # Only traced dispatches carry the extra key, so untraced
                 # frames stay byte-identical to an untraced build.
                 dyn["trace"] = True
+            if job:
+                # The namespace rides inside dyn (service-admitted jobs
+                # only), telling the runner which per-job payload cache the
+                # frame's eviction clears; default-namespace frames keep
+                # their historical bytes.
+                dyn["ns"] = job
             convert = self._site_result_converter(
-                host, key, ctx.site_id, wire, round_index, tracer
+                host, key, ctx.site_id, wire, round_index, tracer, job
             )
 
             def build_site(seq, host=host, key=key, sticky=sticky, dyn=dyn, evict=evict):
@@ -1669,20 +1790,20 @@ class ClusterBackend(ExecutionBackend):
                     # the mirror here — under the encode lock, at the same
                     # frame that tells the runner to evict — keeps both
                     # ends' caches symmetric in frame order.
-                    host.payloads.clear()
+                    host.payload_cache(job).clear()
                 return ("site", seq, key, sticky, dyn, evict)
 
             futures.append(
                 self._submit_frame(
                     host, build_site,
                     wire=wire, round_index=round_index, kind="site",
-                    convert=convert, tracer=tracer,
+                    convert=convert, tracer=tracer, job=job,
                 )
             )
         return futures
 
     def _submit_site_recoverable(
-        self, task, ctx, key, wire, round_index, tracer, traced
+        self, task, ctx, key, wire, round_index, tracer, traced, job: str = ""
     ) -> Future:
         """The recovery-enabled twin of the ``submit_site_pairs`` loop body.
 
@@ -1696,7 +1817,7 @@ class ClusterBackend(ExecutionBackend):
         with self._logs_lock:
             log = self._site_logs.get(key)
             if log is None:
-                log = SiteLog(key, ctx.site_id, (ctx.shard, ctx.local_metric))
+                log = SiteLog(key, ctx.site_id, (ctx.shard, ctx.local_metric), job)
                 self._site_logs[key] = log
         with log.lock:
             target = self._ensure_located_locked(log)
@@ -1717,7 +1838,7 @@ class ClusterBackend(ExecutionBackend):
                 if traced:
                     tracer.inc("cluster.resident_miss")
                 sticky = (ctx.shard, ctx.local_metric)
-                stale = target.resident_by_site.get(ctx.site_id)
+                stale = target.resident_by_site.get((job, ctx.site_id))
                 if stale is not None and stale != key:
                     self._detach_resident_key(stale)
                     evict.append(stale)
@@ -1725,7 +1846,7 @@ class ClusterBackend(ExecutionBackend):
                     with self._logs_lock:
                         self._site_logs.pop(stale, None)
                 target.resident_keys.add(key)
-                target.resident_by_site[ctx.site_id] = key
+                target.resident_by_site[(job, ctx.site_id)] = key
             state = self._encode_dispatch_state(ctx.state, key)
             if traced:
                 tracer.inc(
@@ -1747,21 +1868,23 @@ class ClusterBackend(ExecutionBackend):
             }
             if traced:
                 dyn["trace"] = True
+            if job:
+                dyn["ns"] = job
 
             def build_site(seq, target=target, key=key, sticky=sticky,
                            dyn=dyn, evict=evict):
                 if evict:
-                    target.payloads.clear()
+                    target.payload_cache(job).clear()
                 return ("site", seq, key, sticky, dyn, evict)
 
             convert = self._site_result_converter(
-                target, key, ctx.site_id, wire, round_index, tracer
+                target, key, ctx.site_id, wire, round_index, tracer, job
             )
             try:
                 return self._submit_frame(
                     target, build_site,
                     wire=wire, round_index=round_index, kind="site",
-                    convert=convert, tracer=tracer, on_dead="raise",
+                    convert=convert, tracer=tracer, job=job, on_dead="raise",
                     entry_extra={"site_log": log, "record_index": index},
                 )
             except _HostDied:
@@ -1805,6 +1928,7 @@ class ClusterBackend(ExecutionBackend):
         wire: Optional[WireLedger],
         round_index: int,
         tracer=None,
+        job: str = "",
     ) -> Callable[[dict], Any]:
         """Build the wire->SiteTaskResult decoder for one dispatched site task.
 
@@ -1831,7 +1955,7 @@ class ClusterBackend(ExecutionBackend):
                     epoch=epoch,
                     sizes=sizes,
                     fetch=lambda keys: self._pull_state_entries(
-                        host, key, epoch, keys, wire, round_index, tracer
+                        host, key, epoch, keys, wire, round_index, tracer, job
                     ),
                     owner=self,
                 )
@@ -1858,6 +1982,7 @@ class ClusterBackend(ExecutionBackend):
         wire: Optional[WireLedger],
         round_index: int,
         tracer=None,
+        job: str = "",
     ) -> Dict[str, Any]:
         """Fault resident-state entries from a runner (a proxy read missed).
 
@@ -1881,7 +2006,9 @@ class ClusterBackend(ExecutionBackend):
         recovery = self.retry.enabled
         if host.dead is not None:
             if recovery:
-                return self._pull_redirected(host, key, keys, wire, round_index, tracer)
+                return self._pull_redirected(
+                    host, key, keys, wire, round_index, tracer, job
+                )
             raise DeadHostError(
                 f"state entries {keys!r} of {key!r} at epoch {epoch} are "
                 f"unreachable: {host.dead}",
@@ -1898,13 +2025,15 @@ class ClusterBackend(ExecutionBackend):
                 host,
                 lambda seq: ("pull_state", seq, key, epoch, keys),
                 wire=wire, round_index=round_index, kind="state_pull", convert=None,
-                tracer=tracer,
+                tracer=tracer, job=job,
                 on_dead="raise" if recovery else "fail",
                 entry_extra={"pull_info": (key, keys)} if recovery else None,
             )
         except _HostDied:
             # The host died between the liveness check and registration.
-            return self._pull_redirected(host, key, keys, wire, round_index, tracer)
+            return self._pull_redirected(
+                host, key, keys, wire, round_index, tracer, job
+            )
         return future.result()
 
     def _pull_redirected(
@@ -1915,6 +2044,7 @@ class ClusterBackend(ExecutionBackend):
         wire: Optional[WireLedger],
         round_index: int,
         tracer=None,
+        job: str = "",
     ) -> Dict[str, Any]:
         """Fault state entries from the replayed copy after the owner died.
 
@@ -1951,7 +2081,7 @@ class ClusterBackend(ExecutionBackend):
             target,
             lambda seq: ("pull_state", seq, key, epoch, keys),
             wire=wire, round_index=round_index, kind="replay_pull", convert=None,
-            tracer=tracer, entry_extra={"pull_info": (key, keys)},
+            tracer=tracer, job=job, entry_extra={"pull_info": (key, keys)},
         )
         return future.result()
 

@@ -49,9 +49,11 @@ import os
 import pickle
 import socket
 import struct
+import threading
 import zlib
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
+from typing import Any, Callable, Deque, Dict, List, Mapping, Optional, Tuple, Union
 
 try:  # pragma: no cover - exercised only where the optional extra is installed
     import zstandard as _zstandard
@@ -375,6 +377,15 @@ class FrameChannel:
         What the same frames would have occupied uncompressed.
     ``frames_sent`` / ``frames_received``
         Number of frames in each direction.
+
+    Two I/O styles share those counters.  The blocking pair
+    (:meth:`send` / :meth:`recv`) is what runners and the startup handshake
+    use.  The non-blocking pair is a read/write state machine for a
+    selector-driven coordinator: :meth:`feed_bytes` + :meth:`take_frames`
+    reassemble frames from whatever byte slices the socket produced
+    (partial headers and split bodies included), and :meth:`queue_frame` +
+    :meth:`flush_out` buffer outgoing frames and drain them as far as the
+    socket accepts, with :attr:`pending_out` exposing the backpressure.
     """
 
     def __init__(self, sock: socket.socket):
@@ -385,6 +396,16 @@ class FrameChannel:
         self.raw_bytes_received = 0
         self.frames_sent = 0
         self.frames_received = 0
+        # Non-blocking read state: raw bytes as they arrived, reassembled
+        # into frames by take_frames().
+        self._in_buf = bytearray()
+        # Non-blocking write state: a FIFO of encoded byte chunks plus the
+        # offset already sent from the head chunk.  queue_frame() runs on
+        # dispatching threads while flush_out() runs on the event loop, so
+        # the queue has its own lock.
+        self._out: Deque[memoryview] = deque()
+        self._out_bytes = 0
+        self._out_lock = threading.Lock()
 
     def send(self, obj: Any, codec: Union[str, Codec, None] = None) -> EncodedFrame:
         """Encode and send one frame; returns the :class:`EncodedFrame`."""
@@ -438,6 +459,132 @@ class FrameChannel:
         self.raw_bytes_received += raw_bytes
         self.frames_received += 1
         return decode_body(body), n_bytes, raw_bytes, codec.name
+
+    # ------------------------------------------------------------------
+    # Non-blocking state machines (selector-driven coordinator side)
+    # ------------------------------------------------------------------
+
+    def fileno(self) -> int:
+        """The underlying socket's file descriptor (for selector registration)."""
+        return self._sock.fileno()
+
+    def set_nonblocking(self) -> None:
+        """Switch the socket to non-blocking mode (loop-managed channels)."""
+        self._sock.setblocking(False)
+
+    def set_blocking(self, timeout: Optional[float] = None) -> None:
+        """Switch back to blocking mode (shutdown drains outside the loop)."""
+        self._sock.settimeout(timeout)
+
+    def read_ready(self) -> int:
+        """Read whatever the socket has into the reassembly buffer.
+
+        Returns the number of bytes read, or ``-1`` when the socket merely
+        has no data right now (``EWOULDBLOCK``).  EOF and socket errors
+        raise :class:`ConnectionError` — on a frame-based protocol both mean
+        the peer is gone.
+        """
+        try:
+            data = self._sock.recv(_RECV_CHUNK)
+        except (BlockingIOError, InterruptedError):
+            return -1
+        except OSError as exc:
+            raise ConnectionError(f"socket receive failed: {exc}") from exc
+        if not data:
+            raise ConnectionError("peer closed the connection")
+        self._in_buf += data
+        return len(data)
+
+    def feed_bytes(self, data) -> None:
+        """Append raw received bytes to the reassembly buffer.
+
+        Accepts any byte slice — a lone half of a frame header is fine; the
+        frames only materialise once :meth:`take_frames` finds them whole.
+        """
+        self._in_buf += data
+
+    def take_frames(self) -> List[Tuple[Any, int, int, str]]:
+        """Decode every *complete* frame currently in the reassembly buffer.
+
+        Returns ``(object, wire_bytes, raw_bytes, codec)`` tuples exactly
+        like :meth:`recv` would, in arrival order; incomplete trailing bytes
+        (a partial header, a body still crossing the socket) stay buffered
+        for the next feed.  Counters advance only for frames actually
+        decoded.
+        """
+        frames: List[Tuple[Any, int, int, str]] = []
+        buf = self._in_buf
+        offset = 0
+        while len(buf) - offset >= _HEADER.size:
+            length, codec_id = _HEADER.unpack_from(buf, offset)
+            total = _HEADER.size + length
+            if len(buf) - offset < total:
+                break
+            # A writable copy of the body: zero-copy decoded arrays alias it
+            # for their lifetime, so it must not be a view into _in_buf
+            # (which the next feed would grow or the del below reclaim).
+            data = bytearray(buf[offset + _HEADER.size : offset + total])
+            offset += total
+            codec = codec_by_id(codec_id)
+            if codec.wire_id == NONE_CODEC.wire_id:
+                body = data
+            else:
+                body = bytearray(codec.decompress(bytes(data)))
+            n_bytes = FRAME_OVERHEAD + length
+            raw_bytes = FRAME_OVERHEAD + len(body)
+            self.bytes_received += n_bytes
+            self.raw_bytes_received += raw_bytes
+            self.frames_received += 1
+            frames.append((decode_body(body), n_bytes, raw_bytes, codec.name))
+        if offset:
+            del buf[:offset]
+        return frames
+
+    def queue_frame(self, frame: EncodedFrame) -> int:
+        """Buffer one pre-encoded frame for a later :meth:`flush_out`.
+
+        Byte accounting happens here — at queue time, matching the blocking
+        :meth:`send_frame` contract that a frame is on the channel's books
+        the moment the dispatch path hands it over.  Returns the wire bytes
+        the frame occupies.
+        """
+        codec = resolve_codec(frame.codec)
+        payload = _HEADER.pack(len(frame.data), codec.wire_id) + frame.data
+        with self._out_lock:
+            self._out.append(memoryview(payload))
+            self._out_bytes += len(payload)
+            self.bytes_sent += frame.n_bytes
+            self.raw_bytes_sent += frame.raw_bytes
+            self.frames_sent += 1
+        return frame.n_bytes
+
+    @property
+    def pending_out(self) -> int:
+        """Bytes queued but not yet accepted by the socket (backpressure)."""
+        return self._out_bytes
+
+    def flush_out(self) -> bool:
+        """Write queued bytes until the socket stops accepting them.
+
+        Returns ``True`` when the send buffer drained completely, ``False``
+        when bytes remain (the caller keeps write interest registered).
+        Raises :class:`ConnectionError` when the peer is gone.
+        """
+        with self._out_lock:
+            while self._out:
+                chunk = self._out[0]
+                try:
+                    n = self._sock.send(chunk)
+                except (BlockingIOError, InterruptedError):
+                    return False
+                except OSError as exc:
+                    raise ConnectionError(f"socket send failed: {exc}") from exc
+                self._out_bytes -= n
+                if n < len(chunk):
+                    self._out[0] = chunk[n:]
+                    return False
+                self._out.popleft()
+        return True
 
     def close(self) -> None:
         """Close the underlying socket (idempotent)."""

@@ -148,10 +148,16 @@ class FaultAction:
 
     Trigger points are the backend's own accounting points: ``when="before"``
     fires as a matching frame is dispatched (before any byte is queued),
-    ``when="after"`` as its result is processed.  ``task`` is the 1-based
-    ordinal of site/task dispatches to that ``(host, round)`` — deterministic
-    because placement and submission order are.  Unset fields match anything.
-    One-shot by default; ``delay`` recurs unless ``once=true`` is given.
+    ``when="after"`` as its result is processed, and ``when="io"`` fires on
+    the event-loop thread at an exact *loop-dispatch ordinal* — ``task`` then
+    counts the reply frames the coordinator's selector loop has handled for
+    that host (in arrival order, which the single loop serialises), so a
+    kill/stall/disconnect lands at a reproducible point of the I/O schedule
+    no matter how dispatch threads interleave.  For ``before``/``after``,
+    ``task`` is the 1-based ordinal of site/task dispatches to that
+    ``(host, round)`` — deterministic because placement and submission order
+    are.  Unset fields match anything.  One-shot by default; ``delay`` recurs
+    unless ``once=true`` is given.
     """
 
     op: str
@@ -167,8 +173,10 @@ class FaultAction:
     def __post_init__(self) -> None:
         if self.op not in _FAULT_OPS:
             raise ValueError(f"unknown fault op {self.op!r} (expected one of {_FAULT_OPS})")
-        if self.when not in ("before", "after"):
-            raise ValueError(f"when must be 'before' or 'after', got {self.when!r}")
+        if self.when not in ("before", "after", "io"):
+            raise ValueError(
+                f"when must be 'before', 'after' or 'io', got {self.when!r}"
+            )
         if self.kind is not None and self.kind not in _MATCH_KINDS:
             raise ValueError(f"kind must be one of {_MATCH_KINDS}, got {self.kind!r}")
         if self.op == "delay" and self.seconds <= 0:
@@ -204,17 +212,22 @@ class FaultPlan:
 
     Keys: ``host`` / ``round`` / ``task`` (ints; ``task`` is the 1-based
     dispatch ordinal within that host and round), ``when`` (``before`` |
-    ``after``, default ``before``), ``kind`` (``site`` | ``task``),
+    ``after`` | ``io``, default ``before``), ``kind`` (``site`` | ``task``),
     ``seconds`` (float, ``delay`` only), ``once`` (``true`` | ``false``).
     The plan is thread-safe; dispatch ordinals are counted per
     ``(host, round)`` over site/task frames only, so control traffic never
-    shifts a trigger point.
+    shifts a trigger point.  ``when=io`` ordinals are counted separately, per
+    host, over the reply frames the coordinator's event loop handles for that
+    host (heartbeats and control chatter excluded) — the loop serialises
+    per-host frame handling, so an io trigger point is race-free by
+    construction.
     """
 
     def __init__(self, actions: Sequence[FaultAction]):
         self.actions: List[FaultAction] = list(actions)
         self._lock = threading.Lock()
         self._ordinals: Dict[Tuple[int, int], int] = {}
+        self._io_ordinals: Dict[int, int] = {}
 
     @classmethod
     def parse(cls, spec: str) -> "FaultPlan":
@@ -268,6 +281,17 @@ class FaultPlan:
             key = (host, round_index)
             self._ordinals[key] = self._ordinals.get(key, 0) + 1
             return self._ordinals[key]
+
+    def next_io_ordinal(self, host: int) -> int:
+        """Count (and return) one more loop-handled reply frame from ``host``."""
+        with self._lock:
+            self._io_ordinals[host] = self._io_ordinals.get(host, 0) + 1
+            return self._io_ordinals[host]
+
+    @property
+    def has_io_actions(self) -> bool:
+        """Whether any action triggers at a loop-dispatch (``when=io``) point."""
+        return any(action.when == "io" for action in self.actions)
 
     def take(
         self, host: int, round_index: int, kind: str, ordinal: int, when: str
@@ -362,6 +386,7 @@ class SiteLog:
         "key",
         "site_id",
         "sticky",
+        "job",
         "records",
         "digests",
         "lock",
@@ -370,10 +395,14 @@ class SiteLog:
         "epoch",
     )
 
-    def __init__(self, key: Any, site_id: int, sticky: Any) -> None:
+    def __init__(self, key: Any, site_id: int, sticky: Any, job: str = "") -> None:
         self.key = key
         self.site_id = site_id
         self.sticky = sticky
+        #: Job namespace the key belongs to (``""`` for direct backend use);
+        #: replay frames re-encode against the same per-job payload cache and
+        #: slot map the original dispatches used.
+        self.job = job
         self.records: List[SiteDispatchRecord] = []
         self.digests: List[Optional[Tuple[int, Dict[str, int]]]] = []
         self.lock = threading.RLock()

@@ -5,7 +5,7 @@ coordinator over a unix-domain socket, announces itself, then serves
 dispatch frames until it is told to shut down (or its socket dies with the
 coordinator).  The task shapes are:
 
-``("task", seq, fn, payload[, trace])``
+``("task", seq, fn, payload[, trace[, ns]])``
     A structure-free task (:func:`repro.runtime.run_tasks`): evaluate
     ``fn(payload)`` and reply ``("res", seq, value, extras)``.  Both the
     dispatched payload and the reply value are *content-addressed*
@@ -14,7 +14,12 @@ coordinator).  The task shapes are:
     payload cache, mirrored coordinator-side — or as ``(REF, digest)``
     tuples resolved against it, so repeated payload content (center_g's
     collapse matrices, the state dicts its rounds bounce back and forth)
-    crosses the socket once per pool lifetime.  The ``extras`` dict always
+    crosses the socket once per pool lifetime.  The optional sixth ``ns``
+    slot names the job namespace of a :class:`~repro.cluster.service.
+    ClusterService` job sharing this pool: each namespace gets its own
+    payload cache on both ends (one job's cache hits never depend on what
+    another job shipped), and frames without the slot use the default
+    ``""`` namespace — byte-identical to the historical shape.  The ``extras`` dict always
     carries a per-frame ``Timer`` with the runner's own overhead labels
     (``cluster:task``, plus ``cluster:encode`` for the payload
     decode/encode work) and — when the optional ``trace`` flag is truthy —
@@ -37,7 +42,10 @@ coordinator).  The task shapes are:
     applied on top.  After the task runs, the new state stays resident under
     ``resident_key`` at ``epoch + 1`` and the reply carries only a
     :data:`~repro.runtime.state.STATE_DIGEST_TAG` digest (keys, per-entry
-    pickled sizes, the new epoch) — never the dict itself.  The reply
+    pickled sizes, the new epoch) — never the dict itself.  A service job's
+    site frames carry their namespace as ``dyn["ns"]`` (absent for the
+    default namespace), scoping the evict-time payload-cache drop to that
+    job's cache.  The reply
     ``("site_res", seq, result, extras)`` also encodes every buffered
     site-to-coordinator payload *individually*, so the coordinator learns
     the exact serialized size of each semantic message (the ``n_bytes`` it
@@ -110,13 +118,24 @@ from repro.runtime.state import STATE_DIGEST_TAG, is_state_token
 from repro.utils.timing import Timer
 
 
-def _execute_generic(frame: Tuple, host_id: int, payloads: PayloadCache) -> Tuple:
+def _cache_for(payloads: Dict[str, PayloadCache], ns: str) -> PayloadCache:
+    """The payload cache of one job namespace (``""`` = the default run)."""
+    cache = payloads.get(ns)
+    if cache is None:
+        cache = payloads[ns] = PayloadCache()
+    return cache
+
+
+def _execute_generic(
+    frame: Tuple, host_id: int, payloads: Dict[str, PayloadCache]
+) -> Tuple:
     """Evaluate a ``("task", ...)`` frame; returns the response frame."""
     _, seq, fn, payload = frame[:4]
     trace_on = len(frame) > 4 and bool(frame[4])
+    cache = _cache_for(payloads, frame[5] if len(frame) > 5 else "")
     frame_timer = Timer()
     with frame_timer.measure("cluster:encode"):
-        payload = payloads.decode(payload)
+        payload = cache.decode(payload)
     if trace_on:
         buffer = TraceBuffer(origin=f"host-{host_id}")
         logbuf = LogBuffer(origin=f"host-{host_id}")
@@ -138,7 +157,7 @@ def _execute_generic(frame: Tuple, host_id: int, payloads: PayloadCache) -> Tupl
     # their digests in both directions.
     with frame_timer.measure("cluster:encode"):
         try:
-            value = payloads.encode(value)
+            value = cache.encode(value)
         except Exception as exc:
             # Content addressing pickles each component up front, so an
             # unpicklable result fails here rather than at the socket —
@@ -177,7 +196,7 @@ def _execute_site(
     resident: Dict[Any, Tuple],
     resident_state: Dict[Any, Tuple[int, dict]],
     host_id: int,
-    payloads: PayloadCache,
+    payloads: Dict[str, PayloadCache],
     result_codec: Codec,
 ) -> Tuple:
     """Evaluate a ``("site", ...)`` frame against the resident caches."""
@@ -193,8 +212,10 @@ def _execute_site(
     if evict:
         # Slot eviction ends payload residency too (the coordinator clears
         # its mirror at the same frame, so membership stays symmetric); a
-        # re-dispatch after eviction re-ships its bytes.
-        payloads.clear()
+        # re-dispatch after eviction re-ships its bytes.  Scoped to the
+        # dispatching job's namespace: another job sharing the pool keeps
+        # its cache.
+        _cache_for(payloads, dyn.get("ns", "")).clear()
     if sticky is not None:
         if resident_key is not None:
             resident[resident_key] = sticky
@@ -362,7 +383,7 @@ def serve(channel: FrameChannel, host_id: int) -> None:
     """Serve dispatch frames until shutdown or coordinator disconnect."""
     resident: Dict[Any, Tuple] = {}
     resident_state: Dict[Any, Tuple[int, dict]] = {}
-    payloads = PayloadCache()
+    payloads: Dict[str, PayloadCache] = {}
     policy = WirePolicy.from_env()
     send_lock = threading.Lock()
     stop = threading.Event()

@@ -214,18 +214,40 @@ def _serial_factory(workers: Optional[int]) -> ExecutionBackend:
     return SerialBackend()
 
 
+#: When set (to anything but ``""``/``"0"``), ``"cluster:N"`` specs resolve
+#: to a job checked out of the process-wide shared :class:`~repro.cluster.
+#: service.ClusterService` pool instead of spawning a private pool per run —
+#: the service-mode coordinator CI exercises the whole suite under.
+CLUSTER_SERVICE_ENV = "REPRO_CLUSTER_SERVICE"
+
+
+def _cluster_service_mode() -> bool:
+    return os.environ.get(CLUSTER_SERVICE_ENV, "") not in ("", "0")
+
+
 def _cluster_factory(workers: Optional[int]) -> ExecutionBackend:
     # Imported lazily: the cluster subsystem pulls in sockets/multiprocessing
     # machinery that purely in-process runs never need.
+    if _cluster_service_mode():
+        return _service_factory(workers)
     from repro.cluster.backend import ClusterBackend
 
     return ClusterBackend(n_hosts=workers)
+
+
+def _service_factory(workers: Optional[int]) -> ExecutionBackend:
+    # One admitted job on the process-wide shared warm pool: closing the
+    # returned backend releases the job's lane, never the pool.
+    from repro.cluster.service import shared_service
+
+    return shared_service(workers).checkout()
 
 
 register_backend("serial", _serial_factory)
 register_backend("thread", lambda workers: ThreadPoolBackend(max_workers=workers))
 register_backend("process", lambda workers: ProcessPoolBackend(max_workers=workers))
 register_backend("cluster", _cluster_factory)
+register_backend("service", _service_factory)
 
 
 def resolve_backend(backend: BackendLike) -> ExecutionBackend:
@@ -328,6 +350,7 @@ def backend_scope(backend: BackendLike) -> Iterator[ExecutionBackend]:
 __all__ = [
     "BackendFactory",
     "BackendLike",
+    "CLUSTER_SERVICE_ENV",
     "apply_retry_policy",
     "apply_telemetry",
     "available_backends",

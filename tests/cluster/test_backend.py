@@ -59,12 +59,19 @@ def cluster2():
 class TestRegistry:
     def test_cluster_spec_resolves(self):
         backend = resolve_backend("cluster:2")
-        assert isinstance(backend, ClusterBackend)
+        if os.environ.get("REPRO_CLUSTER_SERVICE", "") not in ("", "0"):
+            # Service-mode CI: the spec checks a job out of the shared pool.
+            from repro.cluster import ServiceBackend
+
+            assert isinstance(backend, ServiceBackend)
+        else:
+            assert isinstance(backend, ClusterBackend)
         assert backend.n_hosts == 2
         backend.close()  # never started: close must still be a no-op
 
     def test_cluster_listed(self):
         assert "cluster" in available_backends()
+        assert "service" in available_backends()
 
     def test_thread_spec_sets_workers(self):
         backend = resolve_backend("thread:4")

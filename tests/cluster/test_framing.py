@@ -299,3 +299,131 @@ class TestFrameChannel:
         finally:
             left.close()
             right.close()
+
+
+class TestNonBlockingReassembly:
+    """The loop-facing half of the channel: feed_bytes/take_frames and the
+    backpressured send queue (queue_frame/pending_out/flush_out)."""
+
+    def _wire_bytes(self, frame):
+        import struct
+
+        return struct.pack(">QB", len(frame.data), resolve_codec(frame.codec).wire_id) + frame.data
+
+    def test_partial_header_yields_nothing(self, channel_pair):
+        _, right = channel_pair
+        frame = encode_frame(("hello", 1))
+        wire = self._wire_bytes(frame)
+        # Feed the header one byte at a time: no frame may materialise
+        # before the body is complete.
+        for i in range(FRAME_OVERHEAD):
+            right.feed_bytes(wire[i : i + 1])
+            assert right.take_frames() == []
+        right.feed_bytes(wire[FRAME_OVERHEAD:])
+        [(obj, n_bytes, raw, codec)] = right.take_frames()
+        assert obj == ("hello", 1)
+        assert n_bytes == raw == len(wire)
+        assert codec == "none"
+        assert right.frames_received == 1
+
+    def test_split_compressed_body_reassembles(self, channel_pair):
+        _, right = channel_pair
+        obj = {"text": "q" * 20000}
+        frame = encode_frame(obj, "zlib")
+        assert frame.codec == "zlib"
+        wire = self._wire_bytes(frame)
+        # Dribble the compressed body through in 7-byte slices, holding the
+        # final byte back; counters only advance when the frame decodes.
+        for offset in range(0, len(wire) - 1, 7):
+            right.feed_bytes(wire[offset : min(offset + 7, len(wire) - 1)])
+        assert right.take_frames() == []
+        assert right.frames_received == 0
+        right.feed_bytes(wire[-1:])
+        [(back, n_bytes, raw, codec)] = right.take_frames()
+        assert back == obj
+        assert codec == "zlib"
+        assert n_bytes == frame.n_bytes < raw == frame.raw_bytes
+
+    def test_two_frames_in_one_feed_decode_in_order(self, channel_pair):
+        _, right = channel_pair
+        wires = [self._wire_bytes(encode_frame(("msg", i))) for i in range(3)]
+        blob = b"".join(wires)
+        # First feed ends inside frame 2's body: exactly one frame decodes.
+        cut = len(wires[0]) + len(wires[1]) // 2
+        right.feed_bytes(blob[:cut])
+        assert [f[0] for f in right.take_frames()] == [("msg", 0)]
+        right.feed_bytes(blob[cut:])
+        assert [f[0] for f in right.take_frames()] == [("msg", 1), ("msg", 2)]
+        assert right.frames_received == 3
+
+    def test_interleaved_frames_from_two_channels(self):
+        """Byte slices of two channels' streams interleave without mixing."""
+        pairs = [socket.socketpair(socket.AF_UNIX, socket.SOCK_STREAM) for _ in range(2)]
+        receivers = [FrameChannel(b) for _, b in pairs]
+        try:
+            streams = []
+            for index in range(2):
+                wires = b"".join(
+                    self._wire_bytes(encode_frame((f"ch{index}", i, "x" * 50)))
+                    for i in range(4)
+                )
+                streams.append(wires)
+            # Alternate 5-byte slices between the two channels, the shape a
+            # selector loop actually sees when both sockets are readable.
+            offsets = [0, 0]
+            got = [[], []]
+            while any(offsets[i] < len(streams[i]) for i in range(2)):
+                for i in range(2):
+                    if offsets[i] < len(streams[i]):
+                        receivers[i].feed_bytes(streams[i][offsets[i] : offsets[i] + 5])
+                        offsets[i] += 5
+                        got[i].extend(obj for obj, _, _, _ in receivers[i].take_frames())
+            for i in range(2):
+                assert got[i] == [(f"ch{i}", j, "x" * 50) for j in range(4)]
+        finally:
+            for a, b in pairs:
+                a.close()
+                b.close()
+
+    def test_queue_frame_accounts_at_queue_time_and_flushes(self, channel_pair):
+        left, right = channel_pair
+        frame = encode_frame({"blob": "y" * 5000}, "zlib")
+        n = left.queue_frame(frame)
+        assert n == frame.n_bytes
+        # Accounting happened at queue time, before any byte hit the socket.
+        assert left.bytes_sent == frame.n_bytes
+        assert left.raw_bytes_sent == frame.raw_bytes
+        assert left.pending_out == FRAME_OVERHEAD + len(frame.data)
+        assert left.flush_out() is True
+        assert left.pending_out == 0
+        back, n_bytes, raw, codec = right.recv()
+        assert back == {"blob": "y" * 5000}
+        assert n_bytes == frame.n_bytes and raw == frame.raw_bytes
+
+    def test_read_ready_feeds_the_reassembly_buffer(self, channel_pair):
+        left, right = channel_pair
+        left.send(("nb", 42))
+        right.set_nonblocking()
+        # Data is in flight on a unix socketpair immediately.
+        total = 0
+        frames = []
+        while not frames:
+            n = right.read_ready()
+            if n > 0:
+                total += n
+            frames = right.take_frames()
+        assert frames[0][0] == ("nb", 42)
+        assert total == frames[0][1]
+
+    def test_read_ready_returns_minus_one_when_idle(self, channel_pair):
+        _, right = channel_pair
+        right.set_nonblocking()
+        assert right.read_ready() == -1
+
+    def test_read_ready_raises_on_eof(self, channel_pair):
+        left, right = channel_pair
+        left.close()
+        right.set_nonblocking()
+        with pytest.raises(ConnectionError):
+            while right.read_ready() == -1:
+                pass

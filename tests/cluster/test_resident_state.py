@@ -267,9 +267,14 @@ class TestPayloadCacheLifecycle:
     def test_clear_resident_drops_both_payload_caches(self, cluster2):
         payload = {"arr": self._ARR, "tag": "lifecycle-clear"}
         self._dispatch_once(cluster2, payload)
-        assert any(len(host.payloads) for host in cluster2._hosts)
+        def cached_entries(host):
+            # host.payloads maps job namespace -> PayloadCache; the default
+            # run lives under "".  Count entries across every namespace.
+            return sum(len(cache) for cache in host.payloads.values())
+
+        assert any(cached_entries(host) for host in cluster2._hosts)
         cluster2.clear_resident()
-        assert all(len(host.payloads) == 0 for host in cluster2._hosts)
+        assert all(cached_entries(host) == 0 for host in cluster2._hosts)
         # The runner's copy died with the mirror: the re-dispatch ships the
         # full bytes again (a stale runner cache would satisfy a REF and
         # the dispatch would stay digest-sized).
@@ -287,7 +292,10 @@ class TestPayloadCacheLifecycle:
         # frame ends payload residency on both ends with the slot.
         _two_rounds(cluster2)
         _two_rounds(cluster2)
-        assert all(len(host.payloads) == 0 for host in cluster2._hosts)
+        assert all(
+            sum(len(cache) for cache in host.payloads.values()) == 0
+            for host in cluster2._hosts
+        )
         value, after = self._dispatch_once(cluster2, payload)
         assert value == float(np.sum(self._ARR))
         assert after > 30_000
